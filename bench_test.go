@@ -1,0 +1,271 @@
+package mcsm
+
+// The benchmark harness of DESIGN.md's per-experiment index: one benchmark
+// per paper figure (run them with -benchtime=1x to regenerate the series;
+// the rendered tables appear with -v via b.Log) plus genuine performance
+// benchmarks of the characterization and stage engines.
+
+import (
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/experiments"
+	"mcsm/internal/spice"
+	"mcsm/internal/table"
+	"mcsm/internal/wave"
+)
+
+var (
+	benchSessOnce sync.Once
+	benchSess     *experiments.Session
+)
+
+func benchSession() *experiments.Session {
+	benchSessOnce.Do(func() {
+		benchSess = experiments.NewSession(experiments.Quick())
+	})
+	return benchSess
+}
+
+// benchExperiment reruns one DESIGN.md experiment per iteration and logs
+// the rendered table of the final run.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchSession()
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = r.Render()
+	}
+	b.StopTimer()
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig03InternalNode regenerates Fig. 3 (EXP-F3).
+func BenchmarkFig03InternalNode(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig04OutputHistories regenerates Fig. 4 (EXP-F4).
+func BenchmarkFig04OutputHistories(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig05DelayDifference regenerates Fig. 5 (EXP-F5).
+func BenchmarkFig05DelayDifference(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig09MCSMAccuracy regenerates Fig. 9 (EXP-F9).
+func BenchmarkFig09MCSMAccuracy(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Glitch regenerates Fig. 10 (EXP-F10).
+func BenchmarkFig10Glitch(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11MISvsSIS regenerates Fig. 11 (EXP-F11).
+func BenchmarkFig11MISvsSIS(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12NoiseSweep regenerates Fig. 12 (EXP-F12).
+func BenchmarkFig12NoiseSweep(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkEfficiencyCSMvsSPICE regenerates EXP-T1.
+func BenchmarkEfficiencyCSMvsSPICE(b *testing.B) { benchExperiment(b, "eff") }
+
+// BenchmarkAblationGridResolution regenerates EXP-A1.
+func BenchmarkAblationGridResolution(b *testing.B) { benchExperiment(b, "abl-grid") }
+
+// BenchmarkAblationSlopeAveraging regenerates EXP-A2.
+func BenchmarkAblationSlopeAveraging(b *testing.B) { benchExperiment(b, "abl-caps") }
+
+// BenchmarkAblationIntegrator regenerates EXP-A3.
+func BenchmarkAblationIntegrator(b *testing.B) { benchExperiment(b, "abl-integ") }
+
+// BenchmarkAblationSelective regenerates EXP-A4.
+func BenchmarkAblationSelective(b *testing.B) { benchExperiment(b, "abl-select") }
+
+// BenchmarkAblationInternalMiller regenerates EXP-A5.
+func BenchmarkAblationInternalMiller(b *testing.B) { benchExperiment(b, "abl-nmiller") }
+
+// BenchmarkSTAPathDelay regenerates EXP-S1.
+func BenchmarkSTAPathDelay(b *testing.B) { benchExperiment(b, "sta") }
+
+// ---------------------------------------------------------------------------
+// Engine performance benchmarks (true per-op measurements).
+
+// benchModel returns the shared quick-mode NOR2 MCSM.
+func benchModel(b *testing.B) *csm.Model {
+	b.Helper()
+	m, err := benchSession().Model("NOR2", csm.KindMCSM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkStageTransistorLevel times one transistor-level history
+// transient — the cost a CSM flow avoids per stage evaluation.
+func BenchmarkStageTransistorLevel(b *testing.B) {
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, _, _ := cells.NOR2HistoryScenario(tech, 2, 2, tm)
+		if _, err := eng.Run(0, tm.TEnd, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageMCSMImplicit times the implicit CSM stage solve.
+func BenchmarkStageMCSMImplicit(b *testing.B) {
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+	m := benchModel(b)
+	wa, wb := cells.NOR2HistoryInputs(tech.Vdd, 2, tm)
+	cl := cells.FanoutCap(tech, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csm.SimulateStage(m, []wave.Waveform{wa, wb}, csm.CapLoad(cl), 0, tm.TEnd, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageMCSMExplicit times the paper's Eq. 4/5 explicit update.
+func BenchmarkStageMCSMExplicit(b *testing.B) {
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+	m := benchModel(b)
+	wa, wb := cells.NOR2HistoryInputs(tech.Vdd, 2, tm)
+	cl := cells.FanoutCap(tech, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csm.SimulateExplicit(m, []wave.Waveform{wa, wb}, cl, 0, tm.TEnd, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeNOR2 times a full FastConfig MCSM characterization.
+func BenchmarkCharacterizeNOR2(b *testing.B) {
+	tech := cells.Default130()
+	spec, err := cells.Get("NOR2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csm.Characterize(tech, spec, csm.KindMCSM, csm.FastConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableInterp4D times the hot lookup of the stage solver.
+func BenchmarkTableInterp4D(b *testing.B) {
+	m := benchModel(b)
+	coords := []float64{0.3, 0.9, 1.1, 0.6}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Io.At(coords...)
+	}
+	_ = sink
+}
+
+// BenchmarkTableGrad4D times lookup-with-gradient (the Newton path).
+func BenchmarkTableGrad4D(b *testing.B) {
+	m := benchModel(b)
+	coords := []float64{0.3, 0.9, 1.1, 0.6}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v, g := m.Io.Grad(coords...)
+		sink += v + g[0]
+	}
+	_ = sink
+}
+
+// BenchmarkSpiceDCInverter times a DC operating point of an inverter.
+func BenchmarkSpiceDCInverter(b *testing.B) {
+	tech := cells.Default130()
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(tech.Vdd))
+	c.AddVSource("VIN", in, spice.Ground, spice.DC(0.6))
+	cells.Inverter(c, tech, "X", []spice.Node{in}, out, vdd, 1)
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DCAt(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLUSolve16 times the dense solver at a representative size.
+func BenchmarkLUSolve16(b *testing.B) {
+	const n = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := spice.NewSystem(n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				v := 1.0 / float64(r+c+1)
+				if r == c {
+					v += float64(n)
+				}
+				sys.AddA(r, c, v)
+			}
+			sys.AddB(r, float64(r))
+		}
+		b.StartTimer()
+		if _, err := sys.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaveformRMSE times the Eq. 6 metric over a dense comparison.
+func BenchmarkWaveformRMSE(b *testing.B) {
+	w1 := wave.SaturatedRamp(0, 1.2, 1e-9, 100e-12, 4e-9)
+	w2 := wave.SaturatedRamp(0, 1.2, 1.01e-9, 110e-12, 4e-9)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += wave.RMSE(w1, w2, 0, 4e-9, 2000)
+	}
+	_ = sink
+}
+
+// Compile-time check that the table package is exercised from the root
+// package (axes are part of the public model surface).
+var _ = table.Axis{}
+
+// BenchmarkNoisePropagation regenerates EXP-N1.
+func BenchmarkNoisePropagation(b *testing.B) { benchExperiment(b, "noiseprop") }
+
+// BenchmarkStageMCSMAdaptive times the adaptive CSM stage solve.
+func BenchmarkStageMCSMAdaptive(b *testing.B) {
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+	m := benchModel(b)
+	wa, wb := cells.NOR2HistoryInputs(tech.Vdd, 2, tm)
+	cl := cells.FanoutCap(tech, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csm.SimulateStageAdaptive(m, []wave.Waveform{wa, wb}, csm.CapLoad(cl), 0, tm.TEnd, spice.DefaultAdaptive()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVariationCorners regenerates EXP-V1.
+func BenchmarkVariationCorners(b *testing.B) { benchExperiment(b, "variation") }

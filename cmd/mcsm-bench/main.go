@@ -1,0 +1,72 @@
+// Command mcsm-bench regenerates the paper's evaluation: every figure
+// (Figs. 3–5, 9–12) plus the ablations and the STA application indexed in
+// DESIGN.md, printed as text tables.
+//
+// Usage:
+//
+//	mcsm-bench            # everything, full fidelity
+//	mcsm-bench -quick     # reduced sweeps (seconds instead of minutes)
+//	mcsm-bench -only fig9,fig12
+//	mcsm-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcsm/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced characterization and sweep densities")
+		only  = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	sess := experiments.NewSession(cfg)
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		r, err := e.Run(sess)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println(r.Render())
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Truncate(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command mcsm-char characterizes library cells into CSM model files.
+//
+// Usage:
+//
+//	mcsm-char -cell NOR2 -kind mcsm -o nor2_mcsm.json
+//	mcsm-char -cell NOR2 -kind mcsm -grid 11 -fast=false -o nor2.json
+//
+// The output is the JSON serialization of csm.Model, loadable with
+// csm.LoadModel and usable anywhere in the library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+)
+
+func main() {
+	var (
+		cellName   = flag.String("cell", "NOR2", "catalog cell to characterize (INV, NOR2, NAND2, NOR3, NAND3, AOI21)")
+		kindName   = flag.String("kind", "mcsm", "model kind: sis, baseline, mcsm")
+		outPath    = flag.String("o", "", "output JSON path (default <cell>_<kind>.json)")
+		fast       = flag.Bool("fast", false, "reduced-fidelity grids (quick demos)")
+		grid       = flag.Int("grid", 0, "override current-table grid points per axis")
+		gridCap    = flag.Int("gridcap", 0, "override capacitance-table grid points per axis")
+		noNMiller  = flag.Bool("no-internal-miller", false, "paper-faithful §3.2 simplification (drop CmN/CmNO)")
+		verify     = flag.Bool("verify", false, "run the QA battery against the transistor reference after characterizing")
+		directCaps = flag.Bool("direct-caps", false, "direct operating-point capacitance extraction")
+	)
+	flag.Parse()
+
+	tech := cells.Default130()
+	spec, err := cells.Get(*cellName)
+	if err != nil {
+		fatal(err)
+	}
+	var kind csm.Kind
+	switch *kindName {
+	case "sis":
+		kind = csm.KindSIS
+	case "baseline":
+		kind = csm.KindMISBaseline
+	case "mcsm":
+		kind = csm.KindMCSM
+	default:
+		fatal(fmt.Errorf("unknown kind %q (want sis, baseline, mcsm)", *kindName))
+	}
+
+	cfg := csm.DefaultConfig()
+	if *fast {
+		cfg = csm.FastConfig()
+	}
+	if *grid > 0 {
+		cfg.GridCurrent = *grid
+	}
+	if *gridCap > 0 {
+		cfg.GridCap = *gridCap
+	}
+	cfg.NoInternalMiller = *noNMiller
+	cfg.DirectCaps = *directCaps
+
+	fmt.Fprintf(os.Stderr, "characterizing %s as %s (tech %s, Vdd %.2fV)...\n",
+		spec.Name, kind, tech.Name, tech.Vdd)
+	start := time.Now()
+	m, err := csm.Characterize(tech, spec, kind, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Truncate(time.Millisecond))
+
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("%s_%s.json", spec.Name, *kindName)
+	}
+	if err := m.Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n%s", path, m.Summary())
+	if *verify {
+		fmt.Fprintln(os.Stderr, "verifying against the transistor reference...")
+		rep, err := csm.Verify(tech, m, 3e-15, 1e-12)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print("\n" + rep.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-char:", err)
+	os.Exit(1)
+}

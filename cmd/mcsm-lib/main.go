@@ -1,0 +1,91 @@
+// Command mcsm-lib characterizes a set of library cells and writes a
+// Liberty (.lib) file containing NLDM delay/slew tables and CCS-style
+// output-current vectors generated from the MCSM models.
+//
+// Usage:
+//
+//	mcsm-lib -cells INV,NOR2,NAND2 -o g130.lib
+//	mcsm-lib -cells NOR2 -fast=false -ccs=false -o nor2_nldm.lib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/liberty"
+	"mcsm/internal/nldm"
+)
+
+func main() {
+	var (
+		cellList = flag.String("cells", "INV,NOR2,NAND2", "comma-separated catalog cells")
+		outPath  = flag.String("o", "mcsm.lib", "output .lib path")
+		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
+		ccs      = flag.Bool("ccs", true, "emit CCS-style output-current vectors (needs CSM characterization)")
+	)
+	flag.Parse()
+
+	tech := cells.Default130()
+	nCfg := nldm.DefaultConfig(tech)
+	cCfg := csm.DefaultConfig()
+	if *fast {
+		cCfg = csm.FastConfig()
+	}
+
+	lib := &liberty.Library{Name: "g130_mcsm", Tech: tech}
+	for _, name := range strings.Split(*cellList, ",") {
+		name = strings.TrimSpace(name)
+		spec, err := cells.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "characterizing %s (NLDM)...\n", name)
+		start := time.Now()
+		nl, err := nldm.Characterize(tech, spec, nCfg)
+		if err != nil {
+			fatal(err)
+		}
+		cell := liberty.Cell{
+			Name:     name,
+			Function: liberty.DefaultFunction(name),
+			NLDM:     nl,
+			Area:     float64(len(spec.Inputs) + 1),
+		}
+		if *ccs {
+			kind := csm.KindMCSM
+			if len(spec.ModelInputs) < 2 {
+				kind = csm.KindSIS
+			} else if spec.Internal == "" {
+				kind = csm.KindMISBaseline
+			}
+			fmt.Fprintf(os.Stderr, "characterizing %s (%s for CCS)...\n", name, kind)
+			m, err := csm.Characterize(tech, spec, kind, cCfg)
+			if err != nil {
+				fatal(err)
+			}
+			cell.CSM = m
+		}
+		lib.Cells = append(lib.Cells, cell)
+		fmt.Fprintf(os.Stderr, "  %s done in %s\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := liberty.Write(f, lib); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *outPath, len(lib.Cells))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-lib:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command mcsm-sim simulates one CSM stage and writes the waveforms as CSV:
+// a characterized (or freshly characterized) cell driven by saturated-ramp
+// inputs into a lumped capacitive load, with the transistor-level reference
+// alongside for comparison.
+//
+// Usage:
+//
+//	mcsm-sim -cell NOR2 -pattern 11-00 -load 3e-15 > waves.csv
+//	mcsm-sim -model nor2_mcsm.json -pattern 10-00 -slew 120e-12
+//
+// The CSV columns are time plus the input, reference output, and model
+// output waveforms — ready for any plotting tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+func main() {
+	var (
+		cellName  = flag.String("cell", "NOR2", "catalog cell (used when -model is empty)")
+		modelPath = flag.String("model", "", "characterized model JSON (skips characterization)")
+		pattern   = flag.String("pattern", "11-00", "input transition <from>-<to>, one bit per modeled input")
+		slew      = flag.Float64("slew", 80e-12, "input transition time, seconds")
+		loadCap   = flag.Float64("load", 3e-15, "lumped load capacitance, farads")
+		tSwitch   = flag.Float64("at", 1e-9, "input switching instant, seconds")
+		tEnd      = flag.Float64("end", 3e-9, "simulation end, seconds")
+		dt        = flag.Float64("dt", 1e-12, "integration step, seconds")
+	)
+	flag.Parse()
+
+	tech := cells.Default130()
+	var m *csm.Model
+	var err error
+	if *modelPath != "" {
+		m, err = csm.LoadModel(*modelPath)
+	} else {
+		var spec cells.Spec
+		spec, err = cells.Get(*cellName)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "characterizing %s (use -model to skip)...\n", spec.Name)
+			m, err = csm.Characterize(tech, spec, csm.KindMCSM, csm.FastConfig())
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	parts := strings.Split(*pattern, "-")
+	if len(parts) != 2 || len(parts[0]) != len(m.Inputs) || len(parts[1]) != len(m.Inputs) {
+		fatal(fmt.Errorf("pattern %q must be <from>-<to> with %d bits each", *pattern, len(m.Inputs)))
+	}
+	inputs := make([]wave.Waveform, len(m.Inputs))
+	for i := range m.Inputs {
+		v0 := bit(parts[0][i], m.Vdd)
+		v1 := bit(parts[1][i], m.Vdd)
+		if v0 == v1 {
+			inputs[i] = wave.Constant(v0, 0, *tEnd)
+		} else {
+			inputs[i] = wave.SaturatedRamp(v0, v1, *tSwitch, *slew, *tEnd)
+		}
+	}
+
+	sr, err := csm.SimulateStage(m, inputs, csm.CapLoad(*loadCap), 0, *tEnd, *dt)
+	if err != nil {
+		fatal(err)
+	}
+	refOut, err := reference(tech, *cellName, m, inputs, *loadCap, *tEnd, *dt)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := append([]string{}, m.Inputs...)
+	waves := append([]wave.Waveform{}, inputs...)
+	names = append(names, "out_ref", "out_"+strings.ToLower(m.Kind.String()))
+	waves = append(waves, refOut, sr.Out)
+	if !sr.VN.Empty() {
+		names = append(names, "vn_model")
+		waves = append(waves, sr.VN)
+	}
+	if err := wave.WriteCSV(os.Stdout, names, waves); err != nil {
+		fatal(err)
+	}
+}
+
+// reference runs the transistor-level cell on the same stimulus.
+func reference(tech cells.Tech, cellName string, m *csm.Model, inputs []wave.Waveform, cl, tEnd, dt float64) (wave.Waveform, error) {
+	spec, err := cells.Get(cellName)
+	if err != nil {
+		return wave.Waveform{}, err
+	}
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	nodes := make([]spice.Node, len(spec.Inputs))
+	k := 0
+	for i, pin := range spec.Inputs {
+		nodes[i] = c.Node("in_" + pin)
+		if lvl, held := m.Held[pin]; held {
+			c.AddVSource("V"+pin, nodes[i], spice.Ground, spice.DC(lvl))
+			continue
+		}
+		c.AddVSource("V"+pin, nodes[i], spice.Ground, inputs[k])
+		k++
+	}
+	out := c.Node("out")
+	spec.Build(c, tech, "X", nodes, out, vddN, spec.Drive)
+	c.AddCapacitor("CL", out, spice.Ground, cl)
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	res, err := eng.Run(0, tEnd, dt)
+	if err != nil {
+		return wave.Waveform{}, err
+	}
+	return res.Wave(out), nil
+}
+
+func bit(b byte, vdd float64) float64 {
+	if b == '1' {
+		return vdd
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command mcsm-sta runs the waveform-based timing analysis on a netlist
+// file, comparing MIS-aware propagation, the conventional SIS assumption,
+// and (optionally) the flat transistor-level reference.
+//
+// Netlist format (see internal/sta):
+//
+//	input a b
+//	output y
+//	cap n1 2e-15
+//	inst U1 NOR2 n1 a b
+//	inst U2 INV  y  n1
+//
+// Primary inputs get saturated-ramp stimuli described by -arrivals, e.g.
+// -arrivals "a:rise@1n,b:fall@1.2n".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("netlist", "", "netlist file (required)")
+		arrivals = flag.String("arrivals", "", "comma list net:rise@TIME or net:fall@TIME (default: all rise@1n)")
+		slew     = flag.Float64("slew", 80e-12, "primary input transition time")
+		horizon  = flag.Float64("horizon", 4e-9, "analysis window end")
+		flat     = flag.Bool("flat", true, "also run the flat transistor reference")
+		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		fatal(fmt.Errorf("-netlist is required"))
+	}
+	f, err := os.Open(*netPath)
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := sta.ParseNetlist(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	tech := cells.Default130()
+	cfg := csm.DefaultConfig()
+	if *fast {
+		cfg = csm.FastConfig()
+	}
+	models := map[string]*csm.Model{}
+	for _, inst := range nl.Instances {
+		if _, ok := models[inst.Type]; ok {
+			continue
+		}
+		spec, err := cells.Get(inst.Type)
+		if err != nil {
+			fatal(err)
+		}
+		kind := csm.KindMCSM
+		if len(spec.ModelInputs) < 2 {
+			kind = csm.KindSIS
+		}
+		fmt.Fprintf(os.Stderr, "characterizing %s (%s)...\n", inst.Type, kind)
+		m, err := csm.Characterize(tech, spec, kind, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		models[inst.Type] = m
+	}
+
+	primary, err := buildArrivals(nl, tech.Vdd, *arrivals, *slew, *horizon)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := sta.Options{Horizon: *horizon}
+	mis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: *horizon})
+	if err != nil {
+		fatal(err)
+	}
+	sis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: *horizon})
+	if err != nil {
+		fatal(err)
+	}
+	var ref *sta.Report
+	if *flat {
+		if ref, err = sta.FlatReference(nl, tech, primary, opt); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("%-10s %12s %12s %12s\n", "net", "MIS-STA(ps)", "SIS-STA(ps)", "flat(ps)")
+	for _, inst := range nl.Instances {
+		net := inst.Output
+		row := fmt.Sprintf("%-10s %12s %12s", net, fmtArr(mis.Nets[net].Arrival), fmtArr(sis.Nets[net].Arrival))
+		if ref != nil {
+			row += fmt.Sprintf(" %12s", fmtArr(ref.Nets[net].Arrival))
+		}
+		fmt.Println(row)
+	}
+	if len(mis.MISInstances) > 0 {
+		fmt.Printf("MIS events at: %v\n", mis.MISInstances)
+	}
+}
+
+func fmtArr(t float64) string {
+	if math.IsNaN(t) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", t*1e12)
+}
+
+func buildArrivals(nl *sta.Netlist, vdd float64, spec string, slew, horizon float64) (map[string]wave.Waveform, error) {
+	out := map[string]wave.Waveform{}
+	for _, net := range nl.PrimaryIn {
+		out[net] = wave.SaturatedRamp(0, vdd, 1e-9, slew, horizon)
+	}
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
+		}
+		dirAt := strings.SplitN(kv[1], "@", 2)
+		if len(dirAt) != 2 {
+			return nil, fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
+		}
+		t, err := parseTime(dirAt[1])
+		if err != nil {
+			return nil, err
+		}
+		switch dirAt[0] {
+		case "rise":
+			out[kv[0]] = wave.SaturatedRamp(0, vdd, t, slew, horizon)
+		case "fall":
+			out[kv[0]] = wave.SaturatedRamp(vdd, 0, t, slew, horizon)
+		case "low":
+			out[kv[0]] = wave.Constant(0, 0, horizon)
+		case "high":
+			out[kv[0]] = wave.Constant(vdd, 0, horizon)
+		default:
+			return nil, fmt.Errorf("bad direction %q", dirAt[0])
+		}
+	}
+	return out, nil
+}
+
+func parseTime(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, strings.TrimSuffix(s, "n")
+	case strings.HasSuffix(s, "p"):
+		mult, s = 1e-12, strings.TrimSuffix(s, "p")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-sta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcsm/internal/sta"
+)
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1n", 1e-9, true},
+		{"2.5n", 2.5e-9, true},
+		{"350p", 350e-12, true},
+		{"1e-9", 1e-9, true},
+		{"abc", 0, false},
+		{"n", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseTime(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseTime(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && math.Abs(got-c.want) > 1e-18 {
+			t.Errorf("parseTime(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuildArrivals(t *testing.T) {
+	nl, err := sta.ParseNetlist(strings.NewReader("input a b\ninst U1 NOR2 n1 a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: every primary input rises at 1ns.
+	m, err := buildArrivals(nl, 1.2, "", 80e-12, 4e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(m))
+	}
+	if v := m["a"].At(3e-9); math.Abs(v-1.2) > 1e-9 {
+		t.Errorf("default rise did not reach vdd: %g", v)
+	}
+
+	// Explicit spec overrides.
+	m, err = buildArrivals(nl, 1.2, "a:fall@2n,b:high@0", 80e-12, 4e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m["a"].At(3e-9); v > 0.01 {
+		t.Errorf("fall arrival did not reach 0: %g", v)
+	}
+	if v := m["b"].At(0.5e-9); math.Abs(v-1.2) > 1e-9 {
+		t.Errorf("held-high input = %g", v)
+	}
+
+	// Error cases.
+	for _, bad := range []string{"a@1n", "a:rise", "a:sideways@1n", "a:rise@xx"} {
+		if _, err := buildArrivals(nl, 1.2, bad, 80e-12, 4e-9); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestFmtArr(t *testing.T) {
+	if got := fmtArr(math.NaN()); got != "-" {
+		t.Errorf("NaN = %q", got)
+	}
+	if got := fmtArr(1.5e-9); got != "1500.00" {
+		t.Errorf("1.5ns = %q", got)
+	}
+}

@@ -1,0 +1,18 @@
+// Package mcsm is a from-scratch Go reproduction of "A Current Source
+// Model for CMOS Logic Cells Considering Multiple Input Switching and
+// Stack Effect" (Amelifard, Hatami, Fatemi, Pedram — DATE 2008).
+//
+// The repository contains the paper's contribution — the MCSM current
+// source model with internal (stack) node state — together with every
+// substrate it needs: a transistor-level circuit simulator standing in for
+// HSPICE, a 130 nm-class cell library, the SIS and internal-node-blind
+// baseline models, an NLDM voltage-based baseline, a crosstalk bench, and
+// a waveform-propagating timing engine.
+//
+// Start with DESIGN.md for the system inventory and the per-experiment
+// index, EXPERIMENTS.md for paper-vs-measured results, and
+// examples/quickstart for the API in sixty lines. The root bench_test.go
+// regenerates every figure of the paper's evaluation:
+//
+//	go test -bench=Fig -benchtime=1x
+package mcsm

@@ -1,0 +1,60 @@
+// crosstalk runs the paper's noise-analysis flow (§4, Figs. 10/12): a
+// victim net coupled to an aggressor through 50 fF, feeding a NOR2 modeled
+// either at transistor level or as an MCSM, with the aggressor's switching
+// instant swept.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/noise"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+func main() {
+	tech := cells.Default130()
+	fmt.Println("characterizing NOR2 (MCSM)...")
+	spec, err := cells.Get("NOR2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := csm.Characterize(tech, spec, csm.KindMCSM, csm.FastConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := noise.Default()
+	cfg.TEnd = 4.2 * units.NS
+	fmt.Printf("\nvictim arrival %s, coupling %s, NOR2 load FO%d\n",
+		units.FormatSeconds(cfg.VictimArrival), units.FormatFarads(cfg.CouplingCap), cfg.Fanout)
+	fmt.Printf("%-14s %14s %14s %12s %10s\n",
+		"injection", "ref 50% (ns)", "mcsm 50% (ns)", "delay err", "RMSE/Vdd")
+
+	var sumRMSE float64
+	var n int
+	err = noise.InjectionSweep(tech, cfg, model, 2.0*units.NS, 3.0*units.NS, 100*units.PS,
+		func(tInj float64, ref, mod *noise.Result) error {
+			tRef, ok1 := ref.Out.CrossTime(tech.Vdd/2, false, 2.0*units.NS)
+			tMod, ok2 := mod.Out.CrossTime(tech.Vdd/2, false, 2.0*units.NS)
+			if !ok1 || !ok2 {
+				return fmt.Errorf("missing crossing at %g", tInj)
+			}
+			rmse := wave.RMSE(ref.Out, mod.Out, 1.8*units.NS, cfg.TEnd-0.2*units.NS, 1200) / tech.Vdd
+			sumRMSE += rmse
+			n++
+			fmt.Printf("%-14s %14.4f %14.4f %12s %10s\n",
+				units.FormatSeconds(tInj), tRef*1e9, tMod*1e9,
+				units.FormatSeconds(math.Abs(tMod-tRef)), units.Percent(rmse))
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naverage RMSE %s of Vdd over %d points (paper: 1.4%%)\n",
+		units.Percent(sumRMSE/float64(n)), n)
+}

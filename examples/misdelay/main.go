@@ -1,0 +1,69 @@
+// misdelay reproduces the paper's §2.2 motivation study interactively: the
+// NOR2 '11'→'00' transition under the two input histories, swept over
+// fanout loads — Figs. 3–5 as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+func main() {
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+
+	fmt.Println("characterizing NOR2 (MCSM)...")
+	spec, err := cells.Get("NOR2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := csm.Characterize(tech, spec, csm.KindMCSM, csm.FastConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nhistory effect vs load (reference = transistor level):")
+	fmt.Printf("%-6s %12s %12s %10s %12s\n", "load", "case1 (ps)", "case2 (ps)", "diff", "mcsm diff")
+	for _, fo := range []int{1, 2, 4, 8} {
+		var refD, modD [3]float64
+		for caseNo := 1; caseNo <= 2; caseNo++ {
+			// Transistor-level reference with real fanout inverters.
+			eng, _, inst := cells.NOR2HistoryScenario(tech, caseNo, fo, tm)
+			res, err := eng.Run(0, tm.TEnd, units.PS)
+			if err != nil {
+				log.Fatal(err)
+			}
+			refD[caseNo] = measure(res.Wave(inst.Pins["Out"]), tech.Vdd, tm)
+
+			// Model with the lumped equivalent load.
+			wa, wb := cells.NOR2HistoryInputs(tech.Vdd, caseNo, tm)
+			sr, err := csm.SimulateStage(model, []wave.Waveform{wa, wb},
+				csm.CapLoad(cells.FanoutCap(tech, fo)), 0, tm.TEnd, units.PS)
+			if err != nil {
+				log.Fatal(err)
+			}
+			modD[caseNo] = measure(sr.Out, tech.Vdd, tm)
+		}
+		fmt.Printf("%-6s %12.1f %12.1f %10s %12s\n",
+			fmt.Sprintf("FO%d", fo),
+			refD[1]*1e12, refD[2]*1e12,
+			units.Percent((refD[2]-refD[1])/refD[1]),
+			units.Percent((modD[2]-modD[1])/modD[1]))
+	}
+	fmt.Println("\ncase 1 = '10'→'11'→'00' (internal node left high: fast)")
+	fmt.Println("case 2 = '01'→'11'→'00' (internal node at |Vt,p|: slow)")
+}
+
+func measure(out wave.Waveform, vdd float64, tm cells.HistoryTiming) float64 {
+	tIn := tm.TSwitch + tm.Slew/2
+	tOut, err := wave.OutputCross50(out, vdd, true, tIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tOut - tIn
+}

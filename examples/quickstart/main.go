@@ -1,0 +1,75 @@
+// Quickstart: characterize a NOR2 into an MCSM, simulate one multiple-
+// input-switching event against the transistor-level reference, and print
+// the delays — the library's core loop in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/spice"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+func main() {
+	// 1. Pick the technology and the cell.
+	tech := cells.Default130()
+	spec, err := cells.Get("NOR2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Characterize the paper's complete model (Io/IN + capacitances as
+	//    4-D tables). FastConfig keeps this to ~a second; DefaultConfig is
+	//    the production setting.
+	fmt.Println("characterizing NOR2 (MCSM)...")
+	model, err := csm.Characterize(tech, spec, csm.KindMCSM, csm.FastConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Build a MIS stimulus: both inputs fall together at 1 ns, so the
+	//    output rises through the PMOS stack.
+	vdd := tech.Vdd
+	const tEnd = 3e-9
+	wa := wave.SaturatedRamp(vdd, 0, 1e-9, 80*units.PS, tEnd)
+	wb := wave.SaturatedRamp(vdd, 0, 1e-9, 80*units.PS, tEnd)
+	load := csm.CapLoad(cells.FanoutCap(tech, 2)) // FO2-equivalent
+
+	// 4. One stage simulation with the model...
+	sr, err := csm.SimulateStage(model, []wave.Waveform{wa, wb}, load, 0, tEnd, units.PS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dModel, err := wave.Delay50(wa, sr.Out, vdd, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. ...and the transistor-level reference for comparison.
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	a, b, out := c.Node("a"), c.Node("b"), c.Node("out")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(vdd))
+	c.AddVSource("VA", a, spice.Ground, wa)
+	c.AddVSource("VB", b, spice.Ground, wb)
+	cells.NOR2(c, tech, "X", []spice.Node{a, b}, out, vddN, 1)
+	c.AddCapacitor("CL", out, spice.Ground, float64(load))
+	res, err := spice.NewEngine(c, spice.DefaultOptions()).Run(0, tEnd, units.PS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dRef, err := wave.Delay50(wa, res.Wave(out), vdd, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MIS rise delay: reference %s, MCSM %s (error %s)\n",
+		units.FormatSeconds(dRef), units.FormatSeconds(dModel),
+		units.Percent((dModel-dRef)/dRef))
+	fmt.Printf("model internal node settles at %s\n",
+		units.FormatVolts(sr.VN.Last()))
+}

@@ -1,0 +1,111 @@
+package cells
+
+import (
+	"testing"
+
+	"mcsm/internal/wave"
+)
+
+// TestNOR2StackEffect reproduces the paper's Figs. 3–4 at transistor level:
+// the '11'→'00' output transition is faster when the internal node was left
+// high ('10' history) than when it parked at |Vt,p| ('01' history), and the
+// internal-node waveforms show the ΔV1/ΔV2 injection bumps.
+func TestNOR2StackEffect(t *testing.T) {
+	tech := Default130()
+	tm := DefaultHistoryTiming()
+	const dt = 1e-12
+	delays := make([]float64, 3)
+	for caseNo := 1; caseNo <= 2; caseNo++ {
+		e, _, inst := NOR2HistoryScenario(tech, caseNo, 2, tm)
+		res, err := e.Run(0, tm.TEnd, dt)
+		if err != nil {
+			t.Fatalf("case %d: %v", caseNo, err)
+		}
+		outW := res.Wave(inst.Pins["Out"])
+		nW := res.Wave(inst.Internal["N"])
+
+		// Output rises after the TSwitch '00' event; 50% delay from the
+		// falling inputs (both cross Vdd/2 at TSwitch + slew/2).
+		tIn := tm.TSwitch + tm.Slew/2
+		tOut, err := wave.OutputCross50(outW, tech.Vdd, true, tIn)
+		if err != nil {
+			t.Fatalf("case %d: %v", caseNo, err)
+		}
+		delays[caseNo] = tOut - tIn
+
+		// Internal node levels in the floating '11' window.
+		winLo := tm.TSecond + 2*tm.Slew
+		winHi := tm.TSwitch - 0.1e-9
+		minN, maxN := nW.Extremum(winLo, winHi)
+		if caseNo == 1 {
+			// History '10': N held at Vdd, bumped *above* Vdd by the B-edge
+			// charge injection (ΔV1 > 0).
+			peak, _ := nW.PeakValue(tm.TSecond, winHi)
+			if peak < tech.Vdd+0.02 {
+				t.Errorf("case 1: VN peak %.3f shows no ΔV1 bump above Vdd", peak)
+			}
+			if minN < tech.Vdd-0.2 {
+				t.Errorf("case 1: VN sagged to %.3f, should stay near Vdd", minN)
+			}
+		} else {
+			// History '01': N parked near body-affected |Vt,p| plus the ΔV2
+			// bump, far below Vdd.
+			if maxN > 0.9 {
+				t.Errorf("case 2: VN max %.3f, should stay well below Vdd", maxN)
+			}
+			if minN < 0.2 || minN > 0.7 {
+				t.Errorf("case 2: VN min %.3f, want near body-affected |Vt,p|", minN)
+			}
+		}
+	}
+
+	if delays[1] <= 0 || delays[2] <= 0 {
+		t.Fatalf("non-positive delays: %v", delays[1:])
+	}
+	// The stack effect: case 1 (high internal node) must be faster, by a
+	// meaningful margin at FO2 (paper reports ≈20% at this load point).
+	if delays[1] >= delays[2] {
+		t.Fatalf("stack effect inverted: case1 %.3gs >= case2 %.3gs", delays[1], delays[2])
+	}
+	rel := (delays[2] - delays[1]) / delays[1]
+	if rel < 0.03 {
+		t.Errorf("stack effect too small: %.1f%%", 100*rel)
+	}
+	t.Logf("FO2 delays: case1=%.1fps case2=%.1fps diff=%.1f%%",
+		delays[1]*1e12, delays[2]*1e12, 100*rel)
+}
+
+// TestNOR2StackEffectLoadTrend verifies the Fig. 5 shape: the relative
+// delay difference between the two histories shrinks as the fanout load
+// grows.
+func TestNOR2StackEffectLoadTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep in short mode")
+	}
+	tech := Default130()
+	tm := DefaultHistoryTiming()
+	const dt = 1e-12
+	relAt := func(fanout int) float64 {
+		var d [3]float64
+		for caseNo := 1; caseNo <= 2; caseNo++ {
+			e, _, inst := NOR2HistoryScenario(tech, caseNo, fanout, tm)
+			res, err := e.Run(0, tm.TEnd, dt)
+			if err != nil {
+				t.Fatalf("FO%d case %d: %v", fanout, caseNo, err)
+			}
+			tIn := tm.TSwitch + tm.Slew/2
+			tOut, err := wave.OutputCross50(res.Wave(inst.Pins["Out"]), tech.Vdd, true, tIn)
+			if err != nil {
+				t.Fatalf("FO%d case %d: %v", fanout, caseNo, err)
+			}
+			d[caseNo] = tOut - tIn
+		}
+		return (d[2] - d[1]) / d[1]
+	}
+	r1 := relAt(1)
+	r8 := relAt(8)
+	if r8 >= r1 {
+		t.Errorf("delay difference did not shrink with load: FO1 %.1f%% vs FO8 %.1f%%", 100*r1, 100*r8)
+	}
+	t.Logf("delay difference: FO1=%.1f%% FO8=%.1f%%", 100*r1, 100*r8)
+}

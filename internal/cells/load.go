@@ -1,0 +1,26 @@
+package cells
+
+import (
+	"fmt"
+
+	"mcsm/internal/spice"
+)
+
+// AttachFanoutInverters loads node out with k minimum-sized inverters — the
+// "FOk" loads of the paper's Fig. 5. Each inverter gets its own floating
+// output node (loaded only by its junction capacitance), which is how real
+// fanout gates present themselves to a driver.
+func AttachFanoutInverters(c *spice.Circuit, t Tech, prefix string, out, vdd spice.Node, k int) {
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("%s.fo%d", prefix, i)
+		fanOut := c.Node(name + ".out")
+		Inverter(c, t, name, []spice.Node{out}, fanOut, vdd, 1)
+	}
+}
+
+// FanoutCap returns the lumped-capacitance equivalent of a FOk load: k
+// times the minimum inverter input capacitance. CSM stage simulations use
+// this when the receiver-capacitance tables are not in play.
+func FanoutCap(t Tech, k int) float64 {
+	return float64(k) * t.MinInverterInputCap()
+}

@@ -1,0 +1,73 @@
+package cells
+
+import (
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+// HistoryTiming fixes the event times of the paper's §2.2 two-history NOR2
+// experiment. All states are entered dynamically starting from '00' (both
+// inputs low, internal node driven to Vdd), which is how the internal node
+// acquires its history-dependent charge in a real circuit:
+//
+//	t=0        state '00' (DC start, N driven high)
+//	TFirst     the history input rises → '10' (case 1) or '01' (case 2)
+//	TSecond    the other input rises → '11' (N floats; ΔV injection)
+//	TSwitch    both inputs fall → '00' (the measured output transition)
+type HistoryTiming struct {
+	TFirst  float64
+	TSecond float64
+	TSwitch float64
+	TEnd    float64
+	Slew    float64 // 0-to-100% input transition time
+}
+
+// DefaultHistoryTiming mirrors the paper's Fig. 3/4 window: the final
+// '11'→'00' event lands at 2.2 ns.
+func DefaultHistoryTiming() HistoryTiming {
+	return HistoryTiming{
+		TFirst:  0.5e-9,
+		TSecond: 1.3e-9,
+		TSwitch: 2.2e-9,
+		TEnd:    3.6e-9,
+		Slew:    80e-12,
+	}
+}
+
+// NOR2HistoryInputs returns the A and B input waveforms for the given
+// history case (1: '10'→'11'→'00', 2: '01'→'11'→'00') at supply vdd.
+func NOR2HistoryInputs(vdd float64, caseNo int, tm HistoryTiming) (wa, wb wave.Waveform) {
+	// The "early" input rises at TFirst, the "late" one at TSecond; both
+	// fall at TSwitch.
+	mk := func(tRise float64) wave.Waveform {
+		return wave.MustNew(
+			[]float64{0, tRise, tRise + tm.Slew, tm.TSwitch, tm.TSwitch + tm.Slew, tm.TEnd},
+			[]float64{0, 0, vdd, vdd, 0, 0})
+	}
+	early := mk(tm.TFirst)
+	late := mk(tm.TSecond)
+	if caseNo == 1 {
+		return early, late // A first: '10' history
+	}
+	return late, early // B first: '01' history
+}
+
+// NOR2HistoryScenario builds the complete transistor-level bench for one
+// history case: a NOR2 driving `fanout` minimum inverters, inputs wired to
+// the §2.2 waveforms. It returns the engine, circuit, and instance.
+func NOR2HistoryScenario(t Tech, caseNo, fanout int, tm HistoryTiming) (*spice.Engine, *spice.Circuit, Instance) {
+	wa, wb := NOR2HistoryInputs(t.Vdd, caseNo, tm)
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	a := c.Node("a")
+	b := c.Node("b")
+	out := c.Node("out")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(t.Vdd))
+	c.AddVSource("VA", a, spice.Ground, wa)
+	c.AddVSource("VB", b, spice.Ground, wb)
+	inst := NOR2(c, t, "X", []spice.Node{a, b}, out, vddN, 1)
+	if fanout > 0 {
+		AttachFanoutInverters(c, t, "L", out, vddN, fanout)
+	}
+	return spice.NewEngine(c, spice.DefaultOptions()), c, inst
+}

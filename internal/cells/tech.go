@@ -1,0 +1,46 @@
+// Package cells builds transistor-level CMOS logic cells — the 130 nm-class
+// standard-cell library of this reproduction. Each builder instantiates
+// MOSFETs into a spice.Circuit and reports the cell's pin and internal
+// nodes, so the same cells serve as (a) the golden reference in experiments
+// and (b) the characterization target for the CSM models.
+package cells
+
+import (
+	"mcsm/internal/device"
+	"mcsm/internal/units"
+)
+
+// Tech is a technology definition: supply voltage, device model cards, and
+// minimum transistor widths.
+type Tech struct {
+	Name  string
+	Vdd   float64
+	NMOS  device.Params
+	PMOS  device.Params
+	WNMin float64 // minimum NMOS width, m
+	WPMin float64 // minimum PMOS width, m (inverter beta-ratio included)
+}
+
+// Default130 returns the repository's generic 130 nm-class technology:
+// Vdd = 1.2 V, 0.2/0.4 µm minimum N/P widths (2:1 beta ratio).
+func Default130() Tech {
+	return Tech{
+		Name:  "g130",
+		Vdd:   1.2,
+		NMOS:  device.N130(),
+		PMOS:  device.P130(),
+		WNMin: 0.20 * units.UM,
+		WPMin: 0.40 * units.UM,
+	}
+}
+
+// MinInverterInputCap estimates the input capacitance of a minimum-sized
+// inverter: total gate oxide plus gate overlap of both devices. This is the
+// "FO1" unit used when fanout loads are lumped.
+func (t Tech) MinInverterInputCap() float64 {
+	wSum := t.WNMin + t.WPMin
+	cox := t.NMOS.CoxA*t.WNMin*t.NMOS.L + t.PMOS.CoxA*t.WPMin*t.PMOS.L
+	ovl := (t.NMOS.CGDO+t.NMOS.CGSO)*t.WNMin + (t.PMOS.CGDO+t.PMOS.CGSO)*t.WPMin
+	_ = wSum
+	return cox + ovl
+}

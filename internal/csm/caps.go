@@ -1,0 +1,405 @@
+package csm
+
+import (
+	"fmt"
+	"math"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/table"
+)
+
+// capFloor is the minimum stored capacitance. Lumped subtraction (e.g.
+// Co = Co_total − ΣCm) can dip slightly negative from extraction noise; a
+// small positive floor keeps the Eq. 4 denominator well-defined.
+const capFloor = 1e-19
+
+// settleTime is the flat interval before each extraction ramp begins.
+const settleTime = 20e-12
+
+// forEachCombo iterates every index combination over axes, holding axis
+// `skip` out of the iteration. It fills coords[d] for all d ≠ skip before
+// invoking fn. fn may set coords[skip] freely.
+func forEachCombo(axes []table.Axis, skip int, fn func(idx []int, coords []float64) error) error {
+	rank := len(axes)
+	idx := make([]int, rank)
+	coords := make([]float64, rank)
+	var rec func(d int) error
+	rec = func(d int) error {
+		if d == rank {
+			return fn(idx, coords)
+		}
+		if d == skip {
+			return rec(d + 1)
+		}
+		for i := range axes[d].Points {
+			idx[d] = i
+			coords[d] = axes[d].Points[i]
+			if err := rec(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// fillCapsTransient runs the paper's §3.3 capacitance extraction: for each
+// capacitance, saturated ramps are applied to the corresponding node while
+// all other model nodes are held at DC grid values; the monitored source
+// current, minus the exact DC component, divided by the ramp slope, yields
+// the capacitance. Values are averaged over the configured slopes.
+func fillCapsTransient(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
+	h, err := newHarness(tech, spec, m.Inputs, m.Kind == KindMCSM)
+	if err != nil {
+		return err
+	}
+	axes := makeAxes(m, cfg.GridCap, 0)
+	nIn := len(m.Inputs)
+	outAxis := len(axes) - 1
+	intAxis := -1
+	if m.Kind == KindMCSM {
+		intAxis = nIn
+	}
+
+	// Miller capacitances: ramp each input, watch the output source.
+	m.Cm = make([]*table.Table, nIn)
+	for i := 0; i < nIn; i++ {
+		t, err := extractCapTable(m, h, cfg, axes, i, h.srcOut, dcIo)
+		if err != nil {
+			return fmt.Errorf("csm: Cm[%s]: %w", m.Inputs[i], err)
+		}
+		m.Cm[i] = t
+	}
+
+	// Internal-node Miller extension: ramp inputs/output, watch the N
+	// source (enabled unless the paper's §3.2 simplification is requested).
+	withNMiller := m.Kind == KindMCSM && !cfg.NoInternalMiller
+	if withNMiller {
+		m.CmN = make([]*table.Table, nIn)
+		for i := 0; i < nIn; i++ {
+			t, err := extractCapTable(m, h, cfg, axes, i, h.srcN, dcIN)
+			if err != nil {
+				return fmt.Errorf("csm: CmN[%s]: %w", m.Inputs[i], err)
+			}
+			m.CmN[i] = t
+		}
+		cmno, err := extractCapTable(m, h, cfg, axes, outAxis, h.srcN, dcIN)
+		if err != nil {
+			return fmt.Errorf("csm: CmNO: %w", err)
+		}
+		m.CmNO = cmno
+	}
+
+	// Total output capacitance: ramp the output, watch the output source.
+	coTotal, err := extractCapTable(m, h, cfg, axes, outAxis, h.srcOut, dcIo)
+	if err != nil {
+		return fmt.Errorf("csm: Co: %w", err)
+	}
+	// The ramp sees every capacitance attached to the output, including the
+	// Miller couplings; the model applies those separately, so subtract.
+	co := coTotal
+	for _, cm := range m.Cm {
+		co, err = table.Combine(co, cm, func(total, miller float64) float64 { return total - miller })
+		if err != nil {
+			return err
+		}
+	}
+	if withNMiller {
+		co, err = table.Combine(co, m.CmNO, func(total, miller float64) float64 { return total - miller })
+		if err != nil {
+			return err
+		}
+	}
+	m.Co = co.Map(func(v float64) float64 { return math.Max(v, capFloor) })
+
+	// Internal node capacitance: ramp N, watch the N source. Couplings of N
+	// lump into CN except those carried as explicit branches (the CmN/CmNO
+	// extension); without the extension everything folds into CN, matching
+	// the paper's §3.2 lumping.
+	if m.Kind == KindMCSM {
+		cn, err := extractCapTable(m, h, cfg, axes, intAxis, h.srcN, dcIN)
+		if err != nil {
+			return fmt.Errorf("csm: CN: %w", err)
+		}
+		if withNMiller {
+			for _, cmn := range m.CmN {
+				cn, err = table.Combine(cn, cmn, func(total, miller float64) float64 { return total - miller })
+				if err != nil {
+					return err
+				}
+			}
+			cn, err = table.Combine(cn, m.CmNO, func(total, miller float64) float64 { return total - miller })
+			if err != nil {
+				return err
+			}
+		}
+		m.CN = cn.Map(func(v float64) float64 { return math.Max(v, capFloor) })
+	}
+	return nil
+}
+
+// dcSel selects which DC current is subtracted from a ramp measurement.
+type dcSel int
+
+const (
+	dcNone dcSel = iota // input-pin measurements carry no DC component
+	dcIo                // subtract the output source's DC current
+	dcIN                // subtract the internal-node source's DC current
+)
+
+// extractCapTable sweeps all non-ramped axes over the cap grid and, per
+// combination, runs one ramp per configured slope on rampAxis, measuring at
+// the given source. The selected DC current at the sampled coordinates is
+// removed via exact per-point DC solves.
+func extractCapTable(m *Model, h *harness, cfg Config, axes []table.Axis, rampAxis int, measure *spice.VSource, sel dcSel) (*table.Table, error) {
+	t, err := table.New(axes...)
+	if err != nil {
+		return nil, err
+	}
+	rampPts := axes[rampAxis].Points
+	lo, hi := rampPts[0], rampPts[len(rampPts)-1]
+	pad := (hi - lo) / float64(len(rampPts)-1)
+
+	// Identify the ramped source.
+	nIn := len(m.Inputs)
+	var src *spice.VSource
+	var stim *spice.SetDC
+	switch {
+	case rampAxis < nIn:
+		src, stim = h.srcIn[rampAxis], h.stimIn[rampAxis]
+	case m.Kind == KindMCSM && rampAxis == nIn:
+		src, stim = h.srcN, h.stimN
+	default:
+		src, stim = h.srcOut, h.stimOut
+	}
+
+	dcAt := make([]float64, len(rampPts))
+	acc := make([]float64, len(rampPts))
+
+	err = forEachCombo(axes, rampAxis, func(idx []int, coords []float64) error {
+		// Exact DC currents at each sample point of the ramped axis.
+		for k, v := range rampPts {
+			coords[rampAxis] = v
+			vin, vn, vo := splitCoords(m, coords)
+			h.setPoint(vin, vn, vo)
+			io, iN, err := h.dcCurrents()
+			if err != nil {
+				return fmt.Errorf("dc subtraction at %v: %w", coords, err)
+			}
+			switch sel {
+			case dcIo:
+				dcAt[k] = io
+			case dcIN:
+				dcAt[k] = iN
+			default:
+				dcAt[k] = 0
+			}
+		}
+		for k := range acc {
+			acc[k] = 0
+		}
+		// One transient per slope; park the DC point mid-span for the
+		// non-ramped value of the ramped node before the ramp takes over.
+		coords[rampAxis] = lo
+		vin, vn, vo := splitCoords(m, coords)
+		h.setPoint(vin, vn, vo)
+		for _, slew := range cfg.SlewTimes {
+			slope := (hi - lo) / slew
+			iw, timeOf, err := h.runRamp(rampSpec{
+				src: src, stim: stim,
+				lo: lo, hi: hi, pad: pad,
+				slope: slope, tFlat: settleTime,
+			}, measure, cfg.TranDt)
+			if err != nil {
+				return err
+			}
+			// Sign convention: the monitored source reads the current the
+			// cell injects into its node. Ramping a *different* node drives
+			// coupling current into the monitored node (+C·s); ramping the
+			// monitored node itself makes its own capacitances draw charge
+			// *out* of it (−C·s).
+			sign := 1.0
+			if src == measure {
+				sign = -1.0
+			}
+			for k, v := range rampPts {
+				iCap := iw.At(timeOf(v)) - dcAt[k]
+				acc[k] += sign * iCap / slope
+			}
+		}
+		for k := range rampPts {
+			idx[rampAxis] = k
+			t.Set(math.Max(acc[k]/float64(len(cfg.SlewTimes)), 0), idx...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// fillCapsDirect computes the lumped capacitances by summing the device
+// terminal capacitances at each DC operating point — the fast path and the
+// EXP-A2 comparison partner for the transient procedure.
+func fillCapsDirect(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
+	h, err := newHarness(tech, spec, m.Inputs, m.Kind == KindMCSM)
+	if err != nil {
+		return err
+	}
+	axes := makeAxes(m, cfg.GridCap, 0)
+	nIn := len(m.Inputs)
+
+	withNMiller := m.Kind == KindMCSM && !cfg.NoInternalMiller
+
+	m.Cm = make([]*table.Table, nIn)
+	for i := range m.Cm {
+		if m.Cm[i], err = table.New(axes...); err != nil {
+			return err
+		}
+	}
+	if m.Co, err = table.New(axes...); err != nil {
+		return err
+	}
+	if m.Kind == KindMCSM {
+		if m.CN, err = table.New(axes...); err != nil {
+			return err
+		}
+	}
+	if withNMiller {
+		m.CmN = make([]*table.Table, nIn)
+		for i := range m.CmN {
+			if m.CmN[i], err = table.New(axes...); err != nil {
+				return err
+			}
+		}
+		if m.CmNO, err = table.New(axes...); err != nil {
+			return err
+		}
+	}
+
+	idxBuf := make([]int, len(axes))
+	var sweepErr error
+	m.Co.Fill(func(coords []float64) float64 {
+		if sweepErr != nil {
+			return capFloor
+		}
+		vin, vn, vo := splitCoords(m, coords)
+		h.setPoint(vin, vn, vo)
+		x, err := h.eng.DCAt(0)
+		if err != nil {
+			sweepErr = fmt.Errorf("csm: direct caps DC at %v: %w", coords, err)
+			return capFloor
+		}
+		lump := lumpDeviceCaps(h, x)
+		copy(idxBuf, indicesOf(m.Co, coords))
+		var sumInN float64
+		for i := range m.Cm {
+			m.Cm[i].Set(lump.inOut[i], idxBuf...)
+			sumInN += lump.inN[i]
+		}
+		co := lump.outStatic
+		if withNMiller {
+			for i := range m.CmN {
+				m.CmN[i].Set(lump.inN[i], idxBuf...)
+			}
+			m.CmNO.Set(lump.outN, idxBuf...)
+			m.CN.Set(math.Max(lump.nStatic, capFloor), idxBuf...)
+		} else {
+			// The paper's lumping: all N couplings fold into CN; the N-Out
+			// coupling additionally loads the output, exactly as the
+			// transient extraction measures it.
+			co += lump.outN
+			if m.CN != nil {
+				m.CN.Set(math.Max(lump.nStatic+lump.outN+sumInN, capFloor), idxBuf...)
+			}
+		}
+		return math.Max(co, capFloor)
+	})
+	return sweepErr
+}
+
+// lumped holds raw pairwise capacitance sums at one operating point,
+// grouped by which model nodes the physical terminals map to. "Static"
+// means supply, ground, a held input, or an unmodeled internal node.
+type lumped struct {
+	inOut     []float64 // input i <-> output
+	inN       []float64 // input i <-> modeled internal node
+	inStatic  []float64 // input i <-> static
+	outN      float64   // output <-> modeled internal node
+	outStatic float64   // output <-> static
+	nStatic   float64   // modeled internal node <-> static
+}
+
+// lumpDeviceCaps walks the harness's MOSFETs and accumulates their terminal
+// capacitances into raw pairwise categories at the solution x.
+func lumpDeviceCaps(h *harness, x []float64) lumped {
+	nIn := len(h.inNodes)
+	lp := lumped{
+		inOut:    make([]float64, nIn),
+		inN:      make([]float64, nIn),
+		inStatic: make([]float64, nIn),
+	}
+	vOf := func(n spice.Node) float64 {
+		if n == spice.Ground {
+			return 0
+		}
+		return x[int(n)-1]
+	}
+	inIdx := func(n spice.Node) int {
+		for i, in := range h.inNodes {
+			if in == n {
+				return i
+			}
+		}
+		return -1
+	}
+	addPair := func(a, b spice.Node, c float64) {
+		if c == 0 || a == b {
+			return
+		}
+		ia, ib := inIdx(a), inIdx(b)
+		isOutA, isOutB := a == h.outNode, b == h.outNode
+		isNA := a == h.nNode && h.nNode != 0
+		isNB := b == h.nNode && h.nNode != 0
+		switch {
+		case (ia >= 0 && isOutB) || (ib >= 0 && isOutA):
+			k := ia
+			if k < 0 {
+				k = ib
+			}
+			lp.inOut[k] += c
+		case (ia >= 0 && isNB) || (ib >= 0 && isNA):
+			k := ia
+			if k < 0 {
+				k = ib
+			}
+			lp.inN[k] += c
+		case (isOutA && isNB) || (isOutB && isNA):
+			lp.outN += c
+		case isNA || isNB:
+			lp.nStatic += c
+		case isOutA || isOutB:
+			lp.outStatic += c
+		case ia >= 0:
+			lp.inStatic[ia] += c
+		case ib >= 0:
+			lp.inStatic[ib] += c
+		}
+	}
+	for _, el := range h.ckt.Elements() {
+		mos, ok := el.(*spice.MOSFET)
+		if !ok {
+			continue
+		}
+		d, g, s, b := mos.Terminals()
+		caps := mos.CapsAt(vOf(d), vOf(g), vOf(s), vOf(b))
+		addPair(g, s, caps.CGS)
+		addPair(g, d, caps.CGD)
+		addPair(g, b, caps.CGB)
+		addPair(d, b, caps.CDB)
+		addPair(s, b, caps.CSB)
+	}
+	return lp
+}

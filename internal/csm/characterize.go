@@ -1,0 +1,207 @@
+package csm
+
+import (
+	"fmt"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/table"
+)
+
+// Characterize builds a CSM of the given kind for a library cell, running
+// the full §3.3 procedure against the transistor-level reference:
+//
+//  1. Current tables Io (and IN for MCSM) from DC sweeps with every model
+//     node forced over [−Δv, Vdd+Δv].
+//  2. Capacitance tables from transient saturated-ramp analyses — one node
+//     ramped, the others held — with exact DC-current subtraction and
+//     averaging over the configured ramp slopes (unless cfg selects the
+//     direct operating-point extraction).
+//  3. Receiver input capacitances (Eq. 3) from input-ramp transients with
+//     the internal node left free, averaged over the secondary grid, and
+//     reduced to input-voltage dependence only (§3.3's practicality
+//     argument).
+func Characterize(tech cells.Tech, spec cells.Spec, kind Kind, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults(tech.Vdd)
+
+	inputs := spec.ModelInputs
+	if kind == KindSIS {
+		inputs = inputs[:1]
+	}
+	if kind != KindSIS && len(inputs) != 2 {
+		return nil, fmt.Errorf("csm: %s needs 2 modeled inputs, %s has %d", kind, spec.Name, len(inputs))
+	}
+	if kind == KindMCSM && spec.Internal == "" {
+		return nil, fmt.Errorf("csm: %s has no internal node; use KindMISBaseline", spec.Name)
+	}
+
+	m := &Model{
+		Kind:   kind,
+		Cell:   spec.Name,
+		Vdd:    tech.Vdd,
+		Inputs: append([]string(nil), inputs...),
+		Held:   heldLevels(spec, inputs, tech.Vdd),
+		DeltaV: cfg.DeltaV,
+	}
+	if kind == KindMCSM {
+		m.Internal = spec.Internal
+	}
+
+	if err := fillCurrents(m, tech, spec, cfg); err != nil {
+		return nil, err
+	}
+	var err error
+	if cfg.DirectCaps {
+		err = fillCapsDirect(m, tech, spec, cfg)
+	} else {
+		err = fillCapsTransient(m, tech, spec, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := fillReceiverCaps(m, tech, spec, cfg); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("csm: characterization produced invalid model: %w", err)
+	}
+	return m, nil
+}
+
+// heldLevels returns the park level for every input pin not in modeled.
+// For KindSIS this includes the cell's second modeled input.
+func heldLevels(spec cells.Spec, modeled []string, vdd float64) map[string]float64 {
+	inModel := make(map[string]bool, len(modeled))
+	for _, p := range modeled {
+		inModel[p] = true
+	}
+	held := map[string]float64{}
+	for _, p := range spec.Inputs {
+		if !inModel[p] {
+			held[p] = spec.NonControllingLevelFor(p, vdd)
+		}
+	}
+	return held
+}
+
+// axisNames returns the table axis names for the model: inputs, optional
+// internal node, output.
+func axisNames(m *Model) []string {
+	names := append([]string(nil), m.Inputs...)
+	if m.Kind == KindMCSM {
+		names = append(names, m.Internal)
+	}
+	return append(names, "Out")
+}
+
+// railAxis builds a rail-anchored axis: n points uniformly spanning
+// [0, Vdd] — so the exact logic levels are grid points — plus one margin
+// point at each end (−Δv and Vdd+Δv). Anchoring the rails matters: the
+// model currents are exponential in the gate overdrive, and linearly
+// interpolating a nominal input level against an overdriven margin point
+// inflates subthreshold currents by an order of magnitude.
+func railAxis(name string, vdd, deltaV float64, n int) table.Axis {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]float64, 0, n+2)
+	pts = append(pts, -deltaV)
+	for k := 0; k < n; k++ {
+		pts = append(pts, vdd*float64(k)/float64(n-1))
+	}
+	pts = append(pts, vdd+deltaV)
+	return table.Axis{Name: name, Points: pts}
+}
+
+// makeAxes builds rail-anchored axes with n interior points each.
+// nInternal, when positive, overrides the density of the internal-node axis
+// (the IN(VN) exponential knee needs finer sampling, see Config).
+func makeAxes(m *Model, n, nInternal int) []table.Axis {
+	names := axisNames(m)
+	axes := make([]table.Axis, len(names))
+	for i, name := range names {
+		pts := n
+		if nInternal > 0 && m.Kind == KindMCSM && i == len(m.Inputs) {
+			pts = nInternal
+		}
+		axes[i] = railAxis(name, m.Vdd, m.DeltaV, pts)
+	}
+	return axes
+}
+
+// splitCoords unpacks a table coordinate vector into input voltages, the
+// internal voltage (NaN-free: equals 0 for non-MCSM), and output voltage.
+func splitCoords(m *Model, coords []float64) (vin []float64, vn, vo float64) {
+	k := len(m.Inputs)
+	vin = coords[:k]
+	if m.Kind == KindMCSM {
+		vn = coords[k]
+		k++
+	}
+	vo = coords[k]
+	return vin, vn, vo
+}
+
+// fillCurrents sweeps the DC grid and fills Io (and IN for MCSM).
+func fillCurrents(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
+	h, err := newHarness(tech, spec, m.Inputs, m.Kind == KindMCSM)
+	if err != nil {
+		return err
+	}
+	io, err2 := table.New(makeAxes(m, cfg.GridCurrent, cfg.GridInternal)...)
+	if err2 != nil {
+		return err2
+	}
+	var iN *table.Table
+	if m.Kind == KindMCSM {
+		if iN, err2 = table.New(makeAxes(m, cfg.GridCurrent, cfg.GridInternal)...); err2 != nil {
+			return err2
+		}
+	}
+	var sweepErr error
+	io.Fill(func(coords []float64) float64 {
+		if sweepErr != nil {
+			return 0
+		}
+		vin, vn, vo := splitCoords(m, coords)
+		h.setPoint(vin, vn, vo)
+		ioVal, inVal, err := h.dcCurrents()
+		if err != nil {
+			sweepErr = fmt.Errorf("csm: DC sweep at %v: %w", coords, err)
+			return 0
+		}
+		if iN != nil {
+			iN.Set(inVal, indicesOf(iN, coords)...)
+		}
+		return ioVal
+	})
+	if sweepErr != nil {
+		return sweepErr
+	}
+	m.Io = io
+	m.IN = iN
+	return nil
+}
+
+// indicesOf locates exact grid indices for a coordinate vector produced by
+// Table.Fill (coordinates are exact axis points).
+func indicesOf(t *table.Table, coords []float64) []int {
+	idx := make([]int, len(coords))
+	for d, c := range coords {
+		pts := t.Axes[d].Points
+		best := 0
+		for i, p := range pts {
+			if abs(p-c) < abs(pts[best]-c) {
+				best = i
+			}
+		}
+		idx[d] = best
+	}
+	return idx
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,158 @@
+package csm
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/cells"
+)
+
+func TestCharacterizeMCSMStructure(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindMCSM || m.Cell != "NOR2" || m.Internal != "N" {
+		t.Errorf("model identity: %+v", m)
+	}
+	if m.Io.Rank() != 4 || m.IN.Rank() != 4 || m.CN.Rank() != 4 {
+		t.Errorf("MCSM tables must be rank 4")
+	}
+	if len(m.Cm) != 2 || len(m.CIn) != 2 {
+		t.Errorf("want per-input cap tables")
+	}
+}
+
+func TestMCSMCurrentSigns(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	vdd := m.Vdd
+	// Inputs '00', output at 0, N high: the PMOS stack charges the output
+	// strongly: Io > 0 (injecting into the output node).
+	if io := m.Io.At(0, 0, vdd, 0); io < 1e-6 {
+		t.Errorf("Io('00', N=vdd, out=0) = %g, want strong positive", io)
+	}
+	// Inputs '11', output at Vdd: NMOS discharge: Io < 0.
+	if io := m.Io.At(vdd, vdd, vdd, vdd); io > -1e-6 {
+		t.Errorf("Io('11', out=vdd) = %g, want strong negative", io)
+	}
+	// Output at equilibrium rails carries ~no current.
+	if io := m.Io.At(0, 0, vdd, vdd); math.Abs(io) > 1e-5 {
+		t.Errorf("Io at settled high output = %g, want ≈0", io)
+	}
+	// Internal node: '00' with N low → M4 charges N: IN > 0.
+	if in := m.IN.At(0, 0, 0, vdd); in < 1e-6 {
+		t.Errorf("IN('00', N=0) = %g, want positive", in)
+	}
+	// '0B' with B=0 and N above Vdd → M4 conducts backwards: IN < 0.
+	if in := m.IN.At(0, 0, vdd+m.DeltaV, vdd); in > -1e-8 {
+		t.Errorf("IN(N above Vdd) = %g, want negative", in)
+	}
+}
+
+func TestMCSMCurrentMonotoneInVo(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	// For fixed inputs the output current must decrease with rising output
+	// voltage (positive output conductance) — the property the explicit
+	// initial-state bisection relies on.
+	for _, va := range []float64{0, m.Vdd} {
+		prev := math.Inf(1)
+		for _, vo := range m.Io.Axes[3].Points {
+			io := m.Io.At(va, 0, m.Vdd, vo)
+			if io > prev+1e-7 {
+				t.Fatalf("Io not monotone in Vo at va=%g vo=%g: %g after %g", va, vo, io, prev)
+			}
+			prev = io
+		}
+	}
+}
+
+func TestMCSMCapRanges(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	// All capacitance tables positive and within plausible fF ranges for
+	// these device sizes (total gate cap of the largest device ≈ 1.6 fF).
+	checkRange := func(name string, lo, hi float64, tb interface{ MinMax() (float64, float64) }) {
+		min, max := tb.MinMax()
+		if min < 0 {
+			t.Errorf("%s has negative entries: %g", name, min)
+		}
+		if max < lo || max > hi {
+			t.Errorf("%s peak %g outside plausible [%g,%g]", name, max, lo, hi)
+		}
+	}
+	checkRange("CmA", 0.05e-15, 5e-15, m.Cm[0])
+	checkRange("CmB", 0.01e-15, 5e-15, m.Cm[1])
+	checkRange("Co", 0.3e-15, 20e-15, m.Co)
+	checkRange("CN", 0.3e-15, 20e-15, m.CN)
+	for i, ci := range m.CIn {
+		min, max := ci.MinMax()
+		if min <= 0 || max > 10e-15 {
+			t.Errorf("CIn[%d] range [%g,%g] implausible", i, min, max)
+		}
+	}
+}
+
+func TestCharacterizeBaselineAndSIS(t *testing.T) {
+	base := fixtureModel(t, "NOR2", KindMISBaseline)
+	if base.Io.Rank() != 3 || base.IN != nil || base.CN != nil {
+		t.Errorf("baseline structure wrong: rank=%d", base.Io.Rank())
+	}
+	sis := fixtureModel(t, "NOR2", KindSIS)
+	if sis.Io.Rank() != 2 || len(sis.Inputs) != 1 {
+		t.Errorf("SIS structure wrong: rank=%d inputs=%v", sis.Io.Rank(), sis.Inputs)
+	}
+	// SIS holds the unmodeled input at the non-controlling level.
+	if lvl, ok := sis.Held["B"]; !ok || lvl != 0 {
+		t.Errorf("SIS held inputs = %v, want B at 0", sis.Held)
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	tech := cells.Default130()
+	inv, _ := cells.Get("INV")
+	// MCSM of a cell without an internal node must be rejected.
+	if _, err := Characterize(tech, inv, KindMCSM, FastConfig()); err == nil {
+		t.Error("MCSM of INV accepted")
+	}
+	// MIS of a single-input cell must be rejected.
+	if _, err := Characterize(tech, inv, KindMISBaseline, FastConfig()); err == nil {
+		t.Error("MIS baseline of INV accepted")
+	}
+	// SIS of INV is fine.
+	if _, err := Characterize(tech, inv, KindSIS, FastConfig()); err != nil {
+		t.Errorf("SIS of INV failed: %v", err)
+	}
+}
+
+func TestBaselineLacksHistorySensitivity(t *testing.T) {
+	// Structural check of the paper's §3.1 critique: the baseline model has
+	// no internal state axis, so its output current cannot depend on the
+	// internal node at all.
+	base := fixtureModel(t, "NOR2", KindMISBaseline)
+	for _, ax := range base.Io.Axes {
+		if ax.Name == "N" {
+			t.Fatal("baseline model has an internal axis")
+		}
+	}
+}
+
+func TestDirectCapsCharacterization(t *testing.T) {
+	tech := cells.Default130()
+	spec, _ := cells.Get("NOR2")
+	cfg := FastConfig()
+	cfg.DirectCaps = true
+	m, err := Characterize(tech, spec, KindMCSM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Direct and transient extractions should agree on scale: compare the
+	// mean of CN.
+	tr := fixtureModel(t, "NOR2", KindMCSM)
+	dMean := m.MeanInternalCap()
+	tMean := tr.MeanInternalCap()
+	if dMean < 0.3*tMean || dMean > 3*tMean {
+		t.Errorf("direct CN mean %g vs transient %g: more than 3x apart", dMean, tMean)
+	}
+}

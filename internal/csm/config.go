@@ -1,0 +1,94 @@
+package csm
+
+import "mcsm/internal/units"
+
+// Config controls characterization fidelity and cost.
+type Config struct {
+	// GridCurrent is the number of grid points per axis for the current
+	// tables (Io, IN). The paper uses dense DC sweeps; 9–11 points with
+	// multilinear interpolation reproduce the I–V surfaces of these cells
+	// to within a few percent.
+	GridCurrent int
+	// GridInternal is the grid density of the internal-node axis of the
+	// current tables. The IN(VN) characteristic has an exponential knee at
+	// the body-affected |Vt,p| — the very feature the paper's stack effect
+	// rests on — so this axis needs roughly twice the resolution of the
+	// others. Zero selects 2·GridCurrent+1.
+	GridInternal int
+	// GridCap is the number of grid points per axis for capacitance tables.
+	// Capacitance surfaces are smoother than currents; 4–6 points suffice.
+	GridCap int
+	// DeltaV is the characterization margin beyond the rails (§3.3: sweeps
+	// run from −Δv to Vdd+Δv). Zero selects 10% of Vdd.
+	DeltaV float64
+	// SlewTimes lists the 0–100% ramp transition times used for transient
+	// capacitance extraction. Values are averaged per §3.3 unless
+	// SingleSlope is set.
+	SlewTimes []float64
+	// SingleSlope disables slope averaging (ablation EXP-A2): only the
+	// first entry of SlewTimes is used.
+	SingleSlope bool
+	// DirectCaps switches capacitance extraction from the paper's
+	// transient-ramp procedure to direct operating-point summation of the
+	// device capacitances (fast path / ablation).
+	DirectCaps bool
+	// NoInternalMiller reproduces the paper's §3.2 simplification exactly:
+	// no Miller capacitances between the internal node and the other nodes.
+	// By default this library *does* characterize and simulate them
+	// (CmNA/CmNB/CmNO) — in our 130 nm-class technology the simplification
+	// costs ≈5–7% of delay accuracy at light loads, which ablation EXP-A5
+	// quantifies.
+	NoInternalMiller bool
+	// TranDt is the integration step for the characterization transients.
+	TranDt float64
+}
+
+// DefaultConfig returns production-fidelity characterization settings.
+func DefaultConfig() Config {
+	return Config{
+		GridCurrent: 9,
+		GridCap:     5,
+		SlewTimes:   []float64{60 * units.PS, 120 * units.PS},
+		TranDt:      0.5 * units.PS,
+	}
+}
+
+// FastConfig returns reduced-fidelity settings for tests and quick demos:
+// coarser grids and a single extraction slope.
+func FastConfig() Config {
+	return Config{
+		GridCurrent: 7,
+		GridCap:     4,
+		SlewTimes:   []float64{80 * units.PS},
+		TranDt:      1 * units.PS,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig and derives DeltaV.
+func (c Config) withDefaults(vdd float64) Config {
+	d := DefaultConfig()
+	if c.GridCurrent < 2 {
+		c.GridCurrent = d.GridCurrent
+	}
+	if c.GridCap < 2 {
+		c.GridCap = d.GridCap
+	}
+	if c.GridInternal < 2 {
+		c.GridInternal = 2*c.GridCurrent + 1
+	}
+	if len(c.SlewTimes) == 0 {
+		c.SlewTimes = d.SlewTimes
+	}
+	if c.TranDt <= 0 {
+		c.TranDt = d.TranDt
+	}
+	if c.DeltaV <= 0 {
+		// Wide enough to cover the ΔV1 bootstrap bump that carries the
+		// internal node ~0.13 V above the rail in the NOR2 experiments.
+		c.DeltaV = 0.15 * vdd
+	}
+	if c.SingleSlope {
+		c.SlewTimes = c.SlewTimes[:1]
+	}
+	return c
+}

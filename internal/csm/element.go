@@ -1,0 +1,369 @@
+package csm
+
+import (
+	"fmt"
+
+	"mcsm/internal/spice"
+)
+
+// Cell is a characterized CSM instantiated as a spice.Element: the model's
+// current sources stamp table-interpolated values (with gradients feeding
+// the Newton Jacobian) and its capacitances integrate through the engine's
+// companion models. For KindMCSM the internal node voltage VN is an
+// auxiliary MNA unknown owned by the element, solved simultaneously with
+// the circuit — the implicit counterpart of the paper's Eq. 5.
+//
+// Because the element works inside any network, CSM stage computation with
+// arbitrary RC/coupled/receiver loads and mixed transistor+CSM simulation
+// (the noise flow) need no special casing — the load-independence property
+// of §3.4.
+type Cell struct {
+	name   string
+	model  *Model
+	inputs []spice.Node
+	out    spice.Node
+
+	withReceiverCaps bool
+
+	vnAux int // absolute unknown index of VN (KindMCSM)
+
+	// Per-step frozen capacitance values and branch histories.
+	cmVal   []float64
+	cinVal  []float64
+	cmNVal  []float64
+	cmNOVal float64
+	coVal   float64
+	cnVal   float64
+	cm      []spice.CapBranch
+	cin     []spice.CapBranch
+	co      spice.CapBranch
+	cmN     []auxCap
+	cmNO    auxCap
+	cnIPrev float64 // trapezoidal history of the internal-node capacitor
+
+	coordBuf []float64
+	vnInit   float64
+}
+
+// auxCap integrates a capacitive branch between a circuit node and the
+// element's auxiliary internal-node unknown (used by the internal-Miller
+// extension; spice.CapBranch only addresses circuit nodes).
+type auxCap struct {
+	iPrev float64
+}
+
+// stamp adds the companion model of a capacitance c between node a and the
+// auxiliary unknown aux.
+func (ac *auxCap) stamp(sys *spice.System, ctx *spice.Context, a spice.Node, aux int, c float64) {
+	if ctx.Mode == spice.ModeDC || ctx.Dt <= 0 || c == 0 {
+		return
+	}
+	ra := int(a) - 1
+	vPrev := ctx.Vprev(a) - ctx.AuxPrev(aux)
+	var geq, hist float64
+	if ctx.Method == spice.Trapezoidal {
+		geq = 2 * c / ctx.Dt
+		hist = geq*vPrev + ac.iPrev
+	} else {
+		geq = c / ctx.Dt
+		hist = geq * vPrev
+	}
+	// Branch current leaving a toward the aux node: i = geq·(va−vaux) − hist.
+	sys.AddA(ra, ra, geq)
+	sys.AddA(ra, aux, -geq)
+	sys.AddB(ra, hist)
+	sys.AddA(aux, aux, geq)
+	sys.AddA(aux, ra, -geq)
+	sys.AddB(aux, -hist)
+}
+
+// accept records the converged branch current.
+func (ac *auxCap) accept(ctx *spice.Context, a spice.Node, aux int, c float64) {
+	if ctx.Mode == spice.ModeDC || ctx.Dt <= 0 || c == 0 {
+		ac.iPrev = 0
+		return
+	}
+	v := ctx.V(a) - ctx.Aux(aux)
+	vPrev := ctx.Vprev(a) - ctx.AuxPrev(aux)
+	if ctx.Method == spice.Trapezoidal {
+		ac.iPrev = 2*c/ctx.Dt*(v-vPrev) - ac.iPrev
+	} else {
+		ac.iPrev = c / ctx.Dt * (v - vPrev)
+	}
+}
+
+// NewCell wires a model between the given input nodes (model input order)
+// and output node. When receiverCaps is true the model's CIn tables load
+// the input nets — enable this whenever the cell is driven through a real
+// network rather than ideal sources.
+func NewCell(name string, m *Model, inputs []spice.Node, out spice.Node, receiverCaps bool) (*Cell, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) != len(m.Inputs) {
+		return nil, fmt.Errorf("csm: %d input nodes for %d-input model", len(inputs), len(m.Inputs))
+	}
+	return &Cell{
+		name:             name,
+		model:            m,
+		inputs:           append([]spice.Node(nil), inputs...),
+		out:              out,
+		withReceiverCaps: receiverCaps,
+		cmVal:            make([]float64, len(inputs)),
+		cinVal:           make([]float64, len(inputs)),
+		cmNVal:           make([]float64, len(inputs)),
+		cm:               make([]spice.CapBranch, len(inputs)),
+		cin:              make([]spice.CapBranch, len(inputs)),
+		cmN:              make([]auxCap, len(inputs)),
+		vnInit:           m.Vdd / 2,
+	}, nil
+}
+
+// Name returns the element name.
+func (c *Cell) Name() string { return c.name }
+
+// Model returns the underlying characterized model.
+func (c *Cell) Model() *Model { return c.model }
+
+// AuxCount reports one auxiliary unknown (VN) for MCSM models.
+func (c *Cell) AuxCount() int {
+	if c.model.Kind == KindMCSM {
+		return 1
+	}
+	return 0
+}
+
+// SetAuxBase records the assigned auxiliary index range.
+func (c *Cell) SetAuxBase(base int) { c.vnAux = base }
+
+// VNIndex returns the absolute unknown index of the internal node voltage.
+// Valid only for KindMCSM models after engine construction.
+func (c *Cell) VNIndex() int { return c.vnAux }
+
+// SetVNInit sets the DC initial guess for the internal node.
+func (c *Cell) SetVNInit(v float64) { c.vnInit = v }
+
+// InitGuess seeds the internal-node unknown before DC analysis.
+func (c *Cell) InitGuess(x []float64) {
+	if c.model.Kind == KindMCSM {
+		x[c.vnAux] = c.vnInit
+	}
+}
+
+// coords assembles the model coordinate vector at the candidate solution.
+func (c *Cell) coords(ctx *spice.Context) []float64 {
+	buf := c.coordBuf[:0]
+	for _, n := range c.inputs {
+		buf = append(buf, ctx.V(n))
+	}
+	if c.model.Kind == KindMCSM {
+		buf = append(buf, ctx.Aux(c.vnAux))
+	}
+	buf = append(buf, ctx.V(c.out))
+	c.coordBuf = buf
+	return buf
+}
+
+// coordsPrev assembles coordinates at the last accepted solution.
+func (c *Cell) coordsPrev(ctx *spice.Context) []float64 {
+	buf := make([]float64, 0, c.model.rank())
+	for _, n := range c.inputs {
+		buf = append(buf, ctx.Vprev(n))
+	}
+	if c.model.Kind == KindMCSM {
+		buf = append(buf, ctx.AuxPrev(c.vnAux))
+	}
+	buf = append(buf, ctx.Vprev(c.out))
+	return buf
+}
+
+// BeginStep freezes the capacitance tables at the start-of-step point.
+func (c *Cell) BeginStep(ctx *spice.Context) {
+	coords := c.coordsPrev(ctx)
+	for i := range c.cmVal {
+		c.cmVal[i] = c.model.Cm[i].At(coords...)
+	}
+	c.coVal = c.model.Co.At(coords...)
+	if c.model.Kind == KindMCSM {
+		c.cnVal = c.model.CN.At(coords...)
+	}
+	if c.model.HasInternalMiller() {
+		for i := range c.cmNVal {
+			c.cmNVal[i] = c.model.CmN[i].At(coords...)
+		}
+		c.cmNOVal = c.model.CmNO.At(coords...)
+	}
+	if c.withReceiverCaps {
+		for i, n := range c.inputs {
+			c.cinVal[i] = c.model.CIn[i].At(ctx.Vprev(n))
+		}
+	}
+}
+
+// unknownOf maps coordinate index k to the MNA unknown index.
+func (c *Cell) unknownOf(k int) int {
+	if k < len(c.inputs) {
+		return int(c.inputs[k]) - 1 // node index (−1 for ground)
+	}
+	if c.model.Kind == KindMCSM && k == len(c.inputs) {
+		return c.vnAux
+	}
+	return int(c.out) - 1
+}
+
+// Stamp adds the linearized current sources and the capacitive branches.
+func (c *Cell) Stamp(sys *spice.System, ctx *spice.Context) {
+	coords := c.coords(ctx)
+	outIdx := int(c.out) - 1
+
+	// Output current source: the cell injects Io into the output node, so
+	// the current *leaving* the node into the element is −Io.
+	io, gradIo := c.model.Io.Grad(coords...)
+	lin := 0.0
+	for k, g := range gradIo {
+		sys.AddA(outIdx, c.unknownOf(k), -g)
+		lin += -g * coords[k]
+	}
+	sys.AddB(outIdx, lin-(-io))
+
+	if c.model.Kind == KindMCSM {
+		// Internal node equation (implicit Eq. 5): CN·dVN/dt − IN(V) = 0,
+		// plus a gmin-scale leak mirroring the engine's node treatment.
+		row := c.vnAux
+		iN, gradIN := c.model.IN.Grad(coords...)
+		linN := 0.0
+		for k, g := range gradIN {
+			sys.AddA(row, c.unknownOf(k), -g)
+			linN += -g * coords[k]
+		}
+		sys.AddB(row, linN-(-iN))
+		const auxGmin = 1e-12
+		sys.AddA(row, row, auxGmin)
+
+		if ctx.Mode == spice.ModeTransient && ctx.Dt > 0 {
+			vn := ctx.Aux(c.vnAux)
+			vnPrev := ctx.AuxPrev(c.vnAux)
+			var geq, hist float64
+			if ctx.Method == spice.Trapezoidal {
+				geq = 2 * c.cnVal / ctx.Dt
+				hist = geq*vnPrev + c.cnIPrev
+			} else {
+				geq = c.cnVal / ctx.Dt
+				hist = geq * vnPrev
+			}
+			sys.AddA(row, row, geq)
+			sys.AddB(row, hist)
+			_ = vn
+		}
+	}
+
+	// Capacitive branches.
+	for i := range c.inputs {
+		c.cm[i].Stamp(sys, ctx, c.inputs[i], c.out, c.cmVal[i])
+	}
+	c.co.Stamp(sys, ctx, c.out, spice.Ground, c.coVal)
+	if c.model.HasInternalMiller() {
+		for i := range c.inputs {
+			c.cmN[i].stamp(sys, ctx, c.inputs[i], c.vnAux, c.cmNVal[i])
+		}
+		c.cmNO.stamp(sys, ctx, c.out, c.vnAux, c.cmNOVal)
+	}
+	if c.withReceiverCaps {
+		for i := range c.inputs {
+			c.cin[i].Stamp(sys, ctx, c.inputs[i], spice.Ground, c.cinVal[i])
+		}
+	}
+}
+
+// AcceptStep records converged capacitor branch currents.
+func (c *Cell) AcceptStep(ctx *spice.Context) {
+	for i := range c.inputs {
+		c.cm[i].Accept(ctx, c.inputs[i], c.out, c.cmVal[i])
+	}
+	c.co.Accept(ctx, c.out, spice.Ground, c.coVal)
+	if c.model.HasInternalMiller() {
+		for i := range c.inputs {
+			c.cmN[i].accept(ctx, c.inputs[i], c.vnAux, c.cmNVal[i])
+		}
+		c.cmNO.accept(ctx, c.out, c.vnAux, c.cmNOVal)
+	}
+	if c.withReceiverCaps {
+		for i := range c.inputs {
+			c.cin[i].Accept(ctx, c.inputs[i], spice.Ground, c.cinVal[i])
+		}
+	}
+	if c.model.Kind == KindMCSM && ctx.Mode == spice.ModeTransient && ctx.Dt > 0 {
+		vn := ctx.Aux(c.vnAux)
+		vnPrev := ctx.AuxPrev(c.vnAux)
+		if ctx.Method == spice.Trapezoidal {
+			c.cnIPrev = 2*c.cnVal/ctx.Dt*(vn-vnPrev) - c.cnIPrev
+		} else {
+			c.cnIPrev = c.cnVal / ctx.Dt * (vn - vnPrev)
+		}
+	}
+}
+
+// ResetState clears capacitor histories when a fresh transient begins.
+func (c *Cell) ResetState() {
+	for i := range c.cm {
+		c.cm[i].Reset()
+		c.cin[i].Reset()
+		c.cmN[i].iPrev = 0
+	}
+	c.co.Reset()
+	c.cmNO.iPrev = 0
+	c.cnIPrev = 0
+}
+
+// Interface conformance checks.
+var (
+	_ spice.Element     = (*Cell)(nil)
+	_ spice.AuxUser     = (*Cell)(nil)
+	_ spice.Stepper     = (*Cell)(nil)
+	_ spice.Initializer = (*Cell)(nil)
+)
+
+// ReceiverCap is a standalone nonlinear grounded capacitor driven by a 1-D
+// table — the load a fanout cell's input pin presents (Eq. 3). It lets
+// experiments attach "k × receiver" loads without instantiating full cells.
+type ReceiverCap struct {
+	name   string
+	node   spice.Node
+	model  *Model
+	input  int
+	scale  float64
+	val    float64
+	branch spice.CapBranch
+}
+
+// NewReceiverCap creates a receiver-capacitance load of `scale` parallel
+// copies of the model's input pin i attached to node n, using the Eq. 3
+// total pin capacitance CPin (the receiving cell itself is not simulated,
+// so its Miller couplings must be part of the lumped pin load).
+func NewReceiverCap(name string, m *Model, inputIndex int, n spice.Node, scale float64) (*ReceiverCap, error) {
+	if inputIndex < 0 || inputIndex >= len(m.CPin) || m.CPin[inputIndex] == nil {
+		return nil, fmt.Errorf("csm: model %s has no receiver table for input %d", m.Cell, inputIndex)
+	}
+	return &ReceiverCap{name: name, node: n, model: m, input: inputIndex, scale: scale}, nil
+}
+
+// Name returns the element name.
+func (r *ReceiverCap) Name() string { return r.name }
+
+// BeginStep freezes the capacitance at the start-of-step input voltage.
+func (r *ReceiverCap) BeginStep(ctx *spice.Context) {
+	r.val = r.scale * r.model.CPin[r.input].At(ctx.Vprev(r.node))
+}
+
+// Stamp adds the companion model.
+func (r *ReceiverCap) Stamp(sys *spice.System, ctx *spice.Context) {
+	r.branch.Stamp(sys, ctx, r.node, spice.Ground, r.val)
+}
+
+// AcceptStep records the converged branch current.
+func (r *ReceiverCap) AcceptStep(ctx *spice.Context) {
+	r.branch.Accept(ctx, r.node, spice.Ground, r.val)
+}
+
+// ResetState clears the branch history.
+func (r *ReceiverCap) ResetState() { r.branch.Reset() }

@@ -1,0 +1,238 @@
+package csm
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+// TestMixedTransistorCSMNetwork drives a CSM NOR2 from a transistor-level
+// inverter through an RC wire — the mixed-simulation capability the noise
+// flow relies on. The CSM's receiver caps must load the wire.
+func TestMixedTransistorCSMNetwork(t *testing.T) {
+	tech := cells.Default130()
+	m := fixtureModel(t, "NOR2", KindMCSM)
+
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	drvIn := c.Node("drv_in")
+	drvOut := c.Node("drv_out")
+	lineEnd := c.Node("line_end")
+	b := c.Node("b")
+	out := c.Node("out")
+
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	c.AddVSource("VIN", drvIn, spice.Ground, wave.SaturatedRamp(0, tech.Vdd, 1e-9, 80e-12, 4e-9))
+	c.AddVSource("VB", b, spice.Ground, spice.DC(0))
+	cells.Inverter(c, tech, "DRV", []spice.Node{drvIn}, drvOut, vddN, 1)
+	c.AddResistor("RW", drvOut, lineEnd, 300)
+	c.AddCapacitor("CW", lineEnd, spice.Ground, 2e-15)
+
+	cell, err := NewCell("U1", m, []spice.Node{lineEnd, b}, out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(cell)
+	c.AddCapacitor("CL", out, spice.Ground, 3e-15)
+
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	res, err := eng.Run(0, 4e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Driver inverts the rising VIN; line end falls; NOR2 output rises
+	// (other input low).
+	outW := res.Wave(out)
+	if v := outW.At(0.5e-9); v > 0.1 {
+		t.Errorf("NOR2 out before event = %.3f, want low", v)
+	}
+	if v := outW.At(3.5e-9); v < tech.Vdd-0.1 {
+		t.Errorf("NOR2 out after event = %.3f, want high", v)
+	}
+	// The CSM's internal node is recorded through the aux unknown.
+	vnW := res.AuxWave(cell.VNIndex())
+	if v := vnW.At(3.5e-9); math.Abs(v-tech.Vdd) > 0.1 {
+		t.Errorf("VN after '00' = %.3f, want ≈ Vdd", v)
+	}
+}
+
+// TestReceiverCapLoadsLikeCIn verifies the ReceiverCap element behaves like
+// the model's input capacitance: an RC charge through it should match a
+// fixed capacitor of comparable value within the table's voltage variation.
+func TestReceiverCapLoadsLikeCIn(t *testing.T) {
+	inv := fixtureModel(t, "INV", KindSIS)
+	cAvg := 0.0
+	for _, v := range inv.CIn[0].Data {
+		cAvg += v
+	}
+	cAvg /= float64(len(inv.CIn[0].Data))
+
+	run := func(fixed bool) wave.Waveform {
+		c := spice.NewCircuit()
+		in := c.Node("in")
+		outN := c.Node("out")
+		c.AddVSource("V", in, spice.Ground, wave.SaturatedRamp(0, 1.2, 0.1e-9, 10e-12, 3e-9))
+		c.AddResistor("R", in, outN, 10e3)
+		if fixed {
+			c.AddCapacitor("C", outN, spice.Ground, cAvg)
+		} else {
+			rc, err := NewReceiverCap("CR", inv, 0, outN, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Add(rc)
+		}
+		eng := spice.NewEngine(c, spice.DefaultOptions())
+		res, err := eng.Run(0, 3e-9, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Wave(outN)
+	}
+	wFixed := run(true)
+	wRecv := run(false)
+	tFixed, ok1 := wFixed.CrossTime(0.6, true, 0)
+	tRecv, ok2 := wRecv.CrossTime(0.6, true, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("no crossing")
+	}
+	// Same order of magnitude RC delay (the table varies with voltage, so
+	// allow 40%).
+	if math.Abs(tRecv-tFixed) > 0.4*(tFixed-0.1e-9) {
+		t.Errorf("receiver cap delay %.3gns vs fixed %.3gns", tRecv*1e9, tFixed*1e9)
+	}
+}
+
+func TestNewCellValidation(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	c := spice.NewCircuit()
+	n1 := c.Node("n1")
+	out := c.Node("out")
+	if _, err := NewCell("U", m, []spice.Node{n1}, out, false); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	bad := &Model{Kind: KindMCSM}
+	if _, err := NewCell("U", bad, []spice.Node{n1, n1}, out, false); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := NewReceiverCap("R", m, 5, n1, 1); err == nil {
+		t.Error("out-of-range receiver input accepted")
+	}
+}
+
+func TestSelector(t *testing.T) {
+	complete := fixtureModel(t, "NOR2", KindMCSM)
+	simple := fixtureModel(t, "NOR2", KindMISBaseline)
+	s := Selector{Complete: complete, Simple: simple}
+	cn := complete.MeanInternalCap()
+	if cn <= 0 {
+		t.Fatal("no internal cap")
+	}
+	if got := s.Pick(cn); got != complete {
+		t.Error("light load should pick the complete model")
+	}
+	if got := s.Pick(100 * cn); got != simple {
+		t.Error("heavy load should pick the simple model")
+	}
+	// Degenerate: a selector whose complete model lacks CN falls back to
+	// simple.
+	s2 := Selector{Complete: simple, Simple: simple}
+	if got := s2.Pick(0); got != simple {
+		t.Error("fallback failed")
+	}
+}
+
+// TestPaperFaithfulSimplification characterizes with the §3.2
+// simplification (no internal Miller) and checks it still beats the
+// baseline on history tracking while being less accurate than the extended
+// model — the EXP-A5 ablation in miniature.
+func TestPaperFaithfulSimplification(t *testing.T) {
+	tech := cells.Default130()
+	spec, _ := cells.Get("NOR2")
+	cfg := FastConfig()
+	cfg.NoInternalMiller = true
+	plain, err := Characterize(tech, spec, KindMCSM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HasInternalMiller() {
+		t.Fatal("NoInternalMiller model carries extension tables")
+	}
+	ext := fixtureModel(t, "NOR2", KindMCSM)
+	if !ext.HasInternalMiller() {
+		t.Fatal("default model lacks extension tables")
+	}
+
+	tm := cells.DefaultHistoryTiming()
+	cl := cells.FanoutCap(tech, 2)
+	maxErr := func(m *Model) float64 {
+		var worst float64
+		for caseNo := 1; caseNo <= 2; caseNo++ {
+			refOut, _ := referenceHistory(t, tech, caseNo, cl, tm)
+			dRef := delayFromSwitch(t, refOut, tech.Vdd, tm)
+			wa, wb := cells.NOR2HistoryInputs(tech.Vdd, caseNo, tm)
+			ms, err := SimulateStage(m, []wave.Waveform{wa, wb}, CapLoad(cl), 0, tm.TEnd, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := delayFromSwitch(t, ms.Out, tech.Vdd, tm)
+			if e := math.Abs(d-dRef) / dRef; e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	errPlain := maxErr(plain)
+	errExt := maxErr(ext)
+	t.Logf("max delay error: paper-faithful %.1f%%, extended %.1f%%", 100*errPlain, 100*errExt)
+	if errExt > errPlain {
+		t.Errorf("extension did not improve accuracy: %.1f%% vs %.1f%%", 100*errExt, 100*errPlain)
+	}
+	if errPlain > 0.20 {
+		t.Errorf("paper-faithful model error %.1f%% implausibly large", 100*errPlain)
+	}
+}
+
+// TestSISModelOnInverter validates the SIS CSM (§2.1 / ref [5]) against a
+// transistor-level inverter.
+func TestSISModelOnInverter(t *testing.T) {
+	tech := cells.Default130()
+	m := fixtureModel(t, "INV", KindSIS)
+	cl := cells.FanoutCap(tech, 4)
+	in := wave.SaturatedRamp(0, tech.Vdd, 1e-9, 100e-12, 4e-9)
+
+	// Reference.
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	a := c.Node("a")
+	outN := c.Node("out")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	c.AddVSource("VA", a, spice.Ground, in)
+	cells.Inverter(c, tech, "X", []spice.Node{a}, outN, vddN, 1)
+	c.AddCapacitor("CL", outN, spice.Ground, cl)
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	res, err := eng.Run(0, 4e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRef, err := wave.Delay50(in, res.Wave(outN), tech.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ms, err := SimulateStage(m, []wave.Waveform{in}, CapLoad(cl), 0, 4e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMod, err := wave.Delay50(in, ms.Out, tech.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(dMod-dRef) / dRef; e > 0.06 {
+		t.Errorf("SIS inverter delay error %.1f%% (ref %.1fps, model %.1fps)",
+			100*e, dRef*1e12, dMod*1e12)
+	}
+}

@@ -1,0 +1,166 @@
+package csm
+
+import (
+	"fmt"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+// harness is a characterization bench: one transistor-level cell with
+// voltage sources attached to its modeled inputs, its output, and — when
+// pinInternal is set — its internal node, exactly as §3.3 prescribes.
+// Sources use mutable DC stimuli so thousands of sweep points reuse one
+// circuit/engine pair; ramp extractions temporarily swap in a waveform.
+type harness struct {
+	tech cells.Tech
+	spec cells.Spec
+	ckt  *spice.Circuit
+	eng  *spice.Engine
+	inst cells.Instance
+
+	srcIn   []*spice.VSource
+	stimIn  []*spice.SetDC
+	srcOut  *spice.VSource
+	stimOut *spice.SetDC
+	srcN    *spice.VSource
+	stimN   *spice.SetDC
+
+	inNodes []spice.Node // modeled input nodes, model order
+	outNode spice.Node
+	nNode   spice.Node // internal node (0 when the cell has none)
+}
+
+// newHarness builds the bench. modelInputs selects which pins get sweep
+// sources; all other input pins are parked at the spec's non-controlling
+// level. When pinInternal is true the spec's internal node is also pinned.
+func newHarness(tech cells.Tech, spec cells.Spec, modelInputs []string, pinInternal bool) (*harness, error) {
+	h := &harness{tech: tech, spec: spec}
+	c := spice.NewCircuit()
+	vdd := c.Node("vdd")
+	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(tech.Vdd))
+
+	modeled := make(map[string]bool, len(modelInputs))
+	for _, pin := range modelInputs {
+		modeled[pin] = true
+	}
+	inputNodes := make([]spice.Node, len(spec.Inputs))
+	for i, pin := range spec.Inputs {
+		inputNodes[i] = c.Node("in_" + pin)
+		if modeled[pin] {
+			continue
+		}
+		c.AddVSource("V"+pin, inputNodes[i], spice.Ground, spice.DC(spec.NonControllingLevelFor(pin, tech.Vdd)))
+	}
+	// Sweep sources in modelInputs order.
+	for _, pin := range modelInputs {
+		idx := -1
+		for i, p := range spec.Inputs {
+			if p == pin {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("csm: model input %q not a pin of %s", pin, spec.Name)
+		}
+		stim := &spice.SetDC{}
+		h.stimIn = append(h.stimIn, stim)
+		h.srcIn = append(h.srcIn, c.AddVSource("V"+pin, inputNodes[idx], spice.Ground, stim))
+		h.inNodes = append(h.inNodes, inputNodes[idx])
+	}
+
+	out := c.Node("out")
+	h.outNode = out
+	h.stimOut = &spice.SetDC{}
+	h.srcOut = c.AddVSource("VOUT", out, spice.Ground, h.stimOut)
+
+	h.inst = spec.Build(c, tech, "X", inputNodes, out, vdd, spec.Drive)
+	if spec.Internal != "" {
+		h.nNode = h.inst.Internal[spec.Internal]
+	}
+
+	if pinInternal {
+		if spec.Internal == "" {
+			return nil, fmt.Errorf("csm: cell %s has no internal node to pin", spec.Name)
+		}
+		n, ok := h.inst.Internal[spec.Internal]
+		if !ok {
+			return nil, fmt.Errorf("csm: cell %s instance lacks internal node %q", spec.Name, spec.Internal)
+		}
+		h.stimN = &spice.SetDC{}
+		h.srcN = c.AddVSource("VN", n, spice.Ground, h.stimN)
+	}
+
+	h.ckt = c
+	opt := spice.DefaultOptions()
+	// Backward Euler: the extraction ramps drive capacitances directly
+	// between ideal sources, where trapezoidal companions ring between 0
+	// and 2·C·s around the true C·s (nothing damps them in a fully pinned
+	// network). BE is exact for constant-slope excitation of a capacitor.
+	opt.Method = spice.BackwardEuler
+	h.eng = spice.NewEngine(c, opt)
+	return h, nil
+}
+
+// setPoint assigns the DC sweep values. vn is ignored when the internal
+// node is not pinned.
+func (h *harness) setPoint(vin []float64, vn, vo float64) {
+	for i := range h.stimIn {
+		h.stimIn[i].V = vin[i]
+	}
+	h.stimOut.V = vo
+	if h.stimN != nil {
+		h.stimN.V = vn
+	}
+}
+
+// dcCurrents solves the operating point and returns the currents the cell
+// injects into the output node and (when pinned) the internal node. The
+// VSource branch current is the current flowing from the node into the
+// source, which by KCL equals the cell's injection.
+func (h *harness) dcCurrents() (io, in float64, err error) {
+	x, err := h.eng.DCAt(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	io = x[h.srcOut.AuxIndex()]
+	if h.srcN != nil {
+		in = x[h.srcN.AuxIndex()]
+	}
+	return io, in, nil
+}
+
+// rampSpec describes one capacitance-extraction transient: the source being
+// ramped, the span it covers, and the sweep timing.
+type rampSpec struct {
+	src    *spice.VSource
+	stim   *spice.SetDC // restored after the run
+	lo, hi float64      // table axis span to sample
+	pad    float64      // extra drive beyond the span so samples sit on constant slope
+	slope  float64      // V/s
+	tFlat  float64      // settle time before the ramp starts
+}
+
+// runRamp performs the transient, measures the named source's branch
+// current, and returns the measurement result plus the time at which the
+// ramp crosses voltage v.
+func (h *harness) runRamp(rs rampSpec, measure *spice.VSource, dt float64) (iw wave.Waveform, timeOf func(v float64) float64, err error) {
+	loPad := rs.lo - rs.pad
+	hiPad := rs.hi + rs.pad
+	duration := (hiPad - loPad) / rs.slope
+	end := rs.tFlat + duration + rs.tFlat
+	ramp := wave.SaturatedRamp(loPad, hiPad, rs.tFlat, duration, end)
+	rs.src.SetStimulus(ramp)
+	defer rs.src.SetStimulus(rs.stim)
+
+	res, err := h.eng.Run(0, end, dt)
+	if err != nil {
+		return wave.Waveform{}, nil, fmt.Errorf("csm: ramp extraction: %w", err)
+	}
+	iw = res.AuxWave(measure.AuxIndex())
+	timeOf = func(v float64) float64 {
+		return rs.tFlat + (v-loPad)/rs.slope
+	}
+	return iw, timeOf, nil
+}

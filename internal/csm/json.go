@@ -1,0 +1,90 @@
+package csm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mcsm/internal/table"
+)
+
+// modelJSON is the wire format of a characterized model.
+type modelJSON struct {
+	Kind     string             `json:"kind"`
+	Cell     string             `json:"cell"`
+	Vdd      float64            `json:"vdd"`
+	Inputs   []string           `json:"inputs"`
+	Held     map[string]float64 `json:"held,omitempty"`
+	Internal string             `json:"internal,omitempty"`
+	DeltaV   float64            `json:"delta_v"`
+
+	Io   *table.Table   `json:"io"`
+	IN   *table.Table   `json:"in,omitempty"`
+	Cm   []*table.Table `json:"cm"`
+	Co   *table.Table   `json:"co"`
+	CN   *table.Table   `json:"cn,omitempty"`
+	CIn  []*table.Table `json:"cin"`
+	CPin []*table.Table `json:"cpin"`
+	CmN  []*table.Table `json:"cmn,omitempty"`
+	CmNO *table.Table   `json:"cmno,omitempty"`
+}
+
+var kindNames = map[Kind]string{
+	KindSIS:         "sis",
+	KindMISBaseline: "mis-baseline",
+	KindMCSM:        "mcsm",
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		Kind: kindNames[m.Kind], Cell: m.Cell, Vdd: m.Vdd,
+		Inputs: m.Inputs, Held: m.Held, Internal: m.Internal, DeltaV: m.DeltaV,
+		Io: m.Io, IN: m.IN, Cm: m.Cm, Co: m.Co, CN: m.CN, CIn: m.CIn, CPin: m.CPin, CmN: m.CmN, CmNO: m.CmNO,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		return err
+	}
+	kind := Kind(-1)
+	for k, name := range kindNames {
+		if name == mj.Kind {
+			kind = k
+		}
+	}
+	if kind < 0 {
+		return fmt.Errorf("csm: unknown model kind %q", mj.Kind)
+	}
+	*m = Model{
+		Kind: kind, Cell: mj.Cell, Vdd: mj.Vdd,
+		Inputs: mj.Inputs, Held: mj.Held, Internal: mj.Internal, DeltaV: mj.DeltaV,
+		Io: mj.Io, IN: mj.IN, Cm: mj.Cm, Co: mj.Co, CN: mj.CN, CIn: mj.CIn, CPin: mj.CPin, CmN: mj.CmN, CmNO: mj.CmNO,
+	}
+	return m.Validate()
+}
+
+// Save writes the model to a JSON file.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model from a JSON file.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("csm: %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,132 @@
+package csm
+
+import (
+	"encoding/json"
+	"mcsm/internal/cells"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcsm/internal/wave"
+)
+
+func TestModelJSONRoundtrip(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nor2.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != m.Kind || back.Cell != m.Cell || back.Internal != m.Internal {
+		t.Fatalf("identity mismatch after roundtrip: %+v", back)
+	}
+	if !back.HasInternalMiller() {
+		t.Fatal("extension tables lost in roundtrip")
+	}
+	// Identical behavior on a stage simulation.
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+	wa, wb := cells.NOR2HistoryInputs(tech.Vdd, 2, tm)
+	s1, err := SimulateStage(m, []wave.Waveform{wa, wb}, CapLoad(3e-15), 0, tm.TEnd, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SimulateStage(back, []wave.Waveform{wa, wb}, CapLoad(3e-15), 0, tm.TEnd, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := wave.RMSE(s1.Out, s2.Out, 0, tm.TEnd, 500); rmse > 1e-12 {
+		t.Errorf("stage outputs differ after roundtrip: RMSE %g", rmse)
+	}
+}
+
+func TestModelJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{"kind":"bogus","cell":"X","vdd":1.2}`,
+		`{"kind":"mcsm","cell":"X","vdd":1.2,"inputs":["A","B"]}`, // missing tables
+		`not json`,
+	}
+	for _, c := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("corrupt model accepted: %s", c)
+		}
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/path.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSIS.String() != "SIS-CSM" || KindMISBaseline.String() != "MIS-baseline" || KindMCSM.String() != "MCSM" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestMeanInternalCap(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	mean := m.MeanInternalCap()
+	min, max := m.CN.MinMax()
+	if mean < min || mean > max {
+		t.Errorf("mean %g outside [%g,%g]", mean, min, max)
+	}
+	sis := fixtureModel(t, "INV", KindSIS)
+	if sis.MeanInternalCap() != 0 {
+		t.Error("SIS model reports internal cap")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	s := m.Summary()
+	for _, want := range []string{"MCSM model of NOR2", "internal node: N", "Io", "CN", "CPinA"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary lacks %q:\n%s", want, s)
+		}
+	}
+	sis := fixtureModel(t, "INV", KindSIS)
+	if s := sis.Summary(); !strings.Contains(s, "SIS-CSM model of INV") {
+		t.Errorf("SIS summary wrong:\n%s", s)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	tech := cells.Default130()
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	rep, err := Verify(tech, m, 3e-15, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(rep.Scenarios))
+	}
+	if worst := rep.MaxDelayErr(); worst > 0.06 {
+		t.Errorf("verification worst delay error %.2f%% (FastConfig bound 6%%)\n%s",
+			100*worst, rep.String())
+	}
+	out := rep.String()
+	for _, want := range []string{"MIS both fall", "worst delay error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+	// SIS single-input battery.
+	inv := fixtureModel(t, "INV", KindSIS)
+	repInv, err := Verify(tech, inv, 3e-15, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repInv.Scenarios) != 2 {
+		t.Errorf("INV scenarios = %d, want 2", len(repInv.Scenarios))
+	}
+}

@@ -1,0 +1,210 @@
+package csm
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+// nand2HistoryInputs mirrors the §2.2 experiment onto the NAND2's NMOS
+// stack: starting from '11' (internal node driven low through the stack),
+// one input falls first (setting the history), the other follows, then both
+// rise together and the measured output *falls*.
+//
+//	case 1: '11'→'01'→'00'→'11'  (A falls first; MNA off, N keeps out≈... )
+//	case 2: '11'→'10'→'00'→'11'  (B falls first; MNB off, N floats high)
+//
+// With this cell's topology (MNA: out–N gated by A; MNB: N–gnd gated by B)
+// the '10' history leaves N charged to ≈Vdd−Vtn through MNA, while the
+// '01' history leaves N at ground — so case 2 discharges the output slower.
+func nand2HistoryInputs(vdd float64, caseNo int, tm cells.HistoryTiming) (wa, wb wave.Waveform) {
+	mkFallRise := func(tFall float64) wave.Waveform {
+		return wave.MustNew(
+			[]float64{0, tFall, tFall + tm.Slew, tm.TSwitch, tm.TSwitch + tm.Slew, tm.TEnd},
+			[]float64{vdd, vdd, 0, 0, vdd, vdd})
+	}
+	early := mkFallRise(tm.TFirst)
+	late := mkFallRise(tm.TSecond)
+	if caseNo == 1 {
+		return early, late // A falls first: '01' history (N grounded via B)
+	}
+	return late, early // B falls first: '10' history (N floats near Vdd−Vtn)
+}
+
+func nand2Ref(t *testing.T, tech cells.Tech, wa, wb wave.Waveform, cl, tEnd float64) (out, vn wave.Waveform) {
+	t.Helper()
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	a := c.Node("a")
+	b := c.Node("b")
+	outN := c.Node("out")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	c.AddVSource("VA", a, spice.Ground, wa)
+	c.AddVSource("VB", b, spice.Ground, wb)
+	inst := cells.NAND2(c, tech, "X", []spice.Node{a, b}, outN, vddN, 1)
+	c.AddCapacitor("CL", outN, spice.Ground, cl)
+	res, err := spice.NewEngine(c, spice.DefaultOptions()).Run(0, tEnd, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Wave(outN), res.Wave(inst.Internal["N"])
+}
+
+// fallDelay measures the 50% falling output delay after the '00'→'11'
+// event.
+func fallDelay(t *testing.T, out wave.Waveform, vdd float64, tm cells.HistoryTiming) float64 {
+	t.Helper()
+	tIn := tm.TSwitch + tm.Slew/2
+	tOut, err := wave.OutputCross50(out, vdd, false, tIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tOut - tIn
+}
+
+// TestNAND2StackEffectMirrored verifies the stack/history effect on the
+// NAND2's NMOS stack, and that the NAND2 MCSM tracks both histories.
+func TestNAND2StackEffectMirrored(t *testing.T) {
+	tech := cells.Default130()
+	tm := cells.DefaultHistoryTiming()
+	cl := cells.FanoutCap(tech, 2)
+	m := fixtureModel(t, "NAND2", KindMCSM)
+
+	var refD, modD [3]float64
+	for caseNo := 1; caseNo <= 2; caseNo++ {
+		wa, wb := nand2HistoryInputs(tech.Vdd, caseNo, tm)
+		refOut, refVN := nand2Ref(t, tech, wa, wb, cl, tm.TEnd)
+		refD[caseNo] = fallDelay(t, refOut, tech.Vdd, tm)
+
+		// Internal node level just before the switch confirms the history.
+		lvl := refVN.At(tm.TSwitch - 0.1e-9)
+		if caseNo == 1 && lvl > 0.25 {
+			t.Errorf("case 1: N = %.3f before switch, want near ground", lvl)
+		}
+		if caseNo == 2 && lvl < 0.4 {
+			t.Errorf("case 2: N = %.3f before switch, want high (≈Vdd−Vtn)", lvl)
+		}
+
+		sr, err := SimulateStage(m, []wave.Waveform{wa, wb}, CapLoad(cl), 0, tm.TEnd, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modD[caseNo] = fallDelay(t, sr.Out, tech.Vdd, tm)
+	}
+
+	// Mirrored stack effect: the grounded-N history (case 1) is faster.
+	if refD[1] >= refD[2] {
+		t.Fatalf("NAND2 stack effect inverted: %.2fps vs %.2fps", refD[1]*1e12, refD[2]*1e12)
+	}
+	spread := (refD[2] - refD[1]) / refD[1]
+	if spread < 0.03 {
+		t.Errorf("NAND2 history spread only %.1f%%", 100*spread)
+	}
+	for caseNo := 1; caseNo <= 2; caseNo++ {
+		e := math.Abs(modD[caseNo]-refD[caseNo]) / refD[caseNo]
+		if e > 0.08 {
+			t.Errorf("case %d: MCSM delay error %.1f%% (ref %.2fps, model %.2fps)",
+				caseNo, 100*e, refD[caseNo]*1e12, modD[caseNo]*1e12)
+		}
+	}
+	t.Logf("NAND2 fall delays: ref %.1f/%.1f ps (spread %.1f%%), mcsm %.1f/%.1f ps",
+		refD[1]*1e12, refD[2]*1e12, 100*spread, modD[1]*1e12, modD[2]*1e12)
+}
+
+// TestGlitchTracking asserts the Fig. 10 behavior at the library level: the
+// MCSM reproduces a partial-swing output glitch from a narrow input pulse.
+func TestGlitchTracking(t *testing.T) {
+	tech := cells.Default130()
+	vdd := tech.Vdd
+	m := fixtureModel(t, "NOR2", KindMCSM)
+	tEnd := 3.2e-9
+	wa := wave.Constant(0, 0, tEnd)
+	wb := wave.MustNew(
+		[]float64{0, 1.5e-9, 1.55e-9, 1.585e-9, 1.64e-9, tEnd},
+		[]float64{vdd, vdd, 0, 0, vdd, vdd})
+	cl := 4e-15
+
+	refOut, _ := referenceHistory2(t, tech, wa, wb, cl, tEnd)
+	sr, err := SimulateStage(m, []wave.Waveform{wa, wb}, CapLoad(cl), 0, tEnd, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPeak, _ := refOut.PeakValue(1.4e-9, 2.4e-9)
+	modPeak, _ := sr.Out.PeakValue(1.4e-9, 2.4e-9)
+	if refPeak < 0.2*vdd || refPeak > 0.98*vdd {
+		t.Fatalf("reference glitch peak %.3f not a partial swing — bad stimulus", refPeak)
+	}
+	if math.Abs(modPeak-refPeak) > 0.08*vdd {
+		t.Errorf("glitch peak: model %.3f vs ref %.3f", modPeak, refPeak)
+	}
+	rmse := wave.RMSE(refOut, sr.Out, 1.4e-9, 2.4e-9, 1000) / vdd
+	if rmse > 0.03 {
+		t.Errorf("glitch RMSE %.2f%% of Vdd", 100*rmse)
+	}
+	t.Logf("glitch peak ref %.3fV model %.3fV, RMSE %.2f%% Vdd", refPeak, modPeak, 100*rmse)
+}
+
+// referenceHistory2 runs a transistor NOR2 with explicit input waveforms.
+func referenceHistory2(t *testing.T, tech cells.Tech, wa, wb wave.Waveform, cl, tEnd float64) (out, vn wave.Waveform) {
+	t.Helper()
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	a := c.Node("a")
+	b := c.Node("b")
+	outN := c.Node("out")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	c.AddVSource("VA", a, spice.Ground, wa)
+	c.AddVSource("VB", b, spice.Ground, wb)
+	inst := cells.NOR2(c, tech, "X", []spice.Node{a, b}, outN, vddN, 1)
+	c.AddCapacitor("CL", outN, spice.Ground, cl)
+	res, err := spice.NewEngine(c, spice.DefaultOptions()).Run(0, tEnd, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Wave(outN), res.Wave(inst.Internal["N"])
+}
+
+// TestMISBeatsSIS asserts the Fig. 11 ordering at the library level: under
+// a simultaneous two-input fall, the MCSM's delay error is far below the
+// SIS model's.
+func TestMISBeatsSIS(t *testing.T) {
+	tech := cells.Default130()
+	vdd := tech.Vdd
+	mcsm := fixtureModel(t, "NOR2", KindMCSM)
+	sis := fixtureModel(t, "NOR2", KindSIS)
+	tEnd := 3.2e-9
+	wa := wave.SaturatedRamp(vdd, 0, 2.0e-9, 80e-12, tEnd)
+	wb := wave.SaturatedRamp(vdd, 0, 2.0e-9, 80e-12, tEnd)
+	cl := 3e-15
+
+	refOut, _ := referenceHistory2(t, tech, wa, wb, cl, tEnd)
+	srM, err := SimulateStage(mcsm, []wave.Waveform{wa, wb}, CapLoad(cl), 0, tEnd, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srS, err := SimulateStage(sis, []wave.Waveform{wa}, CapLoad(cl), 0, tEnd, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tIn := 2.0e-9 + 40e-12
+	measure := func(w wave.Waveform) float64 {
+		tOut, err := wave.OutputCross50(w, vdd, true, tIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tOut - tIn
+	}
+	dRef := measure(refOut)
+	eM := math.Abs(measure(srM.Out)-dRef) / dRef
+	eS := math.Abs(measure(srS.Out)-dRef) / dRef
+	t.Logf("MIS event delay error: MCSM %.1f%%, SIS %.1f%%", 100*eM, 100*eS)
+	if eM > 0.05 {
+		t.Errorf("MCSM error %.1f%% too large", 100*eM)
+	}
+	if eS < 2*eM || eS < 0.05 {
+		t.Errorf("SIS error %.1f%% should dwarf MCSM's %.1f%%", 100*eS, 100*eM)
+	}
+}

@@ -1,0 +1,38 @@
+package csm
+
+// Selector implements the paper's §3.4 selective modeling: "one can use the
+// simple MCSM for the logic cells that drive a relatively large load.
+// Otherwise, the complete MCSM should be used." The internal-node effect
+// scales with the ratio of internal charge storage to external load, so the
+// rule compares the load capacitance against the cell's mean internal
+// capacitance.
+type Selector struct {
+	// Complete is the full internal-node model (KindMCSM).
+	Complete *Model
+	// Simple is the internal-node-blind model (KindMISBaseline).
+	Simple *Model
+	// Threshold is the load-to-internal-capacitance ratio above which the
+	// simple model is considered sufficient. Zero selects DefaultThreshold.
+	Threshold float64
+}
+
+// DefaultThreshold is the CL/CN ratio above which the history effect drops
+// under a few percent in the Fig. 5 sweep (ablation EXP-A4 justifies it).
+const DefaultThreshold = 8.0
+
+// Pick returns the model to use for a stage driving the given lumped load
+// capacitance.
+func (s Selector) Pick(loadCap float64) *Model {
+	th := s.Threshold
+	if th <= 0 {
+		th = DefaultThreshold
+	}
+	cn := s.Complete.MeanInternalCap()
+	if cn <= 0 {
+		return s.Simple
+	}
+	if loadCap < th*cn {
+		return s.Complete
+	}
+	return s.Simple
+}

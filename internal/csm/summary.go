@@ -1,0 +1,60 @@
+package csm
+
+import (
+	"fmt"
+	"strings"
+
+	"mcsm/internal/table"
+	"mcsm/internal/units"
+)
+
+// Summary renders a human-readable report of the model's structure and
+// table statistics — what mcsm-char prints and what a reviewer checks
+// first after characterization.
+func (m *Model) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s model of %s (Vdd %s)\n", m.Kind, m.Cell, units.FormatVolts(m.Vdd))
+	fmt.Fprintf(&sb, "  modeled inputs: %s\n", strings.Join(m.Inputs, ", "))
+	if len(m.Held) > 0 {
+		parts := make([]string, 0, len(m.Held))
+		for pin, lvl := range m.Held {
+			parts = append(parts, fmt.Sprintf("%s@%s", pin, units.FormatVolts(lvl)))
+		}
+		fmt.Fprintf(&sb, "  held inputs: %s\n", strings.Join(parts, ", "))
+	}
+	if m.Internal != "" {
+		fmt.Fprintf(&sb, "  internal node: %s (internal Miller modeled: %v)\n",
+			m.Internal, m.HasInternalMiller())
+	}
+
+	row := func(name string, t *table.Table, unit func(float64) string) {
+		if t == nil {
+			return
+		}
+		min, max := t.MinMax()
+		dims := make([]string, len(t.Axes))
+		for i, a := range t.Axes {
+			dims[i] = fmt.Sprintf("%d", len(a.Points))
+		}
+		fmt.Fprintf(&sb, "  %-5s %-12s %8d pts  [%s .. %s]\n",
+			name, strings.Join(dims, "x"), t.Size(), unit(min), unit(max))
+	}
+	row("Io", m.Io, units.FormatAmps)
+	row("IN", m.IN, units.FormatAmps)
+	for i, cm := range m.Cm {
+		row("Cm"+m.Inputs[i], cm, units.FormatFarads)
+	}
+	row("Co", m.Co, units.FormatFarads)
+	row("CN", m.CN, units.FormatFarads)
+	for i, cmn := range m.CmN {
+		row("CmN"+m.Inputs[i], cmn, units.FormatFarads)
+	}
+	row("CmNO", m.CmNO, units.FormatFarads)
+	for i, ci := range m.CIn {
+		row("CIn"+m.Inputs[i], ci, units.FormatFarads)
+	}
+	for i, cp := range m.CPin {
+		row("CPin"+m.Inputs[i], cp, units.FormatFarads)
+	}
+	return sb.String()
+}

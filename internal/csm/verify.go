@@ -1,0 +1,170 @@
+package csm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+// VerifyReport summarizes a characterization QA run: the model simulated
+// against its own transistor-level reference on a standard scenario
+// battery.
+type VerifyReport struct {
+	Cell      string
+	Kind      Kind
+	Scenarios []VerifyScenario
+}
+
+// VerifyScenario is one QA scenario outcome.
+type VerifyScenario struct {
+	Name       string
+	RefDelay   float64 // seconds (NaN when the scenario has no transition)
+	ModelDelay float64
+	DelayErr   float64 // relative
+	RMSE       float64 // fraction of Vdd over the active window
+}
+
+// MaxDelayErr returns the worst relative delay error across scenarios.
+func (r *VerifyReport) MaxDelayErr() float64 {
+	worst := 0.0
+	for _, s := range r.Scenarios {
+		if !math.IsNaN(s.DelayErr) && s.DelayErr > worst {
+			worst = s.DelayErr
+		}
+	}
+	return worst
+}
+
+// String renders the report as an aligned table.
+func (r *VerifyReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verification of %s (%s):\n", r.Cell, r.Kind)
+	fmt.Fprintf(&sb, "  %-22s %12s %12s %9s %10s\n", "scenario", "ref (ps)", "model (ps)", "err", "RMSE/Vdd")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&sb, "  %-22s %12.2f %12.2f %8.2f%% %9.2f%%\n",
+			s.Name, s.RefDelay*1e12, s.ModelDelay*1e12, 100*s.DelayErr, 100*s.RMSE)
+	}
+	fmt.Fprintf(&sb, "  worst delay error: %.2f%%\n", 100*r.MaxDelayErr())
+	return sb.String()
+}
+
+// Verify runs the model through a standard battery of single- and
+// multiple-input switching scenarios against the transistor-level cell it
+// was characterized from, returning per-scenario delay and waveform-RMSE
+// errors. This is the QA step a production characterization flow runs
+// before a model ships.
+func Verify(tech cells.Tech, m *Model, loadCap, dt float64) (*VerifyReport, error) {
+	spec, err := cells.Get(m.Cell)
+	if err != nil {
+		return nil, err
+	}
+	vdd := m.Vdd
+	const (
+		tSwitch = 1.0e-9
+		slew    = 80e-12
+		tEnd    = 3.0e-9
+	)
+	rise := func(at float64) wave.Waveform { return wave.SaturatedRamp(0, vdd, at, slew, tEnd) }
+	fall := func(at float64) wave.Waveform { return wave.SaturatedRamp(vdd, 0, at, slew, tEnd) }
+	lo := func() wave.Waveform { return wave.Constant(0, 0, tEnd) }
+	hi := func() wave.Waveform { return wave.Constant(vdd, 0, tEnd) }
+
+	// Build the battery per model arity. Non-controlling parking keeps the
+	// varied arc observable on every cell shape.
+	type scenario struct {
+		name   string
+		inputs []wave.Waveform
+	}
+	var battery []scenario
+	park := func() wave.Waveform {
+		if spec.NonControllingLevelFor(m.Inputs[len(m.Inputs)-1], vdd) > vdd/2 {
+			return hi()
+		}
+		return lo()
+	}
+	switch len(m.Inputs) {
+	case 1:
+		battery = []scenario{
+			{"A rise", []wave.Waveform{rise(tSwitch)}},
+			{"A fall", []wave.Waveform{fall(tSwitch)}},
+		}
+	default:
+		battery = []scenario{
+			{"A rise, B parked", []wave.Waveform{rise(tSwitch), park()}},
+			{"A fall, B parked", []wave.Waveform{fall(tSwitch), park()}},
+			{"MIS both rise", []wave.Waveform{rise(tSwitch), rise(tSwitch)}},
+			{"MIS both fall", []wave.Waveform{fall(tSwitch), fall(tSwitch)}},
+			{"skewed fall 40ps", []wave.Waveform{fall(tSwitch), fall(tSwitch + 40e-12)}},
+		}
+	}
+
+	rep := &VerifyReport{Cell: m.Cell, Kind: m.Kind}
+	for _, sc := range battery {
+		refOut, err := verifyReference(tech, spec, m, sc.inputs, loadCap, tEnd, dt)
+		if err != nil {
+			return nil, fmt.Errorf("csm: verify %q: %w", sc.name, err)
+		}
+		sr, err := SimulateStage(m, sc.inputs, CapLoad(loadCap), 0, tEnd, dt)
+		if err != nil {
+			return nil, fmt.Errorf("csm: verify %q: %w", sc.name, err)
+		}
+		out := VerifyScenario{Name: sc.name}
+		out.RefDelay, out.ModelDelay = math.NaN(), math.NaN()
+		out.DelayErr = math.NaN()
+		tIn := tSwitch + slew/2
+		if tRef, ok := firstCrossAfter(refOut, vdd/2, tIn); ok {
+			if tMod, ok2 := firstCrossAfter(sr.Out, vdd/2, tIn); ok2 {
+				out.RefDelay = tRef - tIn
+				out.ModelDelay = tMod - tIn
+				out.DelayErr = math.Abs(out.ModelDelay-out.RefDelay) / out.RefDelay
+			}
+		}
+		out.RMSE = wave.RMSE(refOut, sr.Out, tSwitch-0.1e-9, tEnd, 1200) / vdd
+		rep.Scenarios = append(rep.Scenarios, out)
+	}
+	return rep, nil
+}
+
+// firstCrossAfter finds the first crossing of level in either direction.
+func firstCrossAfter(w wave.Waveform, level, after float64) (float64, bool) {
+	for _, c := range w.Crossings(level) {
+		if c.Time >= after {
+			return c.Time, true
+		}
+	}
+	return 0, false
+}
+
+// verifyReference simulates the transistor-level cell on the scenario, with
+// the model's held pins parked at their characterization levels.
+func verifyReference(tech cells.Tech, spec cells.Spec, m *Model, inputs []wave.Waveform, loadCap, tEnd, dt float64) (wave.Waveform, error) {
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	nodes := make([]spice.Node, len(spec.Inputs))
+	k := 0
+	for i, pin := range spec.Inputs {
+		nodes[i] = c.Node("in_" + pin)
+		if lvl, held := m.Held[pin]; held {
+			c.AddVSource("V"+pin, nodes[i], spice.Ground, spice.DC(lvl))
+			continue
+		}
+		if k >= len(inputs) {
+			return wave.Waveform{}, fmt.Errorf("csm: scenario has too few inputs for %s", spec.Name)
+		}
+		c.AddVSource("V"+pin, nodes[i], spice.Ground, inputs[k])
+		k++
+	}
+	out := c.Node("out")
+	spec.Build(c, tech, "X", nodes, out, vddN, spec.Drive)
+	c.AddCapacitor("CL", out, spice.Ground, loadCap)
+	res, err := spice.NewEngine(c, spice.DefaultOptions()).Run(0, tEnd, dt)
+	if err != nil {
+		return wave.Waveform{}, err
+	}
+	return res.Wave(out), nil
+}

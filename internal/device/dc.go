@@ -1,0 +1,133 @@
+package device
+
+import "math"
+
+// thermal voltage kT/q at room temperature, volts.
+const vThermal = 0.02585
+
+// OP is the DC operating point of a transistor: the channel current and its
+// partial derivatives, all expressed in the device's real terminal space.
+// Id is the current flowing into the drain terminal (and out of the source
+// terminal); for a conducting NMOS it is positive when Vds > 0, for a
+// conducting PMOS negative when Vds < 0.
+//
+// The conductances are the Jacobian entries the Newton solver stamps:
+//
+//	Gm  = ∂Id/∂Vgs,  Gds = ∂Id/∂Vds,  Gmb = ∂Id/∂Vbs.
+type OP struct {
+	Id  float64
+	Gm  float64
+	Gds float64
+	Gmb float64
+}
+
+// Eval computes the channel current and conductances at the given terminal
+// voltages (all relative to the source terminal).
+func (m MOS) Eval(vgs, vds, vbs float64) OP {
+	// Map to n-equivalent space.
+	sgn := 1.0
+	if m.P.Polarity == PMOS {
+		sgn = -1.0
+		vgs, vds, vbs = -vgs, -vds, -vbs
+	}
+	var op OP
+	if vds >= 0 {
+		id, gm, gds, gmb := m.evalN(vgs, vds, vbs)
+		op = OP{Id: id, Gm: gm, Gds: gds, Gmb: gmb}
+	} else {
+		// Source/drain exchange. With the forward model F(vgs,vds,vbs), the
+		// reverse-conducting device obeys
+		//   I(vgs,vds,vbs) = −F(vgs−vds, −vds, vbs−vds)
+		// so the chain rule gives
+		//   ∂I/∂vgs = −gm',   ∂I/∂vds = gm'+gds'+gmb',   ∂I/∂vbs = −gmb'
+		// (primes evaluated at the mirrored point). TestEvalDerivatives
+		// verifies these signs by finite differences across Vds = 0.
+		id, gm, gds, gmb := m.evalN(vgs-vds, -vds, vbs-vds)
+		op = OP{
+			Id:  -id,
+			Gm:  -gm,
+			Gds: gm + gds + gmb,
+			Gmb: -gmb,
+		}
+	}
+	// Map current back to real polarity; conductances are invariant under
+	// the simultaneous sign flip of currents and voltages.
+	op.Id *= sgn
+	return op
+}
+
+// evalN evaluates the n-equivalent alpha-power model for vds >= 0.
+// Returns id (≥0) and the derivatives w.r.t. vgs, vds, vbs.
+func (m MOS) evalN(vgs, vds, vbs float64) (id, gm, gds, gmb float64) {
+	p := m.P
+	wl := m.W / p.L
+
+	// Body-affected threshold. vsb = −vbs; smooth-clamp φ+vsb above a small
+	// positive floor so the sqrt stays differentiable under forward body
+	// bias excursions during Newton iterations.
+	se := p.Phi - vbs
+	const clampW = 0.05
+	seff, dseff := softplus(se, clampW)
+	if seff < 1e-9 {
+		seff = 1e-9
+	}
+	sq := math.Sqrt(seff)
+	vt := p.VT0 + p.Gamma*(sq-math.Sqrt(p.Phi))
+	dvtDvbs := -p.Gamma / (2 * sq) * dseff // ∂vt/∂vbs (negative: raising vbs lowers vt)
+
+	// Smoothed overdrive (softplus) for continuous subthreshold conduction.
+	nvt := p.NSub * vThermal
+	vov := vgs - vt
+	veff, dveff := softplus(vov, nvt)
+	if veff <= 0 {
+		return 0, 0, 0, 0
+	}
+
+	// Alpha-power saturation current and saturation voltage.
+	va := math.Pow(veff, p.Alpha)
+	idsat := p.Beta * wl * va
+	dIdsatDveff := p.Beta * wl * p.Alpha * va / veff
+	vdsat := p.KV * math.Pow(veff, p.Alpha/2)
+	if vdsat < 1e-6 {
+		vdsat = 1e-6
+	}
+	dVdsatDveff := p.KV * (p.Alpha / 2) * math.Pow(veff, p.Alpha/2-1)
+
+	clm := 1 + p.Lambda*vds
+	if vds >= vdsat {
+		// Saturation region.
+		id = idsat * clm
+		dIdDveff := dIdsatDveff * clm
+		gm = dIdDveff * dveff
+		gds = idsat * p.Lambda
+		gmb = dIdDveff * dveff * (-dvtDvbs)
+		return id, gm, gds, gmb
+	}
+	// Triode region: id = idsat·(2−x)·x·clm with x = vds/vdsat.
+	x := vds / vdsat
+	shape := (2 - x) * x
+	id = idsat * shape * clm
+	dxDveff := -vds * dVdsatDveff / (vdsat * vdsat)
+	dIdDveff := dIdsatDveff*shape*clm + idsat*(2-2*x)*dxDveff*clm
+	gm = dIdDveff * dveff
+	gds = idsat * ((2-2*x)/vdsat*clm + shape*p.Lambda)
+	gmb = dIdDveff * dveff * (-dvtDvbs)
+	return id, gm, gds, gmb
+}
+
+// softplus returns w·ln(1+exp(x/w)) and its derivative (the logistic
+// function), with guards against overflow. It is the smooth approximation of
+// max(x, 0) with transition width w.
+func softplus(x, w float64) (value, deriv float64) {
+	t := x / w
+	switch {
+	case t > 40:
+		return x, 1
+	case t < -40:
+		e := math.Exp(t)
+		return w * e, e
+	default:
+		e := math.Exp(t)
+		return w * math.Log1p(e), e / (1 + e)
+	}
+}

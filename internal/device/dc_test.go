@@ -1,0 +1,189 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nmos1u() MOS { p := N130(); return MOS{P: &p, W: 1e-6} }
+func pmos1u() MOS { p := P130(); return MOS{P: &p, W: 1e-6} }
+
+func TestNMOSBasicRegions(t *testing.T) {
+	m := nmos1u()
+	// Off: vgs = 0 → only subthreshold residue, far below on-current.
+	off := m.Eval(0, 1.2, 0)
+	on := m.Eval(1.2, 1.2, 0)
+	if off.Id > on.Id*1e-4 {
+		t.Errorf("off current %g too large vs on %g", off.Id, on.Id)
+	}
+	if on.Id < 300e-6 || on.Id > 900e-6 {
+		t.Errorf("on current %g outside plausible 130nm range for 1µm device", on.Id)
+	}
+	// Triode current below saturation current.
+	tri := m.Eval(1.2, 0.05, 0)
+	if tri.Id <= 0 || tri.Id >= on.Id {
+		t.Errorf("triode current %g not in (0, %g)", tri.Id, on.Id)
+	}
+	// Zero vds → zero current.
+	if z := m.Eval(1.2, 0, 0); math.Abs(z.Id) > 1e-12 {
+		t.Errorf("Id at vds=0: %g", z.Id)
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	n := nmos1u()
+	p := pmos1u()
+	// PMOS evaluated at mirrored voltages must equal -(NMOS with PMOS's own
+	// params). Build an NMOS twin with PMOS parameters to compare.
+	twinParams := P130()
+	twinParams.Polarity = NMOS
+	twin := MOS{P: &twinParams, W: 1e-6}
+	pts := [][3]float64{{-1.2, -1.2, 0}, {-0.8, -0.3, 0}, {-0.5, -1.0, 0.1}}
+	for _, v := range pts {
+		got := p.Eval(v[0], v[1], v[2])
+		want := twin.Eval(-v[0], -v[1], -v[2])
+		if math.Abs(got.Id+want.Id) > 1e-12*(1+math.Abs(want.Id)) {
+			t.Errorf("PMOS Id at %v = %g, want %g", v, got.Id, -want.Id)
+		}
+		if math.Abs(got.Gm-want.Gm) > 1e-9*(1+math.Abs(want.Gm)) {
+			t.Errorf("PMOS Gm at %v = %g, want %g", v, got.Gm, want.Gm)
+		}
+	}
+	_ = n
+}
+
+func TestEvalReverseAntisymmetry(t *testing.T) {
+	// Exchanging source and drain negates the current: I(vgs,vds,vbs) =
+	// -I(vgd, -vds, vbd) evaluated on the same device.
+	m := nmos1u()
+	pts := [][3]float64{{0.9, 0.7, 0}, {1.2, 0.3, -0.1}, {0.6, 1.1, 0}}
+	for _, v := range pts {
+		vgs, vds, vbs := v[0], v[1], v[2]
+		fwd := m.Eval(vgs, vds, vbs)
+		rev := m.Eval(vgs-vds, -vds, vbs-vds)
+		if math.Abs(fwd.Id+rev.Id) > 1e-9*(1+math.Abs(fwd.Id)) {
+			t.Errorf("antisymmetry broken at %v: fwd %g rev %g", v, fwd.Id, rev.Id)
+		}
+	}
+}
+
+// The analytic Jacobian must match finite differences everywhere, including
+// across the triode/saturation boundary, across Vds = 0 (source/drain
+// exchange), and around the threshold voltage.
+func TestEvalDerivatives(t *testing.T) {
+	for _, m := range []MOS{nmos1u(), pmos1u()} {
+		name := m.P.Name
+		const h = 1e-6
+		for _, vgs := range []float64{-0.2, 0.1, 0.33, 0.5, 0.9, 1.2} {
+			for _, vds := range []float64{-1.2, -0.4, -0.01, 0.01, 0.2, 0.45, 0.8, 1.2} {
+				for _, vbs := range []float64{-0.3, 0, 0.1} {
+					sgn := 1.0
+					if m.P.Polarity == PMOS {
+						sgn = -1.0
+					}
+					op := m.Eval(sgn*vgs, sgn*vds, sgn*vbs)
+					fdGm := (m.Eval(sgn*vgs+h, sgn*vds, sgn*vbs).Id - m.Eval(sgn*vgs-h, sgn*vds, sgn*vbs).Id) / (2 * h)
+					fdGds := (m.Eval(sgn*vgs, sgn*vds+h, sgn*vbs).Id - m.Eval(sgn*vgs, sgn*vds-h, sgn*vbs).Id) / (2 * h)
+					fdGmb := (m.Eval(sgn*vgs, sgn*vds, sgn*vbs+h).Id - m.Eval(sgn*vgs, sgn*vds, sgn*vbs-h).Id) / (2 * h)
+					scale := 1e-4 * (1 + math.Abs(fdGm) + math.Abs(fdGds) + math.Abs(fdGmb))
+					if math.Abs(op.Gm-fdGm) > scale {
+						t.Errorf("%s Gm at (%.2f,%.2f,%.2f): analytic %g fd %g", name, vgs, vds, vbs, op.Gm, fdGm)
+					}
+					if math.Abs(op.Gds-fdGds) > scale {
+						t.Errorf("%s Gds at (%.2f,%.2f,%.2f): analytic %g fd %g", name, vgs, vds, vbs, op.Gds, fdGds)
+					}
+					if math.Abs(op.Gmb-fdGmb) > scale {
+						t.Errorf("%s Gmb at (%.2f,%.2f,%.2f): analytic %g fd %g", name, vgs, vds, vbs, op.Gmb, fdGmb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCurrentContinuityAcrossVdsZero(t *testing.T) {
+	m := nmos1u()
+	for _, vgs := range []float64{0.5, 0.9, 1.2} {
+		a := m.Eval(vgs, -1e-9, 0).Id
+		b := m.Eval(vgs, 1e-9, 0).Id
+		if math.Abs(a-b) > 1e-10 {
+			t.Errorf("current jump across vds=0 at vgs=%g: %g vs %g", vgs, a, b)
+		}
+	}
+}
+
+func TestBodyEffectRaisesThreshold(t *testing.T) {
+	m := nmos1u()
+	// With reverse body bias (vbs < 0) the same vgs must conduct less.
+	base := m.Eval(0.6, 1.2, 0).Id
+	rb := m.Eval(0.6, 1.2, -0.6).Id
+	if rb >= base {
+		t.Errorf("reverse body bias did not reduce current: %g >= %g", rb, base)
+	}
+	// The effect should be substantial near threshold (tens of percent).
+	if rb > 0.8*base {
+		t.Errorf("body effect too weak: %g vs %g", rb, base)
+	}
+}
+
+func TestMonotonicInVgsAndVds(t *testing.T) {
+	m := nmos1u()
+	prev := -1.0
+	for vgs := 0.0; vgs <= 1.2; vgs += 0.05 {
+		id := m.Eval(vgs, 1.2, 0).Id
+		if id < prev {
+			t.Fatalf("Id not monotone in vgs at %g", vgs)
+		}
+		prev = id
+	}
+	prev = -1.0
+	for vds := 0.0; vds <= 1.2; vds += 0.05 {
+		id := m.Eval(1.2, vds, 0).Id
+		if id < prev {
+			t.Fatalf("Id not monotone in vds at %g", vds)
+		}
+		prev = id
+	}
+}
+
+// Property: conductances gm and gds are non-negative in forward operation
+// and current scales linearly with width.
+func TestQuickForwardConductances(t *testing.T) {
+	p := N130()
+	f := func(rawVgs, rawVds, rawW float64) bool {
+		vgs := math.Abs(math.Mod(rawVgs, 1.4))
+		vds := math.Abs(math.Mod(rawVds, 1.4))
+		w := 1e-7 + math.Abs(math.Mod(rawW, 1e-5))
+		if math.IsNaN(vgs) || math.IsNaN(vds) || math.IsNaN(w) {
+			return true
+		}
+		m := MOS{P: &p, W: w}
+		op := m.Eval(vgs, vds, 0)
+		if op.Gm < -1e-15 || op.Gds < -1e-15 {
+			return false
+		}
+		m2 := MOS{P: &p, W: 2 * w}
+		op2 := m2.Eval(vgs, vds, 0)
+		return math.Abs(op2.Id-2*op.Id) < 1e-9*(1+math.Abs(op.Id))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftplus(t *testing.T) {
+	// Far positive: identity. Far negative: ≈0. Derivative in (0,1).
+	v, d := softplus(5, 0.05)
+	if math.Abs(v-5) > 1e-9 || math.Abs(d-1) > 1e-9 {
+		t.Errorf("softplus(5) = %g, %g", v, d)
+	}
+	v, d = softplus(-5, 0.05)
+	if v > 1e-9 || d > 1e-9 {
+		t.Errorf("softplus(-5) = %g, %g", v, d)
+	}
+	v, d = softplus(0, 0.05)
+	if math.Abs(v-0.05*math.Ln2) > 1e-12 || math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("softplus(0) = %g, %g", v, d)
+	}
+}

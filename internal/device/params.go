@@ -1,0 +1,125 @@
+// Package device implements the MOSFET compact model used by the
+// transistor-level simulator (internal/spice), which stands in for the
+// paper's HSPICE + 130 nm foundry library.
+//
+// The DC model is a smoothed Sakurai–Newton alpha-power law with
+//
+//   - velocity-saturation index α,
+//   - body effect Vt = Vt0 + γ(√(φ+Vsb) − √φ) — required to reproduce the
+//     paper's "body-affected |Vt,p|" plateau of the NOR2 internal node,
+//   - channel-length modulation (1 + λ·Vds),
+//   - a softplus-smoothed overdrive providing continuous subthreshold
+//     conduction (keeps Newton iterations well-conditioned near cutoff),
+//   - automatic source/drain exchange for Vds < 0 so stack (pass) devices
+//     conduct in both directions.
+//
+// The charge model combines smoothly blended Meyer intrinsic gate
+// capacitances, constant gate overlap capacitances (the charge-injection
+// path that produces the paper's ΔV1/ΔV2 bumps on a floating internal
+// node), and voltage-dependent drain/source junction capacitances.
+//
+// All values are SI: volts, amperes, meters, farads.
+package device
+
+// Polarity distinguishes n-channel from p-channel devices.
+type Polarity int
+
+// Device polarities.
+const (
+	NMOS Polarity = iota
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (p Polarity) String() string {
+	if p == PMOS {
+		return "pmos"
+	}
+	return "nmos"
+}
+
+// Params is a MOSFET model card. Threshold, gamma, and KV are specified as
+// positive magnitudes for both polarities; the evaluation code applies the
+// polarity transform internally.
+type Params struct {
+	Name     string
+	Polarity Polarity
+
+	// DC model.
+	VT0    float64 // zero-bias threshold magnitude, V
+	Gamma  float64 // body-effect coefficient, sqrt(V)
+	Phi    float64 // surface potential (2·phiF), V
+	Beta   float64 // transconductance for W/L = 1, A/V^Alpha
+	Alpha  float64 // velocity-saturation index (≈2 long channel, ≈1.2–1.4 short)
+	KV     float64 // saturation-voltage coefficient: Vdsat = KV·Veff^(Alpha/2)
+	Lambda float64 // channel-length modulation, 1/V
+	NSub   float64 // subthreshold slope factor n (softplus width n·vT)
+
+	// Geometry and charge model.
+	L    float64 // channel length, m
+	CoxA float64 // gate oxide capacitance per area, F/m²
+	CGDO float64 // gate-drain overlap capacitance per width, F/m
+	CGSO float64 // gate-source overlap capacitance per width, F/m
+	CJ   float64 // zero-bias junction capacitance per width (area+perimeter lumped), F/m
+	PB   float64 // junction built-in potential, V
+	MJ   float64 // junction grading coefficient
+}
+
+// N130 returns the n-channel model card of the repo's generic 130 nm-class
+// technology (Vdd = 1.2 V). The numbers target ≈550 µA/µm saturation current
+// at Vgs = Vds = 1.2 V, |Vt| ≈ 0.33 V, ≈1.5 fF/µm gate capacitance — typical
+// published 130 nm characteristics.
+func N130() Params {
+	return Params{
+		Name:     "n130",
+		Polarity: NMOS,
+		VT0:      0.33,
+		Gamma:    0.30,
+		Phi:      0.80,
+		Beta:     7.75e-5,
+		Alpha:    1.30,
+		KV:       0.50,
+		Lambda:   0.09,
+		NSub:     1.45,
+		L:        0.13e-6,
+		CoxA:     1.20e-2,
+		CGDO:     3.0e-10,
+		CGSO:     3.0e-10,
+		CJ:       2.2e-9,
+		PB:       0.80,
+		MJ:       0.40,
+	}
+}
+
+// P130 returns the p-channel counterpart of N130 (≈0.42× electron mobility,
+// slightly stronger channel-length modulation).
+func P130() Params {
+	return Params{
+		Name:     "p130",
+		Polarity: PMOS,
+		VT0:      0.32,
+		Gamma:    0.30,
+		Phi:      0.80,
+		Beta:     3.30e-5,
+		Alpha:    1.35,
+		KV:       0.60,
+		Lambda:   0.11,
+		NSub:     1.45,
+		L:        0.13e-6,
+		CoxA:     1.20e-2,
+		CGDO:     3.0e-10,
+		CGSO:     3.0e-10,
+		CJ:       2.2e-9,
+		PB:       0.80,
+		MJ:       0.40,
+	}
+}
+
+// MOS is an instance of a model card at a specific gate width.
+type MOS struct {
+	P *Params
+	W float64 // gate width, m
+}
+
+// CoxTotal returns the total intrinsic gate-oxide capacitance W·L·CoxA.
+func (m MOS) CoxTotal() float64 { return m.P.CoxA * m.W * m.P.L }

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One shared quick session: experiments share characterized models.
+var (
+	sessOnce sync.Once
+	sess     *Session
+)
+
+func quickSession() *Session {
+	sessOnce.Do(func() {
+		sess = NewSession(Quick())
+	})
+	return sess
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("experiments = %d, want the full DESIGN.md index", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "fig12"} {
+		if !seen[id] {
+			t.Errorf("missing paper figure experiment %q", id)
+		}
+	}
+	if _, err := Find("fig9"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("bogus"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// runAndCheck executes an experiment in quick mode and sanity-checks the
+// rendering.
+func runAndCheck(t *testing.T, id string, wantSubstrings ...string) string {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(quickSession())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	out := r.Render()
+	if len(out) < 50 {
+		t.Fatalf("%s: implausibly short output:\n%s", id, out)
+	}
+	for _, wantSub := range wantSubstrings {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("%s output lacks %q:\n%s", id, wantSub, out)
+		}
+	}
+	return out
+}
+
+func TestFig3(t *testing.T) {
+	out := runAndCheck(t, "fig3", "ΔV1", "case-2 plateau")
+	t.Log("\n" + out)
+}
+
+func TestFig4(t *testing.T) {
+	out := runAndCheck(t, "fig4", "50% delay", "difference")
+	t.Log("\n" + out)
+}
+
+func TestFig5(t *testing.T) {
+	out := runAndCheck(t, "fig5", "FO1", "FO8", "mcsm diff")
+	t.Log("\n" + out)
+}
+
+func TestFig9(t *testing.T) {
+	out := runAndCheck(t, "fig9", "max delay error", "baseline")
+	t.Log("\n" + out)
+}
+
+func TestFig10(t *testing.T) {
+	out := runAndCheck(t, "fig10", "glitch peak", "RMSE")
+	t.Log("\n" + out)
+}
+
+func TestFig11(t *testing.T) {
+	out := runAndCheck(t, "fig11", "SIS CSM", "MCSM")
+	t.Log("\n" + out)
+}
+
+func TestFig12(t *testing.T) {
+	out := runAndCheck(t, "fig12", "average RMSE", "injection")
+	t.Log("\n" + out)
+}
+
+func TestEfficiency(t *testing.T) {
+	out := runAndCheck(t, "eff", "speedup")
+	t.Log("\n" + out)
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in short mode")
+	}
+	for _, id := range []string{"abl-grid", "abl-caps", "abl-integ", "abl-select", "abl-nmiller"} {
+		out := runAndCheck(t, id)
+		t.Log("\n" + out)
+	}
+}
+
+func TestSTAExperiment(t *testing.T) {
+	out := runAndCheck(t, "sta", "MIS-STA", "SIS-STA")
+	t.Log("\n" + out)
+}
+
+func TestGridRender(t *testing.T) {
+	g := &Grid{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note"},
+	}
+	out := g.Render()
+	for _, want := range []string{"T\n-\n", "333", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNoisePropagation(t *testing.T) {
+	out := runAndCheck(t, "noiseprop", "coupling", "victim bump")
+	t.Log("\n" + out)
+}
+
+func TestVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variation sweep in short mode")
+	}
+	out := runAndCheck(t, "variation", "ΔVt", "worst tracking error")
+	t.Log("\n" + out)
+}

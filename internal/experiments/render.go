@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcsm/internal/wave"
+)
+
+// Grid is a rendered text table with a title and free-form notes. Every
+// experiment result embeds or returns one.
+type Grid struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the grid with aligned columns.
+func (g *Grid) Render() string {
+	var sb strings.Builder
+	if g.Title != "" {
+		sb.WriteString(g.Title + "\n")
+		sb.WriteString(strings.Repeat("-", len(g.Title)) + "\n")
+	}
+	widths := make([]int, len(g.Header))
+	for i, h := range g.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range g.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(g.Header)
+	for _, row := range g.Rows {
+		writeRow(row)
+	}
+	for _, n := range g.Notes {
+		sb.WriteString(n + "\n")
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// MultiGrid concatenates several renderables.
+type MultiGrid []Renderable
+
+// Render joins the parts with blank lines.
+func (m MultiGrid) Render() string {
+	parts := make([]string, len(m))
+	for i, r := range m {
+		parts[i] = r.Render()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// sampleSeries renders waveforms as a time/value table — the textual
+// equivalent of the paper's waveform plots.
+func sampleSeries(title string, names []string, waves []wave.Waveform, t0, t1 float64, n int) *Grid {
+	g := &Grid{Title: title, Header: append([]string{"t (ns)"}, names...)}
+	if n < 2 {
+		n = 2
+	}
+	dt := (t1 - t0) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		row := []string{fmt.Sprintf("%.3f", t*1e9)}
+		for _, w := range waves {
+			row = append(row, fmt.Sprintf("%+.4f", w.At(t)))
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	return g
+}
+
+// ps formats seconds as picoseconds with two decimals.
+func ps(t float64) string { return fmt.Sprintf("%.2f", t*1e12) }
+
+// pct formats a ratio as a percentage with two decimals.
+func pct(r float64) string { return fmt.Sprintf("%.2f%%", 100*r) }

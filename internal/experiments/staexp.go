@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcsm/internal/csm"
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// staNetlist is the EXP-S1 circuit: a reconvergent three-level path whose
+// middle gate sees a genuine MIS event.
+const staNetlist = `
+# EXP-S1: reconvergent MIS path
+input a b c
+output y
+cap n1 1e-15
+cap n2 1e-15
+inst U1 INV   n1 a
+inst U2 NAND2 n2 b c
+inst U3 NOR2  n3 n1 n2
+inst U4 INV   y  n3
+`
+
+// runSTAExp runs the waveform STA application (EXP-S1): MIS-aware
+// propagation versus the conventional SIS assumption, both validated
+// against a flat transistor-level simulation of the whole netlist.
+func runSTAExp(s *Session) (Renderable, error) {
+	cfg := s.Cfg
+	vdd := cfg.Tech.Vdd
+	nl, err := sta.ParseNetlist(strings.NewReader(staNetlist))
+	if err != nil {
+		return nil, err
+	}
+	models := map[string]*csm.Model{}
+	for cell, kind := range map[string]csm.Kind{
+		"INV": csm.KindSIS, "NAND2": csm.KindMCSM, "NOR2": csm.KindMCSM,
+	} {
+		m, err := s.Model(cell, kind)
+		if err != nil {
+			return nil, err
+		}
+		models[cell] = m
+	}
+	// Arrivals chosen so U3's two inputs switch nearly simultaneously.
+	primary := map[string]wave.Waveform{
+		"a": wave.SaturatedRamp(0, vdd, 1.00e-9, 80e-12, 4e-9),
+		"b": wave.SaturatedRamp(0, vdd, 0.95e-9, 80e-12, 4e-9),
+		"c": wave.Constant(vdd, 0, 4e-9),
+	}
+	opt := sta.Options{Horizon: 4e-9, Dt: cfg.Dt}
+
+	mis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: opt.Horizon, Dt: opt.Dt})
+	if err != nil {
+		return nil, err
+	}
+	sis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: opt.Horizon, Dt: opt.Dt})
+	if err != nil {
+		return nil, err
+	}
+	flat, err := sta.FlatReference(nl, cfg.Tech, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Grid{
+		Title:  "EXP-S1 — net arrivals (ps): flat transistor vs MIS-STA vs SIS-STA",
+		Header: []string{"net", "flat", "MIS-STA", "MIS err", "SIS-STA", "SIS err"},
+	}
+	for _, net := range []string{"n1", "n2", "n3", "y"} {
+		f := flat.Nets[net].Arrival
+		mA := mis.Nets[net].Arrival
+		sA := sis.Nets[net].Arrival
+		row := []string{net, ps(f), ps(mA), arrErr(mA, f), ps(sA), arrErr(sA, f)}
+		g.Rows = append(g.Rows, row)
+	}
+	g.Notes = []string{
+		fmt.Sprintf("MIS events detected at: %v", mis.MISInstances),
+		"The SIS assumption mistimes the stages with overlapping input windows (ref. [6]'s failure mode).",
+	}
+	return g, nil
+}
+
+func arrErr(got, ref float64) string {
+	if math.IsNaN(got) || math.IsNaN(ref) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.2fps", (got-ref)*1e12)
+}

@@ -1,0 +1,190 @@
+package liberty
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/nldm"
+	"mcsm/internal/units"
+)
+
+var (
+	fixOnce sync.Once
+	fixLib  *Library
+	fixErr  error
+)
+
+// fixtureLibrary characterizes a small INV+NOR2 library once.
+func fixtureLibrary(t *testing.T) *Library {
+	t.Helper()
+	fixOnce.Do(func() {
+		tech := cells.Default130()
+		nCfg := nldm.Config{
+			Slews: []float64{40 * units.PS, 120 * units.PS, 300 * units.PS},
+			Loads: []float64{2e-15, 5e-15, 12e-15},
+			Dt:    2 * units.PS,
+		}
+		lib := &Library{Name: "g130_mcsm", Tech: tech, CCSPoints: 12, Dt: 2e-12}
+		for _, cellName := range []string{"INV", "NOR2"} {
+			spec, err := cells.Get(cellName)
+			if err != nil {
+				fixErr = err
+				return
+			}
+			nl, err := nldm.Characterize(tech, spec, nCfg)
+			if err != nil {
+				fixErr = err
+				return
+			}
+			kind := csm.KindMCSM
+			if cellName == "INV" {
+				kind = csm.KindSIS
+			}
+			m, err := csm.Characterize(tech, spec, kind, csm.FastConfig())
+			if err != nil {
+				fixErr = err
+				return
+			}
+			lib.Cells = append(lib.Cells, Cell{
+				Name:     cellName,
+				Function: DefaultFunction(cellName),
+				NLDM:     nl,
+				CSM:      m,
+				Area:     1,
+			})
+		}
+		fixLib = lib
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixLib
+}
+
+func TestWriteStructure(t *testing.T) {
+	lib := fixtureLibrary(t)
+	var sb strings.Builder
+	if err := Write(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"library (g130_mcsm) {",
+		"delay_model : table_lookup;",
+		"lu_table_template (",
+		"variable_1 : input_net_transition;",
+		"cell (INV) {",
+		"cell (NOR2) {",
+		`function : "(!(A|B))";`,
+		`related_pin : "A";`,
+		"cell_rise (",
+		"rise_transition (",
+		"cell_fall (",
+		"fall_transition (",
+		"output_current_rise ()",
+		"output_current_fall ()",
+		"reference_time :",
+		"capacitance :",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("liberty output lacks %q", want)
+		}
+	}
+	// Balanced braces.
+	if o, c := strings.Count(out, "{"), strings.Count(out, "}"); o != c {
+		t.Errorf("unbalanced braces: %d open, %d close", o, c)
+	}
+	// NOR2 has 4 arcs, INV 2 → 6 timing groups.
+	if got := strings.Count(out, "timing ()"); got != 6 {
+		t.Errorf("timing groups = %d, want 6", got)
+	}
+	// CCS vectors: one per (slew,load) point per arc with a modeled pin:
+	// NOR2 contributes 4 arcs × 9 points, INV 2 × 9 = 54 vectors.
+	if got := strings.Count(out, "vector (ccs_"); got != 54 {
+		t.Errorf("CCS vectors = %d, want 54", got)
+	}
+}
+
+func TestWriteValuesPlausible(t *testing.T) {
+	lib := fixtureLibrary(t)
+	var sb strings.Builder
+	if err := Write(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Delay values are emitted in ns: the NOR2 delays are tens of ps, so
+	// every cell_rise row should contain values like 0.0xx.
+	idx := strings.Index(out, "cell_rise (")
+	if idx < 0 {
+		t.Fatal("no cell_rise group")
+	}
+	seg := out[idx : idx+400]
+	if !strings.Contains(seg, "0.0") {
+		t.Errorf("cell_rise values not in plausible ns range: %s", seg)
+	}
+	// Pin capacitance in pF: ~0.002–0.02 pF for these cells.
+	capIdx := strings.Index(out, "capacitance : 0.0")
+	if capIdx < 0 {
+		t.Error("pin capacitance not in plausible pF range")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if err := Write(&strings.Builder{}, &Library{Name: "x"}); err == nil {
+		t.Error("empty library accepted")
+	}
+	lib := &Library{Name: "x", Cells: []Cell{{Name: "INV"}}}
+	if err := Write(&strings.Builder{}, lib); err == nil {
+		t.Error("cell without NLDM accepted")
+	}
+}
+
+func TestDefaultFunction(t *testing.T) {
+	cases := map[string]string{
+		"INV":   "(!A)",
+		"NOR2":  "(!(A|B))",
+		"NAND2": "(!(A&B))",
+		"NOR3":  "(!(A|B|C))",
+		"NAND3": "(!(A&B&C))",
+		"AOI21": "(!((A&B)|C))",
+		"XYZ":   "",
+	}
+	for cell, want := range cases {
+		if got := DefaultFunction(cell); got != want {
+			t.Errorf("DefaultFunction(%s) = %q, want %q", cell, got, want)
+		}
+	}
+}
+
+// The CCS current vectors must integrate to the full load charge swing:
+// ∫ i dt = CL·Vdd for a rising output.
+func TestCCSVectorChargeConservation(t *testing.T) {
+	lib := fixtureLibrary(t)
+	var m *csm.Model
+	for _, c := range lib.Cells {
+		if c.Name == "NOR2" {
+			m = c.CSM
+		}
+	}
+	if m == nil {
+		t.Fatal("no NOR2 model")
+	}
+	load := 5e-15
+	iw, _, err := ccsVector(m, 0, false, 100e-12, load, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid-integrate the current waveform.
+	var q float64
+	for k := 1; k < iw.Len(); k++ {
+		q += 0.5 * (iw.V[k] + iw.V[k-1]) * (iw.T[k] - iw.T[k-1])
+	}
+	want := load * m.Vdd
+	if q < 0.9*want || q > 1.1*want {
+		t.Errorf("CCS charge = %.4g C, want ≈ %.4g (CL·Vdd)", q, want)
+	}
+}

@@ -1,0 +1,190 @@
+// Package nldm implements the conventional voltage-based timing model the
+// paper's introduction argues against: per-arc delay and output-slew lookup
+// tables indexed by input transition time and lumped output load (the
+// classic non-linear delay model of .lib files), with saturated-ramp
+// waveform reconstruction.
+//
+// It exists as the comparison baseline for the motivation experiments —
+// identical arrival/slew inputs with different waveform *shapes* produce
+// identical NLDM predictions, which is precisely the failure mode current
+// source models fix.
+package nldm
+
+import (
+	"fmt"
+	"math"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/table"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+// Arc is one characterized timing arc: a switching input pin (with its
+// direction) through a cell to the output. Delay is the 50%–50%
+// propagation delay; Slew the output 10–90% transition time. Both are 2-D
+// tables over (input slew, load capacitance).
+type Arc struct {
+	Cell      string
+	Input     string
+	InputRise bool // direction of the switching input
+	OutRise   bool // resulting output direction (inverting cells: !InputRise)
+	Delay     *table.Table
+	Slew      *table.Table
+}
+
+// Library is a set of characterized arcs at one supply voltage.
+type Library struct {
+	Vdd  float64
+	Arcs []Arc
+}
+
+// Config controls NLDM characterization.
+type Config struct {
+	Slews []float64 // input transition times (0–100%)
+	Loads []float64 // lumped load capacitances
+	Dt    float64   // transient step
+}
+
+// DefaultConfig returns a 4×4 grid spanning typical cell operating points.
+func DefaultConfig(tech cells.Tech) Config {
+	fo1 := tech.MinInverterInputCap()
+	return Config{
+		Slews: []float64{30 * units.PS, 80 * units.PS, 160 * units.PS, 320 * units.PS},
+		Loads: []float64{1 * fo1, 2 * fo1, 4 * fo1, 8 * fo1},
+		Dt:    2 * units.PS,
+	}
+}
+
+// Characterize builds the NLDM arcs of a cell by transistor-level
+// simulation: for each input pin and direction, the other inputs are held
+// non-controlling, a saturated ramp drives the pin into each (slew, load)
+// grid point, and the delay/slew are measured.
+func Characterize(tech cells.Tech, spec cells.Spec, cfg Config) (*Library, error) {
+	if len(cfg.Slews) < 2 || len(cfg.Loads) < 2 {
+		return nil, fmt.Errorf("nldm: need at least a 2x2 grid")
+	}
+	lib := &Library{Vdd: tech.Vdd}
+	for _, pin := range spec.Inputs {
+		for _, inputRise := range []bool{true, false} {
+			arc, err := characterizeArc(tech, spec, pin, inputRise, cfg)
+			if err != nil {
+				return nil, err
+			}
+			lib.Arcs = append(lib.Arcs, arc)
+		}
+	}
+	return lib, nil
+}
+
+func characterizeArc(tech cells.Tech, spec cells.Spec, pin string, inputRise bool, cfg Config) (Arc, error) {
+	arc := Arc{
+		Cell:      spec.Name,
+		Input:     pin,
+		InputRise: inputRise,
+		OutRise:   !inputRise, // all catalog cells invert
+	}
+	slewAxis := table.Axis{Name: "slew", Points: cfg.Slews}
+	loadAxis := table.Axis{Name: "load", Points: cfg.Loads}
+	var err error
+	if arc.Delay, err = table.New(slewAxis, loadAxis); err != nil {
+		return arc, err
+	}
+	if arc.Slew, err = table.New(slewAxis, loadAxis); err != nil {
+		return arc, err
+	}
+
+	for si, slew := range cfg.Slews {
+		for li, load := range cfg.Loads {
+			d, s, err := measurePoint(tech, spec, pin, inputRise, slew, load, cfg.Dt)
+			if err != nil {
+				return arc, fmt.Errorf("nldm: %s/%s rise=%v slew=%s load=%s: %w",
+					spec.Name, pin, inputRise, units.FormatSeconds(slew), units.FormatFarads(load), err)
+			}
+			arc.Delay.Set(d, si, li)
+			arc.Slew.Set(s, si, li)
+		}
+	}
+	return arc, nil
+}
+
+// measurePoint runs one transistor-level transient and extracts delay/slew.
+func measurePoint(tech cells.Tech, spec cells.Spec, pin string, inputRise bool, slew, load, dt float64) (delay, outSlew float64, err error) {
+	vdd := tech.Vdd
+	start := 0.3e-9
+	horizon := start + slew + 3e-9
+
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(vdd))
+	inputs := make([]spice.Node, len(spec.Inputs))
+	var inWave wave.Waveform
+	for i, p := range spec.Inputs {
+		inputs[i] = c.Node("in_" + p)
+		if p == pin {
+			v0, v1 := 0.0, vdd
+			if !inputRise {
+				v0, v1 = vdd, 0
+			}
+			inWave = wave.SaturatedRamp(v0, v1, start, slew, horizon)
+			c.AddVSource("V"+p, inputs[i], spice.Ground, inWave)
+			continue
+		}
+		c.AddVSource("V"+p, inputs[i], spice.Ground, spice.DC(spec.NonControllingLevelFor(p, vdd)))
+	}
+	out := c.Node("out")
+	spec.Build(c, tech, "X", inputs, out, vddN, spec.Drive)
+	c.AddCapacitor("CL", out, spice.Ground, load)
+
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	res, err := eng.Run(0, horizon, dt)
+	if err != nil {
+		return 0, 0, err
+	}
+	outW := res.Wave(out)
+	delay, err = wave.Delay50(inWave, outW, vdd, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	outSlew, err = wave.TransitionTime(outW, vdd, !inputRise, 0.1, 0.9, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return delay, outSlew, nil
+}
+
+// FindArc returns the arc for the given input pin and direction.
+func (l *Library) FindArc(cell, pin string, inputRise bool) (*Arc, error) {
+	for i := range l.Arcs {
+		a := &l.Arcs[i]
+		if a.Cell == cell && a.Input == pin && a.InputRise == inputRise {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("nldm: no arc %s/%s rise=%v", cell, pin, inputRise)
+}
+
+// Evaluate interpolates the arc at an (input slew, load) point.
+func (a *Arc) Evaluate(slewIn, load float64) (delay, slewOut float64) {
+	return a.Delay.At2(slewIn, load), a.Slew.At2(slewIn, load)
+}
+
+// OutputRamp reconstructs the voltage-based model's output waveform: a
+// saturated ramp whose 50% crossing sits at tIn50+delay and whose 10–90%
+// transition time equals the predicted slew. This is all the shape
+// information NLDM retains — the point of the paper's critique.
+func (a *Arc) OutputRamp(vdd, tIn50, slewIn, load, horizon float64) wave.Waveform {
+	delay, slewOut := a.Evaluate(slewIn, load)
+	// 10–90% covers 80% of the swing; a full 0–100% linear ramp of the same
+	// slope lasts slewOut/0.8 and is centered on the 50% crossing.
+	full := slewOut / 0.8
+	t50 := tIn50 + delay
+	startT := t50 - full/2
+	v0, v1 := 0.0, vdd
+	if !a.OutRise {
+		v0, v1 = vdd, 0
+	}
+	end := math.Max(horizon, startT+full+1e-12)
+	return wave.SaturatedRamp(v0, v1, startT, full, end)
+}

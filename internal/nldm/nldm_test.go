@@ -1,0 +1,147 @@
+package nldm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+var (
+	libOnce sync.Once
+	libNOR  *Library
+	libErr  error
+)
+
+func nor2Lib(t *testing.T) *Library {
+	t.Helper()
+	libOnce.Do(func() {
+		tech := cells.Default130()
+		spec, err := cells.Get("NOR2")
+		if err != nil {
+			libErr = err
+			return
+		}
+		cfg := Config{
+			Slews: []float64{40 * units.PS, 120 * units.PS, 300 * units.PS},
+			Loads: []float64{2e-15, 5e-15, 12e-15},
+			Dt:    2 * units.PS,
+		}
+		libNOR, libErr = Characterize(tech, spec, cfg)
+	})
+	if libErr != nil {
+		t.Fatal(libErr)
+	}
+	return libNOR
+}
+
+func TestCharacterizeArcs(t *testing.T) {
+	lib := nor2Lib(t)
+	// 2 inputs × 2 directions.
+	if len(lib.Arcs) != 4 {
+		t.Fatalf("arcs = %d, want 4", len(lib.Arcs))
+	}
+	for _, a := range lib.Arcs {
+		if a.OutRise == a.InputRise {
+			t.Errorf("NOR2 arc %s must invert", a.Input)
+		}
+		min, _ := a.Delay.MinMax()
+		if min <= 0 {
+			t.Errorf("arc %s rise=%v has non-positive delay", a.Input, a.InputRise)
+		}
+	}
+}
+
+func TestDelayMonotoneInLoad(t *testing.T) {
+	lib := nor2Lib(t)
+	arc, err := lib.FindArc("NOR2", "A", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, load := range []float64{2e-15, 4e-15, 8e-15, 12e-15} {
+		d, s := arc.Evaluate(100e-12, load)
+		if d <= prev {
+			t.Errorf("delay not increasing with load at %g: %g after %g", load, d, prev)
+		}
+		if s <= 0 {
+			t.Errorf("slew %g at load %g", s, load)
+		}
+		prev = d
+	}
+}
+
+func TestFindArcMissing(t *testing.T) {
+	lib := nor2Lib(t)
+	if _, err := lib.FindArc("NOR2", "Z", true); err == nil {
+		t.Error("missing arc accepted")
+	}
+	if _, err := lib.FindArc("NAND9", "A", true); err == nil {
+		t.Error("missing cell accepted")
+	}
+}
+
+func TestOutputRamp(t *testing.T) {
+	lib := nor2Lib(t)
+	arc, err := lib.FindArc("NOR2", "A", false) // input falls → output rises
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := 1.2
+	tIn50 := 1e-9
+	slewIn := 100e-12
+	load := 5e-15
+	delay, slewOut := arc.Evaluate(slewIn, load)
+	w := arc.OutputRamp(vdd, tIn50, slewIn, load, 4e-9)
+	// The 50% crossing must land at tIn50+delay.
+	tc, ok := w.CrossTime(vdd/2, true, 0)
+	if !ok {
+		t.Fatal("no crossing in reconstructed ramp")
+	}
+	if math.Abs(tc-(tIn50+delay)) > 1e-13 {
+		t.Errorf("ramp 50%% at %g, want %g", tc, tIn50+delay)
+	}
+	// And its 10–90% transition equals the predicted slew.
+	s, err := wave.TransitionTime(w, vdd, true, 0.1, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-slewOut) > 1e-13 {
+		t.Errorf("ramp slew %g, want %g", s, slewOut)
+	}
+}
+
+// NLDM is blind to waveform shape: two different input *shapes* with equal
+// arrival and slew produce identical predictions by construction. This test
+// pins the structural property the paper criticizes.
+func TestShapeBlindness(t *testing.T) {
+	lib := nor2Lib(t)
+	arc, err := lib.FindArc("NOR2", "A", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, s1 := arc.Evaluate(100e-12, 5e-15)
+	d2, s2 := arc.Evaluate(100e-12, 5e-15) // same parameters — any shape maps here
+	if d1 != d2 || s1 != s2 {
+		t.Error("NLDM evaluation must be a pure function of (slew, load)")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tech := cells.Default130()
+	spec, _ := cells.Get("INV")
+	if _, err := Characterize(tech, spec, Config{Slews: []float64{1e-12}, Loads: []float64{1e-15, 2e-15}}); err == nil {
+		t.Error("1-point slew grid accepted")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	tech := cells.Default130()
+	cfg := DefaultConfig(tech)
+	if len(cfg.Slews) < 3 || len(cfg.Loads) < 3 || cfg.Dt <= 0 {
+		t.Errorf("default config incomplete: %+v", cfg)
+	}
+}

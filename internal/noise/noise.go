@@ -1,0 +1,178 @@
+// Package noise builds the paper's crosstalk test bench (§4, Figs. 10–12):
+// a victim net driven by a minimum-sized inverter, capacitively coupled to
+// an aggressor net driven by another minimum inverter, feeding input A of a
+// NOR2 gate with a FO2 load. The aggressor's switching instant (the noise
+// injection time) is swept to generate families of noisy waveforms.
+//
+// The same physical network is elaborated two ways: with the NOR2 at
+// transistor level (the golden reference) or with the NOR2 replaced by a
+// characterized CSM cell (the model under test) — the mixed simulation the
+// CSM's load independence enables.
+package noise
+
+import (
+	"fmt"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/spice"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+// Config parameterizes the crosstalk bench. Zero fields take the paper's
+// values via Default.
+type Config struct {
+	CouplingCap      float64 // victim↔aggressor coupling (paper: 50 fF)
+	LineR            float64 // per-line series resistance
+	LineCNear        float64 // per-line near-end ground capacitance
+	LineCFar         float64 // per-line far-end ground capacitance
+	VictimArrival    float64 // input arrival at the victim driver (paper: 2.2 ns)
+	AggressorArrival float64 // input arrival at the aggressor driver (swept 2–3 ns)
+	InSlew           float64 // driver input transition time
+	Fanout           int     // NOR2 output load in minimum inverters (paper: FO2)
+	VictimRises      bool    // victim transition direction at the NOR2 input
+	AggressorRises   bool    // aggressor transition direction
+	VictimDrive      float64 // victim driver strength multiplier (default 1)
+	AggressorDrive   float64 // aggressor driver strength multiplier (default 1)
+	TEnd             float64
+	Dt               float64
+}
+
+// Default returns the paper's §4 bench parameters.
+func Default() Config {
+	return Config{
+		CouplingCap:      50 * units.FF,
+		LineR:            150,
+		LineCNear:        2 * units.FF,
+		LineCFar:         3 * units.FF,
+		VictimArrival:    2.2 * units.NS,
+		AggressorArrival: 2.5 * units.NS,
+		InSlew:           80 * units.PS,
+		Fanout:           2,
+		VictimRises:      true,
+		AggressorRises:   true,
+		TEnd:             4.5 * units.NS,
+		Dt:               1 * units.PS,
+	}
+}
+
+// Result carries the waveforms of one bench run.
+type Result struct {
+	VictimIn wave.Waveform // the noisy waveform at the NOR2 input A
+	Out      wave.Waveform // NOR2 output
+}
+
+// driverInput returns the waveform at a driver's input for the requested
+// *line* transition direction (the driver inverts).
+func driverInput(vdd float64, lineRises bool, arrival, slew, tEnd float64) wave.Waveform {
+	if lineRises {
+		return wave.SaturatedRamp(vdd, 0, arrival, slew, tEnd)
+	}
+	return wave.SaturatedRamp(0, vdd, arrival, slew, tEnd)
+}
+
+// build elaborates the shared network. When model is nil the NOR2 is
+// transistor-level; otherwise the CSM cell (with receiver caps) is used.
+func build(tech cells.Tech, cfg Config, model *csm.Model) (*spice.Circuit, spice.Node, spice.Node, error) {
+	vdd := tech.Vdd
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(vdd))
+
+	// Victim driver and line.
+	vIn := c.Node("victim_drv_in")
+	vNear := c.Node("victim_near")
+	vFar := c.Node("victim_far") // the NOR2's input A
+	vDrive := cfg.VictimDrive
+	if vDrive <= 0 {
+		vDrive = 1
+	}
+	c.AddVSource("VVIC", vIn, spice.Ground, driverInput(vdd, cfg.VictimRises, cfg.VictimArrival, cfg.InSlew, cfg.TEnd))
+	cells.Inverter(c, tech, "DRVV", []spice.Node{vIn}, vNear, vddN, vDrive)
+	c.AddResistor("RV", vNear, vFar, cfg.LineR)
+	c.AddCapacitor("CVN", vNear, spice.Ground, cfg.LineCNear)
+	c.AddCapacitor("CVF", vFar, spice.Ground, cfg.LineCFar)
+
+	// Aggressor driver and line.
+	aIn := c.Node("agg_drv_in")
+	aNear := c.Node("agg_near")
+	aFar := c.Node("agg_far")
+	aDrive := cfg.AggressorDrive
+	if aDrive <= 0 {
+		aDrive = 1
+	}
+	c.AddVSource("VAGG", aIn, spice.Ground, driverInput(vdd, cfg.AggressorRises, cfg.AggressorArrival, cfg.InSlew, cfg.TEnd))
+	cells.Inverter(c, tech, "DRVA", []spice.Node{aIn}, aNear, vddN, aDrive)
+	c.AddResistor("RA", aNear, aFar, cfg.LineR)
+	c.AddCapacitor("CAN", aNear, spice.Ground, cfg.LineCNear)
+	c.AddCapacitor("CAF", aFar, spice.Ground, cfg.LineCFar)
+
+	// Coupling between the far ends.
+	c.AddCapacitor("CC", vFar, aFar, cfg.CouplingCap)
+
+	// The NOR2 under test: input A from the victim line, input B held
+	// non-controlling.
+	b := c.Node("nor_b")
+	c.AddVSource("VB", b, spice.Ground, spice.DC(0))
+	out := c.Node("nor_out")
+	if model == nil {
+		cells.NOR2(c, tech, "XN", []spice.Node{vFar, b}, out, vddN, 1)
+	} else {
+		cell, err := csm.NewCell("XN", model, []spice.Node{vFar, b}, out, true)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		c.Add(cell)
+	}
+	cells.AttachFanoutInverters(c, tech, "L", out, vddN, cfg.Fanout)
+	return c, vFar, out, nil
+}
+
+// RunReference simulates the bench with the transistor-level NOR2.
+func RunReference(tech cells.Tech, cfg Config) (*Result, error) {
+	return run(tech, cfg, nil)
+}
+
+// RunWithModel simulates the bench with the NOR2 replaced by the CSM.
+func RunWithModel(tech cells.Tech, cfg Config, model *csm.Model) (*Result, error) {
+	if model == nil {
+		return nil, fmt.Errorf("noise: nil model")
+	}
+	return run(tech, cfg, model)
+}
+
+func run(tech cells.Tech, cfg Config, model *csm.Model) (*Result, error) {
+	c, vFar, out, err := build(tech, cfg, model)
+	if err != nil {
+		return nil, err
+	}
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	res, err := eng.Run(0, cfg.TEnd, cfg.Dt)
+	if err != nil {
+		return nil, fmt.Errorf("noise: %w", err)
+	}
+	return &Result{VictimIn: res.Wave(vFar), Out: res.Wave(out)}, nil
+}
+
+// InjectionSweep runs the bench across aggressor arrival times (the paper's
+// 2→3 ns at 10 ps steps) for both reference and model, returning per-point
+// results. fn receives (injection time, reference, model).
+func InjectionSweep(tech cells.Tech, cfg Config, model *csm.Model, start, stop, step float64, fn func(tInj float64, ref, mod *Result) error) error {
+	for tInj := start; tInj <= stop+step/2; tInj += step {
+		c := cfg
+		c.AggressorArrival = tInj
+		ref, err := RunReference(tech, c)
+		if err != nil {
+			return fmt.Errorf("noise: reference at %s: %w", units.FormatSeconds(tInj), err)
+		}
+		mod, err := RunWithModel(tech, c, model)
+		if err != nil {
+			return fmt.Errorf("noise: model at %s: %w", units.FormatSeconds(tInj), err)
+		}
+		if err := fn(tInj, ref, mod); err != nil {
+			return err
+		}
+	}
+	return nil
+}

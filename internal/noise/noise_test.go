@@ -1,0 +1,127 @@
+package noise
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/wave"
+)
+
+var (
+	modelOnce sync.Once
+	nor2Model *csm.Model
+	modelErr  error
+)
+
+func testModel(t *testing.T) *csm.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		tech := cells.Default130()
+		spec, err := cells.Get("NOR2")
+		if err != nil {
+			modelErr = err
+			return
+		}
+		nor2Model, modelErr = csm.Characterize(tech, spec, csm.KindMCSM, csm.FastConfig())
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return nor2Model
+}
+
+func TestReferenceBenchBasics(t *testing.T) {
+	tech := cells.Default130()
+	cfg := Default()
+	cfg.TEnd = 4e-9
+	res, err := RunReference(tech, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim transition propagates: NOR2 input rises at ≈2.3 ns, so the
+	// output falls.
+	if v := res.Out.At(1.5e-9); v < tech.Vdd-0.15 {
+		t.Errorf("output before victim event = %.3f, want high", v)
+	}
+	if v := res.Out.At(3.8e-9); v > 0.15 {
+		t.Errorf("output after victim event = %.3f, want low", v)
+	}
+	// The aggressor at 2.5 ns must visibly disturb the victim input: with a
+	// 50 fF coupling the bump is large.
+	min, max := res.VictimIn.Extremum(2.4e-9, 3.2e-9)
+	if max < tech.Vdd+0.03 && min > -0.03 {
+		t.Errorf("no visible coupling noise on victim input: [%.3f, %.3f]", min, max)
+	}
+}
+
+func TestModelTracksReference(t *testing.T) {
+	tech := cells.Default130()
+	m := testModel(t)
+	cfg := Default()
+	cfg.TEnd = 4e-9
+	ref, err := RunReference(tech, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := RunWithModel(tech, cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model sees nearly the same noisy input (its receiver caps load
+	// the line like the real gates do)…
+	inRMSE := wave.RMSE(ref.VictimIn, mod.VictimIn, 1.8e-9, 3.6e-9, 1200) / tech.Vdd
+	if inRMSE > 0.03 {
+		t.Errorf("victim-input divergence: RMSE %.2f%% of Vdd", 100*inRMSE)
+	}
+	// …and reproduces the output waveform closely (paper: avg 1.4% of Vdd).
+	outRMSE := wave.RMSE(ref.Out, mod.Out, 1.8e-9, 3.6e-9, 1200) / tech.Vdd
+	if outRMSE > 0.05 {
+		t.Errorf("output divergence: RMSE %.2f%% of Vdd", 100*outRMSE)
+	}
+	t.Logf("victim-in RMSE %.2f%%, output RMSE %.2f%% of Vdd", 100*inRMSE, 100*outRMSE)
+
+	// 50% delay error between model and reference outputs (Fig. 12's
+	// metric) stays within a few ps.
+	tRef, ok1 := ref.Out.CrossTime(tech.Vdd/2, false, 2.0e-9)
+	tMod, ok2 := mod.Out.CrossTime(tech.Vdd/2, false, 2.0e-9)
+	if !ok1 || !ok2 {
+		t.Fatal("missing output crossings")
+	}
+	if d := math.Abs(tMod - tRef); d > 6e-12 {
+		t.Errorf("output 50%% instant differs by %.2fps", d*1e12)
+	}
+}
+
+func TestInjectionSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	tech := cells.Default130()
+	m := testModel(t)
+	cfg := Default()
+	cfg.TEnd = 4e-9
+	count := 0
+	err := InjectionSweep(tech, cfg, m, 2.3e-9, 2.5e-9, 100e-12, func(tInj float64, ref, mod *Result) error {
+		count++
+		if ref.Out.Empty() || mod.Out.Empty() {
+			t.Errorf("empty result at %g", tInj)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("sweep points = %d, want 3", count)
+	}
+}
+
+func TestRunWithModelNil(t *testing.T) {
+	tech := cells.Default130()
+	if _, err := RunWithModel(tech, Default(), nil); err == nil {
+		t.Error("nil model accepted")
+	}
+}

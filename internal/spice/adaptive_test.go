@@ -1,0 +1,142 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/device"
+	"mcsm/internal/wave"
+)
+
+func TestAdaptiveRCMatchesAnalytic(t *testing.T) {
+	c := NewCircuit()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("V1", in, Ground, wave.SaturatedRamp(0, 1, 1e-12, 1e-12, 20e-9))
+	c.AddResistor("R", in, out, 1e3)
+	c.AddCapacitor("C", out, Ground, 1e-12)
+	e := NewEngine(c, DefaultOptions())
+	opt := DefaultAdaptive()
+	opt.DtMax = 200e-12
+	res, err := e.RunAdaptive(0, 10e-9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Wave(out)
+	for _, tt := range []float64{0.5e-9, 1e-9, 2e-9, 5e-9} {
+		want := 1 - math.Exp(-(tt-2e-12)/1e-9)
+		if got := w.At(tt); math.Abs(got-want) > 0.02 {
+			t.Errorf("adaptive RC at %g: %g want %g", tt, got, want)
+		}
+	}
+	// Must take far fewer steps than fixed 1 ps stepping (10000 steps).
+	if res.Steps() > 3000 {
+		t.Errorf("adaptive used %d steps, expected large savings", res.Steps())
+	}
+	t.Logf("adaptive RC: %d steps (fixed 1ps would use 10000)", res.Steps())
+}
+
+func TestAdaptiveInverterMatchesFixed(t *testing.T) {
+	np := device.N130()
+	pp := device.P130()
+	build := func() (*Engine, Node) {
+		c := NewCircuit()
+		vdd := c.Node("vdd")
+		in := c.Node("in")
+		out := c.Node("out")
+		c.AddVSource("VDD", vdd, Ground, DC(1.2))
+		c.AddVSource("VIN", in, Ground, wave.SaturatedRamp(0, 1.2, 0.5e-9, 80e-12, 3e-9))
+		c.AddMOS("MN", out, in, Ground, Ground, &np, 0.2e-6)
+		c.AddMOS("MP", out, in, vdd, vdd, &pp, 0.4e-6)
+		c.AddCapacitor("CL", out, Ground, 5e-15)
+		return NewEngine(c, DefaultOptions()), out
+	}
+
+	eFixed, outF := build()
+	fixed, err := eFixed.Run(0, 3e-9, 0.5e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eAd, outA := build()
+	ad, err := eAd.RunAdaptive(0, 3e-9, DefaultAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wF := fixed.Wave(outF)
+	wA := ad.Wave(outA)
+	tF, ok1 := wF.CrossTime(0.6, false, 0)
+	tA, ok2 := wA.CrossTime(0.6, false, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("missing output crossings")
+	}
+	if d := math.Abs(tF - tA); d > 1.5e-12 {
+		t.Errorf("adaptive vs fixed 50%% crossing differ by %.2fps", d*1e12)
+	}
+	if ad.Steps() >= fixed.Steps()/3 {
+		t.Errorf("adaptive %d steps vs fixed %d: insufficient savings", ad.Steps(), fixed.Steps())
+	}
+	rmse := wave.RMSE(wF, wA, 0, 3e-9, 2000)
+	if rmse > 0.01 {
+		t.Errorf("adaptive vs fixed RMSE %.4f V", rmse)
+	}
+	t.Logf("adaptive %d steps vs fixed %d; crossing diff %.2fps; RMSE %.2gmV",
+		ad.Steps(), fixed.Steps(), math.Abs(tF-tA)*1e12, rmse*1e3)
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	c := NewCircuit()
+	n := c.Node("n")
+	c.AddVSource("V", n, Ground, DC(1))
+	e := NewEngine(c, DefaultOptions())
+	if _, err := e.RunAdaptive(0, -1, DefaultAdaptive()); err == nil {
+		t.Error("negative window accepted")
+	}
+	bad := DefaultAdaptive()
+	bad.DtMin = 0
+	if _, err := e.RunAdaptive(0, 1e-9, bad); err == nil {
+		t.Error("zero DtMin accepted")
+	}
+	if _, err := e.RunAdaptiveFrom([]float64{1}, 0, 1e-9, DefaultAdaptive()); err == nil {
+		t.Error("wrong-size state accepted")
+	}
+}
+
+// TestSwitchingEnergy validates the engine's charge bookkeeping: the energy
+// the supply delivers while an inverter charges its load is E = Ctot·Vdd²
+// (half stored, half dissipated). With the device's own output parasitics
+// alongside CL, the measured energy must land between CL·Vdd² and ≈2× that.
+func TestSwitchingEnergy(t *testing.T) {
+	np := device.N130()
+	pp := device.P130()
+	vdd := 1.2
+	cl := 10e-15
+	c := NewCircuit()
+	vddN := c.Node("vdd")
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("VDD", vddN, Ground, DC(vdd))
+	// Input falls → output rises → supply delivers the switching energy.
+	c.AddVSource("VIN", in, Ground, wave.SaturatedRamp(vdd, 0, 0.5e-9, 80e-12, 4e-9))
+	c.AddMOS("MN", out, in, Ground, Ground, &np, 0.2e-6)
+	c.AddMOS("MP", out, in, vddN, vddN, &pp, 0.4e-6)
+	c.AddCapacitor("CL", out, Ground, cl)
+	e := NewEngine(c, DefaultOptions())
+	res, err := e.Run(0, 4e-9, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy, err := res.SupplyEnergy("VDD", 0.4e-9, 3.5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := cl * vdd * vdd
+	if energy < ideal || energy > 2.5*ideal {
+		t.Errorf("switching energy %.3g J outside [%.3g, %.3g] (CL·Vdd² bookkeeping broken)",
+			energy, ideal, 2.5*ideal)
+	}
+	t.Logf("switching energy %.3g J vs CL·Vdd² = %.3g J", energy, ideal)
+	if _, err := res.SupplyEnergy("NOPE", 0, 1); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package spice
+
+// Mode distinguishes DC operating-point assembly (capacitors open) from
+// transient assembly (capacitors integrate).
+type Mode int
+
+// Analysis modes.
+const (
+	ModeDC Mode = iota
+	ModeTransient
+)
+
+// Method selects the transient integration rule.
+type Method int
+
+// Integration methods.
+const (
+	// BackwardEuler is L-stable and maximally damped; used for the first
+	// step after a DC solution and available for ablation studies.
+	BackwardEuler Method = iota
+	// Trapezoidal is second-order accurate; the default.
+	Trapezoidal
+)
+
+// Context carries the solver state an element sees while stamping: the
+// analysis mode, candidate solution X, the accepted previous-step solution
+// Xprev, timing, and the source-stepping scale factor.
+type Context struct {
+	Mode     Mode
+	Method   Method
+	Time     float64 // end-of-step time being solved
+	Dt       float64 // step size (transient only)
+	X        []float64
+	Xprev    []float64
+	SrcScale float64 // 0..1 during DC source stepping, 1 otherwise
+}
+
+// V returns the candidate voltage of node n.
+func (ctx *Context) V(n Node) float64 {
+	if n == Ground {
+		return 0
+	}
+	return ctx.X[int(n)-1]
+}
+
+// Vprev returns node n's voltage at the start of the step (the last
+// accepted solution).
+func (ctx *Context) Vprev(n Node) float64 {
+	if n == Ground {
+		return 0
+	}
+	return ctx.Xprev[int(n)-1]
+}
+
+// Aux returns the candidate value of auxiliary unknown i (absolute index).
+func (ctx *Context) Aux(i int) float64 { return ctx.X[i] }
+
+// AuxPrev returns the start-of-step value of auxiliary unknown i.
+func (ctx *Context) AuxPrev(i int) float64 { return ctx.Xprev[i] }
+
+// Element is anything that can stamp its linearized contribution into the
+// MNA system at the candidate solution in ctx. The convention is
+//
+//	row i:  Σ (currents leaving node i into elements) = 0
+//
+// so a nonlinear element with current F(x) leaving node i stamps its
+// Jacobian into A and (J·x₀ − F(x₀)) into b.
+type Element interface {
+	Name() string
+	Stamp(sys *System, ctx *Context)
+}
+
+// AuxUser is implemented by elements that own auxiliary unknowns (branch
+// currents, internal model nodes). The engine assigns a contiguous index
+// range before analysis.
+type AuxUser interface {
+	AuxCount() int
+	SetAuxBase(base int)
+}
+
+// Stepper is implemented by elements that keep per-step state (capacitor
+// companion histories, per-step-frozen capacitance values). BeginStep is
+// called once before the Newton loop of each transient step with Xprev set
+// to the last accepted solution; AcceptStep after convergence.
+type Stepper interface {
+	BeginStep(ctx *Context)
+	AcceptStep(ctx *Context)
+}
+
+// Initializer is implemented by elements that want to seed auxiliary
+// unknowns with a better-than-zero starting guess before DC analysis.
+type Initializer interface {
+	InitGuess(x []float64)
+}
+
+// CapBranch integrates one two-terminal capacitive branch with the
+// engine's companion models. The caller supplies the capacitance value for
+// the current step (typically frozen at BeginStep for nonlinear
+// capacitors); CapBranch keeps the trapezoidal current history.
+type CapBranch struct {
+	iPrev float64 // branch current at the last accepted step
+}
+
+// Stamp adds the branch's companion model between nodes a and b for the
+// current step. In DC mode the branch is open and stamps nothing.
+func (cb *CapBranch) Stamp(sys *System, ctx *Context, a, b Node, c float64) {
+	if ctx.Mode == ModeDC || ctx.Dt <= 0 || c == 0 {
+		return
+	}
+	vPrev := ctx.Vprev(a) - ctx.Vprev(b)
+	var geq, ieqHist float64
+	switch ctx.Method {
+	case Trapezoidal:
+		geq = 2 * c / ctx.Dt
+		ieqHist = geq*vPrev + cb.iPrev
+	default: // BackwardEuler
+		geq = c / ctx.Dt
+		ieqHist = geq * vPrev
+	}
+	// Branch current leaving a: i = geq·(va−vb) − ieqHist.
+	StampConductance(sys, a, b, geq)
+	ia, ib := unknownIndex(a), unknownIndex(b)
+	sys.AddB(ia, ieqHist)
+	sys.AddB(ib, -ieqHist)
+}
+
+// Accept records the converged branch current for the next step's
+// trapezoidal history. It must be called from the element's AcceptStep with
+// the same capacitance value used in Stamp.
+func (cb *CapBranch) Accept(ctx *Context, a, b Node, c float64) {
+	if ctx.Mode == ModeDC || ctx.Dt <= 0 || c == 0 {
+		cb.iPrev = 0
+		return
+	}
+	v := ctx.V(a) - ctx.V(b)
+	vPrev := ctx.Vprev(a) - ctx.Vprev(b)
+	switch ctx.Method {
+	case Trapezoidal:
+		cb.iPrev = 2*c/ctx.Dt*(v-vPrev) - cb.iPrev
+	default:
+		cb.iPrev = c / ctx.Dt * (v - vPrev)
+	}
+}
+
+// Reset clears the branch history (used when a new transient run begins).
+func (cb *CapBranch) Reset() { cb.iPrev = 0 }

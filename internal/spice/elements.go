@@ -1,0 +1,104 @@
+package spice
+
+// Resistor is a linear two-terminal resistance.
+type Resistor struct {
+	name string
+	a, b Node
+	g    float64
+}
+
+// Name returns the element name.
+func (r *Resistor) Name() string { return r.name }
+
+// Stamp adds the resistor's conductance.
+func (r *Resistor) Stamp(sys *System, ctx *Context) {
+	StampConductance(sys, r.a, r.b, r.g)
+}
+
+// Capacitor is a linear two-terminal capacitance.
+type Capacitor struct {
+	name   string
+	a, b   Node
+	c      float64
+	branch CapBranch
+}
+
+// Name returns the element name.
+func (c *Capacitor) Name() string { return c.name }
+
+// Stamp adds the integration companion model (open in DC).
+func (c *Capacitor) Stamp(sys *System, ctx *Context) {
+	c.branch.Stamp(sys, ctx, c.a, c.b, c.c)
+}
+
+// BeginStep implements Stepper (no per-step preparation needed).
+func (c *Capacitor) BeginStep(ctx *Context) {}
+
+// AcceptStep records the converged branch current.
+func (c *Capacitor) AcceptStep(ctx *Context) {
+	c.branch.Accept(ctx, c.a, c.b, c.c)
+}
+
+// VSource is an ideal voltage source with a time-dependent stimulus. Its
+// branch current is an auxiliary MNA unknown, positive when flowing from
+// the positive terminal through the source to the negative terminal (i.e.
+// the current delivered *into* the source by the external circuit at p).
+type VSource struct {
+	name string
+	p, n Node
+	stim Stimulus
+	aux  int
+}
+
+// Name returns the element name.
+func (v *VSource) Name() string { return v.name }
+
+// AuxCount reports one auxiliary unknown (the branch current).
+func (v *VSource) AuxCount() int { return 1 }
+
+// SetAuxBase records the assigned auxiliary index.
+func (v *VSource) SetAuxBase(base int) { v.aux = base }
+
+// AuxIndex returns the absolute unknown index of the branch current.
+func (v *VSource) AuxIndex() int { return v.aux }
+
+// Value returns the stimulus value at time t (without source scaling).
+func (v *VSource) Value(t float64) float64 { return v.stim.At(t) }
+
+// SetStimulus replaces the source's stimulus. Characterization reuses one
+// harness circuit across many sweep points and ramp shapes.
+func (v *VSource) SetStimulus(s Stimulus) { v.stim = s }
+
+// Stamp adds the source rows: KCL coupling of the branch current and the
+// voltage constraint v(p) − v(n) = E(t)·SrcScale.
+func (v *VSource) Stamp(sys *System, ctx *Context) {
+	ip, in := unknownIndex(v.p), unknownIndex(v.n)
+	j := v.aux
+	// Branch current leaves p, enters n.
+	sys.AddA(ip, j, 1)
+	sys.AddA(in, j, -1)
+	// Constraint row.
+	sys.AddA(j, ip, 1)
+	sys.AddA(j, in, -1)
+	sys.AddB(j, v.stim.At(ctx.Time)*ctx.SrcScale)
+}
+
+// ISource is an ideal current source pushing the stimulus current from node
+// a to node b (injecting into b).
+type ISource struct {
+	name string
+	a, b Node
+	stim Stimulus
+}
+
+// Name returns the element name.
+func (i *ISource) Name() string { return i.name }
+
+// Stamp adds the injected currents scaled by the source-stepping factor.
+func (i *ISource) Stamp(sys *System, ctx *Context) {
+	val := i.stim.At(ctx.Time) * ctx.SrcScale
+	ia, ib := unknownIndex(i.a), unknownIndex(i.b)
+	// Current val leaves node a: F_a += val ⇒ b_a −= val.
+	sys.AddB(ia, -val)
+	sys.AddB(ib, val)
+}

@@ -1,0 +1,345 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+// Options configures the solver.
+type Options struct {
+	// Gmin is the minimum conductance tied from every node to ground; it
+	// keeps floating nodes (e.g. a cutoff stack node) non-singular. The
+	// resulting leak (≈1 ms time constant against fF nodes) is far outside
+	// the nanosecond windows simulated here.
+	Gmin float64
+	// AbsTol/RelTol terminate Newton when every unknown moves less than
+	// AbsTol + RelTol·|x|.
+	AbsTol float64
+	RelTol float64
+	// MaxIter bounds Newton iterations per solve.
+	MaxIter int
+	// MaxStepV limits the per-iteration update magnitude on voltage
+	// unknowns (classic damping for MOS exponentials).
+	MaxStepV float64
+	// Method selects the transient integration rule (default Trapezoidal;
+	// the first step after DC always uses backward Euler to damp the
+	// trapezoidal start-up ringing).
+	Method Method
+}
+
+// DefaultOptions returns the solver configuration used throughout the
+// repository.
+func DefaultOptions() Options {
+	return Options{
+		Gmin:     1e-12,
+		AbsTol:   1e-9,
+		RelTol:   1e-6,
+		MaxIter:  150,
+		MaxStepV: 0.3,
+		Method:   Trapezoidal,
+	}
+}
+
+// Engine binds a circuit to solver options and preassigned unknown indices.
+type Engine struct {
+	ckt      *Circuit
+	opt      Options
+	nNodes   int // excluding ground
+	nAux     int
+	steppers []Stepper
+}
+
+// NewEngine prepares a circuit for analysis, assigning auxiliary unknown
+// indices. The circuit must not gain elements afterwards.
+func NewEngine(c *Circuit, opt Options) *Engine {
+	e := &Engine{ckt: c, opt: opt, nNodes: c.NumNodes() - 1}
+	base := e.nNodes
+	for _, el := range c.Elements() {
+		if au, ok := el.(AuxUser); ok {
+			au.SetAuxBase(base)
+			base += au.AuxCount()
+		}
+		if st, ok := el.(Stepper); ok {
+			e.steppers = append(e.steppers, st)
+		}
+	}
+	e.nAux = base - e.nNodes
+	return e
+}
+
+// Unknowns returns the total unknown count (node voltages + auxiliaries).
+func (e *Engine) Unknowns() int { return e.nNodes + e.nAux }
+
+// assemble stamps the full linearized system at ctx.X into sys.
+func (e *Engine) assemble(sys *System, ctx *Context, gmin float64) {
+	sys.Clear()
+	for i := 0; i < e.nNodes; i++ {
+		sys.AddA(i, i, gmin)
+	}
+	for _, el := range e.ckt.Elements() {
+		el.Stamp(sys, ctx)
+	}
+}
+
+// residualNorm returns ‖J·x − b‖₂ for a freshly assembled system. Because
+// elements stamp b += J·x₀ − F(x₀), this equals ‖F(x₀)‖: the true nonlinear
+// KCL residual at the assembly point.
+func residualNorm(sys *System, x []float64) float64 {
+	n := sys.N
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := -sys.B[i]
+		row := i * n
+		for j := 0; j < n; j++ {
+			r += sys.A[row+j] * x[j]
+		}
+		sum += r * r
+	}
+	return math.Sqrt(sum)
+}
+
+// newton iterates to convergence at the context's time/mode, starting from
+// ctx.X, with the extra gmin added on node diagonals. On success ctx.X
+// holds the solution.
+//
+// The iteration is globalized two ways: the proposed update is first scaled
+// so no node voltage moves more than MaxStepV, and then a backtracking line
+// search on the nonlinear residual norm rejects steps that do not make
+// progress — this is what tames the subthreshold-exponential oscillations
+// of floating stacked nodes (e.g. a NOR3 with all inputs high).
+func (e *Engine) newton(ctx *Context, gmin float64) error {
+	n := e.Unknowns()
+	sysA := NewSystem(n)
+	sysB := NewSystem(n)
+	x0 := make([]float64, n)
+	dir := make([]float64, n)
+	for iter := 0; iter < e.opt.MaxIter; iter++ {
+		e.assemble(sysA, ctx, gmin)
+		f0 := residualNorm(sysA, ctx.X)
+		xNew, err := sysA.Solve()
+		if err != nil {
+			return fmt.Errorf("spice: %w at t=%g iter=%d", err, ctx.Time, iter)
+		}
+		copy(x0, ctx.X)
+		maxMove := 0.0
+		for i := 0; i < n; i++ {
+			dir[i] = xNew[i] - x0[i]
+			if i < e.nNodes {
+				if d := math.Abs(dir[i]); d > maxMove {
+					maxMove = d
+				}
+			}
+		}
+		scale := 1.0
+		if maxMove > e.opt.MaxStepV {
+			scale = e.opt.MaxStepV / maxMove
+		}
+		// If the full Newton step is already within tolerance the iteration
+		// has converged; accept it outright. (Checking before the line
+		// search matters: at the numerical residual floor the search cannot
+		// measure improvement and would otherwise never terminate.)
+		if scale == 1.0 {
+			converged := true
+			for i := 0; i < n; i++ {
+				tol := e.opt.AbsTol + e.opt.RelTol*math.Abs(xNew[i])
+				if math.Abs(dir[i]) > tol {
+					converged = false
+					break
+				}
+			}
+			if converged {
+				copy(ctx.X, xNew)
+				return nil
+			}
+		}
+		// Backtracking line search: accept the first scale that reduces the
+		// residual; fall back to the best seen so the iteration keeps
+		// moving even on shallow landscapes.
+		bestScale, bestF := scale, math.Inf(1)
+		s := scale
+		for k := 0; k < 8; k++ {
+			for i := 0; i < n; i++ {
+				ctx.X[i] = x0[i] + s*dir[i]
+			}
+			e.assemble(sysB, ctx, gmin)
+			f1 := residualNorm(sysB, ctx.X)
+			if f1 < bestF {
+				bestF, bestScale = f1, s
+			}
+			if f1 <= f0*0.999+1e-18 {
+				break
+			}
+			s /= 2
+		}
+		for i := 0; i < n; i++ {
+			ctx.X[i] = x0[i] + bestScale*dir[i]
+		}
+		if debugNewton && iter > e.opt.MaxIter-5 {
+			fmt.Printf("newton iter=%d scale=%.3g f0=%.3g best=%.3g x=%v\n", iter, bestScale, f0, bestF, ctx.X)
+		}
+	}
+	return fmt.Errorf("spice: newton did not converge at t=%g after %d iterations", ctx.Time, e.opt.MaxIter)
+}
+
+// DCAt computes the operating point with sources evaluated at time t.
+// It first attempts a direct Newton solve, then gmin stepping, then source
+// stepping. The returned slice is the full unknown vector.
+func (e *Engine) DCAt(t float64) ([]float64, error) {
+	n := e.Unknowns()
+	x := make([]float64, n)
+	for _, el := range e.ckt.Elements() {
+		if ini, ok := el.(Initializer); ok {
+			ini.InitGuess(x)
+		}
+	}
+	ctx := &Context{Mode: ModeDC, Time: t, SrcScale: 1, X: x, Xprev: make([]float64, n)}
+
+	if err := e.newton(ctx, e.opt.Gmin); err == nil {
+		return ctx.X, nil
+	}
+
+	// Gmin stepping: solve with a large parallel conductance, then relax it
+	// decade by decade, warm-starting each solve.
+	for i := range ctx.X {
+		ctx.X[i] = 0
+	}
+	ok := true
+	for gmin := 1e-3; ; gmin /= 10 {
+		if gmin < e.opt.Gmin {
+			gmin = e.opt.Gmin
+		}
+		if err := e.newton(ctx, gmin); err != nil {
+			ok = false
+			break
+		}
+		if gmin == e.opt.Gmin {
+			break
+		}
+	}
+	if ok {
+		return ctx.X, nil
+	}
+
+	// Source stepping: ramp all sources from zero.
+	for i := range ctx.X {
+		ctx.X[i] = 0
+	}
+	const steps = 25
+	for k := 1; k <= steps; k++ {
+		ctx.SrcScale = float64(k) / steps
+		if err := e.newton(ctx, e.opt.Gmin); err != nil {
+			return nil, fmt.Errorf("spice: DC failed at source scale %.2f: %w", ctx.SrcScale, err)
+		}
+	}
+	return ctx.X, nil
+}
+
+// Run performs a transient analysis from start to stop with fixed step dt,
+// computing the initial condition from a DC solve at start. All node
+// voltages and auxiliary unknowns are recorded every step.
+func (e *Engine) Run(start, stop, dt float64) (*Result, error) {
+	x0, err := e.DCAt(start)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunFrom(x0, start, stop, dt)
+}
+
+// RunFrom performs a transient analysis starting from the supplied unknown
+// vector (typically a previous DC or transient solution).
+func (e *Engine) RunFrom(x0 []float64, start, stop, dt float64) (*Result, error) {
+	if dt <= 0 || stop <= start {
+		return nil, fmt.Errorf("spice: invalid transient window [%g,%g] dt=%g", start, stop, dt)
+	}
+	n := e.Unknowns()
+	if len(x0) != n {
+		return nil, fmt.Errorf("spice: initial state has %d unknowns, want %d", len(x0), n)
+	}
+	res := newResult(e.ckt, n)
+
+	x := make([]float64, n)
+	xprev := make([]float64, n)
+	copy(x, x0)
+	copy(xprev, x0)
+	ctx := &Context{Mode: ModeTransient, Method: e.opt.Method, SrcScale: 1, X: x, Xprev: xprev}
+
+	// Reset all capacitor histories for a fresh run.
+	for _, el := range e.ckt.Elements() {
+		if st, ok := el.(Stepper); ok {
+			resetBranches(st)
+		}
+	}
+
+	res.record(start, x0)
+	nSteps := int(math.Ceil((stop - start) / dt))
+	for k := 1; k <= nSteps; k++ {
+		tEnd := start + float64(k)*dt
+		if tEnd > stop {
+			tEnd = stop
+		}
+		ctx.Time = tEnd
+		ctx.Dt = tEnd - (start + float64(k-1)*dt)
+		// Guard against a floating-point sliver of a final step: a Dt of
+		// ~1e-24 s turns capacitor companions into ~1e9 S conductances and
+		// destroys the system conditioning.
+		if ctx.Dt <= dt*1e-6 {
+			break
+		}
+		// First step after DC uses backward Euler to avoid trapezoidal
+		// start-up oscillation from inconsistent initial cap currents.
+		if k == 1 {
+			ctx.Method = BackwardEuler
+		} else {
+			ctx.Method = e.opt.Method
+		}
+		for _, st := range e.steppers {
+			st.BeginStep(ctx)
+		}
+		if err := e.newton(ctx, e.opt.Gmin); err != nil {
+			if ctx.Method != Trapezoidal {
+				return res, fmt.Errorf("spice: transient step %d failed: %w", k, err)
+			}
+			// Trapezoidal's undamped mode can ring against per-step
+			// re-frozen nonlinear capacitances; retry the step with the
+			// L-stable backward Euler rule (the classic SPICE fallback).
+			copy(ctx.X, ctx.Xprev)
+			ctx.Method = BackwardEuler
+			for _, st := range e.steppers {
+				st.BeginStep(ctx)
+			}
+			if err2 := e.newton(ctx, e.opt.Gmin); err2 != nil {
+				return res, fmt.Errorf("spice: transient step %d failed (BE retry): %w", k, err2)
+			}
+		}
+		for _, st := range e.steppers {
+			st.AcceptStep(ctx)
+		}
+		copy(ctx.Xprev, ctx.X)
+		res.record(tEnd, ctx.X)
+	}
+	return res, nil
+}
+
+// resetBranches clears capacitor history on elements that expose it.
+func resetBranches(st Stepper) {
+	type resetter interface{ ResetState() }
+	if r, ok := st.(resetter); ok {
+		r.ResetState()
+		return
+	}
+	switch el := st.(type) {
+	case *Capacitor:
+		el.branch.Reset()
+	case *MOSFET:
+		el.cgs.Reset()
+		el.cgd.Reset()
+		el.cgb.Reset()
+		el.cdb.Reset()
+		el.csb.Reset()
+	}
+}
+
+// debugNewton enables iteration tracing for development; controlled by the
+// MCSM_DEBUG_NEWTON environment variable.
+var debugNewton = os.Getenv("MCSM_DEBUG_NEWTON") != ""

@@ -1,0 +1,88 @@
+package spice
+
+import "mcsm/internal/device"
+
+// MOSFET is a four-terminal transistor element. The channel current is
+// linearized by Newton each iteration; the five terminal capacitances
+// (Meyer intrinsic + overlap + junction) are frozen at the start-of-step
+// operating point and integrated with the engine's companion models — the
+// per-step linearization described in DESIGN.md.
+type MOSFET struct {
+	name       string
+	d, g, s, b Node
+	mos        device.MOS
+
+	// Per-step frozen capacitance values and their branch histories.
+	caps                    device.Caps
+	cgs, cgd, cgb, cdb, csb CapBranch
+}
+
+// Name returns the element name.
+func (m *MOSFET) Name() string { return m.name }
+
+// Device returns the underlying compact-model instance.
+func (m *MOSFET) Device() device.MOS { return m.mos }
+
+// Terminals returns the drain, gate, source, and bulk nodes.
+func (m *MOSFET) Terminals() (d, g, s, b Node) { return m.d, m.g, m.s, m.b }
+
+// CapsAt evaluates the device capacitances at explicit terminal voltages.
+// The direct (operating-point) capacitance extraction of internal/csm uses
+// this to lump device caps without transient analysis.
+func (m *MOSFET) CapsAt(vd, vg, vs, vb float64) device.Caps {
+	return m.mos.Capacitances(vg-vs, vd-vs, vb-vs)
+}
+
+// BeginStep freezes the capacitance matrix at the last accepted solution.
+func (m *MOSFET) BeginStep(ctx *Context) {
+	vgs := ctx.Vprev(m.g) - ctx.Vprev(m.s)
+	vds := ctx.Vprev(m.d) - ctx.Vprev(m.s)
+	vbs := ctx.Vprev(m.b) - ctx.Vprev(m.s)
+	m.caps = m.mos.Capacitances(vgs, vds, vbs)
+}
+
+// Stamp adds the linearized channel current and, in transient mode, the
+// five capacitive branches.
+func (m *MOSFET) Stamp(sys *System, ctx *Context) {
+	vg, vd, vs, vb := ctx.V(m.g), ctx.V(m.d), ctx.V(m.s), ctx.V(m.b)
+	op := m.mos.Eval(vg-vs, vd-vs, vb-vs)
+
+	id0 := op.Id
+	gm, gds, gmb := op.Gm, op.Gds, op.Gmb
+	gss := gm + gds + gmb // −∂Id/∂vs
+
+	idIdx, igIdx, isIdx, ibIdx := unknownIndex(m.d), unknownIndex(m.g), unknownIndex(m.s), unknownIndex(m.b)
+
+	// Current Id leaves the drain node into the device and enters at the
+	// source node. Row d: +Id(x); row s: −Id(x).
+	// Jacobian rows.
+	sys.AddA(idIdx, igIdx, gm)
+	sys.AddA(idIdx, idIdx, gds)
+	sys.AddA(idIdx, ibIdx, gmb)
+	sys.AddA(idIdx, isIdx, -gss)
+	sys.AddA(isIdx, igIdx, -gm)
+	sys.AddA(isIdx, idIdx, -gds)
+	sys.AddA(isIdx, ibIdx, -gmb)
+	sys.AddA(isIdx, isIdx, gss)
+	// Residual linearization: b += J·x₀ − F(x₀).
+	lin := gm*(vg-vs) + gds*(vd-vs) + gmb*(vb-vs)
+	sys.AddB(idIdx, lin-id0)
+	sys.AddB(isIdx, -(lin - id0))
+
+	if ctx.Mode == ModeTransient {
+		m.cgs.Stamp(sys, ctx, m.g, m.s, m.caps.CGS)
+		m.cgd.Stamp(sys, ctx, m.g, m.d, m.caps.CGD)
+		m.cgb.Stamp(sys, ctx, m.g, m.b, m.caps.CGB)
+		m.cdb.Stamp(sys, ctx, m.d, m.b, m.caps.CDB)
+		m.csb.Stamp(sys, ctx, m.s, m.b, m.caps.CSB)
+	}
+}
+
+// AcceptStep records the converged capacitor branch currents.
+func (m *MOSFET) AcceptStep(ctx *Context) {
+	m.cgs.Accept(ctx, m.g, m.s, m.caps.CGS)
+	m.cgd.Accept(ctx, m.g, m.d, m.caps.CGD)
+	m.cgb.Accept(ctx, m.g, m.b, m.caps.CGB)
+	m.cdb.Accept(ctx, m.d, m.b, m.caps.CDB)
+	m.csb.Accept(ctx, m.s, m.b, m.caps.CSB)
+}

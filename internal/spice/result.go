@@ -1,0 +1,117 @@
+package spice
+
+import (
+	"fmt"
+
+	"mcsm/internal/wave"
+)
+
+// Result holds the sampled solution of a transient run: every node voltage
+// and every auxiliary unknown at every accepted time point.
+type Result struct {
+	ckt    *Circuit
+	Times  []float64
+	values [][]float64 // values[k] is the unknown vector at Times[k]
+}
+
+func newResult(c *Circuit, n int) *Result {
+	return &Result{ckt: c}
+}
+
+func (r *Result) record(t float64, x []float64) {
+	cp := make([]float64, len(x))
+	copy(cp, x)
+	r.Times = append(r.Times, t)
+	r.values = append(r.values, cp)
+}
+
+// Steps returns the number of recorded time points.
+func (r *Result) Steps() int { return len(r.Times) }
+
+// At returns unknown i at step k.
+func (r *Result) At(k, i int) float64 { return r.values[k][i] }
+
+// Wave returns the voltage waveform of a node.
+func (r *Result) Wave(n Node) wave.Waveform {
+	v := make([]float64, len(r.Times))
+	if n != Ground {
+		idx := int(n) - 1
+		for k := range r.Times {
+			v[k] = r.values[k][idx]
+		}
+	}
+	t := make([]float64, len(r.Times))
+	copy(t, r.Times)
+	return wave.Waveform{T: t, V: v}
+}
+
+// WaveByName returns the voltage waveform of the named node.
+func (r *Result) WaveByName(name string) (wave.Waveform, error) {
+	i, ok := r.lookupNode(name)
+	if !ok {
+		return wave.Waveform{}, fmt.Errorf("spice: unknown node %q", name)
+	}
+	return r.Wave(Node(i)), nil
+}
+
+func (r *Result) lookupNode(name string) (int, bool) {
+	i, ok := r.ckt.byName[name]
+	return i, ok
+}
+
+// AuxWave returns the waveform of an absolute auxiliary unknown index.
+// For a VSource v, use v.AuxIndex(); the value is the current flowing from
+// the positive terminal through the source (i.e. delivered into the source
+// by the circuit).
+func (r *Result) AuxWave(idx int) wave.Waveform {
+	t := make([]float64, len(r.Times))
+	copy(t, r.Times)
+	v := make([]float64, len(r.Times))
+	for k := range r.Times {
+		v[k] = r.values[k][idx]
+	}
+	return wave.Waveform{T: t, V: v}
+}
+
+// Current returns the branch-current waveform of the named voltage source.
+func (r *Result) Current(vsrcName string) (wave.Waveform, error) {
+	for _, el := range r.ckt.Elements() {
+		if v, ok := el.(*VSource); ok && v.Name() == vsrcName {
+			return r.AuxWave(v.AuxIndex()), nil
+		}
+	}
+	return wave.Waveform{}, fmt.Errorf("spice: no voltage source named %q", vsrcName)
+}
+
+// Final returns a copy of the last recorded unknown vector, usable as the
+// initial state of a follow-on RunFrom.
+func (r *Result) Final() []float64 {
+	last := r.values[len(r.values)-1]
+	cp := make([]float64, len(last))
+	copy(cp, last)
+	return cp
+}
+
+// SupplyEnergy integrates the energy delivered by the named voltage source
+// over [t0, t1]: E = ∫ V·(−I) dt, with I the branch current into the
+// source (so a delivering supply has negative I and positive energy).
+func (r *Result) SupplyEnergy(vsrcName string, t0, t1 float64) (float64, error) {
+	for _, el := range r.ckt.Elements() {
+		v, ok := el.(*VSource)
+		if !ok || v.Name() != vsrcName {
+			continue
+		}
+		iw := r.AuxWave(v.AuxIndex())
+		var e float64
+		for k := 1; k < len(iw.T); k++ {
+			tm := 0.5 * (iw.T[k] + iw.T[k-1])
+			if tm < t0 || tm > t1 {
+				continue
+			}
+			im := 0.5 * (iw.V[k] + iw.V[k-1])
+			e += -v.Value(tm) * im * (iw.T[k] - iw.T[k-1])
+		}
+		return e, nil
+	}
+	return 0, fmt.Errorf("spice: no voltage source named %q", vsrcName)
+}

@@ -1,0 +1,191 @@
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// System is the dense linear system A·x = b assembled each Newton
+// iteration. Unknown indices: node k (k ≥ 1) maps to index k−1; element
+// auxiliary unknowns (source branch currents, CSM internal nodes) follow.
+// Index −1 denotes ground and is silently discarded by the Add methods.
+type System struct {
+	N int
+	A []float64 // row-major N×N
+	B []float64
+}
+
+// NewSystem allocates an N-unknown system.
+func NewSystem(n int) *System {
+	return &System{N: n, A: make([]float64, n*n), B: make([]float64, n)}
+}
+
+// Clear zeroes the system for reassembly.
+func (s *System) Clear() {
+	for i := range s.A {
+		s.A[i] = 0
+	}
+	for i := range s.B {
+		s.B[i] = 0
+	}
+}
+
+// AddA accumulates v into A[i,j]. Negative indices (ground) are ignored.
+func (s *System) AddA(i, j int, v float64) {
+	if i < 0 || j < 0 {
+		return
+	}
+	s.A[i*s.N+j] += v
+}
+
+// AddB accumulates v into b[i]. Negative indices are ignored.
+func (s *System) AddB(i int, v float64) {
+	if i < 0 {
+		return
+	}
+	s.B[i] += v
+}
+
+// errSingular is returned when LU factorization meets a numerically zero
+// pivot.
+var errSingular = errors.New("spice: singular matrix")
+
+// Solve returns x solving A·x = b. The system contents are destroyed.
+//
+// The factorization equilibrates rows (MNA systems mix gmin-scale 1e-12 S
+// rows with 1e-2 S cap companions and unit source constraints) and applies
+// two rounds of iterative refinement against the original matrix: without
+// refinement the ~1e10 condition number leaves µA-scale residuals that
+// stall Newton's line search at a false floor.
+func (s *System) Solve() ([]float64, error) {
+	n := s.N
+	a0 := append([]float64(nil), s.A...)
+	b0 := append([]float64(nil), s.B...)
+	f, err := factorize(n, s.A)
+	if err != nil {
+		return nil, err
+	}
+	x := f.solve(append([]float64(nil), b0...))
+	// Iterative refinement.
+	r := make([]float64, n)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			sum := b0[i]
+			row := i * n
+			for j := 0; j < n; j++ {
+				sum -= a0[row+j] * x[j]
+			}
+			r[i] = sum
+		}
+		d := f.solve(r)
+		for i := range x {
+			x[i] += d[i]
+		}
+	}
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return nil, errSingular
+		}
+	}
+	return x, nil
+}
+
+// lu is a row-equilibrated LU factorization with partial pivoting.
+type lu struct {
+	n     int
+	a     []float64 // factors, in place, virtual row order via perm
+	perm  []int
+	scale []float64 // row equilibration factors
+}
+
+// factorize decomposes a (destroyed in place).
+func factorize(n int, a []float64) (*lu, error) {
+	f := &lu{n: n, a: a, perm: make([]int, n), scale: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f.perm[i] = i
+		row := i * n
+		m := 0.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(a[row+j]); v > m {
+				m = v
+			}
+		}
+		inv := 1.0
+		if m > 0 {
+			inv = 1 / m
+		}
+		f.scale[i] = inv
+		if inv != 1 {
+			for j := 0; j < n; j++ {
+				a[row+j] *= inv
+			}
+		}
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		max := math.Abs(a[f.perm[col]*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[f.perm[r]*n+col]); v > max {
+				max, p = v, r
+			}
+		}
+		if max < 1e-300 {
+			return nil, errSingular
+		}
+		f.perm[col], f.perm[p] = f.perm[p], f.perm[col]
+		prow := f.perm[col] * n
+		pivot := a[prow+col]
+		for r := col + 1; r < n; r++ {
+			row := f.perm[r] * n
+			m := a[row+col] / pivot
+			a[row+col] = m // store the multiplier for solve()
+			if m == 0 {
+				continue
+			}
+			for k := col + 1; k < n; k++ {
+				a[row+k] -= m * a[prow+k]
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve applies the factorization to rhs (modified in place; also returned).
+func (f *lu) solve(rhs []float64) []float64 {
+	n := f.n
+	for i := 0; i < n; i++ {
+		rhs[i] *= f.scale[i]
+	}
+	// Forward elimination using the stored multipliers.
+	for col := 0; col < n; col++ {
+		for r := col + 1; r < n; r++ {
+			m := f.a[f.perm[r]*n+col]
+			if m != 0 {
+				rhs[f.perm[r]] -= m * rhs[f.perm[col]]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		row := f.perm[i] * n
+		sum := rhs[f.perm[i]]
+		for k := i + 1; k < n; k++ {
+			sum -= f.a[row+k] * x[k]
+		}
+		x[i] = sum / f.a[row+i]
+	}
+	return x
+}
+
+// StampConductance adds a two-terminal conductance g between nodes a and b
+// using the standard four-entry pattern.
+func StampConductance(sys *System, a, b Node, g float64) {
+	ia, ib := unknownIndex(a), unknownIndex(b)
+	sys.AddA(ia, ia, g)
+	sys.AddA(ib, ib, g)
+	sys.AddA(ia, ib, -g)
+	sys.AddA(ib, ia, -g)
+}
+
+// unknownIndex maps a node to its unknown index (−1 for ground).
+func unknownIndex(n Node) int { return int(n) - 1 }

@@ -1,0 +1,289 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/wave"
+)
+
+// Mode selects the propagation policy.
+type Mode int
+
+// Propagation modes.
+const (
+	// ModeMIS simulates all switching inputs of a stage together.
+	ModeMIS Mode = iota
+	// ModeSIS applies the conventional single-input-switching assumption.
+	ModeSIS
+)
+
+// Options configures an analysis run.
+type Options struct {
+	Mode    Mode
+	Dt      float64 // stage integration step (default 1 ps)
+	Horizon float64 // simulation window end (default: last input end + 2 ns)
+}
+
+// NetResult records the timing view of one net.
+type NetResult struct {
+	Wave    wave.Waveform
+	Arrival float64 // first 50% crossing after t=0 (NaN if the net never switches)
+	Slew    float64 // 10–90% transition time of that first transition
+	Rising  bool    // direction of the first transition
+}
+
+// Report is the outcome of an analysis.
+type Report struct {
+	Vdd  float64
+	Nets map[string]NetResult
+	// MISInstances lists cells at which two or more modeled inputs switch
+	// during the window — the events conventional SIS timing mispredicts.
+	MISInstances []string
+}
+
+// Analyze propagates primary-input waveforms through the netlist using the
+// given per-cell-type models. Net loading combines the per-net wire caps
+// with the fanout cells' receiver capacitance tables.
+func Analyze(nl *Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt Options) (*Report, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	var vdd float64
+	for _, m := range models {
+		vdd = m.Vdd
+	}
+	if vdd == 0 {
+		return nil, fmt.Errorf("sta: no models supplied")
+	}
+	if opt.Dt <= 0 {
+		opt.Dt = 1e-12
+	}
+	if opt.Horizon <= 0 {
+		var last float64
+		for _, w := range primary {
+			if !w.Empty() && w.End() > last {
+				last = w.End()
+			}
+		}
+		opt.Horizon = last + 2e-9
+	}
+
+	waves := map[string]wave.Waveform{}
+	for net, w := range primary {
+		waves[net] = w
+	}
+	fanouts := nl.Fanouts()
+	rep := &Report{Vdd: vdd, Nets: map[string]NetResult{}}
+
+	for _, idx := range order {
+		inst := nl.Instances[idx]
+		model, ok := models[inst.Type]
+		if !ok {
+			return nil, fmt.Errorf("sta: no model for cell type %q (instance %s)", inst.Type, inst.Name)
+		}
+		inWaves, switching, err := gatherInputs(inst, model, waves, opt.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		if switching >= 2 {
+			rep.MISInstances = append(rep.MISInstances, inst.Name)
+		}
+		load := stageLoad(nl, models, fanouts, inst.Output)
+
+		var outW wave.Waveform
+		if opt.Mode == ModeSIS && switching >= 2 {
+			spec, serr := cells.Get(inst.Type)
+			if serr != nil {
+				return nil, serr
+			}
+			outW, err = simulateSIS(model, inWaves, spec, vdd, load, opt)
+		} else {
+			outW, err = simulateStageWaves(model, inWaves, load, opt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sta: stage %s: %w", inst.Name, err)
+		}
+		waves[inst.Output] = outW
+	}
+
+	for net, w := range waves {
+		rep.Nets[net] = measureNet(w, vdd)
+	}
+	sort.Strings(rep.MISInstances)
+	return rep, nil
+}
+
+// gatherInputs maps instance input nets to the model's input order and
+// counts how many of them actually switch. Pins held by the model must be
+// fed by non-switching nets.
+func gatherInputs(inst Instance, model *csm.Model, waves map[string]wave.Waveform, horizon float64) ([]wave.Waveform, int, error) {
+	spec, err := cells.Get(inst.Type)
+	if err != nil {
+		return nil, 0, fmt.Errorf("sta: instance %s: %w", inst.Name, err)
+	}
+	if len(inst.Inputs) != len(spec.Inputs) {
+		return nil, 0, fmt.Errorf("sta: %s has %d input nets, cell %s expects %d",
+			inst.Name, len(inst.Inputs), inst.Type, len(spec.Inputs))
+	}
+	netOfPin := map[string]string{}
+	for i, pin := range spec.Inputs {
+		netOfPin[pin] = inst.Inputs[i]
+	}
+	out := make([]wave.Waveform, len(model.Inputs))
+	switching := 0
+	for i, pin := range model.Inputs {
+		net := netOfPin[pin]
+		w, ok := waves[net]
+		if !ok {
+			return nil, 0, fmt.Errorf("sta: %s input net %q has no waveform", inst.Name, net)
+		}
+		out[i] = w
+		if netSwitches(w) {
+			switching++
+		}
+	}
+	// Held (non-modeled) pins must be static at the held level.
+	for pin, lvl := range model.Held {
+		net := netOfPin[pin]
+		w, ok := waves[net]
+		if !ok {
+			return nil, 0, fmt.Errorf("sta: %s held pin %s net %q has no waveform", inst.Name, pin, net)
+		}
+		if netSwitches(w) || mathAbs(w.First()-lvl) > 0.05 {
+			return nil, 0, fmt.Errorf("sta: %s pin %s is not modeled by the %s CSM and must stay at %g",
+				inst.Name, pin, model.Kind, lvl)
+		}
+	}
+	_ = horizon
+	return out, switching, nil
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// netSwitches reports whether a waveform leaves its initial level by more
+// than a quarter of its span.
+func netSwitches(w wave.Waveform) bool {
+	if w.Empty() {
+		return false
+	}
+	min, max := w.Extremum(w.Start(), w.End())
+	return max-min > 0.25
+}
+
+// stageLoad builds the load on a net: wire capacitance plus every fanout
+// pin's receiver capacitance table.
+func stageLoad(nl *Netlist, models map[string]*csm.Model, fanouts map[string][][2]int, net string) csm.Load {
+	var loads csm.MultiLoad
+	if c := nl.NetCap[net]; c > 0 {
+		loads = append(loads, csm.CapLoad(c))
+	}
+	for _, fo := range fanouts[net] {
+		inst := nl.Instances[fo[0]]
+		model, ok := models[inst.Type]
+		if !ok {
+			continue
+		}
+		spec, err := cells.Get(inst.Type)
+		if err != nil {
+			continue
+		}
+		pin := spec.Inputs[fo[1]]
+		idx := -1
+		for i, p := range model.Inputs {
+			if p == pin {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			// Held pin: approximate with the first receiver table.
+			idx = 0
+		}
+		loads = append(loads, csm.ReceiverLoad{Model: model, InputIndex: idx, Count: 1})
+	}
+	if len(loads) == 0 {
+		loads = append(loads, csm.CapLoad(1e-16))
+	}
+	return loads
+}
+
+// simulateStageWaves runs one implicit stage simulation over the window.
+func simulateStageWaves(model *csm.Model, inputs []wave.Waveform, load csm.Load, opt Options) (wave.Waveform, error) {
+	sr, err := csm.SimulateStage(model, inputs, load, 0, opt.Horizon, opt.Dt)
+	if err != nil {
+		return wave.Waveform{}, err
+	}
+	return sr.Out, nil
+}
+
+// simulateSIS applies the conventional SIS assumption to a stage with
+// multiple switching inputs: each switching input is simulated alone with
+// the other inputs parked at the cell's *non-controlling* level — exactly
+// the condition single-input delay arcs are characterized under — and the
+// arc with the latest output arrival defines the stage output. Because a
+// real MIS event makes every series device switch together (the stack is
+// not pre-conducting), this assumption is optimistic, reproducing the
+// delay-underestimation failure of SIS timing [6].
+func simulateSIS(model *csm.Model, inputs []wave.Waveform, spec cells.Spec, vdd float64, load csm.Load, opt Options) (wave.Waveform, error) {
+	var best wave.Waveform
+	bestArrival := math.Inf(-1)
+	for i := range inputs {
+		if !netSwitches(inputs[i]) {
+			continue
+		}
+		solo := make([]wave.Waveform, len(inputs))
+		for j := range inputs {
+			if j == i {
+				solo[j] = inputs[j]
+			} else {
+				solo[j] = wave.Constant(spec.NonControllingLevelFor(model.Inputs[j], vdd), 0, opt.Horizon)
+			}
+		}
+		outW, err := simulateStageWaves(model, solo, load, opt)
+		if err != nil {
+			return wave.Waveform{}, err
+		}
+		arr := firstArrival(outW, model.Vdd)
+		if arr > bestArrival {
+			bestArrival = arr
+			best = outW
+		}
+	}
+	if best.Empty() {
+		return wave.Waveform{}, fmt.Errorf("csm: SIS stage saw no switching input")
+	}
+	return best, nil
+}
+
+// firstArrival returns the first 50% crossing, or −Inf when absent.
+func firstArrival(w wave.Waveform, vdd float64) float64 {
+	cs := w.Crossings(vdd / 2)
+	if len(cs) == 0 {
+		return math.Inf(-1)
+	}
+	return cs[0].Time
+}
+
+// measureNet extracts arrival/slew/direction from a net waveform.
+func measureNet(w wave.Waveform, vdd float64) NetResult {
+	nr := NetResult{Wave: w, Arrival: math.NaN()}
+	cs := w.Crossings(vdd / 2)
+	if len(cs) == 0 {
+		return nr
+	}
+	nr.Arrival = cs[0].Time
+	nr.Rising = cs[0].Rising
+	if s, err := wave.TransitionTime(w, vdd, cs[0].Rising, 0.1, 0.9, 0); err == nil {
+		nr.Slew = s
+	}
+	return nr
+}

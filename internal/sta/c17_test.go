@@ -1,0 +1,112 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/wave"
+)
+
+// c17Netlist is ISCAS85's smallest benchmark: six NAND2 gates with
+// reconvergent fanout.
+const c17Netlist = `
+input n1 n2 n3 n6 n7
+output n22 n23
+inst G10 NAND2 n10 n1 n3
+inst G11 NAND2 n11 n3 n6
+inst G16 NAND2 n16 n2 n11
+inst G19 NAND2 n19 n11 n7
+inst G22 NAND2 n22 n10 n16
+inst G23 NAND2 n23 n16 n19
+`
+
+// TestC17EndToEnd is the full-flow integration test: parse, levelize,
+// propagate with MIS-aware CSM stages, and validate every switching net
+// against the flat transistor-level simulation of the whole benchmark.
+func TestC17EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("c17 flat reference in short mode")
+	}
+	tech := cells.Default130()
+	models := testModels(t)
+	nl, err := ParseNetlist(strings.NewReader(c17Netlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := nl.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 6 {
+		t.Fatalf("levelized %d instances", len(order))
+	}
+
+	vdd := tech.Vdd
+	horizon := 4e-9
+	primary := map[string]wave.Waveform{
+		"n1": wave.SaturatedRamp(0, vdd, 1.00e-9, 80e-12, horizon),
+		"n2": wave.Constant(vdd, 0, horizon),
+		"n3": wave.SaturatedRamp(0, vdd, 1.05e-9, 80e-12, horizon),
+		"n6": wave.Constant(vdd, 0, horizon),
+		"n7": wave.Constant(0, 0, horizon),
+	}
+	opt := Options{Horizon: horizon}
+	rep, err := Analyze(nl, models, primary, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := FlatReference(nl, tech, primary, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// G10 sees both of its inputs switching: a MIS event must be flagged.
+	foundMIS := false
+	for _, inst := range rep.MISInstances {
+		if inst == "G10" {
+			foundMIS = true
+		}
+	}
+	if !foundMIS {
+		t.Errorf("MIS instances %v missing G10", rep.MISInstances)
+	}
+
+	checked := 0
+	for _, net := range []string{"n10", "n11", "n16", "n19", "n22", "n23"} {
+		gotArr := rep.Nets[net].Arrival
+		refArr := flat.Nets[net].Arrival
+		switch {
+		case math.IsNaN(refArr) && math.IsNaN(gotArr):
+			continue // both agree the net never switches
+		case math.IsNaN(refArr) != math.IsNaN(gotArr):
+			t.Errorf("net %s: switching disagreement (csm %v, flat %v)", net, gotArr, refArr)
+			continue
+		}
+		if d := math.Abs(gotArr - refArr); d > 6e-12 {
+			t.Errorf("net %s arrival differs by %.2fps (csm %.2f, flat %.2f)",
+				net, d*1e12, gotArr*1e12, refArr*1e12)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Errorf("only %d nets switched — stimulus too weak for an integration test", checked)
+	}
+
+	// Critical path to the worst output must start at a primary input and
+	// have increasing arrivals.
+	out, _, ok := rep.WorstOutput(nl)
+	if !ok {
+		t.Fatal("no switching primary output")
+	}
+	path := rep.CriticalPath(nl, out)
+	if len(path) < 3 {
+		t.Fatalf("critical path too short: %v", path)
+	}
+	if path[0].Instance != "" {
+		t.Errorf("path does not start at a primary input: %+v", path[0])
+	}
+	t.Logf("c17: %d nets checked; worst output %s; path length %d; MIS at %v",
+		checked, out, len(path), rep.MISInstances)
+}

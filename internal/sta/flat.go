@@ -1,0 +1,82 @@
+package sta
+
+import (
+	"fmt"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/spice"
+	"mcsm/internal/wave"
+)
+
+// FlatReference elaborates the whole netlist at transistor level in a
+// single circuit and simulates it — the golden reference for validating
+// the CSM-based propagation.
+func FlatReference(nl *Netlist, tech cells.Tech, primary map[string]wave.Waveform, opt Options) (*Report, error) {
+	if opt.Dt <= 0 {
+		opt.Dt = 1e-12
+	}
+	if opt.Horizon <= 0 {
+		var last float64
+		for _, w := range primary {
+			if !w.Empty() && w.End() > last {
+				last = w.End()
+			}
+		}
+		opt.Horizon = last + 2e-9
+	}
+
+	c := spice.NewCircuit()
+	vddN := c.Node("vdd")
+	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
+	for _, net := range nl.PrimaryIn {
+		w, ok := primary[net]
+		if !ok {
+			return nil, fmt.Errorf("sta: primary input %q has no waveform", net)
+		}
+		c.AddVSource("V_"+net, c.Node(net), spice.Ground, w)
+	}
+	for net, cap := range nl.NetCap {
+		if cap > 0 {
+			c.AddCapacitor("CW_"+net, c.Node(net), spice.Ground, cap)
+		}
+	}
+	for _, inst := range nl.Instances {
+		spec, err := cells.Get(inst.Type)
+		if err != nil {
+			return nil, fmt.Errorf("sta: instance %s: %w", inst.Name, err)
+		}
+		ins := make([]spice.Node, len(inst.Inputs))
+		for i, net := range inst.Inputs {
+			ins[i] = c.Node(net)
+		}
+		spec.Build(c, tech, inst.Name, ins, c.Node(inst.Output), vddN, spec.Drive)
+	}
+
+	eng := spice.NewEngine(c, spice.DefaultOptions())
+	res, err := eng.Run(0, opt.Horizon, opt.Dt)
+	if err != nil {
+		return nil, fmt.Errorf("sta: flat reference: %w", err)
+	}
+	rep := &Report{Vdd: tech.Vdd, Nets: map[string]NetResult{}}
+	seen := map[string]bool{}
+	record := func(net string) {
+		if seen[net] {
+			return
+		}
+		seen[net] = true
+		w, err := res.WaveByName(net)
+		if err == nil {
+			rep.Nets[net] = measureNet(w, tech.Vdd)
+		}
+	}
+	for _, net := range nl.PrimaryIn {
+		record(net)
+	}
+	for _, inst := range nl.Instances {
+		record(inst.Output)
+		for _, net := range inst.Inputs {
+			record(net)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,169 @@
+// Package sta is a small waveform-based static timing engine: the
+// application context of the paper (§1). Cells are characterized CSMs;
+// stage outputs are computed by full waveform simulation and propagated
+// net by net, so arbitrary waveform shapes (noisy inputs, glitches, MIS
+// events) survive across stages — unlike the saturated-ramp abstraction of
+// conventional STA.
+//
+// Two propagation modes exist:
+//
+//   - ModeMIS (default): all of a cell's switching inputs drive one stage
+//     simulation together, capturing simultaneous switching.
+//   - ModeSIS: the conventional single-input-switching assumption — each
+//     input is simulated alone with the other inputs parked at their
+//     settled values and the worst arc wins. Reference [6]'s
+//     underestimation failure is directly observable in this mode.
+//
+// A flat transistor-level reference (FlatReference) elaborates the same
+// netlist in one circuit for validation.
+package sta
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Instance is one placed cell in the netlist. Inputs are net names in the
+// catalog pin order of the cell type.
+type Instance struct {
+	Name   string
+	Type   string
+	Inputs []string
+	Output string
+}
+
+// Netlist is a gate-level combinational netlist.
+type Netlist struct {
+	Instances  []Instance
+	PrimaryIn  []string
+	PrimaryOut []string
+	NetCap     map[string]float64 // additional wire capacitance per net
+}
+
+// ParseNetlist reads the tiny line-based netlist format:
+//
+//	# comment
+//	input a b
+//	output y
+//	cap n1 2e-15
+//	inst U1 NOR2 n1 a b     (name type output inputs…)
+func ParseNetlist(r io.Reader) (*Netlist, error) {
+	nl := &Netlist{NetCap: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "input":
+			nl.PrimaryIn = append(nl.PrimaryIn, fields[1:]...)
+		case "output":
+			nl.PrimaryOut = append(nl.PrimaryOut, fields[1:]...)
+		case "cap":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sta: line %d: cap needs net and value", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sta: line %d: bad capacitance %q", lineNo, fields[2])
+			}
+			nl.NetCap[fields[1]] = v
+		case "inst":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("sta: line %d: inst needs name type output inputs…", lineNo)
+			}
+			nl.Instances = append(nl.Instances, Instance{
+				Name:   fields[1],
+				Type:   fields[2],
+				Output: fields[3],
+				Inputs: fields[4:],
+			})
+		default:
+			return nil, fmt.Errorf("sta: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(nl.Instances) == 0 {
+		return nil, fmt.Errorf("sta: empty netlist")
+	}
+	return nl, nil
+}
+
+// Levelize returns instance indices in topological order (every instance
+// after all drivers of its input nets). It rejects combinational loops and
+// nets with multiple drivers.
+func (nl *Netlist) Levelize() ([]int, error) {
+	driver := map[string]int{} // net -> instance index
+	for i, inst := range nl.Instances {
+		if d, dup := driver[inst.Output]; dup {
+			return nil, fmt.Errorf("sta: net %q driven by both %s and %s",
+				inst.Output, nl.Instances[d].Name, inst.Name)
+		}
+		driver[inst.Output] = i
+	}
+	primary := map[string]bool{}
+	for _, n := range nl.PrimaryIn {
+		primary[n] = true
+	}
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]int, len(nl.Instances))
+	var order []int
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("sta: combinational loop through %s", nl.Instances[i].Name)
+		}
+		state[i] = visiting
+		for _, net := range nl.Instances[i].Inputs {
+			if primary[net] {
+				continue
+			}
+			d, ok := driver[net]
+			if !ok {
+				return fmt.Errorf("sta: net %q of %s has no driver and is not a primary input",
+					net, nl.Instances[i].Name)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[i] = done
+		order = append(order, i)
+		return nil
+	}
+	for i := range nl.Instances {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Fanouts returns, for each net, the (instance index, pin index) pairs that
+// load it.
+func (nl *Netlist) Fanouts() map[string][][2]int {
+	out := map[string][][2]int{}
+	for i, inst := range nl.Instances {
+		for p, net := range inst.Inputs {
+			out[net] = append(out[net], [2]int{i, p})
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package sta
+
+import "math"
+
+// PathStep is one hop of a timing path: the net and, when the net is driven
+// by a cell, the driving instance.
+type PathStep struct {
+	Net      string
+	Instance string // empty for primary inputs
+	Arrival  float64
+}
+
+// CriticalPath traces the worst (latest-arrival) input path backwards from
+// endNet through the netlist, using the arrivals of this report. The result
+// runs source → sink. Nets without arrivals (never switching) terminate the
+// trace.
+func (r *Report) CriticalPath(nl *Netlist, endNet string) []PathStep {
+	driver := map[string]*Instance{}
+	for i := range nl.Instances {
+		driver[nl.Instances[i].Output] = &nl.Instances[i]
+	}
+	var rev []PathStep
+	net := endNet
+	for {
+		nr, ok := r.Nets[net]
+		if !ok {
+			break
+		}
+		step := PathStep{Net: net, Arrival: nr.Arrival}
+		inst := driver[net]
+		if inst != nil {
+			step.Instance = inst.Name
+		}
+		rev = append(rev, step)
+		if inst == nil {
+			break // reached a primary input
+		}
+		// Follow the latest-arriving switching input.
+		bestNet := ""
+		bestArr := math.Inf(-1)
+		for _, in := range inst.Inputs {
+			inr, ok := r.Nets[in]
+			if !ok || math.IsNaN(inr.Arrival) {
+				continue
+			}
+			if inr.Arrival > bestArr {
+				bestArr, bestNet = inr.Arrival, in
+			}
+		}
+		if bestNet == "" {
+			break
+		}
+		net = bestNet
+	}
+	// Reverse to source → sink order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// WorstOutput returns the primary output with the latest arrival in the
+// report (NaN arrivals are skipped). The boolean is false when no output
+// has a transition.
+func (r *Report) WorstOutput(nl *Netlist) (string, float64, bool) {
+	worst := ""
+	arr := math.Inf(-1)
+	for _, net := range nl.PrimaryOut {
+		nr, ok := r.Nets[net]
+		if !ok || math.IsNaN(nr.Arrival) {
+			continue
+		}
+		if nr.Arrival > arr {
+			worst, arr = net, nr.Arrival
+		}
+	}
+	return worst, arr, worst != ""
+}

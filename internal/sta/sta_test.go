@@ -1,0 +1,297 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/wave"
+)
+
+const demoNetlist = `
+# two-stage demo: NOR2 into INV
+input a b
+output y
+cap n1 1e-15
+inst U1 NOR2 n1 a b
+inst U2 INV y n1
+`
+
+var (
+	modelsOnce sync.Once
+	modelSet   map[string]*csm.Model
+	modelsErr  error
+)
+
+func testModels(t *testing.T) map[string]*csm.Model {
+	t.Helper()
+	modelsOnce.Do(func() {
+		tech := cells.Default130()
+		modelSet = map[string]*csm.Model{}
+		for _, spec := range []struct {
+			cell string
+			kind csm.Kind
+		}{{"NOR2", csm.KindMCSM}, {"NAND2", csm.KindMCSM}, {"INV", csm.KindSIS}} {
+			s, err := cells.Get(spec.cell)
+			if err != nil {
+				modelsErr = err
+				return
+			}
+			m, err := csm.Characterize(tech, s, spec.kind, csm.FastConfig())
+			if err != nil {
+				modelsErr = err
+				return
+			}
+			modelSet[spec.cell] = m
+		}
+	})
+	if modelsErr != nil {
+		t.Fatal(modelsErr)
+	}
+	return modelSet
+}
+
+func TestParseNetlist(t *testing.T) {
+	nl, err := ParseNetlist(strings.NewReader(demoNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Instances) != 2 || len(nl.PrimaryIn) != 2 || len(nl.PrimaryOut) != 1 {
+		t.Fatalf("parse result: %+v", nl)
+	}
+	if nl.NetCap["n1"] != 1e-15 {
+		t.Errorf("net cap = %g", nl.NetCap["n1"])
+	}
+	// Error cases.
+	bad := []string{
+		"",
+		"bogus x y\n",
+		"cap n\n",
+		"inst U1 NOR2\n",
+		"cap n xx\n",
+	}
+	for _, b := range bad {
+		if _, err := ParseNetlist(strings.NewReader(b)); err == nil {
+			t.Errorf("accepted %q", b)
+		}
+	}
+}
+
+func TestLevelize(t *testing.T) {
+	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	order, err := nl.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || nl.Instances[order[0]].Name != "U1" {
+		t.Errorf("order = %v", order)
+	}
+	// Loop detection.
+	loop := `
+input a
+output y
+inst U1 NOR2 n1 a n2
+inst U2 INV n2 n1
+`
+	nl2, _ := ParseNetlist(strings.NewReader(loop))
+	if _, err := nl2.Levelize(); err == nil {
+		t.Error("loop accepted")
+	}
+	// Multiple drivers.
+	dup := `
+input a
+inst U1 INV n1 a
+inst U2 INV n1 a
+`
+	nl3, _ := ParseNetlist(strings.NewReader(dup))
+	if _, err := nl3.Levelize(); err == nil {
+		t.Error("duplicate driver accepted")
+	}
+	// Undriven net.
+	und := `
+input a
+inst U1 NOR2 n1 a floating
+`
+	nl4, _ := ParseNetlist(strings.NewReader(und))
+	if _, err := nl4.Levelize(); err == nil {
+		t.Error("undriven net accepted")
+	}
+}
+
+// TestAnalyzeMatchesFlat validates the CSM-based propagation against the
+// flat transistor-level simulation of the same two-stage netlist.
+func TestAnalyzeMatchesFlat(t *testing.T) {
+	tech := cells.Default130()
+	models := testModels(t)
+	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	vdd := tech.Vdd
+	primary := map[string]wave.Waveform{
+		"a": wave.SaturatedRamp(vdd, 0, 1.0e-9, 80e-12, 4e-9),
+		"b": wave.SaturatedRamp(vdd, 0, 1.05e-9, 80e-12, 4e-9),
+	}
+	opt := Options{Horizon: 4e-9}
+	rep, err := Analyze(nl, models, primary, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FlatReference(nl, tech, primary, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []string{"n1", "y"} {
+		got := rep.Nets[net]
+		want := ref.Nets[net]
+		if math.IsNaN(got.Arrival) || math.IsNaN(want.Arrival) {
+			t.Fatalf("net %s has no arrival (got %v, ref %v)", net, got.Arrival, want.Arrival)
+		}
+		if d := math.Abs(got.Arrival - want.Arrival); d > 6e-12 {
+			t.Errorf("net %s arrival differs by %.2fps (csm %.2f, flat %.2f)",
+				net, d*1e12, got.Arrival*1e12, want.Arrival*1e12)
+		}
+		if got.Rising != want.Rising {
+			t.Errorf("net %s direction mismatch", net)
+		}
+	}
+	// The NOR2 saw both inputs switching: a MIS event must be reported.
+	if len(rep.MISInstances) != 1 || rep.MISInstances[0] != "U1" {
+		t.Errorf("MIS instances = %v, want [U1]", rep.MISInstances)
+	}
+}
+
+// TestSISMispredictsMIS demonstrates the intro/[6] failure mode: under a
+// genuine MIS event (overlapping input transitions at a NOR2), the
+// conventional SIS assumption — each arc evaluated with the other input at
+// its non-controlling level — mispredicts the stage arrival by an order of
+// magnitude more than the MIS-aware analysis. (The error's sign is arc- and
+// technology-dependent; what is robust is that MIS-aware propagation tracks
+// the flat transistor truth and SIS does not.)
+func TestSISMispredictsMIS(t *testing.T) {
+	tech := cells.Default130()
+	models := testModels(t)
+	norNetlist := `
+input a b
+output n1
+inst U1 NOR2 n1 a b
+`
+	nl, err := ParseNetlist(strings.NewReader(norNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := tech.Vdd
+	// Overlapping transitions: b arrives mid-slew of a.
+	primary := map[string]wave.Waveform{
+		"a": wave.SaturatedRamp(vdd, 0, 1.00e-9, 80e-12, 4e-9),
+		"b": wave.SaturatedRamp(vdd, 0, 1.04e-9, 80e-12, 4e-9),
+	}
+	mis, err := Analyze(nl, models, primary, Options{Mode: ModeMIS, Horizon: 4e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sis, err := Analyze(nl, models, primary, Options{Mode: ModeSIS, Horizon: 4e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := FlatReference(nl, tech, primary, Options{Horizon: 4e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRef := flat.Nets["n1"].Arrival
+	aMIS := mis.Nets["n1"].Arrival
+	aSIS := sis.Nets["n1"].Arrival
+	errMIS := math.Abs(aMIS - aRef)
+	errSIS := math.Abs(aSIS - aRef)
+	t.Logf("n1 arrival: flat %.2fps, MIS-STA %.2fps (err %.2fps), SIS-STA %.2fps (err %.2fps)",
+		aRef*1e12, aMIS*1e12, errMIS*1e12, aSIS*1e12, errSIS*1e12)
+	if errMIS > 2e-12 {
+		t.Errorf("MIS-aware analysis off by %.2fps from flat truth", errMIS*1e12)
+	}
+	if errSIS < 3e-12 {
+		t.Errorf("SIS assumption unexpectedly accurate (%.2fps) — the MIS event should break it", errSIS*1e12)
+	}
+	if errSIS < 2*errMIS {
+		t.Errorf("SIS error %.2fps not clearly worse than MIS %.2fps", errSIS*1e12, errMIS*1e12)
+	}
+	if len(mis.MISInstances) != 1 || mis.MISInstances[0] != "U1" {
+		t.Errorf("MIS instances = %v, want [U1]", mis.MISInstances)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	models := testModels(t)
+	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	primary := map[string]wave.Waveform{
+		"a": wave.Constant(0, 0, 1e-9),
+		// "b" missing
+	}
+	if _, err := Analyze(nl, models, primary, Options{}); err == nil {
+		t.Error("missing primary waveform accepted")
+	}
+	if _, err := Analyze(nl, map[string]*csm.Model{}, primary, Options{}); err == nil {
+		t.Error("empty model set accepted")
+	}
+	// Unknown cell type.
+	bad := `
+input a
+inst U1 XOR9 n1 a
+`
+	nlBad, _ := ParseNetlist(strings.NewReader(bad))
+	if _, err := Analyze(nlBad, models, primary, Options{}); err == nil {
+		t.Error("unknown cell type accepted")
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	fo := nl.Fanouts()
+	if len(fo["n1"]) != 1 || fo["n1"][0][0] != 1 || fo["n1"][0][1] != 0 {
+		t.Errorf("fanouts of n1: %v", fo["n1"])
+	}
+	if len(fo["a"]) != 1 {
+		t.Errorf("fanouts of a: %v", fo["a"])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tech := cells.Default130()
+	models := testModels(t)
+	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	vdd := tech.Vdd
+	primary := map[string]wave.Waveform{
+		"a": wave.SaturatedRamp(vdd, 0, 1.00e-9, 80e-12, 4e-9),
+		"b": wave.SaturatedRamp(vdd, 0, 1.10e-9, 80e-12, 4e-9), // later
+	}
+	rep, err := Analyze(nl, models, primary, Options{Horizon: 4e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, arr, ok := rep.WorstOutput(nl)
+	if !ok || out != "y" {
+		t.Fatalf("worst output = %q ok=%v", out, ok)
+	}
+	if arr < 1e-9 {
+		t.Errorf("worst arrival %g implausible", arr)
+	}
+	path := rep.CriticalPath(nl, "y")
+	if len(path) != 3 {
+		t.Fatalf("path length = %d (%v), want 3", len(path), path)
+	}
+	// The later input (b) dominates the path.
+	if path[0].Net != "b" || path[0].Instance != "" {
+		t.Errorf("path head = %+v, want primary input b", path[0])
+	}
+	if path[1].Net != "n1" || path[1].Instance != "U1" {
+		t.Errorf("path[1] = %+v", path[1])
+	}
+	if path[2].Net != "y" || path[2].Instance != "U2" {
+		t.Errorf("path[2] = %+v", path[2])
+	}
+	// Arrivals increase along the path.
+	for i := 1; i < len(path); i++ {
+		if !(path[i].Arrival > path[i-1].Arrival) {
+			t.Errorf("arrival not increasing at %d: %v", i, path)
+		}
+	}
+}

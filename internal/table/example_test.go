@@ -1,0 +1,26 @@
+package table_test
+
+import (
+	"fmt"
+
+	"mcsm/internal/table"
+)
+
+// ExampleTable shows the N-D lookup flow used by every CSM component.
+func ExampleTable() {
+	// A 2-D current surface over (Vin, Vout).
+	tb := table.MustNew(
+		table.Uniform("vin", 0, 1.2, 5),
+		table.Uniform("vout", 0, 1.2, 5),
+	)
+	tb.Fill(func(c []float64) float64 {
+		return 1e-4 * c[0] * (1.2 - c[1]) // toy transfer surface
+	})
+	v := tb.At(0.6, 0.3)
+	_, grad := tb.Grad(0.6, 0.3)
+	fmt.Printf("I(0.6,0.3) = %.1f uA\n", v*1e6)
+	fmt.Printf("dI/dVout < 0: %v\n", grad[1] < 0)
+	// Output:
+	// I(0.6,0.3) = 54.0 uA
+	// dI/dVout < 0: true
+}

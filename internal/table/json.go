@@ -1,0 +1,43 @@
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tableJSON is the wire format for Table serialization. Data is stored
+// row-major exactly as in memory.
+type tableJSON struct {
+	Axes []Axis    `json:"axes"`
+	Data []float64 `json:"data"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Axes: t.Axes, Data: t.Data})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating grid geometry.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(b, &tj); err != nil {
+		return err
+	}
+	if len(tj.Axes) == 0 || len(tj.Axes) > MaxRank {
+		return fmt.Errorf("table: invalid rank %d in JSON", len(tj.Axes))
+	}
+	size := 1
+	for _, a := range tj.Axes {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		size *= len(a.Points)
+	}
+	if size != len(tj.Data) {
+		return fmt.Errorf("table: JSON data length %d does not match grid size %d", len(tj.Data), size)
+	}
+	t.Axes = tj.Axes
+	t.Data = tj.Data
+	t.initStrides()
+	return nil
+}

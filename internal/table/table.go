@@ -1,0 +1,317 @@
+// Package table implements dense N-dimensional lookup tables with clamped
+// multilinear interpolation and analytic gradients.
+//
+// Tables are the storage format for every pre-characterized CSM component:
+// the paper's Io(VA,VB,VN,Vo) and IN(VA,VB,VN,Vo) current sources and the
+// CmA/CmB/Co/CN capacitances are 4-D tables, the baseline MIS model uses 3-D
+// tables, the SIS model 2-D tables, and receiver input capacitances 1-D
+// tables. Grids are rectilinear: each axis carries its own strictly
+// increasing breakpoint list.
+//
+// Interpolation clamps query coordinates to the axis span, matching the
+// paper's characterization over [-Δv, Vdd+Δv]: the safety margin Δv ensures
+// in-range lookups for mild over/undershoot, and anything beyond saturates.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxRank is the largest table dimensionality supported.
+const MaxRank = 6
+
+// Axis is one dimension of a table: a name (for diagnostics and
+// serialization) and a strictly increasing list of breakpoints.
+type Axis struct {
+	Name   string
+	Points []float64
+}
+
+// Validate reports whether the axis is well-formed.
+func (a Axis) Validate() error {
+	if len(a.Points) == 0 {
+		return fmt.Errorf("table: axis %q has no points", a.Name)
+	}
+	for i, p := range a.Points {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("table: axis %q has non-finite point at %d", a.Name, i)
+		}
+		if i > 0 && p <= a.Points[i-1] {
+			return fmt.Errorf("table: axis %q not strictly increasing at %d", a.Name, i)
+		}
+	}
+	return nil
+}
+
+// Uniform returns an axis of n evenly spaced points spanning [lo, hi].
+func Uniform(name string, lo, hi float64, n int) Axis {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return Axis{Name: name, Points: pts}
+}
+
+// Table is a dense N-dimensional array of float64 samples over a rectilinear
+// grid. Data is stored row-major: the last axis varies fastest.
+type Table struct {
+	Axes []Axis
+	Data []float64
+
+	strides []int // cached index strides, last axis stride 1
+}
+
+// New allocates a zero-filled table over the given axes.
+func New(axes ...Axis) (*Table, error) {
+	if len(axes) == 0 || len(axes) > MaxRank {
+		return nil, fmt.Errorf("table: rank %d outside [1,%d]", len(axes), MaxRank)
+	}
+	size := 1
+	for _, a := range axes {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		size *= len(a.Points)
+	}
+	t := &Table{Axes: axes, Data: make([]float64, size)}
+	t.initStrides()
+	return t, nil
+}
+
+// MustNew is like New but panics on invalid axes. Intended for tests.
+func MustNew(axes ...Axis) *Table {
+	t, err := New(axes...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Table) initStrides() {
+	t.strides = make([]int, len(t.Axes))
+	stride := 1
+	for i := len(t.Axes) - 1; i >= 0; i-- {
+		t.strides[i] = stride
+		stride *= len(t.Axes[i].Points)
+	}
+}
+
+// Rank returns the number of dimensions.
+func (t *Table) Rank() int { return len(t.Axes) }
+
+// Size returns the total number of stored samples.
+func (t *Table) Size() int { return len(t.Data) }
+
+// flatIndex converts per-axis indices to the flat Data offset.
+func (t *Table) flatIndex(idx []int) int {
+	off := 0
+	for i, k := range idx {
+		off += k * t.strides[i]
+	}
+	return off
+}
+
+// Set stores v at the given per-axis indices.
+func (t *Table) Set(v float64, idx ...int) {
+	t.Data[t.flatIndex(idx)] = v
+}
+
+// Get returns the stored sample at the given per-axis indices.
+func (t *Table) Get(idx ...int) float64 {
+	return t.Data[t.flatIndex(idx)]
+}
+
+// Fill populates every sample by evaluating fn at the grid coordinates.
+// coords is reused between calls; fn must not retain it.
+func (t *Table) Fill(fn func(coords []float64) float64) {
+	rank := t.Rank()
+	idx := make([]int, rank)
+	coords := make([]float64, rank)
+	for flat := range t.Data {
+		rem := flat
+		for i := 0; i < rank; i++ {
+			idx[i] = rem / t.strides[i]
+			rem %= t.strides[i]
+			coords[i] = t.Axes[i].Points[idx[i]]
+		}
+		t.Data[flat] = fn(coords)
+	}
+}
+
+// locate finds the interpolation cell for x on axis points: it returns the
+// lower breakpoint index i (so the cell is [i, i+1]) and the fractional
+// position frac in [0,1]. Coordinates outside the span clamp to the edges.
+func locate(points []float64, x float64) (int, float64) {
+	n := len(points)
+	if n == 1 {
+		return 0, 0
+	}
+	if x <= points[0] {
+		return 0, 0
+	}
+	if x >= points[n-1] {
+		return n - 2, 1
+	}
+	// points[i] <= x < points[i+1]
+	i := sort.SearchFloat64s(points, x)
+	if points[i] > x {
+		i--
+	}
+	if i >= n-1 {
+		i = n - 2
+	}
+	frac := (x - points[i]) / (points[i+1] - points[i])
+	return i, frac
+}
+
+// At evaluates the table at the given coordinates with clamped multilinear
+// interpolation. The number of coordinates must equal the rank.
+func (t *Table) At(coords ...float64) float64 {
+	v, _ := t.eval(coords, false)
+	return v
+}
+
+// Grad evaluates the table and its gradient with respect to each coordinate
+// at the given point. Inside a cell the gradient is the exact derivative of
+// the multilinear interpolant; at clamped coordinates the corresponding
+// partial derivative is zero (the interpolant is constant beyond the span),
+// matching how the Newton solver should see a saturated table.
+func (t *Table) Grad(coords ...float64) (float64, []float64) {
+	return t.eval(coords, true)
+}
+
+// eval performs multilinear interpolation over the 2^rank cell corners.
+func (t *Table) eval(coords []float64, wantGrad bool) (float64, []float64) {
+	rank := t.Rank()
+	if len(coords) != rank {
+		panic(fmt.Sprintf("table: %d coords for rank-%d table", len(coords), rank))
+	}
+	var lo [MaxRank]int
+	var frac [MaxRank]float64
+	var width [MaxRank]float64
+	var clamped [MaxRank]bool
+	for i := 0; i < rank; i++ {
+		pts := t.Axes[i].Points
+		li, f := locate(pts, coords[i])
+		lo[i] = li
+		frac[i] = f
+		if len(pts) > 1 {
+			width[i] = pts[li+1] - pts[li]
+		} else {
+			width[i] = 1
+		}
+		clamped[i] = len(pts) == 1 ||
+			(coords[i] <= pts[0]) || (coords[i] >= pts[len(pts)-1])
+	}
+	var value float64
+	var grad []float64
+	if wantGrad {
+		grad = make([]float64, rank)
+	}
+	corners := 1 << rank
+	for c := 0; c < corners; c++ {
+		// Weight for this corner and the flat index.
+		w := 1.0
+		off := 0
+		for i := 0; i < rank; i++ {
+			bit := (c >> i) & 1
+			k := lo[i]
+			if len(t.Axes[i].Points) > 1 {
+				k += bit
+			}
+			off += k * t.strides[i]
+			if bit == 1 {
+				w *= frac[i]
+			} else {
+				w *= 1 - frac[i]
+			}
+		}
+		d := t.Data[off]
+		value += w * d
+		if wantGrad {
+			for i := 0; i < rank; i++ {
+				if clamped[i] {
+					continue
+				}
+				// d/dx_i of the corner weight: product of the other factors
+				// times ±1/width_i.
+				wi := 1.0
+				for j := 0; j < rank; j++ {
+					if j == i {
+						continue
+					}
+					if (c>>j)&1 == 1 {
+						wi *= frac[j]
+					} else {
+						wi *= 1 - frac[j]
+					}
+				}
+				if (c>>i)&1 == 1 {
+					grad[i] += wi * d / width[i]
+				} else {
+					grad[i] -= wi * d / width[i]
+				}
+			}
+		}
+	}
+	return value, grad
+}
+
+// At1 is a convenience accessor for rank-1 tables.
+func (t *Table) At1(x float64) float64 { return t.At(x) }
+
+// At2 is a convenience accessor for rank-2 tables.
+func (t *Table) At2(x, y float64) float64 { return t.At(x, y) }
+
+// At4 is a convenience accessor for rank-4 tables (the MCSM storage rank).
+func (t *Table) At4(a, b, n, o float64) float64 { return t.At(a, b, n, o) }
+
+// Map returns a new table over the same axes with fn applied to every
+// sample.
+func (t *Table) Map(fn func(v float64) float64) *Table {
+	out := &Table{Axes: t.Axes, Data: make([]float64, len(t.Data))}
+	out.initStrides()
+	for i, v := range t.Data {
+		out.Data[i] = fn(v)
+	}
+	return out
+}
+
+// Combine returns a new table c with c[i] = fn(a[i], b[i]). The tables must
+// share identical axis geometry.
+func Combine(a, b *Table, fn func(x, y float64) float64) (*Table, error) {
+	if a.Rank() != b.Rank() || a.Size() != b.Size() {
+		return nil, errors.New("table: combine shape mismatch")
+	}
+	for i := range a.Axes {
+		if len(a.Axes[i].Points) != len(b.Axes[i].Points) {
+			return nil, errors.New("table: combine axis mismatch")
+		}
+	}
+	out := &Table{Axes: a.Axes, Data: make([]float64, len(a.Data))}
+	out.initStrides()
+	for i := range a.Data {
+		out.Data[i] = fn(a.Data[i], b.Data[i])
+	}
+	return out, nil
+}
+
+// MinMax returns the smallest and largest stored samples.
+func (t *Table) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range t.Data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}

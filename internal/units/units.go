@@ -1,0 +1,103 @@
+// Package units provides SI unit constants and formatting helpers used
+// throughout the mcsm library.
+//
+// All physical quantities in the library are plain float64 values in base SI
+// units: seconds, volts, amperes, farads, ohms, meters. The constants here
+// make literals readable (100 * units.Pico instead of 1e-10) and the
+// formatters render quantities with engineering prefixes for reports.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// SI prefix multipliers.
+const (
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// Common electrical shorthands, expressed in base SI units.
+const (
+	// Time.
+	Second = 1.0
+	NS     = Nano  // nanosecond
+	PS     = Pico  // picosecond
+	FS     = Femto // femtosecond
+
+	// Capacitance.
+	Farad = 1.0
+	PF    = Pico  // picofarad
+	FF    = Femto // femtofarad
+
+	// Length.
+	Meter = 1.0
+	UM    = Micro // micrometer
+	NM    = Nano  // nanometer
+)
+
+// prefixes maps exponent/3 steps to SI prefix letters, centered at index 5
+// (no prefix).
+var prefixes = [...]string{"f", "p", "n", "u", "m", "", "k", "M", "G"}
+
+// Format renders v with an engineering SI prefix and the given unit suffix,
+// e.g. Format(2.5e-12, "s") == "2.5ps". Values of exactly zero render as
+// "0<unit>". The mantissa is printed with up to 4 significant digits.
+func Format(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsNaN(v) {
+		return "NaN" + unit
+	}
+	if math.IsInf(v, 0) {
+		if v > 0 {
+			return "+Inf" + unit
+		}
+		return "-Inf" + unit
+	}
+	exp := int(math.Floor(math.Log10(math.Abs(v)) / 3))
+	idx := exp + 5
+	if idx < 0 {
+		idx = 0
+		exp = -5
+	}
+	if idx >= len(prefixes) {
+		idx = len(prefixes) - 1
+		exp = len(prefixes) - 1 - 5
+	}
+	mant := v / math.Pow(1000, float64(exp))
+	return trimFloat(mant) + prefixes[idx] + unit
+}
+
+// FormatSeconds renders a time value, e.g. "12.5ps".
+func FormatSeconds(v float64) string { return Format(v, "s") }
+
+// FormatFarads renders a capacitance value, e.g. "3.2fF".
+func FormatFarads(v float64) string { return Format(v, "F") }
+
+// FormatVolts renders a voltage value, e.g. "1.2V".
+func FormatVolts(v float64) string { return Format(v, "V") }
+
+// FormatAmps renders a current value, e.g. "604uA".
+func FormatAmps(v float64) string { return Format(v, "A") }
+
+// trimFloat prints f with 4 significant digits and strips trailing zeros
+// and a trailing decimal point.
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.4g", f)
+	return s
+}
+
+// Percent renders a ratio as a percentage with two decimals, e.g.
+// Percent(0.2213) == "22.13%".
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%.2f%%", 100*ratio)
+}

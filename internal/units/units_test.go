@@ -1,0 +1,80 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{0, "s", "0s"},
+		{2.5e-12, "s", "2.5ps"},
+		{1.2, "V", "1.2V"},
+		{-0.3, "V", "-300mV"},
+		{604e-6, "A", "604uA"},
+		{3.2e-15, "F", "3.2fF"},
+		{1e-9, "s", "1ns"},
+		{1500, "Hz", "1.5kHz"},
+		{2e6, "Hz", "2MHz"},
+		{3e9, "Hz", "3GHz"},
+		{1e-18, "F", "0.001fF"}, // below smallest prefix: clamps to femto
+		{1e12, "Hz", "1000GHz"}, // above largest prefix: clamps to giga
+	}
+	for _, c := range cases {
+		if got := Format(c.v, c.unit); got != c.want {
+			t.Errorf("Format(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestFormatSpecials(t *testing.T) {
+	if got := Format(math.NaN(), "V"); got != "NaNV" {
+		t.Errorf("NaN format = %q", got)
+	}
+	if got := Format(math.Inf(1), "V"); got != "+InfV" {
+		t.Errorf("+Inf format = %q", got)
+	}
+	if got := Format(math.Inf(-1), "V"); got != "-InfV" {
+		t.Errorf("-Inf format = %q", got)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := FormatSeconds(12.5e-12); got != "12.5ps" {
+		t.Errorf("FormatSeconds = %q", got)
+	}
+	if got := FormatFarads(50e-15); got != "50fF" {
+		t.Errorf("FormatFarads = %q", got)
+	}
+	if got := FormatVolts(1.2); got != "1.2V" {
+		t.Errorf("FormatVolts = %q", got)
+	}
+	if got := FormatAmps(1e-3); got != "1mA" {
+		t.Errorf("FormatAmps = %q", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.2213); got != "22.13%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(0); got != "0.00%" {
+		t.Errorf("Percent(0) = %q", got)
+	}
+}
+
+func TestConstantsConsistency(t *testing.T) {
+	if NS != 1e-9 || PS != 1e-12 || FS != 1e-15 {
+		t.Fatal("time constants wrong")
+	}
+	if FF != Femto || PF != Pico {
+		t.Fatal("capacitance constants wrong")
+	}
+	if UM != Micro || NM != Nano {
+		t.Fatal("length constants wrong")
+	}
+}

@@ -1,0 +1,87 @@
+package wave
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivativeOfRamp(t *testing.T) {
+	// Linear ramp 0→1 over 1s sampled at 11 points: derivative 1 everywhere.
+	ts := make([]float64, 11)
+	vs := make([]float64, 11)
+	for i := range ts {
+		ts[i] = float64(i) / 10
+		vs[i] = ts[i]
+	}
+	d := MustNew(ts, vs).Derivative()
+	if d.Len() != 9 {
+		t.Fatalf("derivative samples = %d", d.Len())
+	}
+	for i := range d.V {
+		if math.Abs(d.V[i]-1) > 1e-12 {
+			t.Errorf("d[%d] = %g, want 1", i, d.V[i])
+		}
+	}
+	// Degenerate inputs.
+	if got := MustNew([]float64{0, 1}, []float64{0, 1}).Derivative(); !got.Empty() {
+		t.Error("2-sample derivative should be empty")
+	}
+}
+
+func TestIntegralOfConstant(t *testing.T) {
+	w := Constant(2, 0, 3)
+	in := w.Integral()
+	if got := in.Last(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("∫2 dt over 3s = %g, want 6", got)
+	}
+	if got := in.First(); got != 0 {
+		t.Errorf("integral must start at 0, got %g", got)
+	}
+	if got := (Waveform{}).Integral(); !got.Empty() {
+		t.Error("integral of empty not empty")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// v = 1 over 2s → energy 2.
+	if got := Constant(1, 0, 2).Energy(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("energy = %g, want 2", got)
+	}
+}
+
+// Property: the derivative of the integral reproduces the original values
+// (interior samples, smooth inputs).
+func TestQuickDerivativeIntegralRoundtrip(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0.5
+			}
+			return math.Mod(x, 3)
+		}
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		n := 101
+		ts := make([]float64, n)
+		vs := make([]float64, n)
+		for i := range ts {
+			x := float64(i) / float64(n-1)
+			ts[i] = x
+			vs[i] = a + b*x + c*x*x
+		}
+		w := MustNew(ts, vs)
+		back := w.Integral().Derivative()
+		for i := range back.T {
+			want := w.At(back.T[i])
+			// Trapezoid + central difference is 2nd order: tolerance scales
+			// with the quadratic coefficient and h².
+			if math.Abs(back.V[i]-want) > 1e-3*(1+math.Abs(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

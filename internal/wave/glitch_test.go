@@ -1,0 +1,57 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasureGlitchUp(t *testing.T) {
+	// Triangular bump: base 0, peak 1.0 at t=2, 50% width = 1.
+	w := MustNew([]float64{0, 1, 2, 3, 4}, []float64{0, 0, 1, 0, 0})
+	g := MeasureGlitch(w, 0, 0, 4)
+	if math.Abs(g.Peak-1) > 1e-12 || math.Abs(g.PeakTime-2) > 1e-12 {
+		t.Errorf("peak %g at %g", g.Peak, g.PeakTime)
+	}
+	if math.Abs(g.Height-1) > 1e-12 {
+		t.Errorf("height %g", g.Height)
+	}
+	if math.Abs(g.Width-1) > 1e-9 {
+		t.Errorf("width %g, want 1", g.Width)
+	}
+	// Triangle area = 1/2 · base(2) · height(1) = 1.
+	if math.Abs(g.Area-1) > 0.01 {
+		t.Errorf("area %g, want ≈1", g.Area)
+	}
+}
+
+func TestMeasureGlitchDown(t *testing.T) {
+	// Downward glitch from a high base.
+	w := MustNew([]float64{0, 1, 2, 3, 4}, []float64{1.2, 1.2, 0.4, 1.2, 1.2})
+	g := MeasureGlitch(w, 1.2, 0, 4)
+	if math.Abs(g.Peak-0.4) > 1e-12 {
+		t.Errorf("peak %g, want 0.4", g.Peak)
+	}
+	if math.Abs(g.Height-0.8) > 1e-12 {
+		t.Errorf("height %g, want 0.8", g.Height)
+	}
+	if g.Width <= 0 || g.Width > 2 {
+		t.Errorf("width %g", g.Width)
+	}
+}
+
+func TestMeasureGlitchFlat(t *testing.T) {
+	w := Constant(0.5, 0, 10)
+	g := MeasureGlitch(w, 0.5, 0, 10)
+	if g.Height != 0 || g.Area != 0 {
+		t.Errorf("flat waveform produced glitch: %+v", g)
+	}
+}
+
+func TestMeasureGlitchWindowing(t *testing.T) {
+	// Two bumps; the window selects only the second.
+	w := MustNew([]float64{0, 1, 2, 3, 4, 5, 6}, []float64{0, 1, 0, 0, 0.5, 0, 0})
+	g := MeasureGlitch(w, 0, 3, 6)
+	if math.Abs(g.Peak-0.5) > 1e-12 || math.Abs(g.PeakTime-4) > 1e-12 {
+		t.Errorf("windowed peak %g at %g", g.Peak, g.PeakTime)
+	}
+}

@@ -1,0 +1,55 @@
+package wave
+
+import "math"
+
+// Simplified returns a piecewise-linear approximation of the waveform with
+// the fewest samples such that the reconstruction never deviates from the
+// original by more than tol (volts), using the Douglas–Peucker algorithm.
+// Dense simulator outputs compress by 1–2 orders of magnitude at sub-mV
+// tolerances, which matters when waveforms are stored per net across a
+// large design.
+func (w Waveform) Simplified(tol float64) Waveform {
+	n := w.Len()
+	if n <= 2 || tol <= 0 {
+		return w.Clone()
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+
+	// Iterative Douglas–Peucker (explicit stack avoids recursion depth
+	// concerns on 10⁵-sample transients).
+	type span struct{ lo, hi int }
+	stack := []span{{0, n - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		// Find the sample farthest (vertically) from the chord.
+		t0, v0 := w.T[s.lo], w.V[s.lo]
+		t1, v1 := w.T[s.hi], w.V[s.hi]
+		slope := (v1 - v0) / (t1 - t0)
+		worst, at := 0.0, -1
+		for k := s.lo + 1; k < s.hi; k++ {
+			d := math.Abs(w.V[k] - (v0 + slope*(w.T[k]-t0)))
+			if d > worst {
+				worst, at = d, k
+			}
+		}
+		if worst > tol {
+			keep[at] = true
+			stack = append(stack, span{s.lo, at}, span{at, s.hi})
+		}
+	}
+
+	ts := make([]float64, 0, 16)
+	vs := make([]float64, 0, 16)
+	for k := 0; k < n; k++ {
+		if keep[k] {
+			ts = append(ts, w.T[k])
+			vs = append(vs, w.V[k])
+		}
+	}
+	return Waveform{T: ts, V: vs}
+}
