@@ -6,13 +6,17 @@ package mcsm
 // benchmarks of the characterization and stage engines.
 
 import (
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
 	"mcsm/internal/spice"
+	"mcsm/internal/sta"
 	"mcsm/internal/table"
 	"mcsm/internal/wave"
 )
@@ -269,3 +273,41 @@ func BenchmarkStageMCSMAdaptive(b *testing.B) {
 
 // BenchmarkVariationCorners regenerates EXP-V1.
 func BenchmarkVariationCorners(b *testing.B) { benchExperiment(b, "variation") }
+
+// ---------------------------------------------------------------------------
+// Level-parallel engine benchmarks (internal/engine): full c17 analyses
+// through the scheduler, serial vs worker pool. The two are bit-identical
+// by construction (and by internal/engine's tests); the pair measures the
+// wall-time win of level parallelism on the repo's hot path.
+
+func benchAnalyzeC17(b *testing.B, workers int) {
+	b.Helper()
+	nl, err := sta.ParseNetlist(strings.NewReader(engine.C17Netlist))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := benchSession().Model("NAND2", csm.KindMCSM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := map[string]*csm.Model{"NAND2": m}
+	horizon := 4e-9
+	primary := engine.C17Stimulus(cells.Default130().Vdd, horizon)
+	eng := engine.New(workers, nil)
+	opt := sta.Options{Horizon: horizon}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(nl, models, primary, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.StageEvals())/b.Elapsed().Seconds(), "stage-evals/s")
+}
+
+// BenchmarkStageEngineC17Serial times a full c17 analysis with one worker.
+func BenchmarkStageEngineC17Serial(b *testing.B) { benchAnalyzeC17(b, 1) }
+
+// BenchmarkStageEngineC17Parallel times the same analysis with a
+// GOMAXPROCS-wide worker pool per topological level.
+func BenchmarkStageEngineC17Parallel(b *testing.B) { benchAnalyzeC17(b, runtime.GOMAXPROCS(0)) }

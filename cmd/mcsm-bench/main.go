@@ -8,23 +8,72 @@
 //	mcsm-bench -quick     # reduced sweeps (seconds instead of minutes)
 //	mcsm-bench -only fig9,fig12
 //	mcsm-bench -list
+//	mcsm-bench -quick -json perf.json   # machine-readable perf summary
+//
+// With -json, the run additionally executes a serial-vs-parallel STA probe
+// on the ISCAS85 c17 benchmark through internal/engine and writes a JSON
+// summary (per-experiment wall times, characterization-cache hit rate,
+// stage-evals/sec, parallel speedup) so successive PRs have a perf
+// trajectory to compare against. Use "-json -" for stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
+	"mcsm/internal/sta"
 )
+
+type expTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+type cacheSummary struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	DiskHits int64   `json:"disk_hits"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+type staProbe struct {
+	Netlist          string  `json:"netlist"`
+	Stages           int     `json:"stages"`
+	Workers          int     `json:"workers"`
+	SerialSeconds    float64 `json:"serial_seconds"`
+	ParallelSeconds  float64 `json:"parallel_seconds"`
+	Speedup          float64 `json:"speedup"`
+	StageEvals       int64   `json:"stage_evals"`
+	StageEvalsPerSec float64 `json:"stage_evals_per_sec"`
+	BitIdentical     bool    `json:"bit_identical"`
+}
+
+type perfSummary struct {
+	SchemaVersion int          `json:"schema_version"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	Quick         bool         `json:"quick"`
+	Workers       int          `json:"workers"`
+	Experiments   []expTiming  `json:"experiments"`
+	Cache         cacheSummary `json:"cache"`
+	STAProbe      *staProbe    `json:"sta_probe,omitempty"`
+}
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced characterization and sweep densities")
-		only  = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "reduced characterization and sweep densities")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel = flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath = flag.String("json", "", "write a machine-readable perf summary to this path (\"-\" = stdout)")
+		cacheDir = flag.String("cache", "", "model cache directory (spill/reload characterized models)")
 	)
 	flag.Parse()
 
@@ -39,6 +88,8 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Workers = *parallel
+	cfg.CacheDir = *cacheDir
 	sess := experiments.NewSession(cfg)
 
 	var selected []experiments.Experiment
@@ -54,6 +105,7 @@ func main() {
 		}
 	}
 
+	var timings []expTiming
 	for _, e := range selected {
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
 		start := time.Now()
@@ -61,9 +113,110 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
+		elapsed := time.Since(start)
 		fmt.Println(r.Render())
-		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Truncate(time.Millisecond))
+		fmt.Printf("(%s in %s)\n\n", e.ID, elapsed.Truncate(time.Millisecond))
+		timings = append(timings, expTiming{ID: e.ID, Seconds: elapsed.Seconds()})
 	}
+
+	if *jsonPath == "" {
+		return
+	}
+	probe, err := runSTAProbe(sess)
+	if err != nil {
+		fatal(fmt.Errorf("sta probe: %w", err))
+	}
+	st := sess.CacheStats()
+	summary := perfSummary{
+		SchemaVersion: 1,
+		GeneratedUnix: time.Now().Unix(),
+		Quick:         *quick,
+		Workers:       sess.Engine().Workers(),
+		Experiments:   timings,
+		Cache: cacheSummary{
+			Hits: st.Hits, Misses: st.Misses, DiskHits: st.DiskHits, HitRate: st.HitRate(),
+		},
+		STAProbe: probe,
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *jsonPath == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote perf summary to %s\n", *jsonPath)
+	}
+}
+
+// runSTAProbe times a c17 analysis serially and level-parallel (sharing
+// the session's model cache, so the characterizations count toward its hit
+// rate) and checks that the two reports agree bit-for-bit.
+func runSTAProbe(sess *experiments.Session) (*staProbe, error) {
+	nl, err := sta.ParseNetlist(strings.NewReader(engine.C17Netlist))
+	if err != nil {
+		return nil, err
+	}
+	tech := sess.Cfg.Tech
+	cache := sess.Engine().Cache()
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	serialEng := engine.New(1, cache)
+	parallelEng := engine.New(workers, cache)
+
+	models, err := serialEng.ModelsFor(tech, nl, sess.Cfg.CharCfg)
+	if err != nil {
+		return nil, err
+	}
+	horizon := 4e-9
+	primary := engine.C17Stimulus(tech.Vdd, horizon)
+	opt := sta.Options{Horizon: horizon, Dt: sess.Cfg.Dt}
+
+	// Best-of-N timing: one run of a millisecond-scale analysis is
+	// scheduler-noise dominated, and this number is the PR-over-PR perf
+	// trajectory — the minimum is the stable estimator.
+	const probeRuns = 3
+	var serialRep, parallelRep *sta.Report
+	serialSec, parallelSec := math.Inf(1), math.Inf(1)
+	for i := 0; i < probeRuns; i++ {
+		start := time.Now()
+		serialRep, err = serialEng.Analyze(nl, models, primary, opt)
+		if err != nil {
+			return nil, err
+		}
+		if s := time.Since(start).Seconds(); s < serialSec {
+			serialSec = s
+		}
+		start = time.Now()
+		parallelRep, err = parallelEng.Analyze(nl, models, primary, opt)
+		if err != nil {
+			return nil, err
+		}
+		if s := time.Since(start).Seconds(); s < parallelSec {
+			parallelSec = s
+		}
+	}
+
+	probe := &staProbe{
+		Netlist:         "c17",
+		Stages:          len(nl.Instances),
+		Workers:         workers,
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parallelSec,
+		StageEvals:      serialEng.StageEvals() + parallelEng.StageEvals(),
+		BitIdentical:    engine.ReportsIdentical(serialRep, parallelRep),
+	}
+	if parallelSec > 0 {
+		probe.Speedup = serialSec / parallelSec
+		probe.StageEvalsPerSec = float64(len(nl.Instances)) / parallelSec
+	}
+	return probe, nil
 }
 
 func fatal(err error) {

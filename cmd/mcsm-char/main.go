@@ -17,6 +17,7 @@ import (
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/engine"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		noNMiller  = flag.Bool("no-internal-miller", false, "paper-faithful §3.2 simplification (drop CmN/CmNO)")
 		verify     = flag.Bool("verify", false, "run the QA battery against the transistor reference after characterizing")
 		directCaps = flag.Bool("direct-caps", false, "direct operating-point capacitance extraction")
+		cacheDir   = flag.String("cache", "", "model cache directory: reuse a previously spilled characterization instead of re-running it")
 	)
 	flag.Parse()
 
@@ -66,11 +68,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "characterizing %s as %s (tech %s, Vdd %.2fV)...\n",
 		spec.Name, kind, tech.Name, tech.Vdd)
 	start := time.Now()
-	m, err := csm.Characterize(tech, spec, kind, cfg)
+	cache := engine.NewSpillCache(*cacheDir)
+	m, err := cache.Get(tech, spec, kind, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Truncate(time.Millisecond))
+	if st := cache.Stats(); st.DiskHits > 0 {
+		fmt.Fprintf(os.Stderr, "reloaded from cache %s in %s\n", *cacheDir, time.Since(start).Truncate(time.Millisecond))
+	} else {
+		fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Truncate(time.Millisecond))
+	}
 
 	path := *outPath
 	if path == "" {

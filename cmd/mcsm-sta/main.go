@@ -24,6 +24,7 @@ import (
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/engine"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -36,6 +37,8 @@ func main() {
 		horizon  = flag.Float64("horizon", 4e-9, "analysis window end")
 		flat     = flag.Bool("flat", true, "also run the flat transistor reference")
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
+		parallel = flag.Int("parallel", 0, "worker-pool width for level-parallel analysis (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache", "", "model cache directory: spill characterized models as JSON and reload them on later runs")
 	)
 	flag.Parse()
 	if *netPath == "" {
@@ -56,25 +59,18 @@ func main() {
 	if *fast {
 		cfg = csm.FastConfig()
 	}
-	models := map[string]*csm.Model{}
-	for _, inst := range nl.Instances {
-		if _, ok := models[inst.Type]; ok {
-			continue
-		}
-		spec, err := cells.Get(inst.Type)
-		if err != nil {
-			fatal(err)
-		}
-		kind := csm.KindMCSM
-		if len(spec.ModelInputs) < 2 {
-			kind = csm.KindSIS
-		}
-		fmt.Fprintf(os.Stderr, "characterizing %s (%s)...\n", inst.Type, kind)
-		m, err := csm.Characterize(tech, spec, kind, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		models[inst.Type] = m
+	eng := engine.New(*parallel, engine.NewSpillCache(*cacheDir))
+	fmt.Fprintf(os.Stderr, "characterizing cell models (%d workers)...\n", eng.Workers())
+	models, err := eng.ModelsFor(tech, nl, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	st := eng.Cache().Stats()
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "models: %d characterized, %d reloaded from %s\n",
+			st.Misses-st.DiskHits, st.DiskHits, *cacheDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "models: %d characterized\n", st.Misses)
 	}
 
 	primary, err := buildArrivals(nl, tech.Vdd, *arrivals, *slew, *horizon)
@@ -83,17 +79,17 @@ func main() {
 	}
 
 	opt := sta.Options{Horizon: *horizon}
-	mis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: *horizon})
+	mis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: *horizon})
 	if err != nil {
 		fatal(err)
 	}
-	sis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: *horizon})
+	sis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: *horizon})
 	if err != nil {
 		fatal(err)
 	}
 	var ref *sta.Report
 	if *flat {
-		if ref, err = sta.FlatReference(nl, tech, primary, opt); err != nil {
+		if ref, err = eng.FlatReference(nl, tech, primary, opt); err != nil {
 			fatal(err)
 		}
 	}

@@ -6,13 +6,14 @@
 // source model with internal (stack) node state — together with every
 // substrate it needs: a transistor-level circuit simulator standing in for
 // HSPICE, a 130 nm-class cell library, the SIS and internal-node-blind
-// baseline models, an NLDM voltage-based baseline, a crosstalk bench, and
-// a waveform-propagating timing engine.
+// baseline models, an NLDM voltage-based baseline, a crosstalk bench, a
+// waveform-propagating timing engine, and a level-parallel evaluation
+// layer (internal/engine) with a shared characterization cache.
 //
-// Start with DESIGN.md for the system inventory and the per-experiment
-// index, EXPERIMENTS.md for paper-vs-measured results, and
-// examples/quickstart for the API in sixty lines. The root bench_test.go
-// regenerates every figure of the paper's evaluation:
+// Start with DESIGN.md for the system inventory, the engine layer, and the
+// per-experiment index; EXPERIMENTS.md for regenerating paper-vs-measured
+// results; and examples/quickstart for the API in sixty lines. The root
+// bench_test.go regenerates every figure of the paper's evaluation:
 //
 //	go test -bench=Fig -benchtime=1x
 package mcsm

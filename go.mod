@@ -1,0 +1,3 @@
+module mcsm
+
+go 1.24

@@ -1,0 +1,159 @@
+// Package engine is the production evaluation layer on top of the
+// characterized current-source models: a concurrency-safe characterization
+// cache (ModelCache) and a level-parallel timing scheduler (Engine) that
+// runs independent stages of each topological level of a netlist on a
+// worker pool while staying bit-identical to the serial sta.Analyze path.
+//
+// The paper's value proposition — a characterized CSM makes stage
+// evaluation cheap enough to replace transistor-level simulation in
+// full-chip timing — only pays off when the (expensive, SPICE-backed)
+// characterization is amortized across many evaluations. ModelCache is
+// that amortization point: every consumer (the STA engine, the experiment
+// session, the CLIs, the benches) characterizes through one shared,
+// singleflight-deduplicated registry with optional JSON spill to disk.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+)
+
+// ModelCache memoizes csm.Characterize results keyed by the full identity
+// of a characterization: technology, cell spec, model kind, and config.
+// Concurrent Gets of the same key are deduplicated singleflight-style —
+// exactly one goroutine characterizes while the others block on the result.
+// With a spill directory set, models are persisted as JSON (via the
+// csm.Model codecs) and reloaded instead of re-characterized across
+// processes.
+type ModelCache struct {
+	dir string // spill directory ("" = in-memory only)
+
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	hits     int64 // Gets served from memory (including joins on in-flight work)
+	misses   int64 // Gets that had to build (characterize or reload)
+	diskHits int64 // subset of misses satisfied by a spill-file reload
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when model/err are set
+	model *csm.Model
+	err   error
+}
+
+// NewModelCache returns an in-memory cache.
+func NewModelCache() *ModelCache {
+	return &ModelCache{entries: map[string]*cacheEntry{}}
+}
+
+// NewSpillCache returns a cache that additionally persists characterized
+// models as JSON files under dir and reloads them on later misses (also
+// across processes). dir is created on first spill; an empty dir yields a
+// plain in-memory cache, so callers can pass an optional flag through
+// unconditionally.
+func NewSpillCache(dir string) *ModelCache {
+	c := NewModelCache()
+	c.dir = dir
+	return c
+}
+
+// Key fingerprints one characterization identity. The spec's Build func is
+// deliberately excluded (a function address is not stable across runs);
+// every field that influences the characterized tables is included.
+func Key(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) string {
+	return fmt.Sprintf("tech{%s vdd=%g n=%+v p=%+v wn=%g wp=%g}|cell{%s in=%v model=%v int=%q nch=%t npin=%v drive=%g}|kind=%d|cfg=%+v",
+		tech.Name, tech.Vdd, tech.NMOS, tech.PMOS, tech.WNMin, tech.WPMin,
+		spec.Name, spec.Inputs, spec.ModelInputs, spec.Internal,
+		spec.NonControllingHigh, spec.NonControllingPin, spec.Drive,
+		int(kind), cfg)
+}
+
+// Get returns the model for (tech, spec, kind, cfg), characterizing it at
+// most once per cache. A Get that joins an in-flight characterization of
+// the same key blocks until it completes and counts as a hit. Errors are
+// cached alongside models: characterization is deterministic in its inputs,
+// so a failed key fails every caller identically.
+func (c *ModelCache) Get(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
+	key := Key(tech, spec, kind, cfg)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.model, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.model, e.err = c.build(key, tech, spec, kind, cfg)
+	close(e.ready)
+	return e.model, e.err
+}
+
+// build satisfies a cache miss: reload from the spill file when possible,
+// otherwise characterize (and spill, best-effort).
+func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
+	var path string
+	if c.dir != "" {
+		path = c.spillPath(spec, kind, key)
+		if m, err := csm.LoadModel(path); err == nil && m.Cell == spec.Name {
+			c.mu.Lock()
+			c.diskHits++
+			c.mu.Unlock()
+			return m, nil
+		}
+	}
+	m, err := csm.Characterize(tech, spec, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if mkErr := os.MkdirAll(c.dir, 0o755); mkErr == nil {
+			_ = m.Save(path) // spill is best-effort: a full disk must not fail the Get
+		}
+	}
+	return m, nil
+}
+
+// spillPath names the spill file for a key: readable prefix plus an FNV-64a
+// fingerprint of the full key, so distinct configs of the same cell never
+// collide.
+func (c *ModelCache) spillPath(spec cells.Spec, kind csm.Kind, key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	slug := strings.ToLower(strings.ReplaceAll(kind.String(), "-", ""))
+	return filepath.Join(c.dir, fmt.Sprintf("%s_%s_%016x.json", strings.ToLower(spec.Name), slug, h.Sum64()))
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits     int64 // Gets served from memory (incl. in-flight joins)
+	Misses   int64 // Gets that built the entry
+	DiskHits int64 // misses satisfied by spill reload instead of characterization
+	Entries  int   // distinct keys resident
+}
+
+// HitRate is Hits/(Hits+Misses), 0 when the cache is unused.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *ModelCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Entries: len(c.entries)}
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/units"
+)
+
+// invConfig is the cheapest sensible characterization (the inverter's SIS
+// model has only two table axes) so the cache tests stay fast under -race.
+func invConfig() csm.Config {
+	return csm.Config{
+		GridCurrent: 3,
+		GridCap:     2,
+		SlewTimes:   []float64{100 * units.PS},
+		TranDt:      2 * units.PS,
+	}
+}
+
+func invSpec(t *testing.T) cells.Spec {
+	t.Helper()
+	spec, err := cells.Get("INV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestModelCacheConcurrentGets hammers one key from many goroutines (run
+// under -race in CI): exactly one characterization must run, every caller
+// must observe the same *csm.Model, and the join-on-in-flight Gets must
+// count as hits.
+func TestModelCacheConcurrentGets(t *testing.T) {
+	cache := NewModelCache()
+	tech := cells.Default130()
+	spec := invSpec(t)
+
+	const n = 16
+	models := make([]*csm.Model, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			models[i], errs[i] = cache.Get(tech, spec, csm.KindSIS, invConfig())
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("get %d: %v", i, errs[i])
+		}
+		if models[i] != models[0] {
+			t.Fatalf("get %d returned a different model pointer", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 (singleflight)", st.Misses)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, n-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if st.HitRate() <= 0 {
+		t.Errorf("hit rate = %g, want > 0 after re-characterizing the same cell", st.HitRate())
+	}
+}
+
+// TestModelCacheDistinctKeys: different kinds/configs must not collide.
+func TestModelCacheDistinctKeys(t *testing.T) {
+	cache := NewModelCache()
+	tech := cells.Default130()
+	spec := invSpec(t)
+
+	a, err := cache.Get(tech, spec, csm.KindSIS, invConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := invConfig()
+	cfg2.GridCurrent = 4
+	b, err := cache.Get(tech, spec, csm.KindSIS, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("distinct configs shared one cache entry")
+	}
+	if st := cache.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 misses / 2 entries", st)
+	}
+}
+
+// TestModelCacheSpill characterizes into a spill directory, then reloads
+// through a fresh cache (as a new process would) without re-characterizing.
+func TestModelCacheSpill(t *testing.T) {
+	dir := t.TempDir()
+	tech := cells.Default130()
+	spec := invSpec(t)
+
+	c1 := NewSpillCache(dir)
+	m1, err := c1.Get(tech, spec, csm.KindSIS, invConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c1.Stats(); st.DiskHits != 0 {
+		t.Errorf("first run stats = %+v, want 0 disk hits", st)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || !strings.HasSuffix(files[0].Name(), ".json") {
+		t.Fatalf("spill dir contents: %v", files)
+	}
+
+	c2 := NewSpillCache(dir)
+	m2, err := c2.Get(tech, spec, csm.KindSIS, invConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Misses != 1 {
+		t.Errorf("reload stats = %+v, want 1 miss satisfied from disk", st)
+	}
+	if m2.Cell != m1.Cell || m2.Vdd != m1.Vdd || m2.Kind != m1.Kind {
+		t.Errorf("reloaded model differs: %s/%v vs %s/%v", m2.Cell, m2.Kind, m1.Cell, m1.Kind)
+	}
+	// The reloaded tables must evaluate identically.
+	pt := []float64{0.6, 0.6}
+	if got, want := m2.Io.At(pt...), m1.Io.At(pt...); got != want {
+		t.Errorf("reloaded Io(0.6,0.6) = %g, want %g", got, want)
+	}
+}
+
+// TestKeyExcludesBuilder: two specs differing only in the Build func (a
+// function address, unstable across runs) must map to the same key.
+func TestKeyExcludesBuilder(t *testing.T) {
+	tech := cells.Default130()
+	spec := invSpec(t)
+	other := spec
+	other.Build = nil
+	if Key(tech, spec, csm.KindSIS, invConfig()) != Key(tech, other, csm.KindSIS, invConfig()) {
+		t.Error("Key depends on the Build func pointer")
+	}
+	if Key(tech, spec, csm.KindSIS, invConfig()) == Key(tech, spec, csm.KindMCSM, invConfig()) {
+		t.Error("Key ignores the model kind")
+	}
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// Engine evaluates netlists through the shared ModelCache, running the
+// independent stages of each topological level concurrently on a worker
+// pool. Because every stage is evaluated by the identical sta.EvalStage
+// code against identical inputs, the result is bit-identical to the serial
+// sta.Analyze path regardless of worker count (guaranteed by test).
+type Engine struct {
+	workers    int
+	cache      *ModelCache
+	stageEvals atomic.Int64
+}
+
+// New returns an engine with the given worker-pool width (0 or negative
+// selects GOMAXPROCS) backed by cache (nil allocates a fresh in-memory
+// ModelCache).
+func New(workers int, cache *ModelCache) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cache == nil {
+		cache = NewModelCache()
+	}
+	return &Engine{workers: workers, cache: cache}
+}
+
+// Workers reports the worker-pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's model cache.
+func (e *Engine) Cache() *ModelCache { return e.cache }
+
+// StageEvals reports the cumulative number of stage simulations the engine
+// has run — the hot-path operation count for throughput metrics.
+func (e *Engine) StageEvals() int64 { return e.stageEvals.Load() }
+
+// KindFor selects the model kind the engine characterizes a cell as: the
+// paper's MCSM when the spec models two inputs, the SIS CSM otherwise
+// (e.g. the inverter, which has no stack node).
+func KindFor(spec cells.Spec) csm.Kind {
+	if len(spec.ModelInputs) >= 2 {
+		return csm.KindMCSM
+	}
+	return csm.KindSIS
+}
+
+// ModelsFor characterizes, through the cache, one model per distinct cell
+// type used in the netlist, fanning independent characterizations out on
+// the worker pool (the cache's singleflight collapses duplicates). The
+// model kind per cell comes from KindFor.
+func (e *Engine) ModelsFor(tech cells.Tech, nl *sta.Netlist, cfg csm.Config) (map[string]*csm.Model, error) {
+	var types []string
+	seen := map[string]bool{}
+	for _, inst := range nl.Instances {
+		if !seen[inst.Type] {
+			seen[inst.Type] = true
+			types = append(types, inst.Type)
+		}
+	}
+	specs := make([]cells.Spec, len(types))
+	for i, t := range types {
+		spec, err := cells.Get(t)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+
+	modelsArr := make([]*csm.Model, len(types))
+	errs := make([]error, len(types))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i := range types {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			modelsArr[i], errs[i] = e.cache.Get(tech, specs[i], KindFor(specs[i]), cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	models := make(map[string]*csm.Model, len(types))
+	for i, t := range types {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("engine: characterize %s: %w", t, errs[i])
+		}
+		models[t] = modelsArr[i]
+	}
+	return models, nil
+}
+
+// Analyze is the level-parallel counterpart of sta.Analyze: levels from
+// Netlist.Levels are processed in order, and the independent stages inside
+// each level are simulated concurrently by up to Workers goroutines. Stage
+// outputs are committed to the net-waveform map only between levels, so
+// every stage reads exactly the waveforms the serial path would have seen.
+// On error, the lowest-index failing stage of the earliest failing level
+// wins. When exactly one stage fails this is the serial path's error; with
+// several failures in one level the serial path may surface a different
+// one of them (its DFS order need not match index order within a level).
+func (e *Engine) Analyze(nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt sta.Options) (*sta.Report, error) {
+	levels, err := nl.Levels()
+	if err != nil {
+		return nil, err
+	}
+	vdd, opt, err := sta.Setup(models, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	waves := make(map[string]wave.Waveform, len(primary)+len(nl.Instances))
+	for net, w := range primary {
+		waves[net] = w
+	}
+	fanouts := nl.Fanouts()
+	var mis []string
+
+	for _, level := range levels {
+		outs := make([]wave.Waveform, len(level))
+		switching := make([]int, len(level))
+		errs := make([]error, len(level))
+
+		if e.workers == 1 || len(level) == 1 {
+			for j, idx := range level {
+				outs[j], switching[j], errs[j] = sta.EvalStage(nl, models, fanouts, idx, waves, vdd, opt)
+				e.stageEvals.Add(1)
+				if errs[j] != nil {
+					break
+				}
+			}
+		} else {
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			workers := e.workers
+			if workers > len(level) {
+				workers = len(level)
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range jobs {
+						if failed.Load() {
+							continue // drain: a stage already failed, skip the expensive sims
+						}
+						outs[j], switching[j], errs[j] = sta.EvalStage(nl, models, fanouts, level[j], waves, vdd, opt)
+						e.stageEvals.Add(1)
+						if errs[j] != nil {
+							failed.Store(true)
+						}
+					}
+				}()
+			}
+			for j := range level {
+				jobs <- j
+			}
+			close(jobs)
+			wg.Wait()
+		}
+
+		for j := range level {
+			if errs[j] != nil {
+				return nil, errs[j]
+			}
+		}
+		for j, idx := range level {
+			inst := nl.Instances[idx]
+			if switching[j] >= 2 {
+				mis = append(mis, inst.Name)
+			}
+			waves[inst.Output] = outs[j]
+		}
+	}
+	return sta.BuildReport(vdd, waves, mis), nil
+}
+
+// FlatReference delegates to sta.FlatReference — the flat transistor-level
+// netlist is one coupled circuit and cannot be stage-parallelized. It
+// exists so consumers drive every analysis mode through the engine.
+func (e *Engine) FlatReference(nl *sta.Netlist, tech cells.Tech, primary map[string]wave.Waveform, opt sta.Options) (*sta.Report, error) {
+	return sta.FlatReference(nl, tech, primary, opt)
+}

@@ -6,10 +6,10 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/engine"
 	"mcsm/internal/units"
 )
 
@@ -19,6 +19,14 @@ type Config struct {
 	CharCfg csm.Config // characterization fidelity for all models
 	Dt      float64    // transient step for both reference and model runs
 	Quick   bool       // reduced sweep densities (tests, benches)
+
+	// Workers is the engine worker-pool width for level-parallel timing
+	// analyses (0 = GOMAXPROCS, 1 = serial). Results are bit-identical
+	// either way; this only trades wall time.
+	Workers int
+	// CacheDir, when set, spills characterized models as JSON under this
+	// directory and reloads them across sessions.
+	CacheDir string
 }
 
 // Default returns full-fidelity settings (used by cmd/mcsm-bench).
@@ -41,19 +49,26 @@ func Quick() Config {
 	}
 }
 
-// Session carries the configuration and a memoized model cache so that the
-// (expensive) characterizations are shared across experiments.
+// Session carries the configuration and the shared evaluation engine: all
+// characterizations go through one engine.ModelCache (so the expensive
+// SPICE-backed sweeps are shared — and deduplicated under concurrency —
+// across experiments), and timing analyses run on its level-parallel
+// scheduler.
 type Session struct {
 	Cfg Config
-
-	mu     sync.Mutex
-	models map[string]*csm.Model
+	eng *engine.Engine
 }
 
 // NewSession creates a session.
 func NewSession(cfg Config) *Session {
-	return &Session{Cfg: cfg, models: map[string]*csm.Model{}}
+	return &Session{Cfg: cfg, eng: engine.New(cfg.Workers, engine.NewSpillCache(cfg.CacheDir))}
 }
+
+// Engine returns the session's evaluation engine (scheduler + cache).
+func (s *Session) Engine() *engine.Engine { return s.eng }
+
+// CacheStats snapshots the session's characterization-cache counters.
+func (s *Session) CacheStats() engine.CacheStats { return s.eng.Cache().Stats() }
 
 // Model characterizes (or returns the cached) model for a catalog cell.
 func (s *Session) Model(cell string, kind csm.Kind) (*csm.Model, error) {
@@ -61,28 +76,17 @@ func (s *Session) Model(cell string, kind csm.Kind) (*csm.Model, error) {
 }
 
 // ModelWith characterizes with an explicit configuration (ablations).
-// Results are cached by (cell, kind, cfg fingerprint).
+// Results are cached by the full (tech, cell, kind, cfg) identity.
 func (s *Session) ModelWith(cell string, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
 	return s.modelWith(cell, kind, cfg)
 }
 
 func (s *Session) modelWith(cell string, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
-	key := fmt.Sprintf("%s/%s/%+v", cell, kind, cfg)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m, ok := s.models[key]; ok {
-		return m, nil
-	}
 	spec, err := cells.Get(cell)
 	if err != nil {
 		return nil, err
 	}
-	m, err := csm.Characterize(s.Cfg.Tech, spec, kind, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.models[key] = m
-	return m, nil
+	return s.eng.Cache().Get(s.Cfg.Tech, spec, kind, cfg)
 }
 
 // Renderable is anything an experiment can return for display.

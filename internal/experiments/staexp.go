@@ -52,15 +52,16 @@ func runSTAExp(s *Session) (Renderable, error) {
 	}
 	opt := sta.Options{Horizon: 4e-9, Dt: cfg.Dt}
 
-	mis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: opt.Horizon, Dt: opt.Dt})
+	eng := s.Engine()
+	mis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: opt.Horizon, Dt: opt.Dt})
 	if err != nil {
 		return nil, err
 	}
-	sis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: opt.Horizon, Dt: opt.Dt})
+	sis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: opt.Horizon, Dt: opt.Dt})
 	if err != nil {
 		return nil, err
 	}
-	flat, err := sta.FlatReference(nl, cfg.Tech, primary, opt)
+	flat, err := eng.FlatReference(nl, cfg.Tech, primary, opt)
 	if err != nil {
 		return nil, err
 	}

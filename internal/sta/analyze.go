@@ -48,17 +48,50 @@ type Report struct {
 // Analyze propagates primary-input waveforms through the netlist using the
 // given per-cell-type models. Net loading combines the per-net wire caps
 // with the fanout cells' receiver capacitance tables.
+//
+// Analyze is the serial reference path; internal/engine runs the exact same
+// Setup/EvalStage/BuildReport primitives level-parallel and is guaranteed
+// (by test) to produce a bit-identical Report.
 func Analyze(nl *Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt Options) (*Report, error) {
 	order, err := nl.Levelize()
 	if err != nil {
 		return nil, err
 	}
+	vdd, opt, err := Setup(models, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	waves := map[string]wave.Waveform{}
+	for net, w := range primary {
+		waves[net] = w
+	}
+	fanouts := nl.Fanouts()
+	var mis []string
+
+	for _, idx := range order {
+		outW, switching, err := EvalStage(nl, models, fanouts, idx, waves, vdd, opt)
+		if err != nil {
+			return nil, err
+		}
+		if switching >= 2 {
+			mis = append(mis, nl.Instances[idx].Name)
+		}
+		waves[nl.Instances[idx].Output] = outW
+	}
+	return BuildReport(vdd, waves, mis), nil
+}
+
+// Setup validates the model set and resolves defaulted options (Dt, Horizon
+// derived from the primary stimuli). It is exported so that alternative
+// schedulers (internal/engine) share the serial path's prologue exactly.
+func Setup(models map[string]*csm.Model, primary map[string]wave.Waveform, opt Options) (float64, Options, error) {
 	var vdd float64
 	for _, m := range models {
 		vdd = m.Vdd
 	}
 	if vdd == 0 {
-		return nil, fmt.Errorf("sta: no models supplied")
+		return 0, opt, fmt.Errorf("sta: no models supplied")
 	}
 	if opt.Dt <= 0 {
 		opt.Dt = 1e-12
@@ -72,50 +105,53 @@ func Analyze(nl *Netlist, models map[string]*csm.Model, primary map[string]wave.
 		}
 		opt.Horizon = last + 2e-9
 	}
+	return vdd, opt, nil
+}
 
-	waves := map[string]wave.Waveform{}
-	for net, w := range primary {
-		waves[net] = w
+// EvalStage evaluates the single instance at index idx: it gathers the
+// instance's input waveforms from waves, builds the output load, and runs
+// the stage simulation, returning the output waveform and the number of
+// switching inputs. waves must already hold a waveform for every input net
+// of the instance and is only read — concurrent EvalStage calls over the
+// instances of one topological level (which never consume each other's
+// outputs) are safe as long as no call writes waves in parallel.
+func EvalStage(nl *Netlist, models map[string]*csm.Model, fanouts map[string][][2]int, idx int, waves map[string]wave.Waveform, vdd float64, opt Options) (wave.Waveform, int, error) {
+	inst := nl.Instances[idx]
+	model, ok := models[inst.Type]
+	if !ok {
+		return wave.Waveform{}, 0, fmt.Errorf("sta: no model for cell type %q (instance %s)", inst.Type, inst.Name)
 	}
-	fanouts := nl.Fanouts()
-	rep := &Report{Vdd: vdd, Nets: map[string]NetResult{}}
-
-	for _, idx := range order {
-		inst := nl.Instances[idx]
-		model, ok := models[inst.Type]
-		if !ok {
-			return nil, fmt.Errorf("sta: no model for cell type %q (instance %s)", inst.Type, inst.Name)
-		}
-		inWaves, switching, err := gatherInputs(inst, model, waves, opt.Horizon)
-		if err != nil {
-			return nil, err
-		}
-		if switching >= 2 {
-			rep.MISInstances = append(rep.MISInstances, inst.Name)
-		}
-		load := stageLoad(nl, models, fanouts, inst.Output)
-
-		var outW wave.Waveform
-		if opt.Mode == ModeSIS && switching >= 2 {
-			spec, serr := cells.Get(inst.Type)
-			if serr != nil {
-				return nil, serr
-			}
-			outW, err = simulateSIS(model, inWaves, spec, vdd, load, opt)
-		} else {
-			outW, err = simulateStageWaves(model, inWaves, load, opt)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sta: stage %s: %w", inst.Name, err)
-		}
-		waves[inst.Output] = outW
+	inWaves, switching, err := gatherInputs(inst, model, waves, opt.Horizon)
+	if err != nil {
+		return wave.Waveform{}, 0, err
 	}
+	load := stageLoad(nl, models, fanouts, inst.Output)
 
+	var outW wave.Waveform
+	if opt.Mode == ModeSIS && switching >= 2 {
+		spec, serr := cells.Get(inst.Type)
+		if serr != nil {
+			return wave.Waveform{}, 0, serr
+		}
+		outW, err = simulateSIS(model, inWaves, spec, vdd, load, opt)
+	} else {
+		outW, err = simulateStageWaves(model, inWaves, load, opt)
+	}
+	if err != nil {
+		return wave.Waveform{}, 0, fmt.Errorf("sta: stage %s: %w", inst.Name, err)
+	}
+	return outW, switching, nil
+}
+
+// BuildReport measures every net waveform into a Report. misInstances is
+// taken over (and sorted) as the report's MIS list.
+func BuildReport(vdd float64, waves map[string]wave.Waveform, misInstances []string) *Report {
+	rep := &Report{Vdd: vdd, Nets: map[string]NetResult{}, MISInstances: misInstances}
 	for net, w := range waves {
 		rep.Nets[net] = measureNet(w, vdd)
 	}
 	sort.Strings(rep.MISInstances)
-	return rep, nil
+	return rep
 }
 
 // gatherInputs maps instance input nets to the model's input order and
@@ -154,20 +190,13 @@ func gatherInputs(inst Instance, model *csm.Model, waves map[string]wave.Wavefor
 		if !ok {
 			return nil, 0, fmt.Errorf("sta: %s held pin %s net %q has no waveform", inst.Name, pin, net)
 		}
-		if netSwitches(w) || mathAbs(w.First()-lvl) > 0.05 {
+		if netSwitches(w) || math.Abs(w.First()-lvl) > 0.05 {
 			return nil, 0, fmt.Errorf("sta: %s pin %s is not modeled by the %s CSM and must stay at %g",
 				inst.Name, pin, model.Kind, lvl)
 		}
 	}
 	_ = horizon
 	return out, switching, nil
-}
-
-func mathAbs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // netSwitches reports whether a waveform leaves its initial level by more

@@ -114,6 +114,15 @@ func (nl *Netlist) Levelize() ([]int, error) {
 	for _, n := range nl.PrimaryIn {
 		primary[n] = true
 	}
+	// A net that is both a primary input and instance-driven is rejected:
+	// consumers would see the primary waveform or the driver's output
+	// depending on evaluation order, so no schedule could be well-defined.
+	for _, inst := range nl.Instances {
+		if primary[inst.Output] {
+			return nil, fmt.Errorf("sta: net %q driven by %s is also declared a primary input",
+				inst.Output, inst.Name)
+		}
+	}
 
 	const (
 		unvisited = 0
@@ -154,6 +163,51 @@ func (nl *Netlist) Levelize() ([]int, error) {
 		}
 	}
 	return order, nil
+}
+
+// Levels groups the instances into topological levels: level k holds every
+// instance whose deepest driving instance sits at level k−1 (instances fed
+// only by primary inputs are level 0). Instances within one level are
+// mutually independent — none consumes another's output — so a scheduler
+// may evaluate them concurrently. Indices within each level are in
+// ascending instance order, and the concatenation of all levels is a valid
+// topological order. Levels shares Levelize's validation (loops, multiple
+// drivers, undriven nets).
+func (nl *Netlist) Levels() ([][]int, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	driver := map[string]int{}
+	for i, inst := range nl.Instances {
+		driver[inst.Output] = i
+	}
+	primary := map[string]bool{}
+	for _, n := range nl.PrimaryIn {
+		primary[n] = true
+	}
+	depth := make([]int, len(nl.Instances))
+	maxDepth := 0
+	for _, idx := range order { // topological: drivers resolved first
+		d := 0
+		for _, net := range nl.Instances[idx].Inputs {
+			if primary[net] {
+				continue
+			}
+			if di, ok := driver[net]; ok && depth[di]+1 > d {
+				d = depth[di] + 1
+			}
+		}
+		depth[idx] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for i := range nl.Instances {
+		levels[depth[i]] = append(levels[depth[i]], i)
+	}
+	return levels, nil
 }
 
 // Fanouts returns, for each net, the (instance index, pin index) pairs that

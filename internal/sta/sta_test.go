@@ -119,6 +119,21 @@ inst U1 NOR2 n1 a floating
 	if _, err := nl4.Levelize(); err == nil {
 		t.Error("undriven net accepted")
 	}
+	// Primary input that is also instance-driven: evaluation order would
+	// decide which waveform consumers see, so it must be rejected (by both
+	// Levelize and Levels, which share the validation).
+	drv := `
+input n1 n2
+inst U1 INV n1 n2
+inst U2 INV n3 n1
+`
+	nl5, _ := ParseNetlist(strings.NewReader(drv))
+	if _, err := nl5.Levelize(); err == nil {
+		t.Error("driven primary input accepted by Levelize")
+	}
+	if _, err := nl5.Levels(); err == nil {
+		t.Error("driven primary input accepted by Levels")
+	}
 }
 
 // TestAnalyzeMatchesFlat validates the CSM-based propagation against the
