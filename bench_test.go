@@ -6,6 +6,8 @@ package mcsm
 // benchmarks of the characterization and stage engines.
 
 import (
+	"bytes"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
+	"mcsm/internal/netlist"
 	"mcsm/internal/spice"
 	"mcsm/internal/sta"
 	"mcsm/internal/table"
@@ -311,3 +314,78 @@ func BenchmarkStageEngineC17Serial(b *testing.B) { benchAnalyzeC17(b, 1) }
 // BenchmarkStageEngineC17Parallel times the same analysis with a
 // GOMAXPROCS-wide worker pool per topological level.
 func BenchmarkStageEngineC17Parallel(b *testing.B) { benchAnalyzeC17(b, runtime.GOMAXPROCS(0)) }
+
+// ---------------------------------------------------------------------------
+// Frontend benchmarks (internal/netlist): the benchmark-corpus path. The
+// c17 pair above stays the historical perf trajectory; this pair puts a
+// couple hundred mapped stages through the scheduler, so level widths
+// finally exceed the worker pool (c17's levels are only two wide).
+
+// benchGenCircuit maps the shared generated workload: 64 generic gates at
+// the ISCAS-85 depth profile, technology-mapped to a couple hundred cells.
+func benchGenCircuit(b *testing.B) (*sta.Netlist, int) {
+	b.Helper()
+	circ, err := netlist.Generate(64, 10, 4, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := netlist.Map(circ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels, err := nl.Levels()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nl, len(levels)
+}
+
+func benchAnalyzeGen(b *testing.B, workers int) {
+	b.Helper()
+	nl, levels := benchGenCircuit(b)
+	models, err := benchSession().Engine().ModelsFor(cells.Default130(), nl, benchSession().Cfg.CharCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := netlist.Horizon(levels, 80e-12)
+	primary := netlist.Stimulus(nl.PrimaryIn, cells.Default130().Vdd, 80e-12, horizon)
+	eng := engine.New(workers, nil)
+	// A coarse step keeps one iteration in benchmark territory; serial
+	// and parallel use the same step, so the ratio stands.
+	opt := sta.Options{Horizon: horizon, Dt: 4e-12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(nl, models, primary, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(eng.StageEvals())/b.Elapsed().Seconds(), "stage-evals/s")
+}
+
+// BenchmarkStageEngineGen64Serial times a mapped 64-generic-gate synthetic
+// circuit (~200 cells) with one worker.
+func BenchmarkStageEngineGen64Serial(b *testing.B) { benchAnalyzeGen(b, 1) }
+
+// BenchmarkStageEngineGen64Parallel times the same analysis with a
+// GOMAXPROCS-wide worker pool per topological level.
+func BenchmarkStageEngineGen64Parallel(b *testing.B) { benchAnalyzeGen(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkTechMapC432 times the frontend itself: parsing and technology-
+// mapping the bundled c432-class corpus circuit (no simulation).
+func BenchmarkTechMapC432(b *testing.B) {
+	data, err := os.ReadFile("internal/netlist/testdata/c432.bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		circ, err := netlist.ParseBench(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netlist.Map(circ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,10 +11,20 @@
 //	mcsm-bench -quick -json perf.json   # machine-readable perf summary
 //
 // With -json, the run additionally executes a serial-vs-parallel STA probe
-// on the ISCAS85 c17 benchmark through internal/engine and writes a JSON
-// summary (per-experiment wall times, characterization-cache hit rate,
-// stage-evals/sec, parallel speedup) so successive PRs have a perf
-// trajectory to compare against. Use "-json -" for stdout.
+// through internal/engine and writes a JSON summary (per-experiment wall
+// times, characterization-cache hit rate, stage-evals/sec, parallel
+// speedup) so successive PRs have a perf trajectory to compare against.
+// Use "-json -" for stdout.
+//
+// The probe workload defaults to the built-in ISCAS85 c17 (six stages —
+// the historical trajectory baseline); -bench circuit.bench runs it on a
+// technology-mapped .bench circuit from the corpus (see internal/netlist
+// and EXPERIMENTS.md "Benchmark corpus"), and -gen N on a generated
+// N-gate synthetic circuit, putting hundreds of stages through the
+// level-parallel scheduler:
+//
+//	mcsm-bench -quick -only sta -gen 300 -json -
+//	mcsm-bench -quick -only sta -bench internal/netlist/testdata/c880.bench -json perf.json
 package main
 
 import (
@@ -23,13 +33,16 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
+	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
+	"mcsm/internal/wave"
 )
 
 type expTiming struct {
@@ -47,6 +60,7 @@ type cacheSummary struct {
 type staProbe struct {
 	Netlist          string  `json:"netlist"`
 	Stages           int     `json:"stages"`
+	Levels           int     `json:"levels"`
 	Workers          int     `json:"workers"`
 	SerialSeconds    float64 `json:"serial_seconds"`
 	ParallelSeconds  float64 `json:"parallel_seconds"`
@@ -74,6 +88,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS, 1 = serial)")
 		jsonPath = flag.String("json", "", "write a machine-readable perf summary to this path (\"-\" = stdout)")
 		cacheDir = flag.String("cache", "", "model cache directory (spill/reload characterized models)")
+		benchNl  = flag.String("bench", "", "STA-probe workload: a .bench circuit, technology-mapped (default: built-in c17)")
+		genGates = flag.Int("gen", 0, "STA-probe workload: a generated synthetic circuit with this many gates (overrides -bench)")
 	)
 	flag.Parse()
 
@@ -82,6 +98,21 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	// Resolve the probe configuration before the (multi-minute) experiment
+	// loop so flag misuse or a bad -bench path fails immediately.
+	var wl *probeNetlist
+	if *jsonPath != "" {
+		if *genGates < 0 {
+			fatal(fmt.Errorf("-gen %d: gate count must be positive", *genGates))
+		}
+		var err error
+		if wl, err = probeWorkload(*benchNl, *genGates); err != nil {
+			fatal(fmt.Errorf("sta probe: %w", err))
+		}
+	} else if *benchNl != "" || *genGates != 0 {
+		fatal(fmt.Errorf("-bench/-gen configure the STA probe, which only runs with -json"))
 	}
 
 	cfg := experiments.Default()
@@ -122,7 +153,7 @@ func main() {
 	if *jsonPath == "" {
 		return
 	}
-	probe, err := runSTAProbe(sess)
+	probe, err := runSTAProbe(sess, wl)
 	if err != nil {
 		fatal(fmt.Errorf("sta probe: %w", err))
 	}
@@ -153,14 +184,84 @@ func main() {
 	}
 }
 
-// runSTAProbe times a c17 analysis serially and level-parallel (sharing
-// the session's model cache, so the characterizations count toward its hit
-// rate) and checks that the two reports agree bit-for-bit.
-func runSTAProbe(sess *experiments.Session) (*staProbe, error) {
-	nl, err := sta.ParseNetlist(strings.NewReader(engine.C17Netlist))
+// probeNetlist is a workload for the serial-vs-parallel STA probe.
+type probeNetlist struct {
+	name    string
+	nl      *sta.Netlist
+	levels  int
+	horizon float64
+	primary func(vdd float64) map[string]wave.Waveform
+}
+
+// probeWorkload resolves the probe's circuit: the built-in c17 by
+// default (the stable PR-over-PR trajectory baseline, with its canonical
+// MIS stimulus), a technology-mapped .bench circuit with -bench, or a
+// generated synthetic circuit with -gen N — both driven by the corpus
+// stimulus over a depth-derived window.
+func probeWorkload(benchPath string, genGates int) (*probeNetlist, error) {
+	if benchPath == "" && genGates == 0 {
+		nl, err := sta.ParseNetlist(strings.NewReader(engine.C17Netlist))
+		if err != nil {
+			return nil, err
+		}
+		levels, err := nl.Levels()
+		if err != nil {
+			return nil, err
+		}
+		const horizon = 4e-9
+		return &probeNetlist{
+			name: "c17", nl: nl, levels: len(levels), horizon: horizon,
+			primary: func(vdd float64) map[string]wave.Waveform {
+				return engine.C17Stimulus(vdd, horizon)
+			},
+		}, nil
+	}
+
+	var (
+		circ *netlist.Circuit
+		name string
+		err  error
+	)
+	if genGates > 0 {
+		if circ, err = netlist.ISCASSpec(genGates).Generate(); err != nil {
+			return nil, err
+		}
+		name = circ.Name
+	} else {
+		f, ferr := os.Open(benchPath)
+		if ferr != nil {
+			return nil, ferr
+		}
+		circ, err = netlist.ParseBench(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		name = strings.TrimSuffix(filepath.Base(benchPath), filepath.Ext(benchPath))
+	}
+	nl, err := netlist.Map(circ)
 	if err != nil {
 		return nil, err
 	}
+	levels, err := nl.Levels()
+	if err != nil {
+		return nil, err
+	}
+	const slew = 80e-12
+	horizon := netlist.Horizon(len(levels), slew)
+	return &probeNetlist{
+		name: name, nl: nl, levels: len(levels), horizon: horizon,
+		primary: func(vdd float64) map[string]wave.Waveform {
+			return netlist.Stimulus(nl.PrimaryIn, vdd, slew, horizon)
+		},
+	}, nil
+}
+
+// runSTAProbe times an analysis of the workload serially and
+// level-parallel (sharing the session's model cache, so the
+// characterizations count toward its hit rate) and checks that the two
+// reports agree bit-for-bit.
+func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error) {
 	tech := sess.Cfg.Tech
 	cache := sess.Engine().Cache()
 	workers := sess.Engine().Workers()
@@ -170,23 +271,26 @@ func runSTAProbe(sess *experiments.Session) (*staProbe, error) {
 	serialEng := engine.New(1, cache)
 	parallelEng := engine.New(workers, cache)
 
-	models, err := serialEng.ModelsFor(tech, nl, sess.Cfg.CharCfg)
+	models, err := serialEng.ModelsFor(tech, wl.nl, sess.Cfg.CharCfg)
 	if err != nil {
 		return nil, err
 	}
-	horizon := 4e-9
-	primary := engine.C17Stimulus(tech.Vdd, horizon)
-	opt := sta.Options{Horizon: horizon, Dt: sess.Cfg.Dt}
+	primary := wl.primary(tech.Vdd)
+	opt := sta.Options{Horizon: wl.horizon, Dt: sess.Cfg.Dt}
 
 	// Best-of-N timing: one run of a millisecond-scale analysis is
 	// scheduler-noise dominated, and this number is the PR-over-PR perf
-	// trajectory — the minimum is the stable estimator.
-	const probeRuns = 3
+	// trajectory — the minimum is the stable estimator. Mid-size corpus
+	// workloads run seconds per pass and are timed once.
+	probeRuns := 3
+	if len(wl.nl.Instances) > 50 {
+		probeRuns = 1
+	}
 	var serialRep, parallelRep *sta.Report
 	serialSec, parallelSec := math.Inf(1), math.Inf(1)
 	for i := 0; i < probeRuns; i++ {
 		start := time.Now()
-		serialRep, err = serialEng.Analyze(nl, models, primary, opt)
+		serialRep, err = serialEng.Analyze(wl.nl, models, primary, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +298,7 @@ func runSTAProbe(sess *experiments.Session) (*staProbe, error) {
 			serialSec = s
 		}
 		start = time.Now()
-		parallelRep, err = parallelEng.Analyze(nl, models, primary, opt)
+		parallelRep, err = parallelEng.Analyze(wl.nl, models, primary, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -204,8 +308,9 @@ func runSTAProbe(sess *experiments.Session) (*staProbe, error) {
 	}
 
 	probe := &staProbe{
-		Netlist:         "c17",
-		Stages:          len(nl.Instances),
+		Netlist:         wl.name,
+		Stages:          len(wl.nl.Instances),
+		Levels:          wl.levels,
 		Workers:         workers,
 		SerialSeconds:   serialSec,
 		ParallelSeconds: parallelSec,
@@ -214,7 +319,7 @@ func runSTAProbe(sess *experiments.Session) (*staProbe, error) {
 	}
 	if parallelSec > 0 {
 		probe.Speedup = serialSec / parallelSec
-		probe.StageEvalsPerSec = float64(len(nl.Instances)) / parallelSec
+		probe.StageEvalsPerSec = float64(len(wl.nl.Instances)) / parallelSec
 	}
 	return probe, nil
 }

@@ -1,17 +1,39 @@
-// Command mcsm-sta runs the waveform-based timing analysis on a netlist
-// file, comparing MIS-aware propagation, the conventional SIS assumption,
-// and (optionally) the flat transistor-level reference.
+// Command mcsm-sta runs the waveform-based timing analysis on a netlist,
+// comparing MIS-aware propagation, the conventional SIS assumption, and
+// (optionally) the flat transistor-level reference.
 //
-// Netlist format (see internal/sta):
+// Two input formats are supported (-format, default auto-detected from
+// the file extension):
 //
-//	input a b
-//	output y
-//	cap n1 2e-15
-//	inst U1 NOR2 n1 a b
-//	inst U2 INV  y  n1
+//   - "net" — the native line-based format of internal/sta:
+//
+//     input a b
+//     output y
+//     cap n1 2e-15
+//     inst U1 NOR2 n1 a b
+//     inst U2 INV  y  n1
+//
+//   - "bench" — the ISCAS-85 .bench format (INPUT(...), OUTPUT(...),
+//     g = NAND(a, b)), technology-mapped onto the characterized cell
+//     library by internal/netlist. See testdata under internal/netlist
+//     for the bundled benchmark corpus.
+//
+// The netlist path is given positionally (or via -netlist):
+//
+//	mcsm-sta -format bench internal/netlist/testdata/c432.bench
+//
+// Alternatively -gen gates[:depth[:fanin[:seed[:inputs]]]] analyzes a
+// seeded synthetic circuit from the internal/netlist generator (omitted
+// trailing fields default to the ISCAS-85 profile); adding -dump
+// file.bench writes that circuit out (the corpus stand-ins are produced
+// this way) and exits.
 //
 // Primary inputs get saturated-ramp stimuli described by -arrivals, e.g.
-// -arrivals "a:rise@1n,b:fall@1.2n".
+// -arrivals "a:rise@1n,b:fall@1.2n". In bench/gen modes the default drive
+// is the corpus stimulus (staggered rises, see netlist.Stimulus), the
+// analysis window is widened to cover the mapped depth unless -horizon is
+// given explicitly, and the flat transistor reference defaults off (a
+// mid-size flat circuit is one dense MNA system — re-enable with -flat).
 package main
 
 import (
@@ -19,39 +41,131 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
+	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
 
 func main() {
 	var (
-		netPath  = flag.String("netlist", "", "netlist file (required)")
-		arrivals = flag.String("arrivals", "", "comma list net:rise@TIME or net:fall@TIME (default: all rise@1n)")
+		netPath  = flag.String("netlist", "", "netlist file (may also be given as the positional argument)")
+		format   = flag.String("format", "auto", "netlist format: auto, net, bench")
+		gen      = flag.String("gen", "", "analyze a generated circuit instead of a file: gates[:depth[:fanin[:seed[:inputs]]]]")
+		dump     = flag.String("dump", "", "write the generic circuit as .bench to this path and exit (bench/gen inputs)")
+		all      = flag.Bool("all", false, "report every net, not just primary outputs (bench/gen inputs)")
+		arrivals = flag.String("arrivals", "", "comma list net:rise@TIME or net:fall@TIME (default: all rise@1n; bench/gen: staggered rises)")
 		slew     = flag.Float64("slew", 80e-12, "primary input transition time")
 		horizon  = flag.Float64("horizon", 4e-9, "analysis window end")
-		flat     = flag.Bool("flat", true, "also run the flat transistor reference")
+		dtSpec   = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps; coarser steps trade accuracy for speed)")
+		flat     = flag.Bool("flat", true, "also run the flat transistor reference (bench/gen inputs default to off)")
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
 		parallel = flag.Int("parallel", 0, "worker-pool width for level-parallel analysis (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache", "", "model cache directory: spill characterized models as JSON and reload them on later runs")
 	)
 	flag.Parse()
-	if *netPath == "" {
-		fatal(fmt.Errorf("-netlist is required"))
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	path := *netPath
+	if path == "" && flag.NArg() > 0 {
+		path = flag.Arg(0)
 	}
-	f, err := os.Open(*netPath)
+
+	// Load the workload: either a generated generic circuit, a .bench
+	// file (both technology-mapped), or a native netlist.
+	var (
+		circ *netlist.Circuit
+		nl   *sta.Netlist
+		err  error
+	)
+	switch {
+	case *gen != "":
+		spec, serr := parseGenSpec(*gen)
+		if serr != nil {
+			fatal(serr)
+		}
+		if circ, err = spec.Generate(); err != nil {
+			fatal(err)
+		}
+	case path == "":
+		fatal(fmt.Errorf("a netlist path (positional or -netlist) or -gen is required"))
+	default:
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		switch resolveFormat(*format, path) {
+		case "bench":
+			circ, err = netlist.ParseBench(f)
+		case "net":
+			nl, err = sta.ParseNetlist(f)
+		default:
+			err = fmt.Errorf("unknown format %q (want auto, net, or bench)", *format)
+		}
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	mapped := circ != nil
+	if *dump != "" && !mapped {
+		fatal(fmt.Errorf("-dump requires a bench or -gen input (a native netlist has no generic-circuit form)"))
+	}
+	if mapped {
+		if *dump != "" {
+			df, derr := os.Create(*dump)
+			if derr != nil {
+				fatal(derr)
+			}
+			if err := circ.WriteBench(df); err != nil {
+				fatal(err)
+			}
+			if err := df.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d inputs, %d outputs, %d gates)\n",
+				*dump, len(circ.Inputs), len(circ.Outputs), len(circ.Gates))
+			return
+		}
+		if nl, err = netlist.Map(circ); err != nil {
+			fatal(err)
+		}
+	}
+	levels, err := nl.Levels()
 	if err != nil {
 		fatal(err)
 	}
-	nl, err := sta.ParseNetlist(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+	if mapped {
+		fmt.Fprintf(os.Stderr, "mapped %d generic gates onto %d library cells %v, %d levels\n",
+			len(circ.Gates), len(nl.Instances), fmtCounts(netlist.CellCounts(nl)), len(levels))
+	}
+
+	// Bench/gen circuits are arbitrarily deep: widen the window to cover
+	// the mapped depth unless the user pinned -horizon.
+	h := *horizon
+	if mapped && !explicit["horizon"] {
+		if auto := netlist.Horizon(len(levels), *slew); auto > h {
+			h = auto
+		}
+	}
+	runFlat := *flat
+	if mapped && !explicit["flat"] {
+		runFlat = false
+	}
+	var dt float64
+	if *dtSpec != "" {
+		if dt, err = parseTime(*dtSpec); err != nil {
+			fatal(err)
+		}
 	}
 
 	tech := cells.Default130()
@@ -73,39 +187,127 @@ func main() {
 		fmt.Fprintf(os.Stderr, "models: %d characterized\n", st.Misses)
 	}
 
-	primary, err := buildArrivals(nl, tech.Vdd, *arrivals, *slew, *horizon)
-	if err != nil {
+	primary := map[string]wave.Waveform{}
+	if mapped {
+		primary = netlist.Stimulus(nl.PrimaryIn, tech.Vdd, *slew, h)
+	} else {
+		for _, net := range nl.PrimaryIn {
+			primary[net] = wave.SaturatedRamp(0, tech.Vdd, 1e-9, *slew, h)
+		}
+	}
+	if err := applyArrivalSpec(primary, tech.Vdd, *arrivals, *slew, h); err != nil {
 		fatal(err)
 	}
 
-	opt := sta.Options{Horizon: *horizon}
-	mis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: *horizon})
+	opt := sta.Options{Horizon: h, Dt: dt}
+	mis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt})
 	if err != nil {
 		fatal(err)
 	}
-	sis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: *horizon})
+	sis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: h, Dt: dt})
 	if err != nil {
 		fatal(err)
 	}
 	var ref *sta.Report
-	if *flat {
+	if runFlat {
 		if ref, err = eng.FlatReference(nl, tech, primary, opt); err != nil {
 			fatal(err)
 		}
 	}
 
-	fmt.Printf("%-10s %12s %12s %12s\n", "net", "MIS-STA(ps)", "SIS-STA(ps)", "flat(ps)")
-	for _, inst := range nl.Instances {
-		net := inst.Output
-		row := fmt.Sprintf("%-10s %12s %12s", net, fmtArr(mis.Nets[net].Arrival), fmtArr(sis.Nets[net].Arrival))
+	nets := reportNets(nl, mapped && !*all)
+	header := fmt.Sprintf("%-14s %12s %12s", "net", "MIS-STA(ps)", "SIS-STA(ps)")
+	if ref != nil {
+		header += fmt.Sprintf(" %12s", "flat(ps)")
+	}
+	fmt.Println(header)
+	for _, net := range nets {
+		row := fmt.Sprintf("%-14s %12s %12s", net, fmtArr(mis.Nets[net].Arrival), fmtArr(sis.Nets[net].Arrival))
 		if ref != nil {
 			row += fmt.Sprintf(" %12s", fmtArr(ref.Nets[net].Arrival))
 		}
 		fmt.Println(row)
 	}
-	if len(mis.MISInstances) > 0 {
-		fmt.Printf("MIS events at: %v\n", mis.MISInstances)
+	if n := len(mis.MISInstances); n > 0 {
+		if mapped && !*all {
+			fmt.Printf("MIS events at %d of %d stages\n", n, len(nl.Instances))
+		} else {
+			fmt.Printf("MIS events at: %v\n", mis.MISInstances)
+		}
 	}
+	if out, arr, ok := mis.WorstOutput(nl); ok {
+		fmt.Printf("worst output %s arrives at %s ps (critical path: %d nets)\n",
+			out, fmtArr(arr), len(mis.CriticalPath(nl, out)))
+	}
+}
+
+// reportNets selects the nets to print: primary outputs for mapped
+// circuits (unless -all), every instance output otherwise.
+func reportNets(nl *sta.Netlist, outputsOnly bool) []string {
+	if outputsOnly {
+		return nl.PrimaryOut
+	}
+	nets := make([]string, 0, len(nl.Instances))
+	for _, inst := range nl.Instances {
+		nets = append(nets, inst.Output)
+	}
+	return nets
+}
+
+// resolveFormat applies -format, sniffing by extension in auto mode.
+func resolveFormat(format, path string) string {
+	if format != "auto" {
+		return format
+	}
+	if strings.EqualFold(filepath.Ext(path), ".bench") {
+		return "bench"
+	}
+	return "net"
+}
+
+// parseGenSpec reads the -gen argument gates[:depth[:fanin[:seed[:inputs]]]],
+// deriving ISCAS-like defaults for the omitted trailing parts.
+func parseGenSpec(s string) (netlist.GenSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) > 5 {
+		return netlist.GenSpec{}, fmt.Errorf("bad -gen %q (want gates[:depth[:fanin[:seed[:inputs]]]])", s)
+	}
+	nums := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return netlist.GenSpec{}, fmt.Errorf("bad -gen %q: %q is not an integer", s, p)
+		}
+		nums[i] = v
+	}
+	spec := netlist.ISCASSpec(int(nums[0]))
+	if len(nums) > 1 {
+		spec.Depth = int(nums[1])
+	}
+	if len(nums) > 2 {
+		spec.MaxFanin = int(nums[2])
+	}
+	if len(nums) > 3 {
+		spec.Seed = nums[3]
+	}
+	if len(nums) > 4 {
+		spec.Inputs = int(nums[4])
+	}
+	return spec, nil
+}
+
+// fmtCounts renders a cell-count map deterministically ("INV:3 NAND2:7").
+func fmtCounts(counts map[string]int) string {
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	parts := make([]string, len(types))
+	for i, t := range types {
+		parts[i] = fmt.Sprintf("%s:%d", t, counts[t])
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func fmtArr(t float64) string {
@@ -115,27 +317,25 @@ func fmtArr(t float64) string {
 	return fmt.Sprintf("%.2f", t*1e12)
 }
 
-func buildArrivals(nl *sta.Netlist, vdd float64, spec string, slew, horizon float64) (map[string]wave.Waveform, error) {
-	out := map[string]wave.Waveform{}
-	for _, net := range nl.PrimaryIn {
-		out[net] = wave.SaturatedRamp(0, vdd, 1e-9, slew, horizon)
-	}
+// applyArrivalSpec overlays the -arrivals overrides onto the default
+// primary-input waveforms.
+func applyArrivalSpec(out map[string]wave.Waveform, vdd float64, spec string, slew, horizon float64) error {
 	if spec == "" {
-		return out, nil
+		return nil
 	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		kv := strings.SplitN(part, ":", 2)
 		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
+			return fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
 		}
 		dirAt := strings.SplitN(kv[1], "@", 2)
 		if len(dirAt) != 2 {
-			return nil, fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
+			return fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
 		}
 		t, err := parseTime(dirAt[1])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch dirAt[0] {
 		case "rise":
@@ -147,10 +347,10 @@ func buildArrivals(nl *sta.Netlist, vdd float64, spec string, slew, horizon floa
 		case "high":
 			out[kv[0]] = wave.Constant(vdd, 0, horizon)
 		default:
-			return nil, fmt.Errorf("bad direction %q", dirAt[0])
+			return fmt.Errorf("bad direction %q", dirAt[0])
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func parseTime(s string) (float64, error) {

@@ -2,10 +2,9 @@ package main
 
 import (
 	"math"
-	"strings"
 	"testing"
 
-	"mcsm/internal/sta"
+	"mcsm/internal/wave"
 )
 
 func TestParseTime(t *testing.T) {
@@ -33,26 +32,25 @@ func TestParseTime(t *testing.T) {
 	}
 }
 
-func TestBuildArrivals(t *testing.T) {
-	nl, err := sta.ParseNetlist(strings.NewReader("input a b\ninst U1 NOR2 n1 a b\n"))
-	if err != nil {
-		t.Fatal(err)
+func TestApplyArrivalSpec(t *testing.T) {
+	base := func() map[string]wave.Waveform {
+		return map[string]wave.Waveform{
+			"a": wave.SaturatedRamp(0, 1.2, 1e-9, 80e-12, 4e-9),
+			"b": wave.SaturatedRamp(0, 1.2, 1e-9, 80e-12, 4e-9),
+		}
 	}
-	// Defaults: every primary input rises at 1ns.
-	m, err := buildArrivals(nl, 1.2, "", 80e-12, 4e-9)
-	if err != nil {
+	// Empty spec leaves the defaults alone.
+	m := base()
+	if err := applyArrivalSpec(m, 1.2, "", 80e-12, 4e-9); err != nil {
 		t.Fatal(err)
-	}
-	if len(m) != 2 {
-		t.Fatalf("arrivals = %d, want 2", len(m))
 	}
 	if v := m["a"].At(3e-9); math.Abs(v-1.2) > 1e-9 {
 		t.Errorf("default rise did not reach vdd: %g", v)
 	}
 
-	// Explicit spec overrides.
-	m, err = buildArrivals(nl, 1.2, "a:fall@2n,b:high@0", 80e-12, 4e-9)
-	if err != nil {
+	// Explicit spec overrides individual nets.
+	m = base()
+	if err := applyArrivalSpec(m, 1.2, "a:fall@2n,b:high@0", 80e-12, 4e-9); err != nil {
 		t.Fatal(err)
 	}
 	if v := m["a"].At(3e-9); v > 0.01 {
@@ -64,9 +62,77 @@ func TestBuildArrivals(t *testing.T) {
 
 	// Error cases.
 	for _, bad := range []string{"a@1n", "a:rise", "a:sideways@1n", "a:rise@xx"} {
-		if _, err := buildArrivals(nl, 1.2, bad, 80e-12, 4e-9); err == nil {
+		if err := applyArrivalSpec(base(), 1.2, bad, 80e-12, 4e-9); err == nil {
 			t.Errorf("accepted %q", bad)
 		}
+	}
+}
+
+func TestResolveFormat(t *testing.T) {
+	cases := []struct {
+		format, path, want string
+	}{
+		{"auto", "x/c432.bench", "bench"},
+		{"auto", "x/C432.BENCH", "bench"},
+		{"auto", "demo.net", "net"},
+		{"auto", "demo", "net"},
+		{"net", "c432.bench", "net"},
+		{"bench", "demo.net", "bench"},
+	}
+	for _, c := range cases {
+		if got := resolveFormat(c.format, c.path); got != c.want {
+			t.Errorf("resolveFormat(%q, %q) = %q, want %q", c.format, c.path, got, c.want)
+		}
+	}
+}
+
+func TestParseGenSpec(t *testing.T) {
+	spec, err := parseGenSpec("160:17:4:432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Gates != 160 || spec.Depth != 17 || spec.MaxFanin != 4 || spec.Seed != 432 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Inputs != 32 {
+		t.Errorf("derived inputs = %d, want gates/5", spec.Inputs)
+	}
+
+	// Trailing parts default ISCAS-like: depth ~ 1.3*sqrt(gates).
+	spec, err = parseGenSpec("160")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Depth < 14 || spec.Depth > 18 {
+		t.Errorf("derived depth = %d, want ~16", spec.Depth)
+	}
+	if spec.MaxFanin != 4 || spec.Seed != 1 {
+		t.Errorf("derived spec = %+v", spec)
+	}
+	if _, err := spec.Generate(); err != nil {
+		t.Errorf("derived spec does not generate: %v", err)
+	}
+
+	// The optional fifth field pins the primary-input count.
+	spec, err = parseGenSpec("160:17:4:432:36")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Inputs != 36 {
+		t.Errorf("explicit inputs = %d, want 36", spec.Inputs)
+	}
+
+	for _, bad := range []string{"", "x", "10:2:4:1:9:8", "10:two"} {
+		if _, err := parseGenSpec(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestFmtCounts(t *testing.T) {
+	got := fmtCounts(map[string]int{"NAND2": 7, "INV": 3})
+	if got != "[INV:3 NAND2:7]" {
+		t.Errorf("fmtCounts = %q", got)
 	}
 }
 

@@ -7,13 +7,18 @@
 // substrate it needs: a transistor-level circuit simulator standing in for
 // HSPICE, a 130 nm-class cell library, the SIS and internal-node-blind
 // baseline models, an NLDM voltage-based baseline, a crosstalk bench, a
-// waveform-propagating timing engine, and a level-parallel evaluation
-// layer (internal/engine) with a shared characterization cache.
+// waveform-propagating timing engine, a level-parallel evaluation layer
+// (internal/engine) with a shared characterization cache, and a benchmark
+// frontend (internal/netlist) that parses ISCAS-85 .bench circuits,
+// generates seeded synthetic DAG workloads, and technology-maps both onto
+// the characterized cell library.
 //
-// Start with DESIGN.md for the system inventory, the engine layer, and the
-// per-experiment index; EXPERIMENTS.md for regenerating paper-vs-measured
-// results; and examples/quickstart for the API in sixty lines. The root
-// bench_test.go regenerates every figure of the paper's evaluation:
+// Start with DESIGN.md for the system inventory, the engine layer, the
+// technology-mapping rules, and the per-experiment index; EXPERIMENTS.md
+// for regenerating paper-vs-measured results and for the benchmark corpus
+// (bundled under internal/netlist/testdata); and examples/quickstart for
+// the API in sixty lines. The root bench_test.go regenerates every figure
+// of the paper's evaluation:
 //
 //	go test -bench=Fig -benchtime=1x
 package mcsm

@@ -2,6 +2,7 @@ package cells
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"mcsm/internal/spice"
@@ -156,6 +157,30 @@ func TestGetAndCatalog(t *testing.T) {
 		}
 		if s.Build == nil {
 			t.Errorf("%s has no builder", s.Name)
+		}
+	}
+}
+
+// TestFullyModeled pins the set of cells the technology mapper
+// (internal/netlist) may target: exactly those whose every input pin is a
+// model axis. If a future catalog change shrinks this set, mapped
+// benchmark circuits would start failing at analysis time with held-pin
+// errors — fail here instead.
+func TestFullyModeled(t *testing.T) {
+	want := map[string]bool{"INV": true, "NAND2": true, "NOR2": true}
+	for _, s := range Catalog() {
+		if got := s.FullyModeled(); got != want[s.Name] {
+			t.Errorf("%s FullyModeled = %v, want %v", s.Name, got, want[s.Name])
+		}
+	}
+	// Sized variants keep the base cell's modeling.
+	for _, name := range []string{"NAND2_X2", "NOR3_X4"} {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FullyModeled() != want[strings.SplitN(name, "_", 2)[0]] {
+			t.Errorf("%s FullyModeled = %v, want same as base", name, s.FullyModeled())
 		}
 	}
 }

@@ -30,6 +30,16 @@ type Spec struct {
 	Build Builder
 }
 
+// FullyModeled reports whether every input pin of the cell is a CSM model
+// axis. Only fully modeled cells can sit in a mapped benchmark circuit,
+// where each pin carries a live (switching) signal: cells with held pins
+// (NAND3, NOR3, AOI21, … under the ≤2-input complexity cap) require those
+// pins to stay parked at the non-controlling level during analysis. The
+// technology mapper (internal/netlist) restricts its targets accordingly.
+func (s Spec) FullyModeled() bool {
+	return len(s.ModelInputs) == len(s.Inputs)
+}
+
 // NonControllingLevel returns the cell-wide voltage at which held inputs
 // are parked (use NonControllingLevelFor when the pin is known).
 func (s Spec) NonControllingLevel(vdd float64) float64 {

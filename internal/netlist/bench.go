@@ -1,0 +1,218 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// benchTypes maps the gate keywords found in circulating .bench files
+// (case-insensitive) onto the canonical GateType vocabulary. NOT/INV and
+// BUF/BUFF are spelling variants of the same functions.
+var benchTypes = map[string]GateType{
+	"AND":  GateAND,
+	"NAND": GateNAND,
+	"OR":   GateOR,
+	"NOR":  GateNOR,
+	"XOR":  GateXOR,
+	"XNOR": GateXNOR,
+	"NOT":  GateNOT,
+	"INV":  GateNOT,
+	"BUF":  GateBUFF,
+	"BUFF": GateBUFF,
+}
+
+// ParseBench reads a circuit in the ISCAS-85 .bench format:
+//
+//	# comment
+//	INPUT(1)
+//	OUTPUT(22)
+//	10 = NAND(1, 3)
+//
+// Keywords and gate types are case-insensitive; net names are arbitrary
+// tokens free of whitespace and the punctuation "=(),". Redefined nets,
+// duplicate INPUT declarations, unknown gate types, and undriven
+// references are rejected with line-numbered errors.
+func ParseBench(r io.Reader) (*Circuit, error) {
+	c := &Circuit{}
+	inputAt := map[string]int{}
+	outputAt := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if eq := strings.IndexByte(line, '='); eq >= 0 {
+			out := strings.TrimSpace(line[:eq])
+			if err := checkNetName(out, lineNo); err != nil {
+				return nil, err
+			}
+			typ, args, err := parseCall(line[eq+1:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gt, ok := benchTypes[typ]
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown gate type %q", lineNo, typ)
+			}
+			if (gt == GateNOT || gt == GateBUFF) && len(args) != 1 {
+				return nil, fmt.Errorf("netlist: line %d: %s takes exactly one input, got %d", lineNo, gt, len(args))
+			}
+			c.Gates = append(c.Gates, Gate{Output: out, Type: gt, Inputs: args, Line: lineNo})
+			continue
+		}
+		typ, args, err := parseCall(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("netlist: line %d: %s takes one net, got %d", lineNo, typ, len(args))
+		}
+		switch typ {
+		case "INPUT":
+			if prev, dup := inputAt[args[0]]; dup {
+				return nil, fmt.Errorf("netlist: line %d: INPUT(%s) already declared on line %d", lineNo, args[0], prev)
+			}
+			inputAt[args[0]] = lineNo
+			c.Inputs = append(c.Inputs, args[0])
+		case "OUTPUT":
+			if prev, dup := outputAt[args[0]]; dup {
+				return nil, fmt.Errorf("netlist: line %d: OUTPUT(%s) already declared on line %d", lineNo, args[0], prev)
+			}
+			outputAt[args[0]] = lineNo
+			c.Outputs = append(c.Outputs, args[0])
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown directive %q", lineNo, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseCall splits "TYPE(a, b, c)" into the upper-cased type keyword and
+// the argument tokens.
+func parseCall(s string, lineNo int) (string, []string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("netlist: line %d: expected TYPE(args…), got %q", lineNo, s)
+	}
+	typ := strings.ToUpper(strings.TrimSpace(s[:open]))
+	if typ == "" {
+		return "", nil, fmt.Errorf("netlist: line %d: missing gate type in %q", lineNo, s)
+	}
+	inner := s[open+1 : len(s)-1]
+	var args []string
+	for _, tok := range strings.Split(inner, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return "", nil, fmt.Errorf("netlist: line %d: empty argument in %q", lineNo, s)
+		}
+		if err := checkNetName(tok, lineNo); err != nil {
+			return "", nil, err
+		}
+		args = append(args, tok)
+	}
+	if len(args) == 0 {
+		return "", nil, fmt.Errorf("netlist: line %d: %s needs at least one argument", lineNo, typ)
+	}
+	return typ, args, nil
+}
+
+// badNetChars are the characters a net name may not contain: format
+// punctuation, whitespace, and the comment marker — any of them would
+// break the .bench round trip.
+const badNetChars = " \t=(),#"
+
+// checkNetName rejects tokens that could not round-trip through the
+// format.
+func checkNetName(n string, lineNo int) error {
+	if n == "" || strings.ContainsAny(n, badNetChars) {
+		return fmt.Errorf("netlist: line %d: bad net name %q", lineNo, n)
+	}
+	return nil
+}
+
+// WriteBench writes the circuit in .bench syntax, with a header comment
+// carrying the circuit name and its vital statistics. The output parses
+// back (ParseBench) into an identical circuit — the corpus's testdata
+// files are produced this way. Net names that would break that round
+// trip (whitespace, format punctuation, '#') are rejected.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	for _, n := range c.Inputs {
+		if err := checkWriteName(n); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.Outputs {
+		if err := checkWriteName(n); err != nil {
+			return err
+		}
+	}
+	for _, g := range c.Gates {
+		if err := checkWriteName(g.Output); err != nil {
+			return err
+		}
+		for _, n := range g.Inputs {
+			if err := checkWriteName(n); err != nil {
+				return err
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	name := c.Name
+	if name == "" {
+		name = "circuit"
+	}
+	fmt.Fprintf(bw, "# %s\n", name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n",
+		len(c.Inputs), len(c.Outputs), len(c.Gates))
+	counts := map[GateType]int{}
+	for _, g := range c.Gates {
+		counts[g.Type]++
+	}
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(bw, "# %4d %s\n", counts[GateType(t)], t)
+	}
+	fmt.Fprintln(bw)
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", in)
+	}
+	fmt.Fprintln(bw)
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", out)
+	}
+	fmt.Fprintln(bw)
+	for _, g := range c.Gates {
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Output, g.Type, strings.Join(g.Inputs, ", "))
+	}
+	return bw.Flush()
+}
+
+// checkWriteName is checkNetName for programmatic circuits, without a
+// source line to blame.
+func checkWriteName(n string) error {
+	if n == "" || strings.ContainsAny(n, badNetChars) {
+		return fmt.Errorf("netlist: net name %q cannot be written as .bench", n)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const c17Src = `
+# c17 — smallest ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestParseBenchC17(t *testing.T) {
+	c, err := ParseBench(strings.NewReader(c17Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 || len(c.Gates) != 6 {
+		t.Fatalf("c17 = %d in, %d out, %d gates", len(c.Inputs), len(c.Outputs), len(c.Gates))
+	}
+	g := c.Gates[0]
+	if g.Output != "10" || g.Type != GateNAND || !reflect.DeepEqual(g.Inputs, []string{"1", "3"}) {
+		t.Errorf("gate 0 = %+v", g)
+	}
+	if g.Line != 10 {
+		t.Errorf("gate 0 line = %d, want 10", g.Line)
+	}
+}
+
+func TestParseBenchTestdata(t *testing.T) {
+	for _, name := range []string{"c17", "c432", "c880"} {
+		f, err := os.Open("testdata/" + name + ".bench")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := ParseBench(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nl, err := Map(c)
+		if err != nil {
+			t.Fatalf("%s: map: %v", name, err)
+		}
+		if _, err := nl.Levels(); err != nil {
+			t.Fatalf("%s: mapped netlist does not levelize: %v", name, err)
+		}
+		t.Logf("%s: %d inputs, %d outputs, %d gates -> %d cells",
+			name, len(c.Inputs), len(c.Outputs), len(c.Gates), len(nl.Instances))
+	}
+}
+
+func TestParseBenchTolerance(t *testing.T) {
+	// Case-insensitive keywords, inline comments, ragged whitespace, and
+	// the NOT/INV and BUF/BUFF spelling variants.
+	src := `
+input( a )   # a comment
+INPUT(b)
+output(y)
+n1 = nand( a , b )  # trailing comment
+n2 = inv(n1)
+n3 = buf(n2)
+y  = Xor(n3, a)
+`
+	c, err := ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 4 {
+		t.Fatalf("gates = %d", len(c.Gates))
+	}
+	if c.Gates[1].Type != GateNOT || c.Gates[2].Type != GateBUFF || c.Gates[3].Type != GateXOR {
+		t.Errorf("variant types = %v %v %v", c.Gates[1].Type, c.Gates[2].Type, c.Gates[3].Type)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no gates"},
+		{"unknown type", "INPUT(a)\ny = FOO(a, a)\n", "unknown gate type"},
+		{"duplicate input", "INPUT(a)\nINPUT(a)\ny = NOT(a)\n", "line 2"},
+		{"duplicate output", "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n", "line 3"},
+		{"redefined net", "INPUT(a)\ny = NOT(a)\ny = NOT(a)\n", "redefined"},
+		{"gate redefines input", "INPUT(a)\nINPUT(b)\na = NOT(b)\n", "redefined"},
+		{"undriven gate input", "INPUT(a)\ny = NAND(a, ghost)\n", "ghost"},
+		{"undriven output", "INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n", "\"z\""},
+		{"NOT fanin", "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n", "exactly one"},
+		{"missing paren", "INPUT(a)\ny = NOT a\n", "expected"},
+		{"bad net name", "INPUT(a)\ny = NAND(a, b(c)\n", "bad net name"},
+	}
+	for _, c := range cases {
+		_, err := ParseBench(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	orig, err := ParseBench(strings.NewReader(c17Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Name = "c17"
+	var buf bytes.Buffer
+	if err := orig.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("rewritten form does not parse: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(orig.Inputs, back.Inputs) || !reflect.DeepEqual(orig.Outputs, back.Outputs) {
+		t.Errorf("IO lists changed: %v/%v vs %v/%v", orig.Inputs, orig.Outputs, back.Inputs, back.Outputs)
+	}
+	if len(orig.Gates) != len(back.Gates) {
+		t.Fatalf("gate count changed: %d vs %d", len(orig.Gates), len(back.Gates))
+	}
+	for i := range orig.Gates {
+		a, b := orig.Gates[i], back.Gates[i]
+		if a.Output != b.Output || a.Type != b.Type || !reflect.DeepEqual(a.Inputs, b.Inputs) {
+			t.Errorf("gate %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestWriteBenchBadNames: programmatic circuits whose net names would
+// break the documented parse-back guarantee are rejected instead of
+// silently writing a corrupt file.
+func TestWriteBenchBadNames(t *testing.T) {
+	for _, bad := range []string{"a#1", "a b", "a,b", "a(b", ""} {
+		c := &Circuit{
+			Inputs:  []string{bad},
+			Outputs: []string{"y"},
+			Gates:   []Gate{{Output: "y", Type: GateNOT, Inputs: []string{bad}}},
+		}
+		var buf bytes.Buffer
+		if err := c.WriteBench(&buf); err == nil {
+			t.Errorf("WriteBench accepted net name %q", bad)
+		}
+	}
+}
+
+func TestStimulus(t *testing.T) {
+	ins := []string{"a", "b", "c"}
+	m := Stimulus(ins, 1.2, 80e-12, 4e-9)
+	if len(m) != 3 {
+		t.Fatalf("stimulus nets = %d", len(m))
+	}
+	// Input order fixes the stagger: a at 1 ns, b 25 ps later.
+	ca := m["a"].Crossings(0.6)
+	cb := m["b"].Crossings(0.6)
+	if len(ca) != 1 || len(cb) != 1 {
+		t.Fatalf("crossings = %d, %d", len(ca), len(cb))
+	}
+	if d := cb[0].Time - ca[0].Time; d < 20e-12 || d > 30e-12 {
+		t.Errorf("stagger = %g, want 25ps", d)
+	}
+	if !ca[0].Rising {
+		t.Error("stimulus must rise")
+	}
+}

@@ -1,0 +1,194 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenSpec parameterizes the synthetic circuit generator. The zero value
+// is invalid; use Generate for the derived-defaults convenience form.
+type GenSpec struct {
+	Gates    int   // total generic gate count (≥ 1)
+	Depth    int   // number of topological gate levels (1 ≤ Depth ≤ Gates)
+	MaxFanin int   // widest generic gate emitted (≥ 2)
+	Inputs   int   // primary input count (≥ 2)
+	Seed     int64 // PRNG seed; equal specs generate identical circuits
+}
+
+// Generate builds a random combinational DAG with the given gate count,
+// depth, and maximum fanin, deriving a proportionate primary-input count
+// (one input per ~5 gates). The result is deterministic in (gates, depth,
+// fanin, seed): the generator draws only from a rand.Source seeded with
+// seed, so the same arguments always produce the identical circuit — on
+// any machine, which is what makes generated workloads usable as shared
+// benchmarks. Use GenSpec.Generate to control the input count directly.
+func Generate(gates, depth, fanin int, seed int64) (*Circuit, error) {
+	spec := ISCASSpec(gates)
+	spec.Depth, spec.MaxFanin, spec.Seed = depth, fanin, seed
+	if spec.Inputs < fanin {
+		spec.Inputs = fanin
+	}
+	return spec.Generate()
+}
+
+// ISCASSpec derives generator parameters profiled after the ISCAS-85
+// suite for a target gate count: depth ≈ 1.3·√gates (c432: 160 gates in
+// 17 levels; c880: 383 in ~24), max fanin 4, one primary input per ~5
+// gates, seed 1. Both CLIs use it for their "just give me N gates"
+// forms, so `-gen N` means the same circuit everywhere.
+func ISCASSpec(gates int) GenSpec {
+	spec := GenSpec{Gates: gates, MaxFanin: 4, Seed: 1}
+	spec.Depth = int(1.3 * math.Sqrt(float64(gates)))
+	if spec.Depth < 1 {
+		spec.Depth = 1
+	}
+	if spec.Depth > gates {
+		spec.Depth = gates
+	}
+	spec.Inputs = gates / 5
+	if spec.Inputs < 2 {
+		spec.Inputs = 2
+	}
+	return spec
+}
+
+// genTypeWeights is the gate-function mix of generated circuits, loosely
+// following the profile of the ISCAS-85 suite (NAND-rich, a sprinkle of
+// parity gates and inverters). Order matters: the weighted draw walks this
+// slice, so reordering would change every generated circuit.
+var genTypeWeights = []struct {
+	t GateType
+	w int
+}{
+	{GateNAND, 28},
+	{GateNOR, 18},
+	{GateAND, 14},
+	{GateOR, 14},
+	{GateXOR, 12},
+	{GateNOT, 10},
+	{GateBUFF, 4},
+}
+
+// Generate builds the circuit described by the spec.
+func (s GenSpec) Generate() (*Circuit, error) {
+	switch {
+	case s.Gates < 1:
+		return nil, fmt.Errorf("netlist: Generate: gates = %d, want ≥ 1", s.Gates)
+	case s.Depth < 1 || s.Depth > s.Gates:
+		return nil, fmt.Errorf("netlist: Generate: depth = %d, want 1..gates (%d)", s.Depth, s.Gates)
+	case s.MaxFanin < 2:
+		return nil, fmt.Errorf("netlist: Generate: max fanin = %d, want ≥ 2", s.MaxFanin)
+	case s.Inputs < 2:
+		return nil, fmt.Errorf("netlist: Generate: inputs = %d, want ≥ 2", s.Inputs)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	c := &Circuit{
+		Name: fmt.Sprintf("gen-g%d-d%d-f%d-i%d-s%d", s.Gates, s.Depth, s.MaxFanin, s.Inputs, s.Seed),
+	}
+	for i := 0; i < s.Inputs; i++ {
+		c.Inputs = append(c.Inputs, fmt.Sprintf("i%d", i+1))
+	}
+
+	// Distribute gates over levels, earliest levels absorbing the
+	// remainder; every level holds at least one gate so the requested
+	// depth is realized exactly.
+	sizes := make([]int, s.Depth)
+	for l := range sizes {
+		sizes[l] = s.Gates / s.Depth
+		if l < s.Gates%s.Depth {
+			sizes[l]++
+		}
+	}
+
+	prev := append([]string(nil), c.Inputs...)  // nets of the previous level
+	lower := append([]string(nil), c.Inputs...) // nets of all earlier levels
+	// unused is the ordered subsequence of lower whose nets have no fanout
+	// yet, compacted lazily as nets are consumed — equivalent to rescanning
+	// lower (same pool contents and order, so same draws for a seed) but
+	// linear instead of quadratic in the circuit size.
+	unused := append([]string(nil), c.Inputs...)
+	fanout := make(map[string]int, s.Inputs+s.Gates)
+	nextNet := 1
+	for _, sz := range sizes {
+		var level []string
+		for g := 0; g < sz; g++ {
+			out := fmt.Sprintf("n%d", nextNet)
+			nextNet++
+			typ := drawType(rng)
+			fanin := 1
+			if typ != GateNOT && typ != GateBUFF {
+				fanin = 2 + rng.Intn(s.MaxFanin-1)
+				if fanin > len(lower) {
+					fanin = len(lower)
+				}
+			}
+			// First input from the previous level keeps the gate at this
+			// depth; the rest prefer so-far-unused nets so the DAG stays
+			// connected and the sink (primary output) set stays small.
+			ins := []string{prev[rng.Intn(len(prev))]}
+			seen := map[string]bool{ins[0]: true}
+			for len(ins) < fanin {
+				w := 0
+				for _, n := range unused {
+					if fanout[n] == 0 {
+						unused[w] = n
+						w++
+					}
+				}
+				unused = unused[:w]
+				var pool []string
+				for _, n := range unused {
+					if !seen[n] {
+						pool = append(pool, n)
+					}
+				}
+				if len(pool) == 0 {
+					pool = lower
+				}
+				pick := pool[rng.Intn(len(pool))]
+				if seen[pick] {
+					continue
+				}
+				seen[pick] = true
+				ins = append(ins, pick)
+			}
+			for _, n := range ins {
+				fanout[n]++
+			}
+			c.Gates = append(c.Gates, Gate{Output: out, Type: typ, Inputs: ins})
+			level = append(level, out)
+		}
+		lower = append(lower, level...)
+		unused = append(unused, level...)
+		prev = level
+	}
+
+	// Every sink net — gate outputs and any still-unused primary inputs —
+	// becomes a primary output, so nothing the generator built dangles.
+	for _, n := range lower {
+		if fanout[n] == 0 {
+			c.Outputs = append(c.Outputs, n)
+		}
+	}
+	if err := c.Check(); err != nil {
+		return nil, fmt.Errorf("netlist: Generate: internal inconsistency: %w", err)
+	}
+	return c, nil
+}
+
+// drawType picks a gate function from the weighted mix.
+func drawType(rng *rand.Rand) GateType {
+	total := 0
+	for _, tw := range genTypeWeights {
+		total += tw.w
+	}
+	r := rng.Intn(total)
+	for _, tw := range genTypeWeights {
+		if r < tw.w {
+			return tw.t
+		}
+		r -= tw.w
+	}
+	return genTypeWeights[0].t
+}

@@ -1,0 +1,118 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(120, 10, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(120, 10, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec generated different circuits")
+	}
+	c, err := Generate(120, 10, 4, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Gates, c.Gates) {
+		t.Fatal("different seeds generated identical circuits")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	const gates, depth, fanin = 150, 12, 4
+	c, err := Generate(gates, depth, fanin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != gates {
+		t.Errorf("gates = %d, want %d", len(c.Gates), gates)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Gates {
+		if len(g.Inputs) > fanin {
+			t.Errorf("gate %s fanin %d exceeds %d", g.Output, len(g.Inputs), fanin)
+		}
+	}
+	nl, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mapped depth must realize at least the generic depth (cell trees
+	// only add levels).
+	if len(levels) < depth {
+		t.Errorf("mapped levels = %d, want >= %d", len(levels), depth)
+	}
+	if len(c.Outputs) == 0 {
+		t.Error("generated circuit has no primary outputs")
+	}
+}
+
+func TestGenerateSpecInputs(t *testing.T) {
+	c, err := GenSpec{Gates: 60, Depth: 8, MaxFanin: 3, Inputs: 17, Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 17 {
+		t.Errorf("inputs = %d, want 17", len(c.Inputs))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []GenSpec{
+		{Gates: 0, Depth: 1, MaxFanin: 2, Inputs: 2},
+		{Gates: 5, Depth: 6, MaxFanin: 2, Inputs: 2},
+		{Gates: 5, Depth: 0, MaxFanin: 2, Inputs: 2},
+		{Gates: 5, Depth: 2, MaxFanin: 1, Inputs: 2},
+		{Gates: 5, Depth: 2, MaxFanin: 2, Inputs: 1},
+	}
+	for _, s := range bad {
+		if _, err := s.Generate(); err == nil {
+			t.Errorf("accepted %+v", s)
+		}
+	}
+}
+
+// TestGenerateWriteRoundTrip: a generated circuit written as .bench parses
+// back into the identical structure — the path the bundled corpus files
+// were produced through.
+func TestGenerateWriteRoundTrip(t *testing.T) {
+	c, err := Generate(80, 9, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Inputs, back.Inputs) || !reflect.DeepEqual(c.Outputs, back.Outputs) {
+		t.Error("IO lists changed through the .bench round trip")
+	}
+	if len(c.Gates) != len(back.Gates) {
+		t.Fatalf("gate count changed: %d vs %d", len(c.Gates), len(back.Gates))
+	}
+	for i := range c.Gates {
+		a, b := c.Gates[i], back.Gates[i]
+		if a.Output != b.Output || a.Type != b.Type || !reflect.DeepEqual(a.Inputs, b.Inputs) {
+			t.Fatalf("gate %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}

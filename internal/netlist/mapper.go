@@ -1,0 +1,288 @@
+package netlist
+
+import (
+	"fmt"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/sta"
+)
+
+// Map technology-maps the generic circuit onto the characterized cell
+// library and returns the sta.Netlist the timing engine consumes.
+//
+// Only fully modeled cells are targeted — INV, NAND2, NOR2 — because a
+// mapped circuit routes a live signal to every pin, and those are the
+// catalog cells whose every input is a CSM model axis (cells.Spec
+// .FullyModeled). Decomposition rules (the full table is in DESIGN.md):
+//
+//	NOT  → INV                     NAND(a,b) → NAND2
+//	BUFF → INV·INV                 NOR(a,b)  → NOR2
+//	AND  → NAND tree + INV         NAND(k>2) → NAND2(and(half), and(half))
+//	OR   → NOR  tree + INV         NOR(k>2)  → NOR2(or(half), or(half))
+//	XOR(a,b)  → 4 × NAND2          XOR(k>2)  → left fold of XOR(a,b)
+//	XNOR(a,b) → 4 × NOR2           XNOR(k>2) → XOR fold, XNOR2 last step
+//
+// Intermediate nets of the tree for a gate driving net y are named y$1,
+// y$2, … in emission order, and every emitted instance is named g<net> —
+// both deterministic, so the same circuit always maps to the identical
+// netlist (a prerequisite for the engine's bit-exact serial/parallel
+// contract and for cache-friendly re-runs).
+func Map(c *Circuit) (*sta.Netlist, error) {
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	for _, target := range mapTargets() {
+		spec, err := cells.Get(target)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: mapping target missing from library: %w", err)
+		}
+		if !spec.FullyModeled() {
+			return nil, fmt.Errorf("netlist: mapping target %s is not fully modeled (model inputs %v of %v)",
+				target, spec.ModelInputs, spec.Inputs)
+		}
+	}
+	m := &mapper{
+		nl:   &sta.Netlist{NetCap: map[string]float64{}},
+		used: make(map[string]bool, len(c.Inputs)+2*len(c.Gates)),
+	}
+	m.nl.PrimaryIn = append(m.nl.PrimaryIn, c.Inputs...)
+	m.nl.PrimaryOut = append(m.nl.PrimaryOut, c.Outputs...)
+	for _, in := range c.Inputs {
+		m.used[in] = true
+	}
+	for _, g := range c.Gates {
+		m.used[g.Output] = true
+	}
+	for _, g := range c.Gates {
+		m.base, m.n = g.Output, 0
+		if err := m.gate(g); err != nil {
+			return nil, err
+		}
+	}
+	return m.nl, nil
+}
+
+// mapTargets lists the library cells technology mapping may emit.
+func mapTargets() []string { return []string{"INV", "NAND2", "NOR2"} }
+
+// mapper accumulates the emitted netlist. base/n generate the
+// deterministic intermediate-net names of the gate currently being
+// decomposed; used guards against (pathological) collisions between a
+// generated name and a net that already exists in the source circuit.
+type mapper struct {
+	nl   *sta.Netlist
+	base string
+	n    int
+	used map[string]bool
+}
+
+// fresh mints the next intermediate net name for the current gate.
+func (m *mapper) fresh() string {
+	for {
+		m.n++
+		name := fmt.Sprintf("%s$%d", m.base, m.n)
+		if !m.used[name] {
+			m.used[name] = true
+			return name
+		}
+	}
+}
+
+// emit appends one library-cell instance driving out.
+func (m *mapper) emit(cell, out string, ins ...string) {
+	m.nl.Instances = append(m.nl.Instances, sta.Instance{
+		Name:   "g" + out,
+		Type:   cell,
+		Output: out,
+		Inputs: ins,
+	})
+}
+
+// gate decomposes one generic gate into library cells driving g.Output.
+func (m *mapper) gate(g Gate) error {
+	in := g.Inputs
+	switch g.Type {
+	case GateNOT:
+		m.emit("INV", g.Output, in[0])
+	case GateBUFF:
+		m.bufInto(g.Output, in[0])
+	case GateNAND:
+		m.nandInto(g.Output, in)
+	case GateNOR:
+		m.norInto(g.Output, in)
+	case GateAND:
+		if len(in) == 1 {
+			m.bufInto(g.Output, in[0])
+			break
+		}
+		t := m.fresh()
+		m.nandInto(t, in)
+		m.emit("INV", g.Output, t)
+	case GateOR:
+		if len(in) == 1 {
+			m.bufInto(g.Output, in[0])
+			break
+		}
+		t := m.fresh()
+		m.norInto(t, in)
+		m.emit("INV", g.Output, t)
+	case GateXOR:
+		m.xorInto(g.Output, in)
+	case GateXNOR:
+		m.xnorInto(g.Output, in)
+	default:
+		return fmt.Errorf("netlist: line %d: no mapping rule for gate type %q", g.Line, g.Type)
+	}
+	return nil
+}
+
+// bufInto emits the two-inverter buffer.
+func (m *mapper) bufInto(out, a string) {
+	t := m.fresh()
+	m.emit("INV", t, a)
+	m.emit("INV", out, t)
+}
+
+// nandInto drives out with NAND(args): NAND2 directly for two inputs, INV
+// for one, and for wider gates a NAND2 over the AND reductions of the two
+// halves (first half gets the extra input on odd fanin).
+func (m *mapper) nandInto(out string, args []string) {
+	switch len(args) {
+	case 1:
+		m.emit("INV", out, args[0])
+	case 2:
+		m.emit("NAND2", out, args[0], args[1])
+	default:
+		h := (len(args) + 1) / 2
+		m.emit("NAND2", out, m.andNet(args[:h]), m.andNet(args[h:]))
+	}
+}
+
+// andNet returns a net carrying AND(args), emitting cells as needed.
+func (m *mapper) andNet(args []string) string {
+	if len(args) == 1 {
+		return args[0]
+	}
+	t := m.fresh()
+	m.nandInto(t, args)
+	o := m.fresh()
+	m.emit("INV", o, t)
+	return o
+}
+
+// norInto mirrors nandInto in the NOR2 domain.
+func (m *mapper) norInto(out string, args []string) {
+	switch len(args) {
+	case 1:
+		m.emit("INV", out, args[0])
+	case 2:
+		m.emit("NOR2", out, args[0], args[1])
+	default:
+		h := (len(args) + 1) / 2
+		m.emit("NOR2", out, m.orNet(args[:h]), m.orNet(args[h:]))
+	}
+}
+
+// orNet returns a net carrying OR(args).
+func (m *mapper) orNet(args []string) string {
+	if len(args) == 1 {
+		return args[0]
+	}
+	t := m.fresh()
+	m.norInto(t, args)
+	o := m.fresh()
+	m.emit("INV", o, t)
+	return o
+}
+
+// xor2Into emits the classic four-NAND2 XOR:
+// t = NAND(a,b); out = NAND(NAND(a,t), NAND(b,t)).
+func (m *mapper) xor2Into(out, a, b string) {
+	t := m.fresh()
+	m.emit("NAND2", t, a, b)
+	u := m.fresh()
+	m.emit("NAND2", u, a, t)
+	v := m.fresh()
+	m.emit("NAND2", v, b, t)
+	m.emit("NAND2", out, u, v)
+}
+
+// xnor2Into emits the dual four-NOR2 XNOR:
+// t = NOR(a,b); out = NOR(NOR(a,t), NOR(b,t)).
+func (m *mapper) xnor2Into(out, a, b string) {
+	t := m.fresh()
+	m.emit("NOR2", t, a, b)
+	u := m.fresh()
+	m.emit("NOR2", u, a, t)
+	v := m.fresh()
+	m.emit("NOR2", v, b, t)
+	m.emit("NOR2", out, u, v)
+}
+
+// xorInto drives out with the odd-parity of args (left fold).
+func (m *mapper) xorInto(out string, args []string) {
+	if len(args) == 1 {
+		m.bufInto(out, args[0])
+		return
+	}
+	acc := args[0]
+	for _, next := range args[1 : len(args)-1] {
+		t := m.fresh()
+		m.xor2Into(t, acc, next)
+		acc = t
+	}
+	m.xor2Into(out, acc, args[len(args)-1])
+}
+
+// xnorInto drives out with the even-parity of args: an XOR fold whose
+// final step is the XNOR2 form.
+func (m *mapper) xnorInto(out string, args []string) {
+	if len(args) == 1 {
+		m.emit("INV", out, args[0])
+		return
+	}
+	acc := args[0]
+	for _, next := range args[1 : len(args)-1] {
+		t := m.fresh()
+		m.xor2Into(t, acc, next)
+		acc = t
+	}
+	m.xnor2Into(out, acc, args[len(args)-1])
+}
+
+// EvalMapped computes the settled logic value of every net of a mapped
+// netlist under the given primary-input assignment — the cell-tree side
+// of the mapping round-trip tests. Only the mapping target cells are
+// understood.
+func EvalMapped(nl *sta.Netlist, inputs map[string]bool) (map[string]bool, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[string]bool, len(inputs)+len(nl.Instances))
+	for _, in := range nl.PrimaryIn {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("netlist: no value for primary input %q", in)
+		}
+		vals[in] = v
+	}
+	for _, idx := range order {
+		inst := nl.Instances[idx]
+		args := make([]bool, len(inst.Inputs))
+		for i, in := range inst.Inputs {
+			args[i] = vals[in]
+		}
+		switch inst.Type {
+		case "INV":
+			vals[inst.Output] = !args[0]
+		case "NAND2":
+			vals[inst.Output] = !(args[0] && args[1])
+		case "NOR2":
+			vals[inst.Output] = !(args[0] || args[1])
+		default:
+			return nil, fmt.Errorf("netlist: EvalMapped: unsupported cell %s at %s", inst.Type, inst.Name)
+		}
+	}
+	return vals, nil
+}

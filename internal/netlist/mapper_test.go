@@ -1,0 +1,222 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMapTruthTables is the mapping round-trip guarantee of the
+// acceptance criteria: for every generic gate type and fanin the mapper
+// handles, the mapped INV/NAND2/NOR2 tree computes the identical truth
+// table over every input combination.
+func TestMapTruthTables(t *testing.T) {
+	cases := []struct {
+		typ    GateType
+		fanins []int
+	}{
+		{GateNOT, []int{1}},
+		{GateBUFF, []int{1}},
+		{GateAND, []int{1, 2, 3, 4, 5, 6}},
+		{GateNAND, []int{1, 2, 3, 4, 5, 6}},
+		{GateOR, []int{1, 2, 3, 4, 5, 6}},
+		{GateNOR, []int{1, 2, 3, 4, 5, 6}},
+		{GateXOR, []int{1, 2, 3, 4, 5}},
+		{GateXNOR, []int{1, 2, 3, 4, 5}},
+	}
+	for _, c := range cases {
+		for _, k := range c.fanins {
+			name := fmt.Sprintf("%s%d", c.typ, k)
+			t.Run(name, func(t *testing.T) {
+				ins := make([]string, k)
+				for i := range ins {
+					ins[i] = fmt.Sprintf("a%d", i)
+				}
+				circ := &Circuit{
+					Name:    name,
+					Inputs:  ins,
+					Outputs: []string{"y"},
+					Gates:   []Gate{{Output: "y", Type: c.typ, Inputs: ins}},
+				}
+				nl, err := Map(circ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, inst := range nl.Instances {
+					if inst.Type != "INV" && inst.Type != "NAND2" && inst.Type != "NOR2" {
+						t.Fatalf("mapper emitted non-target cell %s", inst.Type)
+					}
+				}
+				for bits := 0; bits < 1<<k; bits++ {
+					assign := map[string]bool{}
+					for i, in := range ins {
+						assign[in] = bits>>i&1 == 1
+					}
+					want, err := circ.Eval(assign)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := EvalMapped(nl, assign)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got["y"] != want["y"] {
+						t.Fatalf("input %0*b: mapped %v, generic %v", k, bits, got["y"], want["y"])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMapWholeCircuits runs the same equivalence over multi-gate circuits:
+// every net of c17 for all 32 input combinations, and every primary output
+// of a generated circuit over a spread of input patterns.
+func TestMapWholeCircuits(t *testing.T) {
+	c17, err := ParseBench(strings.NewReader(c17Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Map(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits := 0; bits < 1<<len(c17.Inputs); bits++ {
+		assign := map[string]bool{}
+		for i, in := range c17.Inputs {
+			assign[in] = bits>>i&1 == 1
+		}
+		want, err := c17.Eval(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvalMapped(nl, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, net := range append(c17.Outputs, "10", "11", "16", "19") {
+			if got[net] != want[net] {
+				t.Fatalf("input %05b net %s: mapped %v, generic %v", bits, net, got[net], want[net])
+			}
+		}
+	}
+
+	gen, err := Generate(48, 6, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := Map(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pattern := 0; pattern < 64; pattern++ {
+		assign := map[string]bool{}
+		for i, in := range gen.Inputs {
+			assign[in] = (pattern>>(i%6))&1 == 1
+		}
+		want, err := gen.Eval(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvalMapped(mapped, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, out := range gen.Outputs {
+			if got[out] != want[out] {
+				t.Fatalf("pattern %d output %s: mapped %v, generic %v", pattern, out, got[out], want[out])
+			}
+		}
+	}
+}
+
+// TestMapDeterministic pins the deterministic-naming contract: mapping the
+// same circuit twice yields instance-for-instance identical netlists.
+func TestMapDeterministic(t *testing.T) {
+	gen, err := Generate(40, 5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Map(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatalf("instance counts differ: %d vs %d", len(a.Instances), len(b.Instances))
+	}
+	for i := range a.Instances {
+		ia, ib := a.Instances[i], b.Instances[i]
+		if ia.Name != ib.Name || ia.Type != ib.Type || ia.Output != ib.Output {
+			t.Fatalf("instance %d differs: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+// TestMapIntermediateNaming checks the documented y$1, y$2, … scheme and
+// the collision guard against source nets that already use it.
+func TestMapIntermediateNaming(t *testing.T) {
+	c := &Circuit{
+		Inputs:  []string{"a", "b", "c", "d"},
+		Outputs: []string{"y"},
+		Gates:   []Gate{{Output: "y", Type: GateNAND, Inputs: []string{"a", "b", "c", "d"}}},
+	}
+	nl, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAND4 = NAND2(AND(a,b), AND(c,d)): four intermediates y$1..y$4.
+	seen := map[string]bool{}
+	for _, inst := range nl.Instances {
+		seen[inst.Output] = true
+	}
+	for _, want := range []string{"y$1", "y$2", "y$3", "y$4", "y"} {
+		if !seen[want] {
+			t.Errorf("expected net %s missing (have %v)", want, seen)
+		}
+	}
+
+	// A source net named like an intermediate must not be clobbered.
+	clash := &Circuit{
+		Inputs:  []string{"a", "b", "c", "d"},
+		Outputs: []string{"y"},
+		Gates: []Gate{
+			{Output: "y$1", Type: GateAND, Inputs: []string{"a", "b"}},
+			{Output: "y", Type: GateNAND, Inputs: []string{"y$1", "b", "c", "d"}},
+		},
+	}
+	nl, err = Map(clash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drivers := map[string]int{}
+	for _, inst := range nl.Instances {
+		drivers[inst.Output]++
+	}
+	for net, n := range drivers {
+		if n != 1 {
+			t.Errorf("net %s driven %d times", net, n)
+		}
+	}
+	if _, err := nl.Levelize(); err != nil {
+		t.Errorf("clash netlist does not levelize: %v", err)
+	}
+}
+
+func TestCellCounts(t *testing.T) {
+	c17, err := ParseBench(strings.NewReader(c17Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Map(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CellCounts(nl)
+	if counts["NAND2"] != 6 || len(counts) != 1 {
+		t.Errorf("c17 cell counts = %v, want 6 NAND2 only", counts)
+	}
+}

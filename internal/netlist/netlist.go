@@ -1,0 +1,220 @@
+// Package netlist is the benchmark frontend: it reads gate-level circuits
+// in the ISCAS-85 ".bench" format (ParseBench), generates seeded synthetic
+// DAG workloads of arbitrary size (Generate), technology-maps the generic
+// gates of either onto the characterized cell library (Map), and emits the
+// sta.Netlist the timing engine consumes.
+//
+// The frontend exists so the level-parallel scheduler and the MIS/stack
+// models of the paper can be exercised on hundreds-of-gates circuits
+// instead of the hand-written six-gate c17 — the scenario diversity and
+// scale the ROADMAP demands. Bundled circuits live in testdata/
+// (c17.bench plus two mid-size ISCAS-85-class circuits); EXPERIMENTS.md's
+// "Benchmark corpus" section documents how to run each one.
+//
+// Technology mapping targets only the fully modeled library cells — INV,
+// NAND2 and NOR2, whose every input pin is a CSM model axis. The 3-input
+// catalog cells characterize just two varying inputs (the paper's §3.4
+// complexity cap) and park the third at its non-controlling level, so a
+// mapped circuit, in which every pin carries a live signal, cannot use
+// them. DESIGN.md's "Technology mapping" section tabulates the gate →
+// cell-tree decomposition rules.
+package netlist
+
+import (
+	"fmt"
+
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// GateType is a generic (pre-mapping) logic function from the .bench
+// vocabulary.
+type GateType string
+
+// The generic gate vocabulary of the ISCAS-85 .bench format.
+const (
+	GateAND  GateType = "AND"
+	GateNAND GateType = "NAND"
+	GateOR   GateType = "OR"
+	GateNOR  GateType = "NOR"
+	GateXOR  GateType = "XOR"
+	GateXNOR GateType = "XNOR"
+	GateNOT  GateType = "NOT"
+	GateBUFF GateType = "BUFF"
+)
+
+// Gate is one generic gate: Output = Type(Inputs...). Line is the source
+// line of the defining .bench statement (0 for generated circuits).
+type Gate struct {
+	Output string
+	Type   GateType
+	Inputs []string
+	Line   int
+}
+
+// Circuit is a generic gate-level combinational circuit — the frontend's
+// intermediate representation between the .bench format (or the generator)
+// and the technology-mapped sta.Netlist.
+type Circuit struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Gates   []Gate
+}
+
+// Eval computes every net of the circuit under the given primary-input
+// assignment, returning the settled logic value of each net. Gates may
+// appear in any order; an error reports unresolvable (undriven or cyclic)
+// nets. It is the logic-level reference the mapping round-trip tests
+// compare cell trees against.
+func (c *Circuit) Eval(inputs map[string]bool) (map[string]bool, error) {
+	vals := make(map[string]bool, len(inputs)+len(c.Gates))
+	for _, in := range c.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("netlist: no value for primary input %q", in)
+		}
+		vals[in] = v
+	}
+	pending := append([]Gate(nil), c.Gates...)
+	for len(pending) > 0 {
+		progress := false
+		rest := pending[:0]
+		for _, g := range pending {
+			args := make([]bool, 0, len(g.Inputs))
+			ready := true
+			for _, in := range g.Inputs {
+				v, ok := vals[in]
+				if !ok {
+					ready = false
+					break
+				}
+				args = append(args, v)
+			}
+			if !ready {
+				rest = append(rest, g)
+				continue
+			}
+			vals[g.Output] = evalGate(g.Type, args)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("netlist: %d gates unresolvable (undriven input or cycle), first %s = %s(...)",
+				len(rest), rest[0].Output, rest[0].Type)
+		}
+		pending = rest
+	}
+	return vals, nil
+}
+
+// evalGate computes one generic gate function.
+func evalGate(t GateType, args []bool) bool {
+	switch t {
+	case GateNOT:
+		return !args[0]
+	case GateBUFF:
+		return args[0]
+	case GateAND, GateNAND:
+		v := true
+		for _, a := range args {
+			v = v && a
+		}
+		if t == GateNAND {
+			return !v
+		}
+		return v
+	case GateOR, GateNOR:
+		v := false
+		for _, a := range args {
+			v = v || a
+		}
+		if t == GateNOR {
+			return !v
+		}
+		return v
+	case GateXOR, GateXNOR:
+		v := false
+		for _, a := range args {
+			v = v != a
+		}
+		if t == GateXNOR {
+			return !v
+		}
+		return v
+	}
+	panic(fmt.Sprintf("netlist: evalGate on unknown type %q", t))
+}
+
+// Check validates the circuit's structure: at least one gate, no
+// redefinition of a driven net, every gate input and declared output
+// driven by a gate or a primary input. (Cycles are caught later by
+// sta.Netlist levelization; Eval also rejects them.)
+func (c *Circuit) Check() error {
+	if len(c.Gates) == 0 {
+		return fmt.Errorf("netlist: circuit %q has no gates", c.Name)
+	}
+	driven := make(map[string]bool, len(c.Inputs)+len(c.Gates))
+	for _, in := range c.Inputs {
+		if driven[in] {
+			return fmt.Errorf("netlist: primary input %q declared twice", in)
+		}
+		driven[in] = true
+	}
+	for _, g := range c.Gates {
+		if driven[g.Output] {
+			return fmt.Errorf("netlist: line %d: net %q redefined", g.Line, g.Output)
+		}
+		driven[g.Output] = true
+		if len(g.Inputs) == 0 {
+			return fmt.Errorf("netlist: line %d: gate %q has no inputs", g.Line, g.Output)
+		}
+	}
+	for _, g := range c.Gates {
+		for _, in := range g.Inputs {
+			if !driven[in] {
+				return fmt.Errorf("netlist: line %d: input %q of gate %q is driven by nothing", g.Line, in, g.Output)
+			}
+		}
+	}
+	for _, out := range c.Outputs {
+		if !driven[out] {
+			return fmt.Errorf("netlist: declared output %q is driven by nothing", out)
+		}
+	}
+	return nil
+}
+
+// Stimulus builds the corpus's canonical primary-input drive: input i (in
+// slice order) rises from 0 to vdd at 1 ns + (i mod 8)·25 ps with the
+// given transition time. The stagger makes overlapping transitions — and
+// therefore genuine MIS events at reconvergent gates — deterministic
+// across runs, so serial and parallel analyses of a benchmark circuit see
+// identical waveforms.
+func Stimulus(primaryIn []string, vdd, slew, horizon float64) map[string]wave.Waveform {
+	out := make(map[string]wave.Waveform, len(primaryIn))
+	for i, net := range primaryIn {
+		t0 := 1e-9 + float64(i%8)*25e-12
+		out[net] = wave.SaturatedRamp(0, vdd, t0, slew, horizon)
+	}
+	return out
+}
+
+// Horizon returns the corpus's default analysis window for a mapped
+// netlist of the given topological depth: the 1 ns stimulus onset, the
+// input transition time, 150 ps of budget per level (comfortably above a
+// loaded NAND2/NOR2 stage delay in the 130 nm-class library), and 1 ns of
+// settling margin. Both CLIs use it so a benchmark circuit's outputs
+// switch inside the simulated window regardless of depth.
+func Horizon(levels int, slew float64) float64 {
+	return 1e-9 + slew + float64(levels)*150e-12 + 1e-9
+}
+
+// CellCounts tallies a mapped netlist's instances by cell type — the
+// mapping statistics the CLIs report.
+func CellCounts(nl *sta.Netlist) map[string]int {
+	out := map[string]int{}
+	for _, inst := range nl.Instances {
+		out[inst.Type]++
+	}
+	return out
+}

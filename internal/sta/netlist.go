@@ -50,8 +50,16 @@ type Netlist struct {
 //	output y
 //	cap n1 2e-15
 //	inst U1 NOR2 n1 a b     (name type output inputs…)
+//
+// Redefinitions are rejected with line-numbered errors: a net may be
+// declared a primary input at most once, an instance name may be used at
+// most once, and a net may be driven at most once (by either an instance
+// output or a primary-input declaration, in either order).
 func ParseNetlist(r io.Reader) (*Netlist, error) {
 	nl := &Netlist{NetCap: map[string]float64{}}
+	inputAt := map[string]int{}  // net -> line of its input declaration
+	driverOf := map[string]int{} // net -> index of the driving instance
+	instAt := map[string]int{}   // instance name -> line of its definition
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -63,7 +71,16 @@ func ParseNetlist(r io.Reader) (*Netlist, error) {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "input":
-			nl.PrimaryIn = append(nl.PrimaryIn, fields[1:]...)
+			for _, net := range fields[1:] {
+				if prev, dup := inputAt[net]; dup {
+					return nil, fmt.Errorf("sta: line %d: primary input %q already declared on line %d", lineNo, net, prev)
+				}
+				if d, dup := driverOf[net]; dup {
+					return nil, fmt.Errorf("sta: line %d: primary input %q is already driven by instance %s", lineNo, net, nl.Instances[d].Name)
+				}
+				inputAt[net] = lineNo
+				nl.PrimaryIn = append(nl.PrimaryIn, net)
+			}
 		case "output":
 			nl.PrimaryOut = append(nl.PrimaryOut, fields[1:]...)
 		case "cap":
@@ -79,10 +96,22 @@ func ParseNetlist(r io.Reader) (*Netlist, error) {
 			if len(fields) < 5 {
 				return nil, fmt.Errorf("sta: line %d: inst needs name type output inputs…", lineNo)
 			}
+			name, out := fields[1], fields[3]
+			if prev, dup := instAt[name]; dup {
+				return nil, fmt.Errorf("sta: line %d: instance %s already defined on line %d", lineNo, name, prev)
+			}
+			if d, dup := driverOf[out]; dup {
+				return nil, fmt.Errorf("sta: line %d: net %q already driven by instance %s", lineNo, out, nl.Instances[d].Name)
+			}
+			if prev, dup := inputAt[out]; dup {
+				return nil, fmt.Errorf("sta: line %d: net %q driven by %s was declared a primary input on line %d", lineNo, out, name, prev)
+			}
+			instAt[name] = lineNo
+			driverOf[out] = len(nl.Instances)
 			nl.Instances = append(nl.Instances, Instance{
-				Name:   fields[1],
+				Name:   name,
 				Type:   fields[2],
-				Output: fields[3],
+				Output: out,
 				Inputs: fields[4:],
 			})
 		default:

@@ -80,6 +80,56 @@ func TestParseNetlist(t *testing.T) {
 	}
 }
 
+// TestParseNetlistRedefinition pins the parse-time rejection of duplicate
+// declarations: each case must fail with an error naming the offending
+// line, not be silently accepted.
+func TestParseNetlistRedefinition(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine string
+	}{
+		{
+			name:     "duplicate primary input",
+			src:      "input a\ninput a\ninst U1 INV y a\n",
+			wantLine: "line 2",
+		},
+		{
+			name:     "duplicate input within one directive",
+			src:      "input a a\ninst U1 INV y a\n",
+			wantLine: "line 1",
+		},
+		{
+			name:     "duplicate instance name",
+			src:      "input a\ninst U1 INV n1 a\ninst U1 INV n2 a\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "net driven twice",
+			src:      "input a\ninst U1 INV n1 a\ninst U2 INV n1 a\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "inst output redefines primary input",
+			src:      "input a b\ninst U1 INV a b\n",
+			wantLine: "line 2",
+		},
+		{
+			name:     "primary input redefines inst output",
+			src:      "input a\ninst U1 INV n1 a\ninput n1\n",
+			wantLine: "line 3",
+		},
+	}
+	for _, c := range cases {
+		_, err := ParseNetlist(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantLine) {
+			t.Errorf("%s: error %q does not name %s", c.name, err, c.wantLine)
+		}
+	}
+}
+
 func TestLevelize(t *testing.T) {
 	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
 	order, err := nl.Levelize()
@@ -100,13 +150,15 @@ inst U2 INV n2 n1
 	if _, err := nl2.Levelize(); err == nil {
 		t.Error("loop accepted")
 	}
-	// Multiple drivers.
-	dup := `
-input a
-inst U1 INV n1 a
-inst U2 INV n1 a
-`
-	nl3, _ := ParseNetlist(strings.NewReader(dup))
+	// Multiple drivers (constructed in code: ParseNetlist now rejects this
+	// at parse time, but Levelize must still guard programmatic netlists).
+	nl3 := &Netlist{
+		PrimaryIn: []string{"a"},
+		Instances: []Instance{
+			{Name: "U1", Type: "INV", Output: "n1", Inputs: []string{"a"}},
+			{Name: "U2", Type: "INV", Output: "n1", Inputs: []string{"a"}},
+		},
+	}
 	if _, err := nl3.Levelize(); err == nil {
 		t.Error("duplicate driver accepted")
 	}
@@ -121,18 +173,115 @@ inst U1 NOR2 n1 a floating
 	}
 	// Primary input that is also instance-driven: evaluation order would
 	// decide which waveform consumers see, so it must be rejected (by both
-	// Levelize and Levels, which share the validation).
-	drv := `
-input n1 n2
-inst U1 INV n1 n2
-inst U2 INV n3 n1
-`
-	nl5, _ := ParseNetlist(strings.NewReader(drv))
+	// Levelize and Levels, which share the validation; ParseNetlist catches
+	// the textual form earlier with a line number).
+	nl5 := &Netlist{
+		PrimaryIn: []string{"n1", "n2"},
+		Instances: []Instance{
+			{Name: "U1", Type: "INV", Output: "n1", Inputs: []string{"n2"}},
+			{Name: "U2", Type: "INV", Output: "n3", Inputs: []string{"n1"}},
+		},
+	}
 	if _, err := nl5.Levelize(); err == nil {
 		t.Error("driven primary input accepted by Levelize")
 	}
 	if _, err := nl5.Levels(); err == nil {
 		t.Error("driven primary input accepted by Levels")
+	}
+}
+
+// TestLevelsEdgeCases covers the scheduler-facing contract of Levels on
+// inputs the c17-shaped happy path never exercises: combinational cycles,
+// dangling/undriven internal nets, and primary inputs fanning out to
+// several levels at once.
+func TestLevelsEdgeCases(t *testing.T) {
+	// Combinational cycle: U1 and U2 feed each other.
+	cyc := `
+input a
+output y
+inst U1 NAND2 n1 a n2
+inst U2 INV n2 n1
+inst U3 INV y n1
+`
+	nl, err := ParseNetlist(strings.NewReader(cyc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Levels(); err == nil {
+		t.Error("Levels accepted a combinational loop")
+	} else if !strings.Contains(err.Error(), "loop") {
+		t.Errorf("loop error = %q, want mention of the loop", err)
+	}
+
+	// Self-loop: an instance consuming its own output.
+	self := `
+input a
+inst U1 NAND2 n1 a n1
+`
+	nl, err = ParseNetlist(strings.NewReader(self))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Levels(); err == nil {
+		t.Error("Levels accepted a self-loop")
+	}
+
+	// Dangling internal net: n2 has no driver and is not a primary input.
+	dangling := `
+input a
+inst U1 INV n1 a
+inst U2 NAND2 y n1 n2
+`
+	nl, err = ParseNetlist(strings.NewReader(dangling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Levels(); err == nil {
+		t.Error("Levels accepted an undriven internal net")
+	} else if !strings.Contains(err.Error(), "n2") {
+		t.Errorf("undriven-net error = %q, want mention of n2", err)
+	}
+
+	// Multi-fanout primary input: a feeds instances at level 0 and deeper
+	// levels directly. Level placement is by deepest *instance* driver, so
+	// U2 (a, n1) sits at level 1 and U3 (a, n2) at level 2 even though both
+	// also consume the level-0 net a.
+	fan := `
+input a
+output y
+inst U1 INV n1 a
+inst U2 NAND2 n2 a n1
+inst U3 NAND2 y a n2
+`
+	nl, err = ParseNetlist(strings.NewReader(fan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	for li, want := range []string{"U1", "U2", "U3"} {
+		if len(levels[li]) != 1 || nl.Instances[levels[li][0]].Name != want {
+			t.Errorf("level %d = %v, want [%s]", li, levels[li], want)
+		}
+	}
+	// Concatenated levels must form a topological order.
+	seen := map[string]bool{"a": true}
+	for _, lvl := range levels {
+		for _, idx := range lvl {
+			for _, in := range nl.Instances[idx].Inputs {
+				if !seen[in] {
+					t.Errorf("instance %s consumes %s before it is driven", nl.Instances[idx].Name, in)
+				}
+			}
+		}
+		for _, idx := range lvl {
+			seen[nl.Instances[idx].Output] = true
+		}
 	}
 }
 
