@@ -20,6 +20,7 @@ import (
 	"mcsm/internal/netlist"
 	"mcsm/internal/spice"
 	"mcsm/internal/sta"
+	"mcsm/internal/sweep"
 	"mcsm/internal/table"
 	"mcsm/internal/wave"
 )
@@ -285,7 +286,7 @@ func BenchmarkVariationCorners(b *testing.B) { benchExperiment(b, "variation") }
 
 func benchAnalyzeC17(b *testing.B, workers int) {
 	b.Helper()
-	nl, err := sta.ParseNetlist(strings.NewReader(engine.C17Netlist))
+	nl, err := sta.ParseNetlist(strings.NewReader(sta.C17Netlist))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func benchAnalyzeC17(b *testing.B, workers int) {
 	}
 	models := map[string]*csm.Model{"NAND2": m}
 	horizon := 4e-9
-	primary := engine.C17Stimulus(cells.Default130().Vdd, horizon)
+	primary := sta.C17Stimulus(cells.Default130().Vdd, horizon)
 	eng := engine.New(workers, nil)
 	opt := sta.Options{Horizon: horizon}
 	b.ResetTimer()
@@ -370,6 +371,50 @@ func BenchmarkStageEngineGen64Serial(b *testing.B) { benchAnalyzeGen(b, 1) }
 // BenchmarkStageEngineGen64Parallel times the same analysis with a
 // GOMAXPROCS-wide worker pool per topological level.
 func BenchmarkStageEngineGen64Parallel(b *testing.B) { benchAnalyzeGen(b, runtime.GOMAXPROCS(0)) }
+
+// ---------------------------------------------------------------------------
+// Sweep benchmarks (internal/sweep): the batched MIS scenario engine on
+// its compact probe grid (one slew/load, five skews, both cells), serial
+// vs worker pool. Surfaces are bit-identical either way (enforced by
+// internal/sweep's tests); the pair measures the wall-time win of point
+// parallelism.
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	sess := benchSession()
+	cfg := sweep.Config{
+		Tech:    cells.Default130(),
+		CharCfg: sess.Cfg.CharCfg,
+		Dt:      4e-12,
+	}
+	grid := sweep.ProbeGrid()
+	r := sweep.New(engine.New(workers, sess.Engine().Cache()), cfg)
+	// Characterize outside the timed region (see runSweepProbe).
+	warmGrid := grid
+	warmGrid.Skews = grid.Skews[:1]
+	if _, err := r.SweepAll(nil, warmGrid); err != nil {
+		b.Fatal(err)
+	}
+	warmEvals := r.PointEvals()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.SweepAll(nil, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(r.PointEvals()-warmEvals)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepProbeSerial times the compact skew sweep with one worker.
+func BenchmarkSweepProbeSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepProbeParallel times the same sweep with a GOMAXPROCS-wide
+// worker pool.
+func BenchmarkSweepProbeParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSkewSweepExperiment regenerates EXP-S2.
+func BenchmarkSkewSweepExperiment(b *testing.B) { benchExperiment(b, "sweep") }
 
 // BenchmarkTechMapC432 times the frontend itself: parsing and technology-
 // mapping the bundled c432-class corpus circuit (no simulation).

@@ -11,10 +11,11 @@
 //	mcsm-bench -quick -json perf.json   # machine-readable perf summary
 //
 // With -json, the run additionally executes a serial-vs-parallel STA probe
-// through internal/engine and writes a JSON summary (per-experiment wall
-// times, characterization-cache hit rate, stage-evals/sec, parallel
-// speedup) so successive PRs have a perf trajectory to compare against.
-// Use "-json -" for stdout.
+// through internal/engine plus a compact MIS skew-sweep probe through
+// internal/sweep, and writes a JSON summary (per-experiment wall times,
+// characterization-cache hit rate, stage-evals/sec, sweep points/sec,
+// parallel speedups, bit-identity checks) so successive PRs have a perf
+// trajectory to compare against. Use "-json -" for stdout.
 //
 // The probe workload defaults to the built-in ISCAS85 c17 (six stages —
 // the historical trajectory baseline); -bench circuit.bench runs it on a
@@ -42,6 +43,7 @@ import (
 	"mcsm/internal/experiments"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
+	"mcsm/internal/sweep"
 	"mcsm/internal/wave"
 )
 
@@ -70,6 +72,18 @@ type staProbe struct {
 	BitIdentical     bool    `json:"bit_identical"`
 }
 
+type sweepProbe struct {
+	Cells           []string `json:"cells"`
+	PointsPerCell   int      `json:"points_per_cell"`
+	Workers         int      `json:"workers"`
+	SerialSeconds   float64  `json:"serial_seconds"`
+	ParallelSeconds float64  `json:"parallel_seconds"`
+	Speedup         float64  `json:"speedup"`
+	PointEvals      int64    `json:"point_evals"`
+	PointsPerSec    float64  `json:"points_per_sec"`
+	BitIdentical    bool     `json:"bit_identical"`
+}
+
 type perfSummary struct {
 	SchemaVersion int          `json:"schema_version"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -78,6 +92,7 @@ type perfSummary struct {
 	Experiments   []expTiming  `json:"experiments"`
 	Cache         cacheSummary `json:"cache"`
 	STAProbe      *staProbe    `json:"sta_probe,omitempty"`
+	SweepProbe    *sweepProbe  `json:"sweep_probe,omitempty"`
 }
 
 func main() {
@@ -157,9 +172,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("sta probe: %w", err))
 	}
+	swProbe, err := runSweepProbe(sess)
+	if err != nil {
+		fatal(fmt.Errorf("sweep probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -167,7 +186,8 @@ func main() {
 		Cache: cacheSummary{
 			Hits: st.Hits, Misses: st.Misses, DiskHits: st.DiskHits, HitRate: st.HitRate(),
 		},
-		STAProbe: probe,
+		STAProbe:   probe,
+		SweepProbe: swProbe,
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -200,7 +220,7 @@ type probeNetlist struct {
 // stimulus over a depth-derived window.
 func probeWorkload(benchPath string, genGates int) (*probeNetlist, error) {
 	if benchPath == "" && genGates == 0 {
-		nl, err := sta.ParseNetlist(strings.NewReader(engine.C17Netlist))
+		nl, err := sta.ParseNetlist(strings.NewReader(sta.C17Netlist))
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +232,7 @@ func probeWorkload(benchPath string, genGates int) (*probeNetlist, error) {
 		return &probeNetlist{
 			name: "c17", nl: nl, levels: len(levels), horizon: horizon,
 			primary: func(vdd float64) map[string]wave.Waveform {
-				return engine.C17Stimulus(vdd, horizon)
+				return sta.C17Stimulus(vdd, horizon)
 			},
 		}, nil
 	}
@@ -320,6 +340,72 @@ func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error)
 	if parallelSec > 0 {
 		probe.Speedup = serialSec / parallelSec
 		probe.StageEvalsPerSec = float64(len(wl.nl.Instances)) / parallelSec
+	}
+	return probe, nil
+}
+
+// runSweepProbe times a compact MIS skew sweep (internal/sweep) serially
+// and on a worker pool, sharing the session's model cache, and checks the
+// surfaces agree bit-for-bit — the sweep counterpart of the STA probe, so
+// sweep throughput joins the PR-over-PR perf trajectory.
+func runSweepProbe(sess *experiments.Session) (*sweepProbe, error) {
+	cfg := sweep.Config{
+		Tech:    sess.Cfg.Tech,
+		CharCfg: sess.Cfg.CharCfg,
+		Dt:      sess.Cfg.Dt,
+	}
+	grid := sweep.ProbeGrid()
+	cache := sess.Engine().Cache()
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	serial := sweep.New(engine.New(1, cache), cfg)
+	parallel := sweep.New(engine.New(workers, cache), cfg)
+	cellNames := sweep.DefaultCells()
+
+	// Pre-warm the shared cache (the STA probe does the same via
+	// ModelsFor): characterization must not land in the serial pass's
+	// timing, or speedup and points/sec become artifacts of which -only
+	// subset already characterized these cells. The warm-up runner is
+	// discarded so its evals don't pollute the probe counters.
+	warmGrid := grid
+	warmGrid.Skews = grid.Skews[:1]
+	if _, err := sweep.New(engine.New(1, cache), cfg).SweepAll(cellNames, warmGrid); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	serialSurf, err := serial.SweepAll(cellNames, grid)
+	if err != nil {
+		return nil, err
+	}
+	serialSec := time.Since(start).Seconds()
+	start = time.Now()
+	parallelSurf, err := parallel.SweepAll(cellNames, grid)
+	if err != nil {
+		return nil, err
+	}
+	parallelSec := time.Since(start).Seconds()
+
+	identical := len(serialSurf) == len(parallelSurf)
+	for i := range serialSurf {
+		if !identical || !sweep.SurfacesIdentical(serialSurf[i], parallelSurf[i]) {
+			identical = false
+			break
+		}
+	}
+	probe := &sweepProbe{
+		Cells:         cellNames,
+		PointsPerCell: grid.Size(),
+		Workers:       workers,
+		SerialSeconds: serialSec, ParallelSeconds: parallelSec,
+		PointEvals:   serial.PointEvals() + parallel.PointEvals(),
+		BitIdentical: identical,
+	}
+	if parallelSec > 0 {
+		probe.Speedup = serialSec / parallelSec
+		probe.PointsPerSec = float64(grid.Size()*len(cellNames)) / parallelSec
 	}
 	return probe, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mcsm/internal/testutil"
 	"mcsm/internal/wave"
 )
 
@@ -33,36 +34,37 @@ func TestParseTime(t *testing.T) {
 }
 
 func TestApplyArrivalSpec(t *testing.T) {
+	vdd := testutil.Tech().Vdd
 	base := func() map[string]wave.Waveform {
 		return map[string]wave.Waveform{
-			"a": wave.SaturatedRamp(0, 1.2, 1e-9, 80e-12, 4e-9),
-			"b": wave.SaturatedRamp(0, 1.2, 1e-9, 80e-12, 4e-9),
+			"a": wave.SaturatedRamp(0, vdd, 1e-9, 80e-12, 4e-9),
+			"b": wave.SaturatedRamp(0, vdd, 1e-9, 80e-12, 4e-9),
 		}
 	}
 	// Empty spec leaves the defaults alone.
 	m := base()
-	if err := applyArrivalSpec(m, 1.2, "", 80e-12, 4e-9); err != nil {
+	if err := applyArrivalSpec(m, vdd, "", 80e-12, 4e-9); err != nil {
 		t.Fatal(err)
 	}
-	if v := m["a"].At(3e-9); math.Abs(v-1.2) > 1e-9 {
+	if v := m["a"].At(3e-9); math.Abs(v-vdd) > 1e-9 {
 		t.Errorf("default rise did not reach vdd: %g", v)
 	}
 
 	// Explicit spec overrides individual nets.
 	m = base()
-	if err := applyArrivalSpec(m, 1.2, "a:fall@2n,b:high@0", 80e-12, 4e-9); err != nil {
+	if err := applyArrivalSpec(m, vdd, "a:fall@2n,b:high@0", 80e-12, 4e-9); err != nil {
 		t.Fatal(err)
 	}
 	if v := m["a"].At(3e-9); v > 0.01 {
 		t.Errorf("fall arrival did not reach 0: %g", v)
 	}
-	if v := m["b"].At(0.5e-9); math.Abs(v-1.2) > 1e-9 {
+	if v := m["b"].At(0.5e-9); math.Abs(v-vdd) > 1e-9 {
 		t.Errorf("held-high input = %g", v)
 	}
 
 	// Error cases.
 	for _, bad := range []string{"a@1n", "a:rise", "a:sideways@1n", "a:rise@xx"} {
-		if err := applyArrivalSpec(base(), 1.2, bad, 80e-12, 4e-9); err == nil {
+		if err := applyArrivalSpec(base(), vdd, bad, 80e-12, 4e-9); err == nil {
 			t.Errorf("accepted %q", bad)
 		}
 	}

@@ -1,0 +1,153 @@
+// Command mcsm-sweep runs the batched MIS scenario engine
+// (internal/sweep): a skew/slew/load grid per fully-modeled multi-input
+// cell, each point one canonical MIS event evaluated through the shared
+// characterization cache on a worker pool, with optional flat
+// transistor-level reference samples for error statistics.
+//
+// Usage:
+//
+//	mcsm-sweep                                   # default grid, all cells, CSV to stdout
+//	mcsm-sweep -cells NAND2 -format json -o s.json
+//	mcsm-sweep -grid "skew=-160p:160p:40p;slew=80p;load=2f,5f" -ref-sample 6
+//	mcsm-sweep -quick -parallel 1                # reduced grid, serial
+//
+// The -grid axes default to the paper-scale surface (see sweep.DefaultGrid)
+// and may be overridden individually. Results are deterministic and
+// bit-identical regardless of -parallel (the engine's STA guarantee,
+// extended to sweeps and enforced by test); CSV floats use the exact
+// shortest round-trip form, so diffing two runs is a bit-level comparison.
+// Per-cell error statistics and throughput go to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/engine"
+	"mcsm/internal/sweep"
+)
+
+func main() {
+	var (
+		gridSpec  = flag.String("grid", "", "grid override: skew=lo:hi:step;slew=v1,v2;load=v1,v2 (suffixes f/p/n/u; omitted axes keep defaults)")
+		cellList  = flag.String("cells", "", "comma-separated cells to sweep (default: every fully-modeled multi-input cell)")
+		parallel  = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+		refSample = flag.Int("ref-sample", 0, "simulate every Nth grid point at flat transistor level for error statistics (0 = off)")
+		format    = flag.String("format", "csv", "output format: csv or json")
+		outPath   = flag.String("o", "-", "output path (\"-\" = stdout)")
+		quick     = flag.Bool("quick", false, "reduced grid (sweep.QuickGrid) for smoke runs")
+		fast      = flag.Bool("fast", true, "reduced-fidelity characterization")
+		dtSpec    = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps)")
+		cacheDir  = flag.String("cache", "", "model cache directory: spill characterized models as JSON and reload them on later runs")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (mcsm-sweep takes only flags)", flag.Arg(0)))
+	}
+	if *format != "csv" && *format != "json" {
+		fatal(fmt.Errorf("unknown format %q (want csv or json)", *format))
+	}
+	if *refSample < 0 {
+		fatal(fmt.Errorf("-ref-sample %d: must be non-negative", *refSample))
+	}
+
+	base := sweep.DefaultGrid()
+	if *quick {
+		base = sweep.QuickGrid()
+	}
+	grid, err := sweep.ParseGrid(*gridSpec, base)
+	if err != nil {
+		fatal(err)
+	}
+	cellNames := splitCells(*cellList)
+	var dt float64
+	if *dtSpec != "" {
+		if dt, err = sweep.ParseSI(*dtSpec); err != nil {
+			fatal(err)
+		}
+	}
+
+	charCfg := csm.DefaultConfig()
+	if *fast {
+		charCfg = csm.FastConfig()
+	}
+	cfg := sweep.Config{
+		Tech:     cells.Default130(),
+		CharCfg:  charCfg,
+		Dt:       dt,
+		RefEvery: *refSample,
+	}
+	eng := engine.New(*parallel, engine.NewSpillCache(*cacheDir))
+	runner := sweep.New(eng, cfg)
+
+	if len(cellNames) == 0 {
+		cellNames = sweep.DefaultCells()
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %d points × %v (%d workers)...\n", grid.Size(), cellNames, eng.Workers())
+	start := time.Now()
+	surfaces, err := runner.SweepAll(cellNames, grid)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	out := os.Stdout
+	var outFile *os.File
+	if *outPath != "-" {
+		if outFile, err = os.Create(*outPath); err != nil {
+			fatal(err)
+		}
+		out = outFile
+	}
+	if *format == "json" {
+		err = sweep.WriteJSON(out, surfaces)
+	} else {
+		err = sweep.WriteCSV(out, surfaces)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	// The CSV doubles as a bit-level artifact: surface short writes that
+	// only Close reports instead of exiting 0 with a truncated file.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, s := range surfaces {
+		if s.Stats.RefPoints > 0 {
+			fmt.Fprintf(os.Stderr, "%s (%s): %d points; vs flat SPICE at %d: |err| mean %.2f ps, max %.2f ps (skew %+.0f ps)\n",
+				s.Cell, s.Kind, len(s.Results), s.Stats.RefPoints,
+				s.Stats.MeanAbsErr*1e12, s.Stats.MaxAbsErr*1e12, s.Stats.MaxErrAt.Skew*1e12)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s (%s): %d points\n", s.Cell, s.Kind, len(s.Results))
+		}
+	}
+	st := eng.Cache().Stats()
+	evals := runner.PointEvals() + runner.RefEvals()
+	fmt.Fprintf(os.Stderr, "%d evals in %s (%.1f points/s); cache: %d models, hit rate %.0f%%\n",
+		evals, elapsed.Truncate(time.Millisecond), float64(evals)/elapsed.Seconds(), st.Entries, 100*st.HitRate())
+}
+
+// splitCells reads the -cells list; an empty or blank spec yields nil
+// (the default cell set).
+func splitCells(spec string) []string {
+	var out []string
+	for _, c := range strings.Split(spec, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-sweep:", err)
+	os.Exit(1)
+}

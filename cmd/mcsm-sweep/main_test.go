@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"mcsm/internal/sweep"
+)
+
+func TestSplitCells(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ", nil},
+		{"NAND2", []string{"NAND2"}},
+		{"NAND2,NOR2", []string{"NAND2", "NOR2"}},
+		{" NAND2 , NOR2 ,", []string{"NAND2", "NOR2"}},
+	}
+	for _, c := range cases {
+		got := splitCells(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitCells(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitCells(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestDefaultGridFlagRoundTrip pins the contract between the CLI's -grid
+// documentation and the sweep parser: the documented example spec parses
+// onto the default axes it claims to override.
+func TestDefaultGridFlagRoundTrip(t *testing.T) {
+	g, err := sweep.ParseGrid("skew=-160p:160p:40p;slew=40p,80p;load=2f,5f,10f", sweep.DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sweep.DefaultGrid()
+	if g.Size() != d.Size() {
+		t.Errorf("documented example grid (%d points) disagrees with the default (%d)", g.Size(), d.Size())
+	}
+}

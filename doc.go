@@ -8,7 +8,9 @@
 // HSPICE, a 130 nm-class cell library, the SIS and internal-node-blind
 // baseline models, an NLDM voltage-based baseline, a crosstalk bench, a
 // waveform-propagating timing engine, a level-parallel evaluation layer
-// (internal/engine) with a shared characterization cache, and a benchmark
+// (internal/engine) with a shared characterization cache, a batched MIS
+// skew/slew/load sweep engine (internal/sweep) producing the paper's
+// delay-vs-skew surfaces with flat-SPICE error statistics, and a benchmark
 // frontend (internal/netlist) that parses ISCAS-85 .bench circuits,
 // generates seeded synthetic DAG workloads, and technology-maps both onto
 // the characterized cell library.

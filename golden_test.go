@@ -1,0 +1,116 @@
+package mcsm
+
+// Golden regression fixtures: canonical STA reports for the c17 benchmark
+// and the c432-class corpus circuit, plus one canonical sweep surface,
+// committed under testdata/golden/. The tests fail on any bit-level drift
+// of arrivals, slews, directions, waveform samples (via FNV fingerprints),
+// MIS lists, or sweep measurements — the cross-PR complement of the
+// in-process serial-vs-parallel equivalence tests: they catch uninten-
+// tional numeric changes introduced by *code* changes, not just by
+// scheduling. Regenerate intentionally with:
+//
+//	go test . -run Golden -update
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mcsm/internal/engine"
+	"mcsm/internal/netlist"
+	"mcsm/internal/sta"
+	"mcsm/internal/sweep"
+	"mcsm/internal/testutil"
+)
+
+const goldenDir = "testdata/golden"
+
+// goldenEngine is shared by all golden tests so each coarse model (INV,
+// NAND2, NOR2) characterizes exactly once per test binary.
+var (
+	goldenEngOnce sync.Once
+	goldenEng     *engine.Engine
+)
+
+func goldenEngine() *engine.Engine {
+	goldenEngOnce.Do(func() { goldenEng = engine.New(0, nil) })
+	return goldenEng
+}
+
+// TestGoldenC17Report pins the canonical c17 analysis (coarse NAND2 MCSM,
+// canonical stimulus, 2 ps step, MIS mode) bit-for-bit.
+func TestGoldenC17Report(t *testing.T) {
+	eng := goldenEngine()
+	nl, primary, opt := testutil.C17Fixture(t)
+	models, err := eng.ModelsFor(testutil.Tech(), nl, testutil.CoarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Analyze(nl, models, primary, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_sta.json"),
+		testutil.MarshalReport(t, "c17", rep))
+}
+
+// TestGoldenC432Report pins the mid-size corpus analysis: the technology-
+// mapped c432-class circuit (552 cells) under the staggered corpus
+// stimulus, over the same window/step as the engine's mid-size
+// equivalence test.
+func TestGoldenC432Report(t *testing.T) {
+	f, err := os.Open("internal/netlist/testdata/c432.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := netlist.ParseBench(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := netlist.Map(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := goldenEngine()
+	models, err := eng.ModelsFor(testutil.Tech(), nl, testutil.CoarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2.6e-9
+	primary := netlist.Stimulus(nl.PrimaryIn, testutil.Tech().Vdd, 80e-12, horizon)
+	rep, err := eng.Analyze(nl, models, primary, sta.Options{Horizon: horizon, Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.Golden(t, filepath.Join(goldenDir, "c432_sta.json"),
+		testutil.MarshalReport(t, "c432", rep))
+}
+
+// TestGoldenNAND2Sweep pins one canonical sweep surface: the NAND2 MIS
+// skew sweep on the standard test grid with flat-SPICE references every
+// fifth point, in the exact-float CSV encoding.
+func TestGoldenNAND2Sweep(t *testing.T) {
+	runner := sweep.New(goldenEngine(), sweep.Config{
+		Tech:     testutil.Tech(),
+		CharCfg:  testutil.CoarseConfig(),
+		Dt:       4e-12,
+		RefEvery: 5,
+	})
+	grid := sweep.Grid{
+		Skews: sweep.Span(-120e-12, 120e-12, 60e-12),
+		Slews: []float64{80e-12},
+		Loads: []float64{2e-15, 8e-15},
+	}
+	surf, err := runner.Sweep("NAND2", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteCSV(&buf, []*sweep.Surface{surf}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Golden(t, filepath.Join(goldenDir, "nand2_sweep.csv"), buf.Bytes())
+}

@@ -52,6 +52,22 @@ func NOR2HistoryInputs(vdd float64, caseNo int, tm HistoryTiming) (wa, wb wave.W
 	return late, early // B first: '01' history
 }
 
+// SkewedPairInputs builds the canonical two-input MIS stimulus: input A
+// switches at t0 and input B at t0+skew (skew may be negative — B first),
+// both with the same 0–100% transition time. rising selects the direction
+// (true: 0→vdd). With skew 0 this is the simultaneous event of Fig. 11;
+// sweeping skew traces the delay-vs-skew surfaces the MIS literature
+// validates against (internal/sweep).
+func SkewedPairInputs(vdd float64, rising bool, t0, skew, slew, tEnd float64) (wa, wb wave.Waveform) {
+	mk := func(at float64) wave.Waveform {
+		if rising {
+			return wave.SaturatedRamp(0, vdd, at, slew, tEnd)
+		}
+		return wave.SaturatedRamp(vdd, 0, at, slew, tEnd)
+	}
+	return mk(t0), mk(t0 + skew)
+}
+
 // NOR2HistoryScenario builds the complete transistor-level bench for one
 // history case: a NOR2 driving `fanout` minimum inverters, inputs wired to
 // the §2.2 waveforms. It returns the engine, circuit, and instance.

@@ -142,6 +142,24 @@ func firstCrossAfter(w wave.Waveform, level, after float64) (float64, bool) {
 // verifyReference simulates the transistor-level cell on the scenario, with
 // the model's held pins parked at their characterization levels.
 func verifyReference(tech cells.Tech, spec cells.Spec, m *Model, inputs []wave.Waveform, loadCap, tEnd, dt float64) (wave.Waveform, error) {
+	return referenceStage(tech, spec, m, inputs, CapLoad(loadCap), tEnd, dt)
+}
+
+// ReferenceStage simulates the transistor-level cell a model was
+// characterized from, driven by the given modeled-input waveforms into the
+// given load, with the model's held pins parked at their characterization
+// levels. It is the flat-SPICE ground truth for a single stage — what
+// Verify scores against and what the sweep subsystem samples for its
+// MCSM-vs-SPICE error statistics.
+func ReferenceStage(tech cells.Tech, m *Model, inputs []wave.Waveform, load Load, tEnd, dt float64) (wave.Waveform, error) {
+	spec, err := cells.Get(m.Cell)
+	if err != nil {
+		return wave.Waveform{}, err
+	}
+	return referenceStage(tech, spec, m, inputs, load, tEnd, dt)
+}
+
+func referenceStage(tech cells.Tech, spec cells.Spec, m *Model, inputs []wave.Waveform, load Load, tEnd, dt float64) (wave.Waveform, error) {
 	c := spice.NewCircuit()
 	vddN := c.Node("vdd")
 	c.AddVSource("VDD", vddN, spice.Ground, spice.DC(tech.Vdd))
@@ -161,7 +179,9 @@ func verifyReference(tech cells.Tech, spec cells.Spec, m *Model, inputs []wave.W
 	}
 	out := c.Node("out")
 	spec.Build(c, tech, "X", nodes, out, vddN, spec.Drive)
-	c.AddCapacitor("CL", out, spice.Ground, loadCap)
+	if load != nil {
+		load.Attach(c, out)
+	}
 	res, err := spice.NewEngine(c, spice.DefaultOptions()).Run(0, tEnd, dt)
 	if err != nil {
 		return wave.Waveform{}, err

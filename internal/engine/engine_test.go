@@ -1,123 +1,20 @@
 package engine
 
 import (
-	"math"
 	"strings"
-	"sync"
 	"testing"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
 	"mcsm/internal/sta"
-	"mcsm/internal/units"
+	"mcsm/internal/testutil"
 	"mcsm/internal/wave"
 )
-
-// coarseConfig is a deliberately cheap characterization: the equivalence
-// tests compare the engine against itself and the serial path bitwise, so
-// model fidelity is irrelevant — only that both paths consume the same
-// tables.
-func coarseConfig() csm.Config {
-	return csm.Config{
-		GridCurrent:  5,
-		GridInternal: 7,
-		GridCap:      3,
-		SlewTimes:    []float64{80 * units.PS},
-		TranDt:       2 * units.PS,
-	}
-}
-
-var (
-	nandOnce  sync.Once
-	nandModel *csm.Model
-	nandErr   error
-)
-
-func testModels(t *testing.T) map[string]*csm.Model {
-	t.Helper()
-	nandOnce.Do(func() {
-		spec, err := cells.Get("NAND2")
-		if err != nil {
-			nandErr = err
-			return
-		}
-		nandModel, nandErr = csm.Characterize(cells.Default130(), spec, csm.KindMCSM, coarseConfig())
-	})
-	if nandErr != nil {
-		t.Fatal(nandErr)
-	}
-	return map[string]*csm.Model{"NAND2": nandModel}
-}
-
-func c17Fixture(t *testing.T) (*sta.Netlist, map[string]wave.Waveform, sta.Options) {
-	t.Helper()
-	nl, err := sta.ParseNetlist(strings.NewReader(C17Netlist))
-	if err != nil {
-		t.Fatal(err)
-	}
-	horizon := 4e-9
-	primary := C17Stimulus(cells.Default130().Vdd, horizon)
-	return nl, primary, sta.Options{Horizon: horizon, Dt: 2e-12}
-}
-
-// sameBits compares floats bitwise so that identical NaNs compare equal.
-func sameBits(a, b float64) bool {
-	return math.Float64bits(a) == math.Float64bits(b)
-}
-
-// requireIdenticalReports asserts bit-exact equality of two reports: same
-// net set, bitwise-equal arrivals and slews, same directions, sample-exact
-// waveforms, and the same MIS instance list.
-func requireIdenticalReports(t *testing.T, label string, a, b *sta.Report) {
-	t.Helper()
-	if a.Vdd != b.Vdd {
-		t.Fatalf("%s: vdd %g vs %g", label, a.Vdd, b.Vdd)
-	}
-	if len(a.Nets) != len(b.Nets) {
-		t.Fatalf("%s: %d nets vs %d", label, len(a.Nets), len(b.Nets))
-	}
-	for net, ra := range a.Nets {
-		rb, ok := b.Nets[net]
-		if !ok {
-			t.Fatalf("%s: net %s missing from second report", label, net)
-		}
-		if !sameBits(ra.Arrival, rb.Arrival) {
-			t.Errorf("%s: net %s arrival %v vs %v", label, net, ra.Arrival, rb.Arrival)
-		}
-		if !sameBits(ra.Slew, rb.Slew) {
-			t.Errorf("%s: net %s slew %v vs %v", label, net, ra.Slew, rb.Slew)
-		}
-		if ra.Rising != rb.Rising {
-			t.Errorf("%s: net %s direction mismatch", label, net)
-		}
-		if len(ra.Wave.T) != len(rb.Wave.T) {
-			t.Errorf("%s: net %s waveform has %d vs %d samples", label, net, len(ra.Wave.T), len(rb.Wave.T))
-			continue
-		}
-		for i := range ra.Wave.T {
-			if !sameBits(ra.Wave.T[i], rb.Wave.T[i]) || !sameBits(ra.Wave.V[i], rb.Wave.V[i]) {
-				t.Errorf("%s: net %s waveform differs at sample %d", label, net, i)
-				break
-			}
-		}
-	}
-	if len(a.MISInstances) != len(b.MISInstances) {
-		t.Fatalf("%s: MIS %v vs %v", label, a.MISInstances, b.MISInstances)
-	}
-	for i := range a.MISInstances {
-		if a.MISInstances[i] != b.MISInstances[i] {
-			t.Fatalf("%s: MIS %v vs %v", label, a.MISInstances, b.MISInstances)
-		}
-	}
-}
 
 // TestLevels checks the c17 level structure and that concatenated levels
 // form a topological order.
 func TestLevels(t *testing.T) {
-	nl, err := sta.ParseNetlist(strings.NewReader(C17Netlist))
-	if err != nil {
-		t.Fatal(err)
-	}
+	nl, _, _ := testutil.C17Fixture(t)
 	levels, err := nl.Levels()
 	if err != nil {
 		t.Fatal(err)
@@ -142,8 +39,8 @@ func TestLevels(t *testing.T) {
 // with 1 worker, with N workers, and via the serial sta.Analyze reference
 // must produce bit-identical reports, in both propagation modes.
 func TestSerialParallelBitExact(t *testing.T) {
-	models := testModels(t)
-	nl, primary, opt := c17Fixture(t)
+	models := testutil.CoarseNAND2Models(t)
+	nl, primary, opt := testutil.C17Fixture(t)
 
 	for _, mode := range []sta.Mode{sta.ModeMIS, sta.ModeSIS} {
 		o := opt
@@ -165,8 +62,8 @@ func TestSerialParallelBitExact(t *testing.T) {
 		if mode == sta.ModeSIS {
 			label = "SIS"
 		}
-		requireIdenticalReports(t, label+" serial-vs-sta.Analyze", serial, ref)
-		requireIdenticalReports(t, label+" parallel-vs-sta.Analyze", par, ref)
+		testutil.RequireIdenticalReports(t, label+" serial-vs-sta.Analyze", serial, ref)
+		testutil.RequireIdenticalReports(t, label+" parallel-vs-sta.Analyze", par, ref)
 		// The exported contract predicate must agree with the detailed check.
 		if !ReportsIdentical(serial, ref) || !ReportsIdentical(par, ref) {
 			t.Errorf("%s: ReportsIdentical disagrees with the detailed comparison", label)
@@ -197,8 +94,8 @@ func TestSerialParallelBitExact(t *testing.T) {
 
 // TestAnalyzeErrors mirrors the serial path's error behavior.
 func TestAnalyzeErrors(t *testing.T) {
-	models := testModels(t)
-	nl, primary, opt := c17Fixture(t)
+	models := testutil.CoarseNAND2Models(t)
+	nl, primary, opt := testutil.C17Fixture(t)
 
 	// Missing primary waveform.
 	broken := map[string]wave.Waveform{}
@@ -218,12 +115,12 @@ func TestAnalyzeErrors(t *testing.T) {
 
 // TestModelsFor characterizes a netlist's cell set through the cache.
 func TestModelsFor(t *testing.T) {
-	nl, err := sta.ParseNetlist(strings.NewReader(C17Netlist))
+	nl, err := sta.ParseNetlist(strings.NewReader(sta.C17Netlist))
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := New(4, nil)
-	models, err := eng.ModelsFor(cells.Default130(), nl, coarseConfig())
+	models, err := eng.ModelsFor(cells.Default130(), nl, testutil.CoarseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +131,7 @@ func TestModelsFor(t *testing.T) {
 		t.Errorf("NAND2 kind = %v, want MCSM", models["NAND2"].Kind)
 	}
 	// A second call must be served from cache.
-	again, err := eng.ModelsFor(cells.Default130(), nl, coarseConfig())
+	again, err := eng.ModelsFor(cells.Default130(), nl, testutil.CoarseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"mcsm/internal/cells"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
+	"mcsm/internal/testutil"
 )
 
 // TestSerialParallelBitExactMidSize extends the determinism contract from
@@ -36,7 +37,7 @@ func TestSerialParallelBitExactMidSize(t *testing.T) {
 
 	tech := cells.Default130()
 	serialEng := New(1, nil)
-	models, err := serialEng.ModelsFor(tech, nl, coarseConfig())
+	models, err := serialEng.ModelsFor(tech, nl, testutil.CoarseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSerialParallelBitExactMidSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireIdenticalReports(t, "mid-size serial-vs-parallel", serial, parallel)
+	testutil.RequireIdenticalReports(t, "mid-size serial-vs-parallel", serial, parallel)
 	if !ReportsIdentical(serial, parallel) {
 		t.Error("ReportsIdentical disagrees with the detailed comparison")
 	}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// probeReport builds a small well-formed report the edge-case table
+// mutates.
+func probeReport() *sta.Report {
+	w := wave.MustNew([]float64{0, 1e-9, 2e-9}, []float64{0, 0.6, 1.2})
+	return &sta.Report{
+		Vdd: 1.2,
+		Nets: map[string]sta.NetResult{
+			"a": {Wave: w, Arrival: 1e-9, Slew: 80e-12, Rising: true},
+			"b": {Wave: wave.Waveform{}, Arrival: math.NaN(), Slew: 0, Rising: false},
+		},
+		MISInstances: []string{"G1"},
+	}
+}
+
+// TestReportsIdenticalEdgeCases pins the contract predicate on the inputs
+// the happy-path equivalence tests never produce: nil reports, mismatched
+// net sets, differing sample counts, NaN fields, and ordering-sensitive
+// MIS lists.
+func TestReportsIdenticalEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b func() *sta.Report
+		want bool
+	}{
+		{"both nil", func() *sta.Report { return nil }, func() *sta.Report { return nil }, true},
+		{"nil vs report", func() *sta.Report { return nil }, probeReport, false},
+		{"report vs nil", probeReport, func() *sta.Report { return nil }, false},
+		{"identical", probeReport, probeReport, true},
+		{"identical NaN arrivals", probeReport, probeReport, true},
+		{"vdd differs", probeReport, func() *sta.Report {
+			r := probeReport()
+			r.Vdd = 1.1
+			return r
+		}, false},
+		{"net missing", probeReport, func() *sta.Report {
+			r := probeReport()
+			delete(r.Nets, "b")
+			return r
+		}, false},
+		{"net renamed", probeReport, func() *sta.Report {
+			r := probeReport()
+			r.Nets["c"] = r.Nets["b"]
+			delete(r.Nets, "b")
+			return r
+		}, false},
+		{"arrival one ulp off", probeReport, func() *sta.Report {
+			r := probeReport()
+			n := r.Nets["a"]
+			n.Arrival = math.Nextafter(n.Arrival, 1)
+			r.Nets["a"] = n
+			return r
+		}, false},
+		{"NaN vs number arrival", probeReport, func() *sta.Report {
+			r := probeReport()
+			n := r.Nets["b"]
+			n.Arrival = 0
+			r.Nets["b"] = n
+			return r
+		}, false},
+		{"direction flipped", probeReport, func() *sta.Report {
+			r := probeReport()
+			n := r.Nets["a"]
+			n.Rising = false
+			r.Nets["a"] = n
+			return r
+		}, false},
+		{"sample count differs", probeReport, func() *sta.Report {
+			r := probeReport()
+			n := r.Nets["a"]
+			n.Wave = wave.MustNew([]float64{0, 2e-9}, []float64{0, 1.2})
+			r.Nets["a"] = n
+			return r
+		}, false},
+		{"sample value differs", probeReport, func() *sta.Report {
+			r := probeReport()
+			n := r.Nets["a"]
+			n.Wave = wave.MustNew([]float64{0, 1e-9, 2e-9}, []float64{0, 0.6000000000000001, 1.2})
+			r.Nets["a"] = n
+			return r
+		}, false},
+		{"MIS list differs", probeReport, func() *sta.Report {
+			r := probeReport()
+			r.MISInstances = []string{"G2"}
+			return r
+		}, false},
+		{"MIS list longer", probeReport, func() *sta.Report {
+			r := probeReport()
+			r.MISInstances = append(r.MISInstances, "G2")
+			return r
+		}, false},
+		{"empty vs nil MIS list", func() *sta.Report {
+			r := probeReport()
+			r.MISInstances = nil
+			return r
+		}, func() *sta.Report {
+			r := probeReport()
+			r.MISInstances = []string{}
+			return r
+		}, true},
+	}
+	for _, c := range cases {
+		if got := ReportsIdentical(c.a(), c.b()); got != c.want {
+			t.Errorf("%s: ReportsIdentical = %v, want %v", c.name, got, c.want)
+		}
+		// The predicate is symmetric.
+		if got := ReportsIdentical(c.b(), c.a()); got != c.want {
+			t.Errorf("%s (swapped): ReportsIdentical = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCacheStatsHitRate covers the counter arithmetic, including the
+// zero-lookup cache.
+func TestCacheStatsHitRate(t *testing.T) {
+	cases := []struct {
+		name  string
+		stats CacheStats
+		want  float64
+	}{
+		{"zero lookups", CacheStats{}, 0},
+		{"fresh cache stats", NewModelCache().Stats(), 0},
+		{"all misses", CacheStats{Misses: 4}, 0},
+		{"all hits", CacheStats{Hits: 3}, 1},
+		{"mixed", CacheStats{Hits: 3, Misses: 1}, 0.75},
+		{"disk hits are misses", CacheStats{Hits: 1, Misses: 1, DiskHits: 1}, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.stats.HitRate(); got != c.want {
+			t.Errorf("%s: HitRate() = %g, want %g", c.name, got, c.want)
+		}
+	}
+}

@@ -97,10 +97,10 @@ func glitchInputs(vdd float64) (wa, wb wave.Waveform, tEnd float64) {
 }
 
 // misInputs builds the Fig. 11 stimulus: both inputs fall simultaneously
-// from '11', the canonical MIS event.
+// from '11', the canonical MIS event (a zero-skew point of the sweep
+// subsystem's skew axis).
 func misInputs(vdd float64) (wa, wb wave.Waveform, tEnd float64) {
 	tEnd = 3.2e-9
-	wa = wave.SaturatedRamp(vdd, 0, 2.0e-9, 80e-12, tEnd)
-	wb = wave.SaturatedRamp(vdd, 0, 2.0e-9, 80e-12, tEnd)
+	wa, wb = cells.SkewedPairInputs(vdd, false, 2.0e-9, 0, 80e-12, tEnd)
 	return wa, wb, tEnd
 }

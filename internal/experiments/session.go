@@ -121,6 +121,7 @@ func All() []Experiment {
 		{ID: "abl-select", Title: "EXP-A4 — §3.4 selective modeling threshold", Run: runAblSelective},
 		{ID: "abl-nmiller", Title: "EXP-A5 — cost of the §3.2 internal-Miller simplification", Run: runAblNMiller},
 		{ID: "sta", Title: "EXP-S1 — waveform STA: MIS vs SIS vs flat transistor", Run: runSTAExp},
+		{ID: "sweep", Title: "EXP-S2 — MIS delay-vs-skew surfaces (batched sweep engine)", Run: runSkewSweep},
 	}
 }
 

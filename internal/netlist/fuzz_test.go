@@ -1,0 +1,110 @@
+package netlist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseBench fuzzes the .bench frontend's full round trip: any input
+// the parser accepts must write back out (WriteBench), re-parse, and
+// yield an equivalent circuit whose canonical form is a fixpoint — and no
+// input, however mangled, may panic the parser. The seed corpus is the
+// bundled benchmark testdata plus crafted edge cases.
+func FuzzParseBench(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeded := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".bench" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		seeded++
+	}
+	if seeded == 0 {
+		f.Fatal("no .bench seeds under testdata")
+	}
+	// Crafted seeds: minimal valid circuits and near-miss syntax the
+	// mutator can explore from.
+	for _, s := range []string{
+		"INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n",
+		"# comment only\n",
+		"INPUT(a)\nOUTPUT(a)\n",
+		"input(a)\noutput(y)\ny = not(a)\n",          // lower-case keywords
+		"INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n",          // spelling variant
+		"INPUT(a)\ny = NAND(a)\n",                    // under-arity NAND (accepted: n-ary)
+		"INPUT(a)\nOUTPUT(y)\ny = XYZ(a)\n",          // unknown gate
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n",       // over-arity NOT
+		"INPUT(a)\nINPUT(a)\n",                       // duplicate input
+		"INPUT(a)\nOUTPUT(y)\ny = NAND(a,\n",         // unterminated call
+		"INPUT(a)\nOUTPUT(y)\ny = NAND(a, b)\n",      // undriven reference
+		"INPUT(=)\n",                                 // bad net name
+		"INPUT(a)\nOUTPUT(y)\ny  =  NAND( a , a )\n", // whitespace variants
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseBench(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		var out bytes.Buffer
+		if err := c.WriteBench(&out); err != nil {
+			t.Fatalf("accepted circuit fails to write: %v", err)
+		}
+		c2, err := ParseBench(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("written circuit fails to re-parse: %v\n%s", err, out.Bytes())
+		}
+		requireEquivalent(t, c, c2)
+		// The canonical form is a fixpoint: writing the re-parsed circuit
+		// reproduces the bytes exactly.
+		var again bytes.Buffer
+		if err := c2.WriteBench(&again); err != nil {
+			t.Fatalf("re-parsed circuit fails to write: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), again.Bytes()) {
+			t.Fatalf("canonical form is not a fixpoint:\n-- first --\n%s\n-- second --\n%s", out.Bytes(), again.Bytes())
+		}
+	})
+}
+
+// requireEquivalent asserts two circuits describe the same netlist:
+// identical input/output/gate sequences (the writer preserves order), up
+// to the source-line and name metadata the .bench body does not carry.
+func requireEquivalent(t *testing.T, a, b *Circuit) {
+	t.Helper()
+	requireSameStrings(t, "inputs", a.Inputs, b.Inputs)
+	requireSameStrings(t, "outputs", a.Outputs, b.Outputs)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatalf("gate count %d vs %d", len(a.Gates), len(b.Gates))
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Output != gb.Output || ga.Type != gb.Type {
+			t.Fatalf("gate %d: %s=%s(...) vs %s=%s(...)", i, ga.Output, ga.Type, gb.Output, gb.Type)
+		}
+		requireSameStrings(t, "gate "+ga.Output+" inputs", ga.Inputs, gb.Inputs)
+	}
+}
+
+func requireSameStrings(t *testing.T, label string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %v vs %v", label, a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s[%d]: %q vs %q", label, i, a[i], b[i])
+		}
+	}
+}

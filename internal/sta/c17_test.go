@@ -1,40 +1,26 @@
-package sta
+package sta_test
 
 import (
 	"math"
-	"strings"
 	"testing"
 
-	"mcsm/internal/cells"
-	"mcsm/internal/wave"
+	"mcsm/internal/sta"
+	"mcsm/internal/testutil"
 )
-
-// c17Netlist is ISCAS85's smallest benchmark: six NAND2 gates with
-// reconvergent fanout.
-const c17Netlist = `
-input n1 n2 n3 n6 n7
-output n22 n23
-inst G10 NAND2 n10 n1 n3
-inst G11 NAND2 n11 n3 n6
-inst G16 NAND2 n16 n2 n11
-inst G19 NAND2 n19 n11 n7
-inst G22 NAND2 n22 n10 n16
-inst G23 NAND2 n23 n16 n19
-`
 
 // TestC17EndToEnd is the full-flow integration test: parse, levelize,
 // propagate with MIS-aware CSM stages, and validate every switching net
 // against the flat transistor-level simulation of the whole benchmark.
+// It runs on the canonical c17 fixture (sta.C17Netlist/C17Stimulus) at
+// the full-resolution default step.
 func TestC17EndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("c17 flat reference in short mode")
 	}
-	tech := cells.Default130()
-	models := testModels(t)
-	nl, err := ParseNetlist(strings.NewReader(c17Netlist))
-	if err != nil {
-		t.Fatal(err)
-	}
+	tech := testutil.Tech()
+	models := testutil.FastModels(t)
+	nl, primary, opt := testutil.C17Fixture(t)
+	opt.Dt = 0 // default 1 ps: this test is about accuracy vs the flat truth
 	order, err := nl.Levelize()
 	if err != nil {
 		t.Fatal(err)
@@ -43,21 +29,11 @@ func TestC17EndToEnd(t *testing.T) {
 		t.Fatalf("levelized %d instances", len(order))
 	}
 
-	vdd := tech.Vdd
-	horizon := 4e-9
-	primary := map[string]wave.Waveform{
-		"n1": wave.SaturatedRamp(0, vdd, 1.00e-9, 80e-12, horizon),
-		"n2": wave.Constant(vdd, 0, horizon),
-		"n3": wave.SaturatedRamp(0, vdd, 1.05e-9, 80e-12, horizon),
-		"n6": wave.Constant(vdd, 0, horizon),
-		"n7": wave.Constant(0, 0, horizon),
-	}
-	opt := Options{Horizon: horizon}
-	rep, err := Analyze(nl, models, primary, opt)
+	rep, err := sta.Analyze(nl, models, primary, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	flat, err := FlatReference(nl, tech, primary, opt)
+	flat, err := sta.FlatReference(nl, tech, primary, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,17 +53,10 @@ func TestC17EndToEnd(t *testing.T) {
 	for _, net := range []string{"n10", "n11", "n16", "n19", "n22", "n23"} {
 		gotArr := rep.Nets[net].Arrival
 		refArr := flat.Nets[net].Arrival
-		switch {
-		case math.IsNaN(refArr) && math.IsNaN(gotArr):
+		if math.IsNaN(refArr) && math.IsNaN(gotArr) {
 			continue // both agree the net never switches
-		case math.IsNaN(refArr) != math.IsNaN(gotArr):
-			t.Errorf("net %s: switching disagreement (csm %v, flat %v)", net, gotArr, refArr)
-			continue
 		}
-		if d := math.Abs(gotArr - refArr); d > 6e-12 {
-			t.Errorf("net %s arrival differs by %.2fps (csm %.2f, flat %.2f)",
-				net, d*1e12, gotArr*1e12, refArr*1e12)
-		}
+		testutil.RequireArrivalClose(t, net, gotArr, refArr, 6e-12)
 		checked++
 	}
 	if checked < 3 {

@@ -1,13 +1,13 @@
-package sta
+package sta_test
 
 import (
 	"math"
 	"strings"
-	"sync"
 	"testing"
 
-	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/sta"
+	"mcsm/internal/testutil"
 	"mcsm/internal/wave"
 )
 
@@ -20,42 +20,8 @@ inst U1 NOR2 n1 a b
 inst U2 INV y n1
 `
 
-var (
-	modelsOnce sync.Once
-	modelSet   map[string]*csm.Model
-	modelsErr  error
-)
-
-func testModels(t *testing.T) map[string]*csm.Model {
-	t.Helper()
-	modelsOnce.Do(func() {
-		tech := cells.Default130()
-		modelSet = map[string]*csm.Model{}
-		for _, spec := range []struct {
-			cell string
-			kind csm.Kind
-		}{{"NOR2", csm.KindMCSM}, {"NAND2", csm.KindMCSM}, {"INV", csm.KindSIS}} {
-			s, err := cells.Get(spec.cell)
-			if err != nil {
-				modelsErr = err
-				return
-			}
-			m, err := csm.Characterize(tech, s, spec.kind, csm.FastConfig())
-			if err != nil {
-				modelsErr = err
-				return
-			}
-			modelSet[spec.cell] = m
-		}
-	})
-	if modelsErr != nil {
-		t.Fatal(modelsErr)
-	}
-	return modelSet
-}
-
 func TestParseNetlist(t *testing.T) {
-	nl, err := ParseNetlist(strings.NewReader(demoNetlist))
+	nl, err := sta.ParseNetlist(strings.NewReader(demoNetlist))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +40,7 @@ func TestParseNetlist(t *testing.T) {
 		"cap n xx\n",
 	}
 	for _, b := range bad {
-		if _, err := ParseNetlist(strings.NewReader(b)); err == nil {
+		if _, err := sta.ParseNetlist(strings.NewReader(b)); err == nil {
 			t.Errorf("accepted %q", b)
 		}
 	}
@@ -119,7 +85,7 @@ func TestParseNetlistRedefinition(t *testing.T) {
 		},
 	}
 	for _, c := range cases {
-		_, err := ParseNetlist(strings.NewReader(c.src))
+		_, err := sta.ParseNetlist(strings.NewReader(c.src))
 		if err == nil {
 			t.Errorf("%s: accepted", c.name)
 			continue
@@ -131,7 +97,7 @@ func TestParseNetlistRedefinition(t *testing.T) {
 }
 
 func TestLevelize(t *testing.T) {
-	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	nl, _ := sta.ParseNetlist(strings.NewReader(demoNetlist))
 	order, err := nl.Levelize()
 	if err != nil {
 		t.Fatal(err)
@@ -146,15 +112,15 @@ output y
 inst U1 NOR2 n1 a n2
 inst U2 INV n2 n1
 `
-	nl2, _ := ParseNetlist(strings.NewReader(loop))
+	nl2, _ := sta.ParseNetlist(strings.NewReader(loop))
 	if _, err := nl2.Levelize(); err == nil {
 		t.Error("loop accepted")
 	}
 	// Multiple drivers (constructed in code: ParseNetlist now rejects this
 	// at parse time, but Levelize must still guard programmatic netlists).
-	nl3 := &Netlist{
+	nl3 := &sta.Netlist{
 		PrimaryIn: []string{"a"},
-		Instances: []Instance{
+		Instances: []sta.Instance{
 			{Name: "U1", Type: "INV", Output: "n1", Inputs: []string{"a"}},
 			{Name: "U2", Type: "INV", Output: "n1", Inputs: []string{"a"}},
 		},
@@ -167,7 +133,7 @@ inst U2 INV n2 n1
 input a
 inst U1 NOR2 n1 a floating
 `
-	nl4, _ := ParseNetlist(strings.NewReader(und))
+	nl4, _ := sta.ParseNetlist(strings.NewReader(und))
 	if _, err := nl4.Levelize(); err == nil {
 		t.Error("undriven net accepted")
 	}
@@ -175,9 +141,9 @@ inst U1 NOR2 n1 a floating
 	// decide which waveform consumers see, so it must be rejected (by both
 	// Levelize and Levels, which share the validation; ParseNetlist catches
 	// the textual form earlier with a line number).
-	nl5 := &Netlist{
+	nl5 := &sta.Netlist{
 		PrimaryIn: []string{"n1", "n2"},
-		Instances: []Instance{
+		Instances: []sta.Instance{
 			{Name: "U1", Type: "INV", Output: "n1", Inputs: []string{"n2"}},
 			{Name: "U2", Type: "INV", Output: "n3", Inputs: []string{"n1"}},
 		},
@@ -203,7 +169,7 @@ inst U1 NAND2 n1 a n2
 inst U2 INV n2 n1
 inst U3 INV y n1
 `
-	nl, err := ParseNetlist(strings.NewReader(cyc))
+	nl, err := sta.ParseNetlist(strings.NewReader(cyc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +184,7 @@ inst U3 INV y n1
 input a
 inst U1 NAND2 n1 a n1
 `
-	nl, err = ParseNetlist(strings.NewReader(self))
+	nl, err = sta.ParseNetlist(strings.NewReader(self))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +198,7 @@ input a
 inst U1 INV n1 a
 inst U2 NAND2 y n1 n2
 `
-	nl, err = ParseNetlist(strings.NewReader(dangling))
+	nl, err = sta.ParseNetlist(strings.NewReader(dangling))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +219,7 @@ inst U1 INV n1 a
 inst U2 NAND2 n2 a n1
 inst U3 NAND2 y a n2
 `
-	nl, err = ParseNetlist(strings.NewReader(fan))
+	nl, err = sta.ParseNetlist(strings.NewReader(fan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,20 +254,20 @@ inst U3 NAND2 y a n2
 // TestAnalyzeMatchesFlat validates the CSM-based propagation against the
 // flat transistor-level simulation of the same two-stage netlist.
 func TestAnalyzeMatchesFlat(t *testing.T) {
-	tech := cells.Default130()
-	models := testModels(t)
-	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	tech := testutil.Tech()
+	models := testutil.FastModels(t)
+	nl, _ := sta.ParseNetlist(strings.NewReader(demoNetlist))
 	vdd := tech.Vdd
 	primary := map[string]wave.Waveform{
 		"a": wave.SaturatedRamp(vdd, 0, 1.0e-9, 80e-12, 4e-9),
 		"b": wave.SaturatedRamp(vdd, 0, 1.05e-9, 80e-12, 4e-9),
 	}
-	opt := Options{Horizon: 4e-9}
-	rep, err := Analyze(nl, models, primary, opt)
+	opt := sta.Options{Horizon: 4e-9}
+	rep, err := sta.Analyze(nl, models, primary, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := FlatReference(nl, tech, primary, opt)
+	ref, err := sta.FlatReference(nl, tech, primary, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,10 +277,7 @@ func TestAnalyzeMatchesFlat(t *testing.T) {
 		if math.IsNaN(got.Arrival) || math.IsNaN(want.Arrival) {
 			t.Fatalf("net %s has no arrival (got %v, ref %v)", net, got.Arrival, want.Arrival)
 		}
-		if d := math.Abs(got.Arrival - want.Arrival); d > 6e-12 {
-			t.Errorf("net %s arrival differs by %.2fps (csm %.2f, flat %.2f)",
-				net, d*1e12, got.Arrival*1e12, want.Arrival*1e12)
-		}
+		testutil.RequireArrivalClose(t, net, got.Arrival, want.Arrival, 6e-12)
 		if got.Rising != want.Rising {
 			t.Errorf("net %s direction mismatch", net)
 		}
@@ -333,14 +296,14 @@ func TestAnalyzeMatchesFlat(t *testing.T) {
 // technology-dependent; what is robust is that MIS-aware propagation tracks
 // the flat transistor truth and SIS does not.)
 func TestSISMispredictsMIS(t *testing.T) {
-	tech := cells.Default130()
-	models := testModels(t)
+	tech := testutil.Tech()
+	models := testutil.FastModels(t)
 	norNetlist := `
 input a b
 output n1
 inst U1 NOR2 n1 a b
 `
-	nl, err := ParseNetlist(strings.NewReader(norNetlist))
+	nl, err := sta.ParseNetlist(strings.NewReader(norNetlist))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,15 +313,15 @@ inst U1 NOR2 n1 a b
 		"a": wave.SaturatedRamp(vdd, 0, 1.00e-9, 80e-12, 4e-9),
 		"b": wave.SaturatedRamp(vdd, 0, 1.04e-9, 80e-12, 4e-9),
 	}
-	mis, err := Analyze(nl, models, primary, Options{Mode: ModeMIS, Horizon: 4e-9})
+	mis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: 4e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sis, err := Analyze(nl, models, primary, Options{Mode: ModeSIS, Horizon: 4e-9})
+	sis, err := sta.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: 4e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	flat, err := FlatReference(nl, tech, primary, Options{Horizon: 4e-9})
+	flat, err := sta.FlatReference(nl, tech, primary, sta.Options{Horizon: 4e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,16 +347,16 @@ inst U1 NOR2 n1 a b
 }
 
 func TestAnalyzeErrors(t *testing.T) {
-	models := testModels(t)
-	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	models := testutil.FastModels(t)
+	nl, _ := sta.ParseNetlist(strings.NewReader(demoNetlist))
 	primary := map[string]wave.Waveform{
 		"a": wave.Constant(0, 0, 1e-9),
 		// "b" missing
 	}
-	if _, err := Analyze(nl, models, primary, Options{}); err == nil {
+	if _, err := sta.Analyze(nl, models, primary, sta.Options{}); err == nil {
 		t.Error("missing primary waveform accepted")
 	}
-	if _, err := Analyze(nl, map[string]*csm.Model{}, primary, Options{}); err == nil {
+	if _, err := sta.Analyze(nl, map[string]*csm.Model{}, primary, sta.Options{}); err == nil {
 		t.Error("empty model set accepted")
 	}
 	// Unknown cell type.
@@ -401,14 +364,14 @@ func TestAnalyzeErrors(t *testing.T) {
 input a
 inst U1 XOR9 n1 a
 `
-	nlBad, _ := ParseNetlist(strings.NewReader(bad))
-	if _, err := Analyze(nlBad, models, primary, Options{}); err == nil {
+	nlBad, _ := sta.ParseNetlist(strings.NewReader(bad))
+	if _, err := sta.Analyze(nlBad, models, primary, sta.Options{}); err == nil {
 		t.Error("unknown cell type accepted")
 	}
 }
 
 func TestFanouts(t *testing.T) {
-	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	nl, _ := sta.ParseNetlist(strings.NewReader(demoNetlist))
 	fo := nl.Fanouts()
 	if len(fo["n1"]) != 1 || fo["n1"][0][0] != 1 || fo["n1"][0][1] != 0 {
 		t.Errorf("fanouts of n1: %v", fo["n1"])
@@ -419,15 +382,15 @@ func TestFanouts(t *testing.T) {
 }
 
 func TestCriticalPath(t *testing.T) {
-	tech := cells.Default130()
-	models := testModels(t)
-	nl, _ := ParseNetlist(strings.NewReader(demoNetlist))
+	tech := testutil.Tech()
+	models := testutil.FastModels(t)
+	nl, _ := sta.ParseNetlist(strings.NewReader(demoNetlist))
 	vdd := tech.Vdd
 	primary := map[string]wave.Waveform{
 		"a": wave.SaturatedRamp(vdd, 0, 1.00e-9, 80e-12, 4e-9),
 		"b": wave.SaturatedRamp(vdd, 0, 1.10e-9, 80e-12, 4e-9), // later
 	}
-	rep, err := Analyze(nl, models, primary, Options{Horizon: 4e-9})
+	rep, err := sta.Analyze(nl, models, primary, sta.Options{Horizon: 4e-9})
 	if err != nil {
 		t.Fatal(err)
 	}

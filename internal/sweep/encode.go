@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV renders surfaces as one flat table: a header row, then one row
+// per grid point per cell. Floats use the shortest representation that
+// round-trips to the identical bit pattern, so the CSV doubles as a
+// bit-level golden fixture; absent values (unsampled references, events
+// with no output crossing) render as NaN.
+func WriteCSV(w io.Writer, surfaces []*Surface) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "cell,kind,skew_s,slew_s,load_f,delay_s,out_slew_s,peak_current_a,ref_delay_s")
+	for _, s := range surfaces {
+		for _, pr := range s.Results {
+			fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+				s.Cell, s.Kind,
+				ff(pr.Skew), ff(pr.Slew), ff(pr.Load),
+				ff(pr.Delay), ff(pr.OutSlew), ff(pr.PeakCurrent), ff(pr.RefDelay))
+		}
+	}
+	return bw.Flush()
+}
+
+// ff formats a float exactly (shortest round-trip form).
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// MarshalJSON encodes a point result with NaN fields as null, keeping the
+// surface JSON valid for standard consumers.
+func (p PointResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Skew        float64   `json:"skew"`
+		Slew        float64   `json:"slew"`
+		Load        float64   `json:"load"`
+		Delay       jsonFloat `json:"delay"`
+		OutSlew     jsonFloat `json:"out_slew"`
+		PeakCurrent jsonFloat `json:"peak_current"`
+		RefDelay    jsonFloat `json:"ref_delay"`
+	}{p.Skew, p.Slew, p.Load,
+		jsonFloat(p.Delay), jsonFloat(p.OutSlew), jsonFloat(p.PeakCurrent), jsonFloat(p.RefDelay)})
+}
+
+// UnmarshalJSON is the inverse: null decodes to NaN.
+func (p *PointResult) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Skew        float64  `json:"skew"`
+		Slew        float64  `json:"slew"`
+		Load        float64  `json:"load"`
+		Delay       *float64 `json:"delay"`
+		OutSlew     *float64 `json:"out_slew"`
+		PeakCurrent *float64 `json:"peak_current"`
+		RefDelay    *float64 `json:"ref_delay"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	p.Skew, p.Slew, p.Load = raw.Skew, raw.Slew, raw.Load
+	p.Delay = orNaN(raw.Delay)
+	p.OutSlew = orNaN(raw.OutSlew)
+	p.PeakCurrent = orNaN(raw.PeakCurrent)
+	p.RefDelay = orNaN(raw.RefDelay)
+	return nil
+}
+
+// jsonFloat marshals NaN as null (JSON has no NaN literal).
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+func orNaN(v *float64) float64 {
+	if v == nil {
+		return math.NaN()
+	}
+	return *v
+}
+
+// WriteJSON renders the surfaces as an indented JSON array.
+func WriteJSON(w io.Writer, surfaces []*Surface) error {
+	data, err := json.MarshalIndent(surfaces, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,268 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"mcsm/internal/engine"
+	"mcsm/internal/testutil"
+)
+
+// testConfig is the cheap sweep configuration every test shares: coarse
+// models (fidelity is irrelevant for contract tests) and a coarse step.
+func testConfig() Config {
+	return Config{
+		Tech:     testutil.Tech(),
+		CharCfg:  testutil.CoarseConfig(),
+		Dt:       4e-12,
+		RefEvery: 5,
+	}
+}
+
+// testGrid is a minimal but non-degenerate grid: three skews (including
+// the canonical simultaneous event), one slew, two loads.
+func testGrid() Grid {
+	return Grid{
+		Skews: Span(-120e-12, 120e-12, 120e-12),
+		Slews: []float64{80e-12},
+		Loads: []float64{2e-15, 8e-15},
+	}
+}
+
+// TestSweepDeterminism is the subsystem's determinism contract: the same
+// sweep on a single-worker engine and on a wide worker pool (sharing one
+// cache) must produce bit-identical surfaces, reference samples included.
+func TestSweepDeterminism(t *testing.T) {
+	cache := engine.NewModelCache()
+	serial := New(engine.New(1, cache), testConfig())
+	parallel := New(engine.New(8, cache), testConfig())
+
+	for _, cell := range DefaultCells() {
+		a, err := serial.Sweep(cell, testGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.Sweep(cell, testGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SurfacesIdentical(a, b) {
+			t.Errorf("%s: serial and parallel sweeps differ", cell)
+		}
+		// Re-running on the same runner must also be bit-stable.
+		c, err := parallel.Sweep(cell, testGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SurfacesIdentical(b, c) {
+			t.Errorf("%s: repeated sweep differs from itself", cell)
+		}
+	}
+	// Both runners characterized through one cache: one miss per cell.
+	st := cache.Stats()
+	if st.Misses != int64(len(DefaultCells())) {
+		t.Errorf("cache misses = %d, want %d (shared characterizations)", st.Misses, len(DefaultCells()))
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits — sweeps did not share the cache")
+	}
+}
+
+// TestSweepSurface checks the physics of a NAND2 surface: finite
+// measurements everywhere, the stack-effect delay penalty at the
+// simultaneous event, load-dependent delay growth, and reference sampling
+// by index.
+func TestSweepSurface(t *testing.T) {
+	r := New(engine.New(0, nil), testConfig())
+	grid := testGrid()
+	s, err := r.Sweep("NAND2", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cell != "NAND2" || s.Kind != "MCSM" {
+		t.Errorf("surface identity = %s/%s", s.Cell, s.Kind)
+	}
+	if s.Rising {
+		t.Error("NAND2 MIS output should fall (inputs rise through the NMOS stack)")
+	}
+	if len(s.Results) != grid.Size() {
+		t.Fatalf("results = %d, want %d", len(s.Results), grid.Size())
+	}
+	for i, pr := range s.Results {
+		if pr.Point != grid.At(i) {
+			t.Errorf("result %d carries point %+v, want %+v", i, pr.Point, grid.At(i))
+		}
+		if math.IsNaN(pr.Delay) || pr.Delay <= 0 {
+			t.Errorf("point %d: delay %g not positive-finite", i, pr.Delay)
+		}
+		if math.IsNaN(pr.OutSlew) || pr.OutSlew <= 0 {
+			t.Errorf("point %d: out slew %g not positive-finite", i, pr.OutSlew)
+		}
+		if pr.PeakCurrent <= 0 {
+			t.Errorf("point %d: peak current %g not positive", i, pr.PeakCurrent)
+		}
+		wantRef := r.sampleRef(i)
+		if gotRef := !math.IsNaN(pr.RefDelay); gotRef != wantRef {
+			t.Errorf("point %d: ref sampled = %v, want %v", i, gotRef, wantRef)
+		}
+	}
+
+	// Delay-vs-skew: the simultaneous event (skew 0) must be slower than a
+	// well-separated one (the earliest B), at every load — the stack effect
+	// SIS timing misses.
+	at := func(skew, load float64) float64 {
+		for _, pr := range s.Results {
+			if pr.Skew == skew && pr.Load == load {
+				return pr.Delay
+			}
+		}
+		t.Fatalf("no point at skew %g load %g", skew, load)
+		return 0
+	}
+	for _, load := range grid.Loads {
+		if at(0, load) <= at(-120e-12, load) {
+			t.Errorf("load %g: simultaneous delay %g not above separated %g — no MIS penalty",
+				load, at(0, load), at(-120e-12, load))
+		}
+	}
+	// Delay must grow with load at fixed skew.
+	if at(0, 8e-15) <= at(0, 2e-15) {
+		t.Error("delay does not grow with load")
+	}
+
+	// Stats cover the sampled points, with coarse-model errors in the
+	// few-picosecond range.
+	if want := (grid.Size() + r.cfg.RefEvery - 1) / r.cfg.RefEvery; s.Stats.RefPoints != want {
+		t.Errorf("ref points = %d, want %d", s.Stats.RefPoints, want)
+	}
+	if s.Stats.MaxAbsErr <= 0 || s.Stats.MaxAbsErr > 20e-12 {
+		t.Errorf("max abs err = %g s, want (0, 20ps]", s.Stats.MaxAbsErr)
+	}
+	if s.Stats.MeanAbsErr > s.Stats.MaxAbsErr {
+		t.Errorf("mean err %g above max %g", s.Stats.MeanAbsErr, s.Stats.MaxAbsErr)
+	}
+	if got := r.PointEvals(); got != int64(grid.Size()) {
+		t.Errorf("point evals = %d, want %d", got, grid.Size())
+	}
+	if got := r.RefEvals(); got != int64(s.Stats.RefPoints) {
+		t.Errorf("ref evals = %d, want %d", got, s.Stats.RefPoints)
+	}
+}
+
+// TestSweepErrors covers the argument contract.
+func TestSweepErrors(t *testing.T) {
+	r := New(nil, testConfig())
+	if _, err := r.Sweep("XYZ99", testGrid()); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	// INV has one input; NAND3 has a held pin — neither can carry the
+	// two-input MIS event.
+	if _, err := r.Sweep("INV", testGrid()); err == nil {
+		t.Error("single-input cell accepted")
+	}
+	if _, err := r.Sweep("NAND3", testGrid()); err == nil {
+		t.Error("partially-modeled cell accepted")
+	}
+	if _, err := r.Sweep("NAND2", Grid{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	// A skew dragging input B's event to or before t=0 would silently
+	// degenerate into a single-input arc; it must be rejected instead.
+	early := Grid{Skews: []float64{-2e-9}, Slews: []float64{80e-12}, Loads: []float64{2e-15}}
+	if _, err := r.Sweep("NAND2", early); err == nil {
+		t.Error("skew preceding the simulation start accepted")
+	}
+}
+
+// TestDefaultCells pins the sweepable subset of the catalog.
+func TestDefaultCells(t *testing.T) {
+	got := DefaultCells()
+	want := map[string]bool{"NAND2": true, "NOR2": true}
+	if len(got) != len(want) {
+		t.Fatalf("default cells = %v", got)
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Errorf("unexpected sweep cell %s", c)
+		}
+	}
+}
+
+// TestEncodeRoundTrip checks CSV shape and JSON round-tripping (NaN as
+// null) on a synthetic surface, without running simulations.
+func TestEncodeRoundTrip(t *testing.T) {
+	g := Grid{Skews: []float64{-1e-12, 0}, Slews: []float64{80e-12}, Loads: []float64{2e-15}}
+	s := &Surface{
+		Cell: "NAND2", Kind: "MCSM", Rising: false, TEnd: 3.2e-9, Grid: g,
+		Results: []PointResult{
+			{Point: g.At(0), Delay: 40.25e-12, OutSlew: 55e-12, PeakCurrent: 52e-6, RefDelay: 41e-12},
+			{Point: g.At(1), Delay: 48.5e-12, OutSlew: 51e-12, PeakCurrent: 58e-6, RefDelay: math.NaN()},
+		},
+		Stats: ErrStats{RefPoints: 1, MeanAbsErr: 0.75e-12, MaxAbsErr: 0.75e-12, MaxErrAt: g.At(0)},
+	}
+
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, []*Surface{s}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,kind,skew_s") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[2], ",NaN") {
+		t.Errorf("unsampled ref not NaN in csv: %q", lines[2])
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, []*Surface{s}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"ref_delay": null`) {
+		t.Error("unsampled ref not null in JSON")
+	}
+	var back []*Surface
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || !SurfacesIdentical(s, back[0]) {
+		t.Error("JSON round trip not bit-identical")
+	}
+}
+
+// TestSurfacesIdentical covers the predicate's edge cases.
+func TestSurfacesIdentical(t *testing.T) {
+	mk := func() *Surface {
+		return &Surface{
+			Cell: "NOR2", Kind: "MCSM", Rising: true, TEnd: 3e-9,
+			Grid: Grid{Skews: []float64{0}, Slews: []float64{1}, Loads: []float64{2}},
+			Results: []PointResult{
+				{Point: Point{0, 1, 2}, Delay: 3, OutSlew: 4, PeakCurrent: 5, RefDelay: math.NaN()},
+			},
+		}
+	}
+	if !SurfacesIdentical(nil, nil) {
+		t.Error("two nils should be identical")
+	}
+	if SurfacesIdentical(mk(), nil) || SurfacesIdentical(nil, mk()) {
+		t.Error("nil vs non-nil should differ")
+	}
+	if !SurfacesIdentical(mk(), mk()) {
+		t.Error("identical surfaces (with NaN refs) should match")
+	}
+	b := mk()
+	b.Results[0].Delay = math.Nextafter(3, 4)
+	if SurfacesIdentical(mk(), b) {
+		t.Error("one-ulp delay drift not detected")
+	}
+	c := mk()
+	c.Stats.RefPoints = 1
+	if SurfacesIdentical(mk(), c) {
+		t.Error("stats drift not detected")
+	}
+}

@@ -1,0 +1,140 @@
+package testutil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// UpdateGolden is the shared -update flag: golden tests regenerate their
+// fixtures instead of comparing when it is set. The flag only exists in
+// test binaries that import testutil, so name the package explicitly —
+// `go test . -run Golden -update` (all golden tests live in the repo
+// root); the `./...` form would hand -update to packages that do not
+// define it and fail.
+var UpdateGolden = flag.Bool("update", false, "rewrite golden fixtures instead of comparing")
+
+// Golden compares got against the fixture at path, byte for byte. With
+// -update the fixture is (re)written instead and the test is skipped-free:
+// an update run always passes so the diff shows up in version control, not
+// in CI.
+func Golden(tb testing.TB, path string, got []byte) {
+	tb.Helper()
+	if *UpdateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			tb.Fatal(err)
+		}
+		tb.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatalf("golden fixture missing (run with -update to create): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	line := 1
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			break
+		}
+		if got[i] == '\n' {
+			line++
+		}
+	}
+	tb.Errorf("%s drifted from the committed fixture (first difference near line %d; %d vs %d bytes).\n"+
+		"If the change is intentional, regenerate with: go test . -run Golden -update",
+		path, line, len(got), len(want))
+}
+
+// FormatFloat renders a float with the shortest representation that
+// round-trips to the identical bit pattern — the exact-but-readable float
+// encoding all golden fixtures use. NaN renders as "NaN".
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// GoldenNet is the canonical per-net record of a golden STA report: exact
+// arrival/slew strings, the transition direction, and an FNV-64a hash over
+// the bit patterns of every waveform sample, so bit-level waveform drift
+// is caught without committing megabytes of samples.
+type GoldenNet struct {
+	Arrival string `json:"arrival"`
+	Slew    string `json:"slew"`
+	Rising  bool   `json:"rising"`
+	WaveFNV string `json:"wave_fnv"`
+	Samples int    `json:"samples"`
+}
+
+// GoldenReport is the canonical JSON form of an sta.Report. Map keys are
+// sorted by encoding/json, so marshaling is deterministic.
+type GoldenReport struct {
+	Circuit string               `json:"circuit"`
+	Vdd     string               `json:"vdd"`
+	Nets    map[string]GoldenNet `json:"nets"`
+	MIS     []string             `json:"mis_instances"`
+}
+
+// CanonicalReport converts a report into its golden form.
+func CanonicalReport(circuit string, rep *sta.Report) *GoldenReport {
+	g := &GoldenReport{
+		Circuit: circuit,
+		Vdd:     FormatFloat(rep.Vdd),
+		Nets:    make(map[string]GoldenNet, len(rep.Nets)),
+		MIS:     rep.MISInstances,
+	}
+	if g.MIS == nil {
+		g.MIS = []string{}
+	}
+	for net, nr := range rep.Nets {
+		g.Nets[net] = GoldenNet{
+			Arrival: FormatFloat(nr.Arrival),
+			Slew:    FormatFloat(nr.Slew),
+			Rising:  nr.Rising,
+			WaveFNV: WaveFingerprint(nr.Wave),
+			Samples: nr.Wave.Len(),
+		}
+	}
+	return g
+}
+
+// MarshalReport renders the canonical golden JSON bytes for a report.
+func MarshalReport(tb testing.TB, circuit string, rep *sta.Report) []byte {
+	tb.Helper()
+	data, err := json.MarshalIndent(CanonicalReport(circuit, rep), "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// WaveFingerprint hashes the exact bit patterns of a waveform's samples
+// (FNV-64a over big-endian float bits, times then values).
+func WaveFingerprint(w wave.Waveform) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, t := range w.T {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(t))
+		h.Write(buf[:])
+	}
+	for _, v := range w.V {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,185 @@
+// Package testutil consolidates the test fixtures that previously lived as
+// per-package copies in internal/engine, internal/sta, and cmd/mcsm-sta:
+// the shared technology, the memoized characterization sets, the canonical
+// c17 fixture, and the bit-exact report comparison. It deliberately imports
+// only leaf packages (cells, csm, sta, wave) so in-package tests of
+// internal/engine and external tests of internal/sta can both use it
+// without import cycles.
+package testutil
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/sta"
+	"mcsm/internal/units"
+	"mcsm/internal/wave"
+)
+
+// Tech returns the shared test technology.
+func Tech() cells.Tech { return cells.Default130() }
+
+// CoarseConfig is a deliberately cheap characterization: equivalence and
+// determinism tests compare paths bitwise against each other, so model
+// fidelity is irrelevant — only that all paths consume the same tables.
+func CoarseConfig() csm.Config {
+	return csm.Config{
+		GridCurrent:  5,
+		GridInternal: 7,
+		GridCap:      3,
+		SlewTimes:    []float64{80 * units.PS},
+		TranDt:       2 * units.PS,
+	}
+}
+
+var (
+	coarseOnce  sync.Once
+	coarseModel *csm.Model
+	coarseErr   error
+)
+
+// CoarseNAND2Models returns the memoized coarse-config NAND2 MCSM as a
+// model set — the workhorse of every c17-based equivalence test.
+// Characterization runs once per test binary.
+func CoarseNAND2Models(tb testing.TB) map[string]*csm.Model {
+	tb.Helper()
+	coarseOnce.Do(func() {
+		spec, err := cells.Get("NAND2")
+		if err != nil {
+			coarseErr = err
+			return
+		}
+		coarseModel, coarseErr = csm.Characterize(Tech(), spec, csm.KindMCSM, CoarseConfig())
+	})
+	if coarseErr != nil {
+		tb.Fatal(coarseErr)
+	}
+	return map[string]*csm.Model{"NAND2": coarseModel}
+}
+
+var (
+	fastOnce   sync.Once
+	fastModels map[string]*csm.Model
+	fastErr    error
+)
+
+// FastModels returns the memoized FastConfig model set used by the
+// integration tests that compare against flat transistor references:
+// NOR2/NAND2 as MCSM and INV as the SIS CSM.
+func FastModels(tb testing.TB) map[string]*csm.Model {
+	tb.Helper()
+	fastOnce.Do(func() {
+		tech := Tech()
+		fastModels = map[string]*csm.Model{}
+		for _, mk := range []struct {
+			cell string
+			kind csm.Kind
+		}{{"NOR2", csm.KindMCSM}, {"NAND2", csm.KindMCSM}, {"INV", csm.KindSIS}} {
+			s, err := cells.Get(mk.cell)
+			if err != nil {
+				fastErr = err
+				return
+			}
+			m, err := csm.Characterize(tech, s, mk.kind, csm.FastConfig())
+			if err != nil {
+				fastErr = err
+				return
+			}
+			fastModels[mk.cell] = m
+		}
+	})
+	if fastErr != nil {
+		tb.Fatal(fastErr)
+	}
+	return fastModels
+}
+
+// C17Fixture parses the canonical c17 workload and returns it with its
+// canonical stimulus and options (4 ns horizon, 2 ps step).
+func C17Fixture(tb testing.TB) (*sta.Netlist, map[string]wave.Waveform, sta.Options) {
+	tb.Helper()
+	nl, err := sta.ParseNetlist(strings.NewReader(sta.C17Netlist))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const horizon = 4e-9
+	primary := sta.C17Stimulus(Tech().Vdd, horizon)
+	return nl, primary, sta.Options{Horizon: horizon, Dt: 2e-12}
+}
+
+// SameBits compares floats bitwise so that identical NaNs compare equal.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// RequireIdenticalReports asserts bit-exact equality of two reports: same
+// net set, bitwise-equal arrivals and slews, same directions, sample-exact
+// waveforms, and the same MIS instance list. It is the diagnostic (per-net
+// failure messages) counterpart of engine.ReportsIdentical.
+func RequireIdenticalReports(tb testing.TB, label string, a, b *sta.Report) {
+	tb.Helper()
+	if (a == nil) != (b == nil) {
+		tb.Fatalf("%s: one report is nil (%v vs %v)", label, a, b)
+	}
+	if a == nil {
+		return
+	}
+	if a.Vdd != b.Vdd {
+		tb.Fatalf("%s: vdd %g vs %g", label, a.Vdd, b.Vdd)
+	}
+	if len(a.Nets) != len(b.Nets) {
+		tb.Fatalf("%s: %d nets vs %d", label, len(a.Nets), len(b.Nets))
+	}
+	for net, ra := range a.Nets {
+		rb, ok := b.Nets[net]
+		if !ok {
+			tb.Fatalf("%s: net %s missing from second report", label, net)
+		}
+		if !SameBits(ra.Arrival, rb.Arrival) {
+			tb.Errorf("%s: net %s arrival %v vs %v", label, net, ra.Arrival, rb.Arrival)
+		}
+		if !SameBits(ra.Slew, rb.Slew) {
+			tb.Errorf("%s: net %s slew %v vs %v", label, net, ra.Slew, rb.Slew)
+		}
+		if ra.Rising != rb.Rising {
+			tb.Errorf("%s: net %s direction mismatch", label, net)
+		}
+		if len(ra.Wave.T) != len(rb.Wave.T) {
+			tb.Errorf("%s: net %s waveform has %d vs %d samples", label, net, len(ra.Wave.T), len(rb.Wave.T))
+			continue
+		}
+		for i := range ra.Wave.T {
+			if !SameBits(ra.Wave.T[i], rb.Wave.T[i]) || !SameBits(ra.Wave.V[i], rb.Wave.V[i]) {
+				tb.Errorf("%s: net %s waveform differs at sample %d", label, net, i)
+				break
+			}
+		}
+	}
+	if len(a.MISInstances) != len(b.MISInstances) {
+		tb.Fatalf("%s: MIS %v vs %v", label, a.MISInstances, b.MISInstances)
+	}
+	for i := range a.MISInstances {
+		if a.MISInstances[i] != b.MISInstances[i] {
+			tb.Fatalf("%s: MIS %v vs %v", label, a.MISInstances, b.MISInstances)
+		}
+	}
+}
+
+// RequireArrivalClose asserts a net's arrival against a reference within
+// tol, treating agreeing NaNs (both never switch) as success.
+func RequireArrivalClose(tb testing.TB, net string, got, want, tol float64) {
+	tb.Helper()
+	switch {
+	case math.IsNaN(want) && math.IsNaN(got):
+		return
+	case math.IsNaN(want) != math.IsNaN(got):
+		tb.Errorf("net %s: switching disagreement (got %v, want %v)", net, got, want)
+	case math.Abs(got-want) > tol:
+		tb.Errorf("net %s arrival differs by %.2fps (got %.2f, want %.2f)",
+			net, math.Abs(got-want)*1e12, got*1e12, want*1e12)
+	}
+}
