@@ -7,6 +7,11 @@ package mcsm
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -18,6 +23,7 @@ import (
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
 	"mcsm/internal/netlist"
+	"mcsm/internal/service"
 	"mcsm/internal/spice"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
@@ -415,6 +421,76 @@ func BenchmarkSweepProbeParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROC
 
 // BenchmarkSkewSweepExperiment regenerates EXP-S2.
 func BenchmarkSkewSweepExperiment(b *testing.B) { benchExperiment(b, "sweep") }
+
+// ---------------------------------------------------------------------------
+// Service benchmarks (internal/service): the HTTP serving path on the c17
+// probe workload — request decode, netlist-LRU hit, level-parallel
+// analysis, canonical encode. The sequential benchmark is the per-request
+// cost; the concurrent one exercises request coalescing, so its req/s is
+// what identical-load clients actually observe.
+
+// benchServer builds an in-process service on the shared session cache
+// with models and the netlist LRU pre-warmed.
+func benchServer(b *testing.B) (*httptest.Server, []byte) {
+	b.Helper()
+	srv := service.NewWithEngine(service.Config{}, engine.New(0, benchSession().Engine().Cache()))
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() { ts.Close(); srv.Close() })
+	req, err := json.Marshal(service.STARequest{
+		Name: "c17", Netlist: sta.C17Netlist, Format: "net", Stimulus: "c17",
+		Config: "fast", Dt: "1p",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := benchServePost(ts, req); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	return ts, req
+}
+
+func benchServePost(ts *httptest.Server, req []byte) ([]byte, error) {
+	resp, err := http.Post(ts.URL+"/v1/sta", "application/json", bytes.NewReader(req))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// BenchmarkServeSTAC17 times one full served analysis per iteration.
+func BenchmarkServeSTAC17(b *testing.B) {
+	ts, req := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchServePost(ts, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSTAC17Concurrent fires identical requests from parallel
+// clients; coalescing collapses overlapping work, so per-op time drops
+// well below a full analysis.
+func BenchmarkServeSTAC17Concurrent(b *testing.B) {
+	ts, req := benchServer(b)
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := benchServePost(ts, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkTechMapC432 times the frontend itself: parsing and technology-
 // mapping the bundled c432-class corpus circuit (no simulation).

@@ -11,11 +11,14 @@
 //	mcsm-bench -quick -json perf.json   # machine-readable perf summary
 //
 // With -json, the run additionally executes a serial-vs-parallel STA probe
-// through internal/engine plus a compact MIS skew-sweep probe through
-// internal/sweep, and writes a JSON summary (per-experiment wall times,
-// characterization-cache hit rate, stage-evals/sec, sweep points/sec,
-// parallel speedups, bit-identity checks) so successive PRs have a perf
-// trajectory to compare against. Use "-json -" for stdout.
+// through internal/engine, a compact MIS skew-sweep probe through
+// internal/sweep, and a serving probe through internal/service (an
+// in-process HTTP server fed sequential then concurrent-identical
+// requests, measuring sustained req/s, p50/p99 latency, and the
+// coalescing ratio), and writes a JSON summary (per-experiment wall
+// times, characterization-cache hit rate, stage-evals/sec, sweep
+// points/sec, parallel speedups, bit-identity checks) so successive PRs
+// have a perf trajectory to compare against. Use "-json -" for stdout.
 //
 // The probe workload defaults to the built-in ISCAS85 c17 (six stages —
 // the historical trajectory baseline); -bench circuit.bench runs it on a
@@ -29,19 +32,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
-	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"mcsm/internal/cliutil"
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
 	"mcsm/internal/netlist"
+	"mcsm/internal/service"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
 	"mcsm/internal/wave"
@@ -84,6 +95,30 @@ type sweepProbe struct {
 	BitIdentical    bool     `json:"bit_identical"`
 }
 
+// serveProbe measures the HTTP serving path (internal/service) on the
+// same workload as the STA probe: a sequential phase for clean latency
+// (p50/p99, req/s without overlap) and a concurrent-identical phase where
+// request coalescing collapses duplicate work (ratio = served/computed).
+// BitIdentical asserts every served body matched the direct engine bytes.
+type serveProbe struct {
+	Netlist             string  `json:"netlist"`
+	Workers             int     `json:"workers"`
+	MaxInFlight         int     `json:"max_in_flight"`
+	SequentialRequests  int     `json:"sequential_requests"`
+	SequentialSeconds   float64 `json:"sequential_seconds"`
+	ReqPerSec           float64 `json:"req_per_sec"`
+	P50Ms               float64 `json:"p50_ms"`
+	P99Ms               float64 `json:"p99_ms"`
+	ConcurrentClients   int     `json:"concurrent_clients"`
+	ConcurrentRequests  int     `json:"concurrent_requests"`
+	ConcurrentSeconds   float64 `json:"concurrent_seconds"`
+	ConcurrentReqPerSec float64 `json:"concurrent_req_per_sec"`
+	Computed            int64   `json:"computed"`
+	Coalesced           int64   `json:"coalesced"`
+	CoalescingRatio     float64 `json:"coalescing_ratio"`
+	BitIdentical        bool    `json:"bit_identical"`
+}
+
 type perfSummary struct {
 	SchemaVersion int          `json:"schema_version"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -93,6 +128,7 @@ type perfSummary struct {
 	Cache         cacheSummary `json:"cache"`
 	STAProbe      *staProbe    `json:"sta_probe,omitempty"`
 	SweepProbe    *sweepProbe  `json:"sweep_probe,omitempty"`
+	ServeProbe    *serveProbe  `json:"serve_probe,omitempty"`
 }
 
 func main() {
@@ -101,6 +137,7 @@ func main() {
 		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		parallel = flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+		dtSpec   = flag.String("dt", "", "transient step override, e.g. 4p (default: the profile's 1 ps; coarser steps speed up mid-size probe workloads)")
 		jsonPath = flag.String("json", "", "write a machine-readable perf summary to this path (\"-\" = stdout)")
 		cacheDir = flag.String("cache", "", "model cache directory (spill/reload characterized models)")
 		benchNl  = flag.String("bench", "", "STA-probe workload: a .bench circuit, technology-mapped (default: built-in c17)")
@@ -136,6 +173,11 @@ func main() {
 	}
 	cfg.Workers = *parallel
 	cfg.CacheDir = *cacheDir
+	if dt, err := cliutil.ParseDt(*dtSpec); err != nil {
+		fatal(err)
+	} else if dt > 0 {
+		cfg.Dt = dt
+	}
 	sess := experiments.NewSession(cfg)
 
 	var selected []experiments.Experiment
@@ -176,9 +218,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("sweep probe: %w", err))
 	}
+	svProbe, err := runServeProbe(sess, wl, *quick)
+	if err != nil {
+		fatal(fmt.Errorf("serve probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 2,
+		SchemaVersion: 3,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -188,6 +234,7 @@ func main() {
 		},
 		STAProbe:   probe,
 		SweepProbe: swProbe,
+		ServeProbe: svProbe,
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -204,13 +251,15 @@ func main() {
 	}
 }
 
-// probeNetlist is a workload for the serial-vs-parallel STA probe.
+// probeNetlist is a workload for the serial-vs-parallel STA probe and the
+// serve probe: the evaluated workload plus its canonical drive and the
+// equivalent service request (so the HTTP path analyzes the identical
+// circuit under the identical stimulus).
 type probeNetlist struct {
-	name    string
-	nl      *sta.Netlist
-	levels  int
+	wl      *cliutil.Workload
 	horizon float64
 	primary func(vdd float64) map[string]wave.Waveform
+	staReq  service.STARequest // config/dt filled in by the serve probe
 }
 
 // probeWorkload resolves the probe's circuit: the built-in c17 by
@@ -220,60 +269,44 @@ type probeNetlist struct {
 // stimulus over a depth-derived window.
 func probeWorkload(benchPath string, genGates int) (*probeNetlist, error) {
 	if benchPath == "" && genGates == 0 {
-		nl, err := sta.ParseNetlist(strings.NewReader(sta.C17Netlist))
-		if err != nil {
-			return nil, err
-		}
-		levels, err := nl.Levels()
+		w, err := cliutil.ParseWorkload("c17", "net", sta.C17Netlist)
 		if err != nil {
 			return nil, err
 		}
 		const horizon = 4e-9
 		return &probeNetlist{
-			name: "c17", nl: nl, levels: len(levels), horizon: horizon,
+			wl: w, horizon: horizon,
 			primary: func(vdd float64) map[string]wave.Waveform {
 				return sta.C17Stimulus(vdd, horizon)
+			},
+			staReq: service.STARequest{
+				Name: "c17", Netlist: sta.C17Netlist, Format: "net", Stimulus: "c17",
 			},
 		}, nil
 	}
 
 	var (
-		circ *netlist.Circuit
-		name string
-		err  error
+		w   *cliutil.Workload
+		err error
 	)
 	if genGates > 0 {
-		if circ, err = netlist.ISCASSpec(genGates).Generate(); err != nil {
-			return nil, err
-		}
-		name = circ.Name
+		w, err = cliutil.GenWorkload(netlist.ISCASSpec(genGates))
 	} else {
-		f, ferr := os.Open(benchPath)
-		if ferr != nil {
-			return nil, ferr
-		}
-		circ, err = netlist.ParseBench(f)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		name = strings.TrimSuffix(filepath.Base(benchPath), filepath.Ext(benchPath))
+		w, err = cliutil.LoadWorkload(benchPath, "bench")
 	}
-	nl, err := netlist.Map(circ)
 	if err != nil {
 		return nil, err
 	}
-	levels, err := nl.Levels()
-	if err != nil {
-		return nil, err
-	}
-	const slew = 80e-12
-	horizon := netlist.Horizon(len(levels), slew)
+	const slew = cliutil.DefaultSlew
+	horizon := w.Horizon(0, 4e-9, slew)
 	return &probeNetlist{
-		name: name, nl: nl, levels: len(levels), horizon: horizon,
+		wl: w, horizon: horizon,
 		primary: func(vdd float64) map[string]wave.Waveform {
-			return netlist.Stimulus(nl.PrimaryIn, vdd, slew, horizon)
+			return w.Stimulus(vdd, slew, horizon)
 		},
+		// Gen workloads travel as their canonical .bench text, so the
+		// server provably analyzes the same circuit.
+		staReq: service.STARequest{Name: w.Name, Netlist: w.Text, Format: "bench"},
 	}, nil
 }
 
@@ -291,7 +324,7 @@ func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error)
 	serialEng := engine.New(1, cache)
 	parallelEng := engine.New(workers, cache)
 
-	models, err := serialEng.ModelsFor(tech, wl.nl, sess.Cfg.CharCfg)
+	models, err := serialEng.ModelsFor(tech, wl.wl.NL, sess.Cfg.CharCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -303,14 +336,14 @@ func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error)
 	// trajectory — the minimum is the stable estimator. Mid-size corpus
 	// workloads run seconds per pass and are timed once.
 	probeRuns := 3
-	if len(wl.nl.Instances) > 50 {
+	if len(wl.wl.NL.Instances) > 50 {
 		probeRuns = 1
 	}
 	var serialRep, parallelRep *sta.Report
 	serialSec, parallelSec := math.Inf(1), math.Inf(1)
 	for i := 0; i < probeRuns; i++ {
 		start := time.Now()
-		serialRep, err = serialEng.Analyze(wl.nl, models, primary, opt)
+		serialRep, err = serialEng.Analyze(wl.wl.NL, models, primary, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +351,7 @@ func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error)
 			serialSec = s
 		}
 		start = time.Now()
-		parallelRep, err = parallelEng.Analyze(wl.nl, models, primary, opt)
+		parallelRep, err = parallelEng.Analyze(wl.wl.NL, models, primary, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -328,9 +361,9 @@ func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error)
 	}
 
 	probe := &staProbe{
-		Netlist:         wl.name,
-		Stages:          len(wl.nl.Instances),
-		Levels:          wl.levels,
+		Netlist:         wl.wl.Name,
+		Stages:          len(wl.wl.NL.Instances),
+		Levels:          wl.wl.Levels,
 		Workers:         workers,
 		SerialSeconds:   serialSec,
 		ParallelSeconds: parallelSec,
@@ -339,7 +372,155 @@ func runSTAProbe(sess *experiments.Session, wl *probeNetlist) (*staProbe, error)
 	}
 	if parallelSec > 0 {
 		probe.Speedup = serialSec / parallelSec
-		probe.StageEvalsPerSec = float64(len(wl.nl.Instances)) / parallelSec
+		probe.StageEvalsPerSec = float64(len(wl.wl.NL.Instances)) / parallelSec
+	}
+	return probe, nil
+}
+
+// runServeProbe measures the serving path on the same workload: an
+// in-process mcsm-serve (sharing the session's model cache through a
+// fresh engine) is fed a sequential phase for clean per-request latency,
+// then a concurrent-identical phase where coalescing collapses duplicate
+// work. Every response body is compared against the direct engine bytes,
+// so BitIdentical asserts the HTTP path preserves the determinism
+// contract end to end.
+func runServeProbe(sess *experiments.Session, wl *probeNetlist, quick bool) (*serveProbe, error) {
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng := engine.New(workers, sess.Engine().Cache())
+	srv := service.NewWithEngine(service.Config{}, eng)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := wl.staReq
+	req.Config = "default"
+	if quick {
+		req.Config = "fast"
+	}
+	// Exact shortest round-trip form: the service parses it back to the
+	// identical float bits, keeping the reference comparison bit-level.
+	req.Dt = strconv.FormatFloat(sess.Cfg.Dt, 'g', -1, 64)
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference bytes from the direct engine path (same shared cache).
+	models, err := eng.ModelsFor(sess.Cfg.Tech, wl.wl.NL, sess.Cfg.CharCfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.Analyze(wl.wl.NL, models, wl.primary(sess.Cfg.Tech.Vdd),
+		sta.Options{Horizon: wl.horizon, Dt: sess.Cfg.Dt})
+	if err != nil {
+		return nil, err
+	}
+	want, err := sta.MarshalGoldenReport(wl.wl.Name, rep)
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	bitIdentical := true
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/sta", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serve probe: status %d: %s", resp.StatusCode, body)
+		}
+		mu.Lock()
+		if !bytes.Equal(body, want) {
+			bitIdentical = false
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	// Warm-up: characterization and the netlist LRU fill happen here, so
+	// the phases measure serving, not first-touch costs.
+	if err := post(); err != nil {
+		return nil, err
+	}
+
+	seqN, clients, perClient := 12, 8, 4
+	if len(wl.wl.NL.Instances) > 50 {
+		seqN, clients, perClient = 3, 4, 2
+	}
+
+	latencies := make([]float64, 0, seqN)
+	seqStart := time.Now()
+	for i := 0; i < seqN; i++ {
+		t0 := time.Now()
+		if err := post(); err != nil {
+			return nil, err
+		}
+		latencies = append(latencies, time.Since(t0).Seconds()*1e3)
+	}
+	seqSec := time.Since(seqStart).Seconds()
+	sort.Float64s(latencies)
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+
+	m0 := srv.Snapshot()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	concStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				if err := post(); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	concSec := time.Since(concStart).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m1 := srv.Snapshot()
+
+	probe := &serveProbe{
+		Netlist:            wl.wl.Name,
+		Workers:            workers,
+		MaxInFlight:        m1.MaxInFlight,
+		SequentialRequests: seqN,
+		SequentialSeconds:  seqSec,
+		P50Ms:              quantile(0.50),
+		P99Ms:              quantile(0.99),
+		ConcurrentClients:  clients,
+		ConcurrentRequests: clients * perClient,
+		ConcurrentSeconds:  concSec,
+		Computed:           m1.STAComputed - m0.STAComputed,
+		Coalesced:          m1.STACoalesced - m0.STACoalesced,
+		BitIdentical:       bitIdentical,
+	}
+	if seqSec > 0 {
+		probe.ReqPerSec = float64(seqN) / seqSec
+	}
+	if concSec > 0 {
+		probe.ConcurrentReqPerSec = float64(clients*perClient) / concSec
+	}
+	if probe.Computed > 0 {
+		probe.CoalescingRatio = float64(probe.Computed+probe.Coalesced) / float64(probe.Computed)
 	}
 	return probe, nil
 }

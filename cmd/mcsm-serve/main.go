@@ -1,0 +1,116 @@
+// Command mcsm-serve runs the timing service: a long-lived HTTP/JSON
+// daemon (internal/service) that keeps characterized CSM models hot
+// across requests, coalesces identical in-flight work, and answers with
+// the same bytes the CLI tools produce.
+//
+// Usage:
+//
+//	mcsm-serve                        # listen on :8720
+//	mcsm-serve -addr 127.0.0.1:9000 -parallel 4 -cache models/
+//	mcsm-serve -max-inflight 2 -timeout 2m
+//
+// Endpoints (see internal/service for request schemas):
+//
+//	POST /v1/sta     netlist/gen-spec in, canonical bit-exact STA report out
+//	POST /v1/sweep   MIS skew/slew/load grid in, CSV or JSON surface out
+//	POST /v1/char    warm a cell model into the shared cache
+//	GET  /healthz    liveness
+//	GET  /metrics    cache hit rates, coalescing, in-flight, throughput
+//
+// A quick round trip against the ISCAS85 c17 workload:
+//
+//	curl -s -X POST localhost:8720/v1/sta \
+//	     -d @testdata/golden/c17_sta_request.json
+//
+// which answers byte-for-byte the committed golden fixture
+// testdata/golden/c17_sta.json (the service determinism contract; CI
+// enforces it on every push).
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener stops, in-flight
+// requests get -grace to finish, then outstanding computations are
+// canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcsm/internal/cliutil"
+	"mcsm/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8720", "listen address")
+		inflight = flag.Int("max-inflight", 0, "max concurrently computing analyses (0 = max(2, GOMAXPROCS/2)); excess requests queue")
+		nlCache  = flag.Int("netlist-cache", 64, "parsed-netlist LRU capacity (entries)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request compute deadline (queue wait included)")
+		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
+		quiet    = flag.Bool("quiet", false, "suppress per-request logs")
+		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (mcsm-serve takes only flags)", flag.Arg(0)))
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := service.NewWithEngine(service.Config{
+		MaxInFlight: *inflight,
+		NetlistCap:  *nlCache,
+		Timeout:     *timeout,
+		Logf:        logf,
+	}, engFlags.NewEngine())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("mcsm-serve: listening on %s (engine workers %d, cache dir %q)",
+		ln.Addr(), srv.Engine().Workers(), engFlags.CacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("mcsm-serve: shutting down (drain %s)...", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	err = httpSrv.Shutdown(shutdownCtx)
+	srv.Close() // cancel whatever did not drain
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	st := srv.Snapshot()
+	log.Printf("mcsm-serve: served %d sta / %d sweep / %d char requests (%d coalesced, model-cache hit rate %.0f%%)",
+		st.Requests.STA, st.Requests.Sweep, st.Requests.Char,
+		st.STACoalesced+st.SweepCoalesced, 100*st.ModelCache.HitRate)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsm-serve:", err)
+	os.Exit(1)
+}

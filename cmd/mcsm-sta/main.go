@@ -34,6 +34,10 @@
 // analysis window is widened to cover the mapped depth unless -horizon is
 // given explicitly, and the flat transistor reference defaults off (a
 // mid-size flat circuit is one dense MNA system — re-enable with -flat).
+//
+// The flag plumbing (workload loading, -parallel/-cache, SI time parsing)
+// is shared with mcsm-sweep and mcsm-serve via internal/cliutil; the
+// same analysis is served over HTTP by cmd/mcsm-serve.
 package main
 
 import (
@@ -41,17 +45,11 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 
 	"mcsm/internal/cells"
-	"mcsm/internal/csm"
-	"mcsm/internal/engine"
+	"mcsm/internal/cliutil"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
-	"mcsm/internal/wave"
 )
 
 func main() {
@@ -62,13 +60,12 @@ func main() {
 		dump     = flag.String("dump", "", "write the generic circuit as .bench to this path and exit (bench/gen inputs)")
 		all      = flag.Bool("all", false, "report every net, not just primary outputs (bench/gen inputs)")
 		arrivals = flag.String("arrivals", "", "comma list net:rise@TIME or net:fall@TIME (default: all rise@1n; bench/gen: staggered rises)")
-		slew     = flag.Float64("slew", 80e-12, "primary input transition time")
+		slew     = flag.Float64("slew", cliutil.DefaultSlew, "primary input transition time")
 		horizon  = flag.Float64("horizon", 4e-9, "analysis window end")
 		dtSpec   = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps; coarser steps trade accuracy for speed)")
 		flat     = flag.Bool("flat", true, "also run the flat transistor reference (bench/gen inputs default to off)")
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
-		parallel = flag.Int("parallel", 0, "worker-pool width for level-parallel analysis (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir = flag.String("cache", "", "model cache directory: spill characterized models as JSON and reload them on later runs")
+		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -82,140 +79,109 @@ func main() {
 	// Load the workload: either a generated generic circuit, a .bench
 	// file (both technology-mapped), or a native netlist.
 	var (
-		circ *netlist.Circuit
-		nl   *sta.Netlist
-		err  error
+		wl  *cliutil.Workload
+		err error
 	)
 	switch {
 	case *gen != "":
-		spec, serr := parseGenSpec(*gen)
+		spec, serr := cliutil.ParseGenSpec(*gen)
 		if serr != nil {
 			fatal(serr)
 		}
-		if circ, err = spec.Generate(); err != nil {
-			fatal(err)
-		}
+		wl, err = cliutil.GenWorkload(spec)
 	case path == "":
 		fatal(fmt.Errorf("a netlist path (positional or -netlist) or -gen is required"))
 	default:
-		f, ferr := os.Open(path)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		switch resolveFormat(*format, path) {
-		case "bench":
-			circ, err = netlist.ParseBench(f)
-		case "net":
-			nl, err = sta.ParseNetlist(f)
-		default:
-			err = fmt.Errorf("unknown format %q (want auto, net, or bench)", *format)
-		}
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+		wl, err = cliutil.LoadWorkload(path, *format)
 	}
-
-	mapped := circ != nil
-	if *dump != "" && !mapped {
-		fatal(fmt.Errorf("-dump requires a bench or -gen input (a native netlist has no generic-circuit form)"))
-	}
-	if mapped {
-		if *dump != "" {
-			df, derr := os.Create(*dump)
-			if derr != nil {
-				fatal(derr)
-			}
-			if err := circ.WriteBench(df); err != nil {
-				fatal(err)
-			}
-			if err := df.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s (%d inputs, %d outputs, %d gates)\n",
-				*dump, len(circ.Inputs), len(circ.Outputs), len(circ.Gates))
-			return
-		}
-		if nl, err = netlist.Map(circ); err != nil {
-			fatal(err)
-		}
-	}
-	levels, err := nl.Levels()
 	if err != nil {
 		fatal(err)
 	}
-	if mapped {
+
+	if *dump != "" {
+		if !wl.Mapped {
+			fatal(fmt.Errorf("-dump requires a bench or -gen input (a native netlist has no generic-circuit form)"))
+		}
+		df, derr := os.Create(*dump)
+		if derr != nil {
+			fatal(derr)
+		}
+		if err := wl.Circ.WriteBench(df); err != nil {
+			fatal(err)
+		}
+		if err := df.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d inputs, %d outputs, %d gates)\n",
+			*dump, len(wl.Circ.Inputs), len(wl.Circ.Outputs), len(wl.Circ.Gates))
+		return
+	}
+	if wl.Mapped {
 		fmt.Fprintf(os.Stderr, "mapped %d generic gates onto %d library cells %v, %d levels\n",
-			len(circ.Gates), len(nl.Instances), fmtCounts(netlist.CellCounts(nl)), len(levels))
+			len(wl.Circ.Gates), len(wl.NL.Instances), cliutil.FmtCounts(netlist.CellCounts(wl.NL)), wl.Levels)
 	}
 
 	// Bench/gen circuits are arbitrarily deep: widen the window to cover
 	// the mapped depth unless the user pinned -horizon.
-	h := *horizon
-	if mapped && !explicit["horizon"] {
-		if auto := netlist.Horizon(len(levels), *slew); auto > h {
-			h = auto
-		}
+	explicitHorizon := 0.0
+	if explicit["horizon"] || !wl.Mapped {
+		explicitHorizon = *horizon
 	}
+	h := wl.Horizon(explicitHorizon, *horizon, *slew)
 	runFlat := *flat
-	if mapped && !explicit["flat"] {
+	if wl.Mapped && !explicit["flat"] {
 		runFlat = false
 	}
-	var dt float64
-	if *dtSpec != "" {
-		if dt, err = parseTime(*dtSpec); err != nil {
-			fatal(err)
-		}
+	dt, err := cliutil.ParseDt(*dtSpec)
+	if err != nil {
+		fatal(err)
 	}
 
 	tech := cells.Default130()
-	cfg := csm.DefaultConfig()
-	if *fast {
-		cfg = csm.FastConfig()
+	cfgName := "fast"
+	if !*fast {
+		cfgName = "default"
 	}
-	eng := engine.New(*parallel, engine.NewSpillCache(*cacheDir))
+	cfg, err := cliutil.CharConfig(cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	eng := engFlags.NewEngine()
 	fmt.Fprintf(os.Stderr, "characterizing cell models (%d workers)...\n", eng.Workers())
-	models, err := eng.ModelsFor(tech, nl, cfg)
+	models, err := eng.ModelsFor(tech, wl.NL, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	st := eng.Cache().Stats()
-	if *cacheDir != "" {
+	if engFlags.CacheDir != "" {
 		fmt.Fprintf(os.Stderr, "models: %d characterized, %d reloaded from %s\n",
-			st.Misses-st.DiskHits, st.DiskHits, *cacheDir)
+			st.Misses-st.DiskHits, st.DiskHits, engFlags.CacheDir)
 	} else {
 		fmt.Fprintf(os.Stderr, "models: %d characterized\n", st.Misses)
 	}
 
-	primary := map[string]wave.Waveform{}
-	if mapped {
-		primary = netlist.Stimulus(nl.PrimaryIn, tech.Vdd, *slew, h)
-	} else {
-		for _, net := range nl.PrimaryIn {
-			primary[net] = wave.SaturatedRamp(0, tech.Vdd, 1e-9, *slew, h)
-		}
-	}
-	if err := applyArrivalSpec(primary, tech.Vdd, *arrivals, *slew, h); err != nil {
+	primary := wl.Stimulus(tech.Vdd, *slew, h)
+	if err := cliutil.ApplyArrivalSpec(primary, tech.Vdd, *arrivals, *slew, h); err != nil {
 		fatal(err)
 	}
 
 	opt := sta.Options{Horizon: h, Dt: dt}
-	mis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt})
+	mis, err := eng.Analyze(wl.NL, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt})
 	if err != nil {
 		fatal(err)
 	}
-	sis, err := eng.Analyze(nl, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: h, Dt: dt})
+	sis, err := eng.Analyze(wl.NL, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: h, Dt: dt})
 	if err != nil {
 		fatal(err)
 	}
 	var ref *sta.Report
 	if runFlat {
-		if ref, err = eng.FlatReference(nl, tech, primary, opt); err != nil {
+		if ref, err = eng.FlatReference(wl.NL, tech, primary, opt); err != nil {
 			fatal(err)
 		}
 	}
 
-	nets := reportNets(nl, mapped && !*all)
+	nets := reportNets(wl.NL, wl.Mapped && !*all)
 	header := fmt.Sprintf("%-14s %12s %12s", "net", "MIS-STA(ps)", "SIS-STA(ps)")
 	if ref != nil {
 		header += fmt.Sprintf(" %12s", "flat(ps)")
@@ -229,15 +195,15 @@ func main() {
 		fmt.Println(row)
 	}
 	if n := len(mis.MISInstances); n > 0 {
-		if mapped && !*all {
-			fmt.Printf("MIS events at %d of %d stages\n", n, len(nl.Instances))
+		if wl.Mapped && !*all {
+			fmt.Printf("MIS events at %d of %d stages\n", n, len(wl.NL.Instances))
 		} else {
 			fmt.Printf("MIS events at: %v\n", mis.MISInstances)
 		}
 	}
-	if out, arr, ok := mis.WorstOutput(nl); ok {
+	if out, arr, ok := mis.WorstOutput(wl.NL); ok {
 		fmt.Printf("worst output %s arrives at %s ps (critical path: %d nets)\n",
-			out, fmtArr(arr), len(mis.CriticalPath(nl, out)))
+			out, fmtArr(arr), len(mis.CriticalPath(wl.NL, out)))
 	}
 }
 
@@ -254,118 +220,11 @@ func reportNets(nl *sta.Netlist, outputsOnly bool) []string {
 	return nets
 }
 
-// resolveFormat applies -format, sniffing by extension in auto mode.
-func resolveFormat(format, path string) string {
-	if format != "auto" {
-		return format
-	}
-	if strings.EqualFold(filepath.Ext(path), ".bench") {
-		return "bench"
-	}
-	return "net"
-}
-
-// parseGenSpec reads the -gen argument gates[:depth[:fanin[:seed[:inputs]]]],
-// deriving ISCAS-like defaults for the omitted trailing parts.
-func parseGenSpec(s string) (netlist.GenSpec, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) > 5 {
-		return netlist.GenSpec{}, fmt.Errorf("bad -gen %q (want gates[:depth[:fanin[:seed[:inputs]]]])", s)
-	}
-	nums := make([]int64, len(parts))
-	for i, p := range parts {
-		v, err := strconv.ParseInt(p, 10, 64)
-		if err != nil {
-			return netlist.GenSpec{}, fmt.Errorf("bad -gen %q: %q is not an integer", s, p)
-		}
-		nums[i] = v
-	}
-	spec := netlist.ISCASSpec(int(nums[0]))
-	if len(nums) > 1 {
-		spec.Depth = int(nums[1])
-	}
-	if len(nums) > 2 {
-		spec.MaxFanin = int(nums[2])
-	}
-	if len(nums) > 3 {
-		spec.Seed = nums[3]
-	}
-	if len(nums) > 4 {
-		spec.Inputs = int(nums[4])
-	}
-	return spec, nil
-}
-
-// fmtCounts renders a cell-count map deterministically ("INV:3 NAND2:7").
-func fmtCounts(counts map[string]int) string {
-	types := make([]string, 0, len(counts))
-	for t := range counts {
-		types = append(types, t)
-	}
-	sort.Strings(types)
-	parts := make([]string, len(types))
-	for i, t := range types {
-		parts[i] = fmt.Sprintf("%s:%d", t, counts[t])
-	}
-	return "[" + strings.Join(parts, " ") + "]"
-}
-
 func fmtArr(t float64) string {
 	if math.IsNaN(t) {
 		return "-"
 	}
 	return fmt.Sprintf("%.2f", t*1e12)
-}
-
-// applyArrivalSpec overlays the -arrivals overrides onto the default
-// primary-input waveforms.
-func applyArrivalSpec(out map[string]wave.Waveform, vdd float64, spec string, slew, horizon float64) error {
-	if spec == "" {
-		return nil
-	}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		kv := strings.SplitN(part, ":", 2)
-		if len(kv) != 2 {
-			return fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
-		}
-		dirAt := strings.SplitN(kv[1], "@", 2)
-		if len(dirAt) != 2 {
-			return fmt.Errorf("bad arrival %q (want net:rise@1n)", part)
-		}
-		t, err := parseTime(dirAt[1])
-		if err != nil {
-			return err
-		}
-		switch dirAt[0] {
-		case "rise":
-			out[kv[0]] = wave.SaturatedRamp(0, vdd, t, slew, horizon)
-		case "fall":
-			out[kv[0]] = wave.SaturatedRamp(vdd, 0, t, slew, horizon)
-		case "low":
-			out[kv[0]] = wave.Constant(0, 0, horizon)
-		case "high":
-			out[kv[0]] = wave.Constant(vdd, 0, horizon)
-		default:
-			return fmt.Errorf("bad direction %q", dirAt[0])
-		}
-	}
-	return nil
-}
-
-func parseTime(s string) (float64, error) {
-	mult := 1.0
-	switch {
-	case strings.HasSuffix(s, "n"):
-		mult, s = 1e-9, strings.TrimSuffix(s, "n")
-	case strings.HasSuffix(s, "p"):
-		mult, s = 1e-12, strings.TrimSuffix(s, "p")
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad time %q", s)
-	}
-	return v * mult, nil
 }
 
 func fatal(err error) {

@@ -2,141 +2,24 @@ package main
 
 import (
 	"math"
+	"strings"
 	"testing"
 
-	"mcsm/internal/testutil"
-	"mcsm/internal/wave"
+	"mcsm/internal/sta"
 )
 
-func TestParseTime(t *testing.T) {
-	cases := []struct {
-		in   string
-		want float64
-		ok   bool
-	}{
-		{"1n", 1e-9, true},
-		{"2.5n", 2.5e-9, true},
-		{"350p", 350e-12, true},
-		{"1e-9", 1e-9, true},
-		{"abc", 0, false},
-		{"n", 0, false},
-	}
-	for _, c := range cases {
-		got, err := parseTime(c.in)
-		if c.ok != (err == nil) {
-			t.Errorf("parseTime(%q) err = %v", c.in, err)
-			continue
-		}
-		if c.ok && math.Abs(got-c.want) > 1e-18 {
-			t.Errorf("parseTime(%q) = %g, want %g", c.in, got, c.want)
-		}
-	}
-}
-
-func TestApplyArrivalSpec(t *testing.T) {
-	vdd := testutil.Tech().Vdd
-	base := func() map[string]wave.Waveform {
-		return map[string]wave.Waveform{
-			"a": wave.SaturatedRamp(0, vdd, 1e-9, 80e-12, 4e-9),
-			"b": wave.SaturatedRamp(0, vdd, 1e-9, 80e-12, 4e-9),
-		}
-	}
-	// Empty spec leaves the defaults alone.
-	m := base()
-	if err := applyArrivalSpec(m, vdd, "", 80e-12, 4e-9); err != nil {
-		t.Fatal(err)
-	}
-	if v := m["a"].At(3e-9); math.Abs(v-vdd) > 1e-9 {
-		t.Errorf("default rise did not reach vdd: %g", v)
-	}
-
-	// Explicit spec overrides individual nets.
-	m = base()
-	if err := applyArrivalSpec(m, vdd, "a:fall@2n,b:high@0", 80e-12, 4e-9); err != nil {
-		t.Fatal(err)
-	}
-	if v := m["a"].At(3e-9); v > 0.01 {
-		t.Errorf("fall arrival did not reach 0: %g", v)
-	}
-	if v := m["b"].At(0.5e-9); math.Abs(v-vdd) > 1e-9 {
-		t.Errorf("held-high input = %g", v)
-	}
-
-	// Error cases.
-	for _, bad := range []string{"a@1n", "a:rise", "a:sideways@1n", "a:rise@xx"} {
-		if err := applyArrivalSpec(base(), vdd, bad, 80e-12, 4e-9); err == nil {
-			t.Errorf("accepted %q", bad)
-		}
-	}
-}
-
-func TestResolveFormat(t *testing.T) {
-	cases := []struct {
-		format, path, want string
-	}{
-		{"auto", "x/c432.bench", "bench"},
-		{"auto", "x/C432.BENCH", "bench"},
-		{"auto", "demo.net", "net"},
-		{"auto", "demo", "net"},
-		{"net", "c432.bench", "net"},
-		{"bench", "demo.net", "bench"},
-	}
-	for _, c := range cases {
-		if got := resolveFormat(c.format, c.path); got != c.want {
-			t.Errorf("resolveFormat(%q, %q) = %q, want %q", c.format, c.path, got, c.want)
-		}
-	}
-}
-
-func TestParseGenSpec(t *testing.T) {
-	spec, err := parseGenSpec("160:17:4:432")
+func mustC17(t *testing.T) *sta.Netlist {
+	t.Helper()
+	nl, err := sta.ParseNetlist(strings.NewReader(sta.C17Netlist))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.Gates != 160 || spec.Depth != 17 || spec.MaxFanin != 4 || spec.Seed != 432 {
-		t.Errorf("spec = %+v", spec)
-	}
-	if spec.Inputs != 32 {
-		t.Errorf("derived inputs = %d, want gates/5", spec.Inputs)
-	}
-
-	// Trailing parts default ISCAS-like: depth ~ 1.3*sqrt(gates).
-	spec, err = parseGenSpec("160")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if spec.Depth < 14 || spec.Depth > 18 {
-		t.Errorf("derived depth = %d, want ~16", spec.Depth)
-	}
-	if spec.MaxFanin != 4 || spec.Seed != 1 {
-		t.Errorf("derived spec = %+v", spec)
-	}
-	if _, err := spec.Generate(); err != nil {
-		t.Errorf("derived spec does not generate: %v", err)
-	}
-
-	// The optional fifth field pins the primary-input count.
-	spec, err = parseGenSpec("160:17:4:432:36")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if spec.Inputs != 36 {
-		t.Errorf("explicit inputs = %d, want 36", spec.Inputs)
-	}
-
-	for _, bad := range []string{"", "x", "10:2:4:1:9:8", "10:two"} {
-		if _, err := parseGenSpec(bad); err == nil {
-			t.Errorf("accepted %q", bad)
-		}
-	}
+	return nl
 }
 
-func TestFmtCounts(t *testing.T) {
-	got := fmtCounts(map[string]int{"NAND2": 7, "INV": 3})
-	if got != "[INV:3 NAND2:7]" {
-		t.Errorf("fmtCounts = %q", got)
-	}
-}
+// The workload/flag plumbing this binary used to test privately now lives
+// in internal/cliutil (shared with mcsm-sweep and mcsm-serve) and is
+// covered there; only the local rendering helpers remain.
 
 func TestFmtArr(t *testing.T) {
 	if got := fmtArr(math.NaN()); got != "-" {
@@ -144,5 +27,15 @@ func TestFmtArr(t *testing.T) {
 	}
 	if got := fmtArr(1.5e-9); got != "1500.00" {
 		t.Errorf("1.5ns = %q", got)
+	}
+}
+
+func TestReportNets(t *testing.T) {
+	nl := mustC17(t)
+	if got := reportNets(nl, true); len(got) != 2 {
+		t.Errorf("outputs-only nets = %v", got)
+	}
+	if got := reportNets(nl, false); len(got) != 6 {
+		t.Errorf("all nets = %v", got)
 	}
 }

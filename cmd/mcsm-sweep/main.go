@@ -27,8 +27,7 @@ import (
 	"time"
 
 	"mcsm/internal/cells"
-	"mcsm/internal/csm"
-	"mcsm/internal/engine"
+	"mcsm/internal/cliutil"
 	"mcsm/internal/sweep"
 )
 
@@ -36,14 +35,13 @@ func main() {
 	var (
 		gridSpec  = flag.String("grid", "", "grid override: skew=lo:hi:step;slew=v1,v2;load=v1,v2 (suffixes f/p/n/u; omitted axes keep defaults)")
 		cellList  = flag.String("cells", "", "comma-separated cells to sweep (default: every fully-modeled multi-input cell)")
-		parallel  = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial)")
 		refSample = flag.Int("ref-sample", 0, "simulate every Nth grid point at flat transistor level for error statistics (0 = off)")
 		format    = flag.String("format", "csv", "output format: csv or json")
 		outPath   = flag.String("o", "-", "output path (\"-\" = stdout)")
 		quick     = flag.Bool("quick", false, "reduced grid (sweep.QuickGrid) for smoke runs")
 		fast      = flag.Bool("fast", true, "reduced-fidelity characterization")
 		dtSpec    = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps)")
-		cacheDir  = flag.String("cache", "", "model cache directory: spill characterized models as JSON and reload them on later runs")
+		engFlags  = cliutil.RegisterEngineFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -65,16 +63,18 @@ func main() {
 		fatal(err)
 	}
 	cellNames := splitCells(*cellList)
-	var dt float64
-	if *dtSpec != "" {
-		if dt, err = sweep.ParseSI(*dtSpec); err != nil {
-			fatal(err)
-		}
+	dt, err := cliutil.ParseDt(*dtSpec)
+	if err != nil {
+		fatal(err)
 	}
 
-	charCfg := csm.DefaultConfig()
-	if *fast {
-		charCfg = csm.FastConfig()
+	cfgName := "fast"
+	if !*fast {
+		cfgName = "default"
+	}
+	charCfg, err := cliutil.CharConfig(cfgName)
+	if err != nil {
+		fatal(err)
 	}
 	cfg := sweep.Config{
 		Tech:     cells.Default130(),
@@ -82,7 +82,7 @@ func main() {
 		Dt:       dt,
 		RefEvery: *refSample,
 	}
-	eng := engine.New(*parallel, engine.NewSpillCache(*cacheDir))
+	eng := engFlags.NewEngine()
 	runner := sweep.New(eng, cfg)
 
 	if len(cellNames) == 0 {

@@ -10,10 +10,13 @@
 // waveform-propagating timing engine, a level-parallel evaluation layer
 // (internal/engine) with a shared characterization cache, a batched MIS
 // skew/slew/load sweep engine (internal/sweep) producing the paper's
-// delay-vs-skew surfaces with flat-SPICE error statistics, and a benchmark
+// delay-vs-skew surfaces with flat-SPICE error statistics, a benchmark
 // frontend (internal/netlist) that parses ISCAS-85 .bench circuits,
 // generates seeded synthetic DAG workloads, and technology-maps both onto
-// the characterized cell library.
+// the characterized cell library, and a timing service
+// (internal/service, cmd/mcsm-serve): a concurrent HTTP daemon that
+// keeps characterized models hot across requests, coalesces identical
+// in-flight work, and answers bit-identically to the CLI tools.
 //
 // Start with DESIGN.md for the system inventory, the engine layer, the
 // technology-mapping rules, and the per-experiment index; EXPERIMENTS.md

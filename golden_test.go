@@ -13,6 +13,10 @@ package mcsm
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -20,6 +24,7 @@ import (
 
 	"mcsm/internal/engine"
 	"mcsm/internal/netlist"
+	"mcsm/internal/service"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
 	"mcsm/internal/testutil"
@@ -87,6 +92,107 @@ func TestGoldenC432Report(t *testing.T) {
 	}
 	testutil.Golden(t, filepath.Join(goldenDir, "c432_sta.json"),
 		testutil.MarshalReport(t, "c432", rep))
+}
+
+// goldenPost fires one POST at an in-process service and returns status
+// and body.
+func goldenPost(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// marshalRequest renders a service request in the fixture encoding.
+func marshalRequest(t *testing.T, req service.STARequest) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenServeC17 is the service determinism contract on the c17
+// fixture: the /v1/sta response for the canonical request must be
+// byte-identical to the committed golden report, at any worker-pool
+// width. The request itself is also pinned as a fixture
+// (c17_sta_request.json) — CI's smoke job POSTs that exact file at a
+// real mcsm-serve process and diffs against the same report.
+func TestGoldenServeC17(t *testing.T) {
+	req := service.STARequest{
+		Name:     "c17",
+		Netlist:  sta.C17Netlist,
+		Format:   "net",
+		Config:   "coarse",
+		Stimulus: "c17",
+		Dt:       "2p",
+		Horizon:  "4n",
+	}
+	reqBody := marshalRequest(t, req)
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_sta_request.json"), reqBody)
+
+	for _, workers := range []int{1, 4} {
+		srv := service.NewWithEngine(service.Config{}, engine.New(workers, goldenEngine().Cache()))
+		ts := httptest.NewServer(srv.Handler())
+		status, body := goldenPost(t, ts.URL+"/v1/sta", reqBody)
+		ts.Close()
+		srv.Close()
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, status, body)
+		}
+		if workers == 1 {
+			// One comparison against the committed fixture (with -update
+			// support)...
+			testutil.Golden(t, filepath.Join(goldenDir, "c17_sta.json"), body)
+			continue
+		}
+		// ...and every other width must agree with the fixture exactly.
+		want, err := os.ReadFile(filepath.Join(goldenDir, "c17_sta.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("workers=%d: served report drifted from the fixture", workers)
+		}
+	}
+}
+
+// TestGoldenServeC432 extends the service contract to the mid-size
+// corpus circuit: a bench-format request through parsing, technology
+// mapping, and the level-parallel engine reproduces the committed c432
+// report byte-for-byte.
+func TestGoldenServeC432(t *testing.T) {
+	bench, err := os.ReadFile("internal/netlist/testdata/c432.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := service.STARequest{
+		Name:    "c432",
+		Netlist: string(bench),
+		Format:  "bench",
+		Config:  "coarse",
+		Dt:      "4p",
+		Horizon: "2.6n",
+		// Stimulus defaults to "staggered" for bench workloads — the
+		// corpus drive the fixture was generated under.
+	}
+	srv := service.NewWithEngine(service.Config{}, goldenEngine())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	status, body := goldenPost(t, ts.URL+"/v1/sta", marshalRequest(t, req))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	testutil.Golden(t, filepath.Join(goldenDir, "c432_sta.json"), body)
 }
 
 // TestGoldenNAND2Sweep pins one canonical sweep surface: the NAND2 MIS

@@ -1,0 +1,212 @@
+package cliutil
+
+import (
+	"flag"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mcsm/internal/csm"
+	"mcsm/internal/netlist"
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+func TestParseSIExactBits(t *testing.T) {
+	// The suffix must be applied textually: "2.6n" is the correctly
+	// rounded 2.6e-9, not the 2.6*1e-9 multiplication residue.
+	got, err := ParseSI("2.6n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := strconv.ParseFloat("2.6e-9", 64)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("ParseSI(2.6n) = %b, want the bits of 2.6e-9", got)
+	}
+	if v, err := ParseDt(""); err != nil || v != 0 {
+		t.Errorf("ParseDt(\"\") = %v, %v; want 0, nil", v, err)
+	}
+	if _, err := ParseDt("4q"); err == nil {
+		t.Error("ParseDt accepted a bad suffix")
+	}
+}
+
+func TestCharConfig(t *testing.T) {
+	for name, want := range map[string]csm.Config{
+		"":        csm.FastConfig(),
+		"fast":    csm.FastConfig(),
+		"default": csm.DefaultConfig(),
+		"coarse":  csm.CoarseConfig(),
+	} {
+		got, err := CharConfig(name)
+		if err != nil {
+			t.Fatalf("CharConfig(%q): %v", name, err)
+		}
+		if got.GridCurrent != want.GridCurrent || got.TranDt != want.TranDt {
+			t.Errorf("CharConfig(%q) = %+v, want %+v", name, got, want)
+		}
+	}
+	if _, err := CharConfig("turbo"); err == nil {
+		t.Error("CharConfig accepted an unknown profile")
+	}
+}
+
+func TestResolveFormat(t *testing.T) {
+	for _, tc := range []struct{ format, path, want string }{
+		{"auto", "c432.bench", "bench"},
+		{"auto", "c432.BENCH", "bench"},
+		{"auto", "c17.net", "net"},
+		{"net", "c432.bench", "net"},
+		{"bench", "x", "bench"},
+	} {
+		if got := ResolveFormat(tc.format, tc.path); got != tc.want {
+			t.Errorf("ResolveFormat(%q, %q) = %q, want %q", tc.format, tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestParseGenSpec(t *testing.T) {
+	spec, err := ParseGenSpec("200:9:3:7:31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Gates != 200 || spec.Depth != 9 || spec.MaxFanin != 3 || spec.Seed != 7 || spec.Inputs != 31 {
+		t.Errorf("full spec parsed as %+v", spec)
+	}
+	if base := netlist.ISCASSpec(120); base.Gates != 120 {
+		t.Fatalf("ISCASSpec(120) = %+v", base)
+	}
+	if s, err := ParseGenSpec("120"); err != nil || s != netlist.ISCASSpec(120) {
+		t.Errorf("bare gate count should take ISCAS defaults: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"", "x", "1:2:3:4:5:6", "-5", "0"} {
+		if _, err := ParseGenSpec(bad); err == nil {
+			t.Errorf("ParseGenSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRegisterEngineFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ef := RegisterEngineFlags(fs)
+	if err := fs.Parse([]string{"-parallel", "3", "-cache", "/tmp/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if ef.Parallel != 3 || ef.CacheDir != "/tmp/x" {
+		t.Errorf("flags parsed as %+v", ef)
+	}
+	eng := ef.NewEngine()
+	if eng.Workers() != 3 {
+		t.Errorf("engine workers = %d, want 3", eng.Workers())
+	}
+}
+
+func TestParseWorkloadNative(t *testing.T) {
+	w, err := ParseWorkload("c17", "net", sta.C17Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Mapped || w.Levels != 3 || len(w.NL.Instances) != 6 {
+		t.Errorf("c17 workload: mapped=%v levels=%d stages=%d", w.Mapped, w.Levels, len(w.NL.Instances))
+	}
+	if h := w.Horizon(0, 4e-9, DefaultSlew); h != 4e-9 {
+		t.Errorf("native horizon = %g, want the base default", h)
+	}
+	prim := w.Stimulus(1.2, DefaultSlew, 4e-9)
+	if len(prim) != 5 {
+		t.Fatalf("stimulus covers %d nets, want 5", len(prim))
+	}
+	for net, wv := range prim {
+		if wv.First() != 0 || wv.Last() != 1.2 {
+			t.Errorf("net %s default drive is not a 0→vdd rise", net)
+		}
+	}
+}
+
+func TestParseWorkloadBenchAndGen(t *testing.T) {
+	const bench = `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+`
+	w, err := ParseWorkload("tiny", "bench", bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Mapped || len(w.NL.Instances) != 1 || w.NL.Instances[0].Type != "NAND2" {
+		t.Errorf("bench workload mapped to %+v", w.NL.Instances)
+	}
+	if _, err := ParseWorkload("x", "pdf", "junk"); err == nil {
+		t.Error("unknown format accepted")
+	}
+
+	g, err := GenWorkload(netlist.ISCASSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Mapped || g.Text == "" || g.Format != "bench" {
+		t.Fatalf("gen workload: mapped=%v format=%q textlen=%d", g.Mapped, g.Format, len(g.Text))
+	}
+	// The carried text must reproduce the identical netlist — the serve
+	// probe POSTs it and expects the server to analyze the same circuit.
+	g2, err := ParseWorkload(g.Name, g.Format, g.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.NL.Instances) != len(g.NL.Instances) {
+		t.Fatalf("re-parsed gen workload has %d stages, want %d", len(g2.NL.Instances), len(g.NL.Instances))
+	}
+	for i := range g.NL.Instances {
+		a, b := g.NL.Instances[i], g2.NL.Instances[i]
+		if a.Name != b.Name || a.Type != b.Type || a.Output != b.Output {
+			t.Fatalf("instance %d drifted across the text round trip: %+v vs %+v", i, a, b)
+		}
+	}
+	if auto := g.Horizon(0, 4e-9, DefaultSlew); auto < 4e-9 {
+		t.Errorf("mapped horizon %g must not shrink below the base", auto)
+	}
+	if h := g.Horizon(7e-9, 4e-9, DefaultSlew); h != 7e-9 {
+		t.Errorf("explicit horizon must win, got %g", h)
+	}
+}
+
+func TestApplyArrivalSpec(t *testing.T) {
+	const vdd, slew, h = 1.2, 80e-12, 4e-9
+	out := map[string]wave.Waveform{}
+	err := ApplyArrivalSpec(out, vdd, "a:rise@1n, b:fall@1.2n, c:high, d:low", slew, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := out["a"]; w.First() != 0 || w.Last() != vdd {
+		t.Errorf("a is not a rise: %g→%g", w.First(), w.Last())
+	}
+	if w := out["b"]; w.First() != vdd || w.Last() != 0 {
+		t.Errorf("b is not a fall: %g→%g", w.First(), w.Last())
+	}
+	if w := out["c"]; w.First() != vdd || w.Last() != vdd {
+		t.Errorf("c is not held high")
+	}
+	if w := out["d"]; w.First() != 0 || w.Last() != 0 {
+		t.Errorf("d is not held low")
+	}
+	if err := ApplyArrivalSpec(out, vdd, "", slew, h); err != nil {
+		t.Errorf("empty spec must be a no-op, got %v", err)
+	}
+	for _, bad := range []string{"a", "a:up@1n", "a:rise@1q", "a:rise"} {
+		if err := ApplyArrivalSpec(out, vdd, bad, slew, h); err == nil {
+			t.Errorf("ApplyArrivalSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFmtCounts(t *testing.T) {
+	got := FmtCounts(map[string]int{"NAND2": 7, "INV": 3})
+	if got != "[INV:3 NAND2:7]" {
+		t.Errorf("FmtCounts = %q", got)
+	}
+	if !strings.HasPrefix(FmtCounts(nil), "[") {
+		t.Error("nil counts should render as empty brackets")
+	}
+}

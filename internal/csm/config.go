@@ -64,6 +64,22 @@ func FastConfig() Config {
 	}
 }
 
+// CoarseConfig returns the deliberately cheap characterization the
+// equivalence tests, golden regression fixtures, and the timing service's
+// "coarse" request profile share. Fidelity is irrelevant to those
+// consumers — they compare paths bitwise against each other — but the
+// exact settings are load-bearing: the committed golden fixtures pin
+// results characterized with precisely this config.
+func CoarseConfig() Config {
+	return Config{
+		GridCurrent:  5,
+		GridInternal: 7,
+		GridCap:      3,
+		SlewTimes:    []float64{80 * units.PS},
+		TranDt:       2 * units.PS,
+	}
+}
+
 // withDefaults fills zero fields from DefaultConfig and derives DeltaV.
 func (c Config) withDefaults(vdd float64) Config {
 	d := DefaultConfig()

@@ -14,8 +14,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,11 +37,13 @@ import (
 type ModelCache struct {
 	dir string // spill directory ("" = in-memory only)
 
-	mu       sync.Mutex
-	entries  map[string]*cacheEntry
-	hits     int64 // Gets served from memory (including joins on in-flight work)
-	misses   int64 // Gets that had to build (characterize or reload)
-	diskHits int64 // subset of misses satisfied by a spill-file reload
+	mu           sync.Mutex
+	logf         func(format string, args ...any)
+	entries      map[string]*cacheEntry
+	hits         int64 // Gets served from memory (including joins on in-flight work)
+	misses       int64 // Gets that had to build (characterize or reload)
+	diskHits     int64 // subset of misses satisfied by a spill-file reload
+	spillRejects int64 // spill files rejected as corrupt/mismatched and re-characterized
 }
 
 type cacheEntry struct {
@@ -51,6 +55,17 @@ type cacheEntry struct {
 // NewModelCache returns an in-memory cache.
 func NewModelCache() *ModelCache {
 	return &ModelCache{entries: map[string]*cacheEntry{}}
+}
+
+// SetLogf installs (or, with nil, clears) the diagnostics sink: it
+// receives problems the cache recovers from on its own — today exactly
+// one case, a corrupt spill file being rejected and re-characterized.
+// Safe to call concurrently with Gets; the func itself must be
+// concurrency-safe (log.Printf and testing.T.Logf are).
+func (c *ModelCache) SetLogf(f func(format string, args ...any)) {
+	c.mu.Lock()
+	c.logf = f
+	c.mu.Unlock()
 }
 
 // NewSpillCache returns a cache that additionally persists characterized
@@ -100,16 +115,27 @@ func (c *ModelCache) Get(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg cs
 }
 
 // build satisfies a cache miss: reload from the spill file when possible,
-// otherwise characterize (and spill, best-effort).
+// otherwise characterize (and spill, best-effort). A spill file that fails
+// to decode or validate — truncated by a crashed writer, mangled on disk,
+// or belonging to a different cell — must never surface its decode error
+// to the caller or, worse, hand back a structurally broken model: it is
+// rejected with a clear diagnostic (Logf + the SpillRejects counter) and
+// the key is transparently re-characterized, overwriting the bad file.
 func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
 	var path string
 	if c.dir != "" {
 		path = c.spillPath(spec, kind, key)
-		if m, err := csm.LoadModel(path); err == nil && m.Cell == spec.Name {
+		m, err := csm.LoadModel(path)
+		switch {
+		case err == nil && m.Cell == spec.Name:
 			c.mu.Lock()
 			c.diskHits++
 			c.mu.Unlock()
 			return m, nil
+		case err == nil:
+			c.reject(path, fmt.Errorf("model is for cell %q, want %q", m.Cell, spec.Name))
+		case !errors.Is(err, fs.ErrNotExist):
+			c.reject(path, err)
 		}
 	}
 	m, err := csm.Characterize(tech, spec, kind, cfg)
@@ -124,6 +150,20 @@ func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind cs
 	return m, nil
 }
 
+// reject records a corrupt or mismatched spill file. The file itself is
+// left in place — the re-characterization that follows overwrites it, and
+// if that spill fails too the next process gets the same (logged) miss
+// rather than a surprising hole.
+func (c *ModelCache) reject(path string, cause error) {
+	c.mu.Lock()
+	c.spillRejects++
+	logf := c.logf
+	c.mu.Unlock()
+	if logf != nil {
+		logf("engine: rejecting corrupt spill file %s (re-characterizing): %v", path, cause)
+	}
+}
+
 // spillPath names the spill file for a key: readable prefix plus an FNV-64a
 // fingerprint of the full key, so distinct configs of the same cell never
 // collide.
@@ -136,10 +176,11 @@ func (c *ModelCache) spillPath(spec cells.Spec, kind csm.Kind, key string) strin
 
 // CacheStats is a snapshot of cache effectiveness counters.
 type CacheStats struct {
-	Hits     int64 // Gets served from memory (incl. in-flight joins)
-	Misses   int64 // Gets that built the entry
-	DiskHits int64 // misses satisfied by spill reload instead of characterization
-	Entries  int   // distinct keys resident
+	Hits         int64 // Gets served from memory (incl. in-flight joins)
+	Misses       int64 // Gets that built the entry
+	DiskHits     int64 // misses satisfied by spill reload instead of characterization
+	SpillRejects int64 // corrupt/mismatched spill files rejected and re-characterized
+	Entries      int   // distinct keys resident
 }
 
 // HitRate is Hits/(Hits+Misses), 0 when the cache is unused.
@@ -155,5 +196,5 @@ func (s CacheStats) HitRate() float64 {
 func (c *ModelCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, Entries: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, SpillRejects: c.spillRejects, Entries: len(c.entries)}
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"strings"
 	"sync"
@@ -139,6 +141,94 @@ func TestModelCacheSpill(t *testing.T) {
 	pt := []float64{0.6, 0.6}
 	if got, want := m2.Io.At(pt...), m1.Io.At(pt...); got != want {
 		t.Errorf("reloaded Io(0.6,0.6) = %g, want %g", got, want)
+	}
+}
+
+// TestModelCacheCorruptSpill mangles the spill file between runs: the
+// reload must reject it with a diagnostic — never surface the decode
+// failure to the caller or return a half-decoded model — transparently
+// re-characterize, and repair the file so the next process reloads cleanly.
+func TestModelCacheCorruptSpill(t *testing.T) {
+	dir := t.TempDir()
+	tech := cells.Default130()
+	spec := invSpec(t)
+
+	m1, err := NewSpillCache(dir).Get(tech, spec, csm.KindSIS, invConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill dir contents: %v (err %v)", files, err)
+	}
+	path := dir + "/" + files[0].Name()
+
+	corruptions := []struct {
+		name    string
+		mangle  func(data []byte) []byte
+		wantLog string
+	}{
+		// A crashed writer leaves a JSON prefix that no longer parses.
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }, "rejecting corrupt spill file"},
+		// Valid JSON, but not a model: decodes then fails validation.
+		{"empty object", func([]byte) []byte { return []byte("{}") }, "rejecting corrupt spill file"},
+		// Decodes and validates, but belongs to a different cell.
+		{"wrong cell", func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"cell": "INV"`), []byte(`"cell": "NOR9"`), 1)
+		}, "want \"INV\""},
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mangle(orig), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var logged bytes.Buffer
+			var logMu sync.Mutex
+			c := NewSpillCache(dir)
+			c.SetLogf(func(format string, args ...any) {
+				logMu.Lock()
+				fmt.Fprintf(&logged, format+"\n", args...)
+				logMu.Unlock()
+			})
+			m, err := c.Get(tech, spec, csm.KindSIS, invConfig())
+			if err != nil {
+				t.Fatalf("Get surfaced the spill failure instead of re-characterizing: %v", err)
+			}
+			if m.Cell != m1.Cell || m.Io == nil {
+				t.Fatalf("re-characterized model is broken: %+v", m)
+			}
+			st := c.Stats()
+			if st.SpillRejects != 1 || st.DiskHits != 0 || st.Misses != 1 {
+				t.Errorf("stats = %+v, want 1 spill reject, 0 disk hits, 1 miss", st)
+			}
+			if !strings.Contains(logged.String(), tc.wantLog) {
+				t.Errorf("diagnostic %q does not mention %q", logged.String(), tc.wantLog)
+			}
+			// The bad file must have been repaired: a fresh cache reloads.
+			c2 := NewSpillCache(dir)
+			if _, err := c2.Get(tech, spec, csm.KindSIS, invConfig()); err != nil {
+				t.Fatal(err)
+			}
+			if st := c2.Stats(); st.DiskHits != 1 || st.SpillRejects != 0 {
+				t.Errorf("post-repair stats = %+v, want a clean disk hit", st)
+			}
+		})
+	}
+
+	// A merely missing file is a plain miss, not a reject.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSpillCache(dir)
+	if _, err := c.Get(tech, spec, csm.KindSIS, invConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.SpillRejects != 0 {
+		t.Errorf("missing spill file counted as a reject: %+v", st)
 	}
 }
 

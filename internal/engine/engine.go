@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -113,6 +114,17 @@ func (e *Engine) ModelsFor(tech cells.Tech, nl *sta.Netlist, cfg csm.Config) (ma
 // several failures in one level the serial path may surface a different
 // one of them (its DFS order need not match index order within a level).
 func (e *Engine) Analyze(nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt sta.Options) (*sta.Report, error) {
+	return e.AnalyzeCtx(context.Background(), nl, models, primary, opt)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: the context is
+// checked between levels (the commit barriers), so a canceled analysis
+// stops after the level in flight instead of simulating the rest of the
+// netlist. Cancellation never changes results — a run that completes is
+// bit-identical to Analyze; a canceled run returns ctx.Err() and no
+// report. This is the hook the timing service uses for per-request
+// deadlines and client disconnects.
+func (e *Engine) AnalyzeCtx(ctx context.Context, nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt sta.Options) (*sta.Report, error) {
 	levels, err := nl.Levels()
 	if err != nil {
 		return nil, err
@@ -130,6 +142,9 @@ func (e *Engine) Analyze(nl *sta.Netlist, models map[string]*csm.Model, primary 
 	var mis []string
 
 	for _, level := range levels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		outs := make([]wave.Waveform, len(level))
 		switching := make([]int, len(level))
 		errs := make([]error, len(level))

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mcsm/internal/engine"
+)
+
+// TestConcurrentIdenticalRequestsCoalesce is the service-concurrency
+// contract (run under -race in CI): N goroutines firing the identical
+// /v1/sta request yield exactly one computation and one characterization
+// — both observable via /metrics — and N byte-identical response bodies.
+//
+// The test is deterministic, not probabilistic: the compute gate holds
+// the flight leader open until every other request has verifiably joined
+// it (flightGroup.waiting), so "the requests overlap" is guaranteed
+// rather than hoped for.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	// A private engine: the model cache must start cold so "exactly one
+	// characterization" is visible in its counters.
+	s := NewWithEngine(Config{}, engine.New(0, nil))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	gate := make(chan struct{})
+	s.computeGate = func(string) { <-gate }
+
+	const n = 8
+	bodies := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/sta", invRequest())
+			statuses[i] = resp.StatusCode
+			bodies[i] = body
+		}(i)
+	}
+
+	// Wait until the leader is gated and all n-1 others joined its flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.flights.waiting.Load() != n-1 || s.metrics.staComputed.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiners never converged: waiting=%d computed=%d",
+				s.flights.waiting.Load(), s.metrics.staComputed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != 200 {
+			t.Fatalf("request %d: status %d (%s)", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d returned different bytes than request 0", i)
+		}
+	}
+	if len(bodies[0]) == 0 {
+		t.Fatal("empty response body")
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.STAComputed != 1 {
+		t.Errorf("sta_computed = %d, want 1", m.STAComputed)
+	}
+	if m.STACoalesced != n-1 {
+		t.Errorf("sta_coalesced = %d, want %d", m.STACoalesced, n-1)
+	}
+	if m.CoalescingRatio <= 1.0 {
+		t.Errorf("coalescing ratio = %v, want > 1.0", m.CoalescingRatio)
+	}
+	// Exactly one characterization ran for the INV model — the joiners
+	// coalesced at the request level, so the model cache saw one Get.
+	if m.ModelCache.Misses != 1 || m.ModelCache.Entries != 1 {
+		t.Errorf("model cache = %+v, want exactly one build", m.ModelCache)
+	}
+	if m.NetlistCache.Misses != 1 {
+		t.Errorf("netlist cache = %+v, want exactly one parse", m.NetlistCache)
+	}
+}
+
+// TestConcurrentDistinctRequestsShareModels: different netlists using the
+// same cell must not coalesce at the request level but must share one
+// characterization through the ModelCache singleflight.
+func TestConcurrentDistinctRequestsShareModels(t *testing.T) {
+	s := NewWithEngine(Config{MaxInFlight: 4}, engine.New(0, nil))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	reqs := make([]STARequest, 4)
+	for i := range reqs {
+		reqs[i] = invRequest()
+		// Distinct source text (a comment line) → distinct request keys
+		// and netlist-cache entries, same INV model.
+		reqs[i].Netlist = invChain + "# variant " + string(rune('a'+i)) + "\n"
+	}
+	var wg sync.WaitGroup
+	statuses := make([]int, len(reqs))
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/sta", reqs[i])
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != 200 {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	if m.STAComputed != int64(len(reqs)) || m.STACoalesced != 0 {
+		t.Errorf("distinct requests coalesced: computed=%d coalesced=%d", m.STAComputed, m.STACoalesced)
+	}
+	// One INV model serves all four analyses: singleflight in the cache.
+	if m.ModelCache.Misses != 1 {
+		t.Errorf("model cache misses = %d, want 1 (singleflight)", m.ModelCache.Misses)
+	}
+	if m.NetlistCache.Misses != int64(len(reqs)) {
+		t.Errorf("netlist cache misses = %d, want %d", m.NetlistCache.Misses, len(reqs))
+	}
+}

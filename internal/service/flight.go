@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// response is a fully materialized HTTP reply — what coalesced callers
+// share. Bodies are immutable once published.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+	err         error // non-nil iff the computation failed (status from statusFor)
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done chan struct{}
+	resp response
+}
+
+// flightGroup coalesces identical in-flight requests, singleflight-style:
+// the first caller of a key computes; callers arriving while it runs join
+// and receive the identical response bytes. Entries are removed on
+// completion — this is work deduplication, not a response cache, so a
+// *later* identical request recomputes (and, by the determinism contract,
+// reproduces the same bytes).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// waiting gauges callers currently blocked on another's computation —
+	// the hook the coalescing tests use to know every joiner has attached
+	// before releasing the gated leader.
+	waiting atomic.Int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do returns the response for key, computing via fn at most once among
+// concurrent callers. joined reports whether this caller coalesced onto
+// another's computation. A joiner whose ctx expires abandons the wait
+// (the shared computation keeps running for the others).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() response) (resp response, joined bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.waiting.Add(1)
+		defer g.waiting.Add(-1)
+		select {
+		case <-c.done:
+			return c.resp, true
+		case <-ctx.Done():
+			return response{err: ctx.Err()}, true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The unwind runs even if fn panics: the entry must leave the map and
+	// done must close, or every future identical request would join a
+	// computation that can never finish. The panic itself propagates (the
+	// HTTP layer recovers it per connection); joiners get errComputePanicked.
+	defer func() {
+		if c.resp.status == 0 && c.resp.err == nil {
+			c.resp.err = errComputePanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.resp = fn()
+	return c.resp, false
+}
+
+// errComputePanicked is what coalesced joiners observe when the leader's
+// computation panicked instead of returning a response.
+var errComputePanicked = errors.New("service: computation failed unexpectedly")

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFlightLeaderPanicUnwedges: a panicking leader must still unregister
+// its key and release joiners — otherwise every future identical request
+// would block forever on a computation that can never finish.
+func TestFlightLeaderPanicUnwedges(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	joined := make(chan response, 1)
+
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		g.do(context.Background(), "k", func() response {
+			close(started)
+			// Deterministic: panic only once the joiner has attached.
+			deadline := time.Now().Add(10 * time.Second)
+			for g.waiting.Load() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			panic("boom")
+		})
+	}()
+	<-started
+	go func() {
+		resp, _ := g.do(context.Background(), "k", func() response {
+			t.Error("joiner recomputed while leader was in flight")
+			return response{}
+		})
+		joined <- resp
+	}()
+
+	select {
+	case resp := <-joined:
+		if !errors.Is(resp.err, errComputePanicked) {
+			t.Errorf("joiner got %v, want errComputePanicked", resp.err)
+		}
+		if statusFor(resp.err) != 500 {
+			t.Errorf("panic error maps to %d, want 500", statusFor(resp.err))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("joiner wedged: leader panic leaked the flight entry")
+	}
+
+	// The key must be free again: a fresh call computes normally.
+	resp, wasJoin := g.do(context.Background(), "k", func() response {
+		return response{status: 200}
+	})
+	if wasJoin || resp.status != 200 {
+		t.Errorf("post-panic call: joined=%v resp=%+v", wasJoin, resp)
+	}
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/cliutil"
+	"mcsm/internal/csm"
+	"mcsm/internal/engine"
+	"mcsm/internal/sweep"
+)
+
+// SweepRequest is the POST /v1/sweep body: the batch layer's grid over
+// HTTP. The response is the surface in the exact-float CSV encoding
+// (text/csv, default) or JSON — the same bytes mcsm-sweep writes for the
+// same configuration.
+type SweepRequest struct {
+	// Grid overrides axes in the CLI syntax
+	// ("skew=-160p:160p:40p;slew=80p;load=2f,5f"); omitted axes keep the
+	// defaults of the base grid.
+	Grid string `json:"grid,omitempty"`
+	// Quick selects the reduced base grid (sweep.QuickGrid).
+	Quick bool `json:"quick,omitempty"`
+	// Cells lists the cells to sweep (default: every fully-modeled
+	// multi-input cell).
+	Cells []string `json:"cells,omitempty"`
+	// Config names the characterization profile (fast/default/coarse).
+	Config string `json:"config,omitempty"`
+	// Dt is the stage integration step (default "1p").
+	Dt string `json:"dt,omitempty"`
+	// RefEvery samples every Nth point at flat transistor level.
+	RefEvery int `json:"ref_every,omitempty"`
+	// Format is "csv" (default) or "json".
+	Format string `json:"format,omitempty"`
+}
+
+// sweepJob is a resolved sweep request.
+type sweepJob struct {
+	grid     sweep.Grid
+	cells    []string
+	cfgName  string
+	cfg      csm.Config
+	dt       float64
+	refEvery int
+	format   string
+}
+
+func (s *Server) resolveSweep(req SweepRequest) (*sweepJob, error) {
+	job := &sweepJob{refEvery: req.RefEvery}
+	if req.RefEvery < 0 {
+		return nil, fmt.Errorf("ref_every must be non-negative")
+	}
+	base := sweep.DefaultGrid()
+	if req.Quick {
+		base = sweep.QuickGrid()
+	}
+	var err error
+	if job.grid, err = sweep.ParseGrid(req.Grid, base); err != nil {
+		return nil, err
+	}
+	job.cells = req.Cells
+	if len(job.cells) == 0 {
+		job.cells = sweep.DefaultCells()
+	}
+	job.cfgName = req.Config
+	if job.cfgName == "" {
+		job.cfgName = "fast"
+	}
+	if job.cfg, err = cliutil.CharConfig(job.cfgName); err != nil {
+		return nil, err
+	}
+	if job.dt, err = cliutil.ParseDt(req.Dt); err != nil {
+		return nil, fmt.Errorf("dt: %w", err)
+	}
+	job.format = req.Format
+	if job.format == "" {
+		job.format = "csv"
+	}
+	if job.format != "csv" && job.format != "json" {
+		return nil, fmt.Errorf("unknown format %q (want csv or json)", req.Format)
+	}
+	return job, nil
+}
+
+// key fingerprints the resolved job (%v prints floats in shortest
+// round-trip form, so it is bit-faithful).
+func (j *sweepJob) key() string {
+	return fmt.Sprintf("sweep|%v|%v|%s|%b|%d|%s",
+		j.grid, j.cells, j.cfgName, j.dt, j.refEvery, j.format)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.sweepRequests.Add(1)
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.resolveSweep(req)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, joined := s.flights.do(r.Context(), job.key(), func() response {
+		s.metrics.sweepComputed.Add(1)
+		if s.computeGate != nil {
+			s.computeGate(job.key())
+		}
+		return s.computeSweep(job)
+	})
+	if joined {
+		s.metrics.sweepCoalesced.Add(1)
+	}
+	s.reply(w, resp)
+}
+
+// computeSweep runs a sweep under a worker-pool slot. The deadline covers
+// queue wait and is checked before the sweep starts; a started sweep runs
+// to completion (points are the unit of work, and the batch layer owns
+// its own fan-out).
+func (s *Server) computeSweep(job *sweepJob) response {
+	ctx, cancel := s.computeCtx()
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		return response{err: fmt.Errorf("queue: %w", err)}
+	}
+	defer s.release()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	runner := sweep.New(s.eng, sweep.Config{
+		Tech:     s.tech,
+		CharCfg:  job.cfg,
+		Dt:       job.dt,
+		RefEvery: job.refEvery,
+	})
+	surfaces, err := runner.SweepAll(job.cells, job.grid)
+	s.metrics.sweepPoints.Add(runner.PointEvals() + runner.RefEvals())
+	if err != nil {
+		return response{err: err}
+	}
+
+	var buf bytes.Buffer
+	contentType := "text/csv; charset=utf-8"
+	if job.format == "json" {
+		contentType = "application/json"
+		err = sweep.WriteJSON(&buf, surfaces)
+	} else {
+		err = sweep.WriteCSV(&buf, surfaces)
+	}
+	if err != nil {
+		return response{err: err}
+	}
+	return response{status: http.StatusOK, contentType: contentType, body: buf.Bytes()}
+}
+
+// CharRequest is the POST /v1/char body: warm one cell model into the
+// shared cache (characterizing it if it is not already resident or
+// spilled).
+type CharRequest struct {
+	// Cell is the catalog cell name (INV, NAND2, NOR2, ...).
+	Cell string `json:"cell"`
+	// Kind is "sis", "baseline", "mcsm", or empty for the engine's
+	// default policy (MCSM for multi-input models, SIS otherwise).
+	Kind string `json:"kind,omitempty"`
+	// Config names the characterization profile (fast/default/coarse).
+	Config string `json:"config,omitempty"`
+}
+
+// CharResponse reports the outcome; Cached distinguishes a warm Get
+// (memory or spill reload) from a fresh characterization.
+type CharResponse struct {
+	Cell    string   `json:"cell"`
+	Kind    string   `json:"kind"`
+	Config  string   `json:"config"`
+	Vdd     float64  `json:"vdd"`
+	Inputs  []string `json:"inputs"`
+	Cached  bool     `json:"cached"`
+	Seconds float64  `json:"seconds"`
+}
+
+func (s *Server) handleChar(w http.ResponseWriter, r *http.Request) {
+	s.metrics.charRequests.Add(1)
+	var req CharRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := cells.Get(req.Cell)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	var kind csm.Kind
+	switch req.Kind {
+	case "":
+		kind = engine.KindFor(spec)
+	case "sis":
+		kind = csm.KindSIS
+	case "baseline":
+		kind = csm.KindMISBaseline
+	case "mcsm":
+		kind = csm.KindMCSM
+	default:
+		s.error(w, http.StatusBadRequest, fmt.Errorf("unknown kind %q (want sis, baseline, or mcsm)", req.Kind))
+		return
+	}
+	cfgName := req.Config
+	if cfgName == "" {
+		cfgName = "fast"
+	}
+	cfg, err := cliutil.CharConfig(cfgName)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := s.computeCtx()
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.error(w, statusFor(err), err)
+		return
+	}
+	defer s.release()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	before := s.eng.Cache().Stats()
+	start := time.Now()
+	m, err := s.eng.Cache().Get(s.tech, spec, kind, cfg)
+	if err != nil {
+		s.error(w, http.StatusBadRequest, err)
+		return
+	}
+	after := s.eng.Cache().Stats()
+	writeJSON(w, CharResponse{
+		Cell:   m.Cell,
+		Kind:   m.Kind.String(),
+		Config: cfgName,
+		Vdd:    m.Vdd,
+		Inputs: m.Inputs,
+		// A fresh characterization shows up as a miss that no spill file
+		// satisfied; everything else (memory hit, in-flight join, disk
+		// reload) served existing work. Concurrent chars make the delta
+		// heuristic — it is informational, not part of any contract.
+		Cached:  !(after.Misses > before.Misses && after.DiskHits == before.DiskHits),
+		Seconds: time.Since(start).Seconds(),
+	})
+}

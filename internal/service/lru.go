@@ -1,0 +1,82 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mcsm/internal/cliutil"
+)
+
+// netlistLRU memoizes parsed, mapped, and leveled workloads by the
+// content hash of their source (format + netlist text, or a generator
+// spec). Workloads are immutable after construction — sta.Netlist carries
+// no lazily-mutated state — so one entry may back any number of
+// concurrent analyses.
+type netlistLRU struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recent; values are *lruEntry
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	wl  *cliutil.Workload
+}
+
+func newNetlistLRU(capacity int) *netlistLRU {
+	return &netlistLRU{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// getOrParse returns the workload for key, building it via parse on a
+// miss. Concurrent misses of one key may parse redundantly (the last one
+// wins the slot); unlike characterization, parsing is cheap enough that
+// singleflighting it would cost more in coordination than it saves.
+func (l *netlistLRU) getOrParse(key string, parse func() (*cliutil.Workload, error)) (*cliutil.Workload, error) {
+	l.mu.Lock()
+	if el, ok := l.entries[key]; ok {
+		l.order.MoveToFront(el)
+		l.hits++
+		wl := el.Value.(*lruEntry).wl
+		l.mu.Unlock()
+		return wl, nil
+	}
+	l.misses++
+	l.mu.Unlock()
+
+	wl, err := parse()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok { // raced: keep the resident entry
+		l.order.MoveToFront(el)
+		return el.Value.(*lruEntry).wl, nil
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry{key: key, wl: wl})
+	for l.order.Len() > l.cap {
+		last := l.order.Back()
+		l.order.Remove(last)
+		delete(l.entries, last.Value.(*lruEntry).key)
+		l.evictions++
+	}
+	return wl, nil
+}
+
+// lruStats is the /metrics snapshot.
+type lruStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (l *netlistLRU) stats() lruStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return lruStats{Hits: l.hits, Misses: l.misses, Entries: l.order.Len(), Evictions: l.evictions}
+}

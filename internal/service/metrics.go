@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's live counter set (atomics; read racily and
+// coherently enough for monitoring).
+type metrics struct {
+	staRequests    atomic.Int64
+	sweepRequests  atomic.Int64
+	charRequests   atomic.Int64
+	staComputed    atomic.Int64
+	sweepComputed  atomic.Int64
+	staCoalesced   atomic.Int64
+	sweepCoalesced atomic.Int64
+	sweepPoints    atomic.Int64
+	errors         atomic.Int64
+	inFlight       atomic.Int64
+	queued         atomic.Int64
+}
+
+// ModelCacheMetrics mirrors engine.CacheStats plus the derived rate.
+type ModelCacheMetrics struct {
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	DiskHits     int64   `json:"disk_hits"`
+	SpillRejects int64   `json:"spill_rejects"`
+	Entries      int     `json:"entries"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// RequestCounts breaks request totals down by endpoint.
+type RequestCounts struct {
+	STA   int64 `json:"sta"`
+	Sweep int64 `json:"sweep"`
+	Char  int64 `json:"char"`
+}
+
+// Metrics is the GET /metrics response: effectiveness of all three
+// work-sharing layers plus throughput counters.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int64   `json:"queued"`
+
+	Requests RequestCounts `json:"requests"`
+	Errors   int64         `json:"errors"`
+
+	// Coalescing: computed counts actual computations; coalesced counts
+	// requests that joined one. Ratio is served/computed (1.0 = no
+	// sharing; >1 under concurrent identical load).
+	STAComputed     int64   `json:"sta_computed"`
+	STACoalesced    int64   `json:"sta_coalesced"`
+	SweepComputed   int64   `json:"sweep_computed"`
+	SweepCoalesced  int64   `json:"sweep_coalesced"`
+	CoalescingRatio float64 `json:"coalescing_ratio"`
+
+	ModelCache   ModelCacheMetrics `json:"model_cache"`
+	NetlistCache lruStats          `json:"netlist_cache"`
+
+	StageEvals        int64   `json:"stage_evals"`
+	StageEvalsPerSec  float64 `json:"stage_evals_per_sec"`
+	SweepPointEvals   int64   `json:"sweep_point_evals"`
+	SweepPointsPerSec float64 `json:"sweep_points_per_sec"`
+}
+
+// Snapshot assembles the current metrics.
+func (s *Server) Snapshot() Metrics {
+	uptime := time.Since(s.start).Seconds()
+	cs := s.eng.Cache().Stats()
+	m := Metrics{
+		UptimeSeconds: uptime,
+		Workers:       s.eng.Workers(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		InFlight:      s.metrics.inFlight.Load(),
+		Queued:        s.metrics.queued.Load(),
+		Requests: RequestCounts{
+			STA:   s.metrics.staRequests.Load(),
+			Sweep: s.metrics.sweepRequests.Load(),
+			Char:  s.metrics.charRequests.Load(),
+		},
+		Errors:         s.metrics.errors.Load(),
+		STAComputed:    s.metrics.staComputed.Load(),
+		STACoalesced:   s.metrics.staCoalesced.Load(),
+		SweepComputed:  s.metrics.sweepComputed.Load(),
+		SweepCoalesced: s.metrics.sweepCoalesced.Load(),
+		ModelCache: ModelCacheMetrics{
+			Hits: cs.Hits, Misses: cs.Misses, DiskHits: cs.DiskHits,
+			SpillRejects: cs.SpillRejects, Entries: cs.Entries, HitRate: cs.HitRate(),
+		},
+		NetlistCache:    s.nets.stats(),
+		StageEvals:      s.eng.StageEvals(),
+		SweepPointEvals: s.metrics.sweepPoints.Load(),
+	}
+	if computed := m.STAComputed + m.SweepComputed; computed > 0 {
+		served := m.STAComputed + m.STACoalesced + m.SweepComputed + m.SweepCoalesced
+		m.CoalescingRatio = float64(served) / float64(computed)
+	}
+	if uptime > 0 {
+		m.StageEvalsPerSec = float64(m.StageEvals) / uptime
+		m.SweepPointsPerSec = float64(m.SweepPointEvals) / uptime
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.error(w, http.StatusMethodNotAllowed, errMethod(r))
+		return
+	}
+	writeJSON(w, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.error(w, http.StatusMethodNotAllowed, errMethod(r))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}

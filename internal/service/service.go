@@ -1,0 +1,229 @@
+// Package service is the timing-as-a-service layer: a concurrent HTTP/JSON
+// front end over the evaluation stack (engine → sta/sweep → csm) that
+// keeps the paper's characterized CSM models hot across requests.
+//
+// Endpoints:
+//
+//	POST /v1/sta    — netlist (native or .bench) or generator spec in,
+//	                  bit-exact canonical STA report out. The response
+//	                  bytes are identical to what the CLI/golden path
+//	                  produces for the same inputs, at any worker count.
+//	POST /v1/sweep  — MIS skew/slew/load grid spec in, surface out
+//	                  (exact-float CSV or JSON).
+//	POST /v1/char   — warm/characterize one cell model into the cache.
+//	GET  /healthz   — liveness.
+//	GET  /metrics   — cache hit rates, coalescing, in-flight gauge,
+//	                  throughput counters.
+//
+// Three layers of work-sharing stack up:
+//
+//  1. The engine's ModelCache (singleflight, optional JSON spill):
+//     characterization runs at most once per model identity, server-wide.
+//  2. A content-hash-keyed LRU of parsed+leveled netlists: repeat
+//     analyses of the same source text skip parsing, mapping, and
+//     levelization entirely.
+//  3. Request coalescing: identical requests that overlap in time share
+//     one computation and receive byte-identical response bodies.
+//
+// Analyses run on a bounded worker pool (Config.MaxInFlight) with
+// per-request deadlines and cooperative cancellation via
+// engine.AnalyzeCtx; Close drains cleanly for graceful shutdown.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/engine"
+)
+
+// Config scopes a server.
+type Config struct {
+	// Workers is the engine worker-pool width per analysis
+	// (0 = GOMAXPROCS, 1 = serial). Results are bit-identical either way.
+	Workers int
+	// CacheDir, when set, spills characterized models as JSON and reloads
+	// them across server restarts.
+	CacheDir string
+	// MaxInFlight bounds the number of analyses computing concurrently;
+	// excess requests queue (respecting their deadlines). Coalesced
+	// joiners do not occupy slots. Default: max(2, GOMAXPROCS/2).
+	MaxInFlight int
+	// NetlistCap is the parsed-netlist LRU capacity in entries
+	// (default 64).
+	NetlistCap int
+	// Timeout is the per-request compute deadline (default 5 minutes).
+	// It covers queue wait plus analysis, not characterization spill I/O.
+	Timeout time.Duration
+	// Logf, when set, receives request logs and recovered diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0) / 2
+		if c.MaxInFlight < 2 {
+			c.MaxInFlight = 2
+		}
+	}
+	if c.NetlistCap <= 0 {
+		c.NetlistCap = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is one timing service instance. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	tech    cells.Tech
+	eng     *engine.Engine
+	nets    *netlistLRU
+	flights *flightGroup
+	sem     chan struct{}
+	metrics metrics
+	start   time.Time
+
+	baseCtx context.Context // canceled by Close: computations stop draining
+	cancel  context.CancelFunc
+
+	// computeGate, when non-nil, is called by every flight leader after
+	// its in-flight entry is visible and before it computes — the hook the
+	// coalescing tests use to hold a computation open deterministically.
+	computeGate func(key string)
+}
+
+// New builds a server with its own engine (fresh or spill-backed model
+// cache per Config.CacheDir).
+func New(cfg Config) *Server {
+	return NewWithEngine(cfg, nil)
+}
+
+// NewWithEngine builds a server on an existing engine, sharing its model
+// cache and pool width — how mcsm-serve injects its flag-built engine and
+// mcsm-bench's serve probe reuses the models the experiment session
+// already characterized. cfg.Workers/CacheDir are ignored when eng is
+// non-nil; cfg.Logf becomes the cache's diagnostics sink either way.
+func NewWithEngine(cfg Config, eng *engine.Engine) *Server {
+	cfg = cfg.withDefaults()
+	if eng == nil {
+		eng = engine.New(cfg.Workers, engine.NewSpillCache(cfg.CacheDir))
+	}
+	if cfg.Logf != nil {
+		eng.Cache().SetLogf(cfg.Logf)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		tech:    cells.Default130(),
+		eng:     eng,
+		nets:    newNetlistLRU(cfg.NetlistCap),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		start:   time.Now(),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// Engine returns the evaluation engine (shared model cache included).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close cancels every in-flight computation. In-process use only; the
+// HTTP listener's graceful shutdown is the caller's job (http.Server).
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sta", s.post(s.handleSTA))
+	mux.HandleFunc("/v1/sweep", s.post(s.handleSweep))
+	mux.HandleFunc("/v1/char", s.post(s.handleChar))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// maxBody bounds request bodies: netlist sources are at most a few MB.
+const maxBody = 32 << 20
+
+// post wraps a handler with method filtering, body limiting, and request
+// logging.
+func (s *Server) post(h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.error(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		start := time.Now()
+		h(w, r)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("service: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Truncate(time.Microsecond))
+		}
+	}
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// error writes the JSON error envelope and counts it.
+func (s *Server) error(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, _ := json.Marshal(errorBody{Error: err.Error()})
+	w.Write(append(data, '\n'))
+}
+
+// statusFor maps computation errors onto HTTP statuses: deadline → 504,
+// shutdown → 503, everything else 400 (bad workload: parse errors,
+// unknown cells, unanalyzable netlists — the stack validates inputs, so
+// non-context errors are request faults).
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errComputePanicked):
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+// acquire takes a worker-pool slot, respecting the compute context.
+func (s *Server) acquire(ctx context.Context) error {
+	s.metrics.queued.Add(1)
+	defer s.metrics.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// computeCtx derives the context a computation runs under: the server's
+// base context (so Close stops everything) plus the per-request timeout.
+// It is deliberately not tied to the initiating connection — a coalesced
+// computation may have many waiting clients, and the first client
+// hanging up must not kill the shared work.
+func (s *Server) computeCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+}

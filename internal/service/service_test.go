@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcsm/internal/engine"
+	"mcsm/internal/sta"
+	"mcsm/internal/sweep"
+	"mcsm/internal/testutil"
+	"mcsm/internal/wave"
+)
+
+// invChain is the cheap test workload: two SIS inverters, one
+// characterization, short window.
+const invChain = `
+input a
+output y
+inst U1 INV n1 a
+inst U2 INV y n1
+`
+
+// sharedEngine backs every test server so each model characterizes once
+// per test binary, exactly how production shares one engine across
+// requests.
+var (
+	engOnce   sync.Once
+	sharedEng *engine.Engine
+)
+
+func testEngine() *engine.Engine {
+	engOnce.Do(func() { sharedEng = engine.New(0, nil) })
+	return sharedEng
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewWithEngine(cfg, testEngine())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// invRequest is the canonical cheap STA request body.
+func invRequest() STARequest {
+	return STARequest{
+		Name:    "invchain",
+		Netlist: invChain,
+		Config:  "coarse",
+		Dt:      "4p",
+		Horizon: "2n",
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getMetrics(t *testing.T, base string) Metrics {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSTAServesCanonicalBytes: the service response must be byte-identical
+// to the canonical encoder run over a direct engine analysis of the same
+// job — the in-process form of the golden contract (the fixture-level
+// form lives in the repo root's golden tests).
+func TestSTAServesCanonicalBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sta", invRequest())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+
+	nl, err := sta.ParseNetlist(strings.NewReader(invChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := testEngine()
+	models, err := eng.ModelsFor(testutil.Tech(), nl, testutil.CoarseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := map[string]wave.Waveform{
+		"a": wave.SaturatedRamp(0, testutil.Tech().Vdd, 1e-9, 80e-12, 2e-9),
+	}
+	rep, err := eng.Analyze(nl, models, primary, sta.Options{Horizon: 2e-9, Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sta.MarshalGoldenReport("invchain", rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("service bytes differ from the direct engine path:\n%s\nvs\n%s", body, want)
+	}
+}
+
+// TestSTARepeatBitIdentical: a later identical request (no coalescing —
+// strictly sequential) must reproduce the same bytes, served through the
+// netlist LRU and warm model cache.
+func TestSTARepeatBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, first := postJSON(t, ts.URL+"/v1/sta", invRequest())
+	m0 := getMetrics(t, ts.URL)
+	_, second := postJSON(t, ts.URL+"/v1/sta", invRequest())
+	if !bytes.Equal(first, second) {
+		t.Error("sequential identical requests returned different bytes")
+	}
+	m1 := getMetrics(t, ts.URL)
+	if m1.NetlistCache.Hits <= m0.NetlistCache.Hits {
+		t.Errorf("second request did not hit the netlist LRU: %+v -> %+v", m0.NetlistCache, m1.NetlistCache)
+	}
+	if m1.STACoalesced != m0.STACoalesced {
+		t.Error("sequential requests must not count as coalesced")
+	}
+}
+
+// TestGenDeterministic: generated workloads resolve by spec and are
+// reproducible across servers.
+func TestGenDeterministic(t *testing.T) {
+	req := STARequest{Gen: "40:6:3:7:12", Config: "coarse", Dt: "4p", Horizon: "3n"}
+	_, ts1 := newTestServer(t, Config{})
+	_, ts2 := newTestServer(t, Config{})
+	resp, a := postJSON(t, ts1.URL+"/v1/sta", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, a)
+	}
+	_, b := postJSON(t, ts2.URL+"/v1/sta", req)
+	if !bytes.Equal(a, b) {
+		t.Error("same gen spec produced different reports on two servers")
+	}
+	var rep sta.GoldenReport
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Circuit == "" || len(rep.Nets) == 0 {
+		t.Errorf("degenerate gen report: %+v", rep)
+	}
+}
+
+// TestSTAErrors drives the 4xx surface.
+func TestSTAErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"no workload", STARequest{}, 400},
+		{"both workloads", STARequest{Netlist: invChain, Gen: "40"}, 400},
+		{"bad format", STARequest{Netlist: invChain, Format: "verilog"}, 400},
+		{"bad mode", STARequest{Netlist: invChain, Mode: "both"}, 400},
+		{"bad config", STARequest{Netlist: invChain, Config: "turbo"}, 400},
+		{"bad dt", STARequest{Netlist: invChain, Dt: "4q"}, 400},
+		{"bad stimulus", STARequest{Netlist: invChain, Stimulus: "chaos"}, 400},
+		{"bad gen", STARequest{Gen: "zero"}, 400},
+		{"negative horizon", STARequest{Netlist: invChain, Horizon: "-1n"}, 400},
+		{"unparsable netlist", STARequest{Netlist: "inst ???"}, 400},
+		{"c17 stimulus elsewhere", STARequest{Netlist: invChain, Stimulus: "c17"}, 400},
+		{"unknown field", map[string]any{"netlist": invChain, "netlists": 3}, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/sta", tc.req)
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.want, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Errorf("error envelope missing: %s", body)
+			}
+		})
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/sta"); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sta = %d, want 405", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Post(ts.URL+"/healthz", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	if m := getMetrics(t, ts.URL); m.Errors < int64(len(cases)) {
+		t.Errorf("errors counter = %d, want >= %d", m.Errors, len(cases))
+	}
+}
+
+// TestNetlistLRUEviction: a capacity-1 LRU holds only the latest
+// workload.
+func TestNetlistLRUEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{NetlistCap: 1})
+	other := invRequest()
+	other.Netlist = strings.Replace(invChain, "n1", "m1", 2)
+	postJSON(t, ts.URL+"/v1/sta", invRequest())
+	postJSON(t, ts.URL+"/v1/sta", other)
+	postJSON(t, ts.URL+"/v1/sta", invRequest())
+	m := getMetrics(t, ts.URL)
+	if m.NetlistCache.Entries != 1 {
+		t.Errorf("entries = %d, want 1", m.NetlistCache.Entries)
+	}
+	if m.NetlistCache.Evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2", m.NetlistCache.Evictions)
+	}
+}
+
+// TestSweepEndpoint compares the served CSV and JSON against the direct
+// batch layer.
+func TestSweepEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := SweepRequest{
+		Grid:   "skew=-60p:60p:60p;slew=80p;load=2f",
+		Cells:  []string{"NAND2"},
+		Config: "coarse",
+		Dt:     "4p",
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Errorf("content type %q", ct)
+	}
+
+	grid, err := sweep.ParseGrid(req.Grid, sweep.DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := sweep.New(s.Engine(), sweep.Config{
+		Tech:    testutil.Tech(),
+		CharCfg: testutil.CoarseConfig(),
+		Dt:      4e-12,
+	})
+	surf, err := runner.Sweep("NAND2", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sweep.WriteCSV(&want, []*sweep.Surface{surf}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("served CSV differs from the direct sweep:\n%s\nvs\n%s", body, want.Bytes())
+	}
+
+	req.Format = "json"
+	resp, jbody := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json status %d: %s", resp.StatusCode, jbody)
+	}
+	if !json.Valid(jbody) {
+		t.Error("sweep JSON response is not valid JSON")
+	}
+
+	for _, bad := range []SweepRequest{
+		{Grid: "skew=?"},
+		{Cells: []string{"INV"}}, // not a multi-input fully-modeled cell
+		{Format: "xml"},
+		{RefEvery: -1},
+		{Config: "turbo"},
+		{Dt: "1q"},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/sweep", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad sweep %+v = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if m := getMetrics(t, ts.URL); m.SweepPointEvals < int64(2*grid.Size()) {
+		t.Errorf("sweep point evals = %d, want >= %d", m.SweepPointEvals, 2*grid.Size())
+	}
+}
+
+// TestCharEndpoint warms a model and observes the cached flag flip.
+func TestCharEndpoint(t *testing.T) {
+	// A private engine: the shared one may already hold this model.
+	s := NewWithEngine(Config{}, engine.New(0, nil))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/char", CharRequest{Cell: "INV", Config: "coarse"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr CharResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Cell != "INV" || cr.Cached || cr.Vdd <= 0 || len(cr.Inputs) != 1 {
+		t.Errorf("first char response: %+v", cr)
+	}
+	_, body = postJSON(t, ts.URL+"/v1/char", CharRequest{Cell: "INV", Config: "coarse"})
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Cached {
+		t.Errorf("second char response not cached: %+v", cr)
+	}
+
+	for _, bad := range []CharRequest{
+		{Cell: "FLUXCAP"},
+		{Cell: "INV", Kind: "quantum"},
+		{Cell: "INV", Config: "turbo"},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/char", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad char %+v = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthz and metrics shape.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Uptime < 0 {
+		t.Errorf("healthz body: %+v", h)
+	}
+	m := getMetrics(t, ts.URL)
+	if m.Workers < 1 || m.MaxInFlight < 1 {
+		t.Errorf("metrics shape: %+v", m)
+	}
+}
+
+// TestRequestTimeout: an already-expired deadline must surface as 504
+// without computing.
+func TestRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Timeout: time.Nanosecond})
+	// Hold the only slots so acquire must wait (and hence time out).
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	defer func() { <-s.sem; <-s.sem }()
+	resp, body := postJSON(t, ts.URL+"/v1/sta", invRequest())
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+}
+
+// TestShutdown: Close cancels the base context; later computations
+// refuse with 503.
+func TestShutdown(t *testing.T) {
+	s := NewWithEngine(Config{}, testEngine())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+	resp, body := postJSON(t, ts.URL+"/v1/sta", invRequest())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d (%s), want 503 after Close", resp.StatusCode, body)
+	}
+}
+
+// TestStatusFor pins the error → status mapping.
+func TestStatusFor(t *testing.T) {
+	if got := statusFor(nil); got != 200 {
+		t.Errorf("nil = %d", got)
+	}
+	if got := statusFor(fmt.Errorf("wrap: %w", context.DeadlineExceeded)); got != 504 {
+		t.Errorf("deadline = %d", got)
+	}
+	if got := statusFor(fmt.Errorf("wrap: %w", context.Canceled)); got != 503 {
+		t.Errorf("canceled = %d", got)
+	}
+	if got := statusFor(fmt.Errorf("plain")); got != 400 {
+		t.Errorf("plain = %d", got)
+	}
+}

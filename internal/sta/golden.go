@@ -1,0 +1,97 @@
+package sta
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+
+	"mcsm/internal/wave"
+)
+
+// This file defines the canonical, bit-exact wire form of a Report: the
+// encoding the golden regression fixtures under testdata/golden/ pin
+// across PRs, and the response body of the timing service's /v1/sta
+// endpoint. Because both producers share this one encoder, "the service
+// answers exactly what the CLI computes" is a byte-level statement, not a
+// tolerance.
+
+// FormatFloat renders a float with the shortest representation that
+// round-trips to the identical bit pattern — the exact-but-readable float
+// encoding all golden fixtures use. NaN renders as "NaN".
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// GoldenNet is the canonical per-net record of a golden STA report: exact
+// arrival/slew strings, the transition direction, and an FNV-64a hash over
+// the bit patterns of every waveform sample, so bit-level waveform drift
+// is caught without shipping megabytes of samples.
+type GoldenNet struct {
+	Arrival string `json:"arrival"`
+	Slew    string `json:"slew"`
+	Rising  bool   `json:"rising"`
+	WaveFNV string `json:"wave_fnv"`
+	Samples int    `json:"samples"`
+}
+
+// GoldenReport is the canonical JSON form of a Report. Map keys are sorted
+// by encoding/json, so marshaling is deterministic.
+type GoldenReport struct {
+	Circuit string               `json:"circuit"`
+	Vdd     string               `json:"vdd"`
+	Nets    map[string]GoldenNet `json:"nets"`
+	MIS     []string             `json:"mis_instances"`
+}
+
+// CanonicalReport converts a report into its golden form.
+func CanonicalReport(circuit string, rep *Report) *GoldenReport {
+	g := &GoldenReport{
+		Circuit: circuit,
+		Vdd:     FormatFloat(rep.Vdd),
+		Nets:    make(map[string]GoldenNet, len(rep.Nets)),
+		MIS:     rep.MISInstances,
+	}
+	if g.MIS == nil {
+		g.MIS = []string{}
+	}
+	for net, nr := range rep.Nets {
+		g.Nets[net] = GoldenNet{
+			Arrival: FormatFloat(nr.Arrival),
+			Slew:    FormatFloat(nr.Slew),
+			Rising:  nr.Rising,
+			WaveFNV: WaveFingerprint(nr.Wave),
+			Samples: nr.Wave.Len(),
+		}
+	}
+	return g
+}
+
+// MarshalGoldenReport renders the canonical golden JSON bytes for a
+// report: two-space indent plus a trailing newline, byte-identical across
+// producers.
+func MarshalGoldenReport(circuit string, rep *Report) ([]byte, error) {
+	data, err := json.MarshalIndent(CanonicalReport(circuit, rep), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WaveFingerprint hashes the exact bit patterns of a waveform's samples
+// (FNV-64a over big-endian float bits, times then values).
+func WaveFingerprint(w wave.Waveform) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, t := range w.T {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(t))
+		h.Write(buf[:])
+	}
+	for _, v := range w.V {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -2,15 +2,9 @@ package testutil
 
 import (
 	"bytes"
-	"encoding/binary"
-	"encoding/json"
 	"flag"
-	"fmt"
-	"hash/fnv"
-	"math"
 	"os"
 	"path/filepath"
-	"strconv"
 	"testing"
 
 	"mcsm/internal/sta"
@@ -62,79 +56,22 @@ func Golden(tb testing.TB, path string, got []byte) {
 		path, line, len(got), len(want))
 }
 
-// FormatFloat renders a float with the shortest representation that
-// round-trips to the identical bit pattern — the exact-but-readable float
-// encoding all golden fixtures use. NaN renders as "NaN".
-func FormatFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
+// The canonical golden encoding itself lives in internal/sta (golden.go):
+// the timing service serves the identical bytes, so the encoder cannot be
+// test-only code. The aliases below keep the historical testutil API.
 
-// GoldenNet is the canonical per-net record of a golden STA report: exact
-// arrival/slew strings, the transition direction, and an FNV-64a hash over
-// the bit patterns of every waveform sample, so bit-level waveform drift
-// is caught without committing megabytes of samples.
-type GoldenNet struct {
-	Arrival string `json:"arrival"`
-	Slew    string `json:"slew"`
-	Rising  bool   `json:"rising"`
-	WaveFNV string `json:"wave_fnv"`
-	Samples int    `json:"samples"`
-}
+// FormatFloat is sta.FormatFloat: the exact shortest round-trip encoding.
+func FormatFloat(v float64) string { return sta.FormatFloat(v) }
 
-// GoldenReport is the canonical JSON form of an sta.Report. Map keys are
-// sorted by encoding/json, so marshaling is deterministic.
-type GoldenReport struct {
-	Circuit string               `json:"circuit"`
-	Vdd     string               `json:"vdd"`
-	Nets    map[string]GoldenNet `json:"nets"`
-	MIS     []string             `json:"mis_instances"`
-}
-
-// CanonicalReport converts a report into its golden form.
-func CanonicalReport(circuit string, rep *sta.Report) *GoldenReport {
-	g := &GoldenReport{
-		Circuit: circuit,
-		Vdd:     FormatFloat(rep.Vdd),
-		Nets:    make(map[string]GoldenNet, len(rep.Nets)),
-		MIS:     rep.MISInstances,
-	}
-	if g.MIS == nil {
-		g.MIS = []string{}
-	}
-	for net, nr := range rep.Nets {
-		g.Nets[net] = GoldenNet{
-			Arrival: FormatFloat(nr.Arrival),
-			Slew:    FormatFloat(nr.Slew),
-			Rising:  nr.Rising,
-			WaveFNV: WaveFingerprint(nr.Wave),
-			Samples: nr.Wave.Len(),
-		}
-	}
-	return g
-}
+// WaveFingerprint is sta.WaveFingerprint: FNV-64a over sample bits.
+func WaveFingerprint(w wave.Waveform) string { return sta.WaveFingerprint(w) }
 
 // MarshalReport renders the canonical golden JSON bytes for a report.
 func MarshalReport(tb testing.TB, circuit string, rep *sta.Report) []byte {
 	tb.Helper()
-	data, err := json.MarshalIndent(CanonicalReport(circuit, rep), "", "  ")
+	data, err := sta.MarshalGoldenReport(circuit, rep)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return append(data, '\n')
-}
-
-// WaveFingerprint hashes the exact bit patterns of a waveform's samples
-// (FNV-64a over big-endian float bits, times then values).
-func WaveFingerprint(w wave.Waveform) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, t := range w.T {
-		binary.BigEndian.PutUint64(buf[:], math.Float64bits(t))
-		h.Write(buf[:])
-	}
-	for _, v := range w.V {
-		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return data
 }

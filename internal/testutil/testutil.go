@@ -16,25 +16,18 @@ import (
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
 	"mcsm/internal/sta"
-	"mcsm/internal/units"
 	"mcsm/internal/wave"
 )
 
 // Tech returns the shared test technology.
 func Tech() cells.Tech { return cells.Default130() }
 
-// CoarseConfig is a deliberately cheap characterization: equivalence and
-// determinism tests compare paths bitwise against each other, so model
-// fidelity is irrelevant — only that all paths consume the same tables.
-func CoarseConfig() csm.Config {
-	return csm.Config{
-		GridCurrent:  5,
-		GridInternal: 7,
-		GridCap:      3,
-		SlewTimes:    []float64{80 * units.PS},
-		TranDt:       2 * units.PS,
-	}
-}
+// CoarseConfig is csm.CoarseConfig: the deliberately cheap
+// characterization shared by the equivalence tests, the golden fixtures,
+// and the timing service's "coarse" profile. (It moved into internal/csm
+// when the service needed it outside test code; the alias keeps the
+// historical testutil API.)
+func CoarseConfig() csm.Config { return csm.CoarseConfig() }
 
 var (
 	coarseOnce  sync.Once
