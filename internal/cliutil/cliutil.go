@@ -15,6 +15,7 @@ package cliutil
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +24,10 @@ import (
 	"strconv"
 	"strings"
 
+	"mcsm/internal/cells"
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
+	"mcsm/internal/graph"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
@@ -270,6 +273,56 @@ func ApplyArrivalSpec(out map[string]wave.Waveform, vdd float64, spec string, sl
 		}
 	}
 	return nil
+}
+
+// LoadEditScript reads and strictly validates an ECO edit script
+// (graph.EditScript JSON) from a file — the -eco flag plumbing shared by
+// mcsm-sta's replay mode and anything else that scripts edits.
+func LoadEditScript(path string) (*graph.EditScript, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return graph.ParseEditScript(data)
+}
+
+// BuildGraph constructs the retained incremental timing graph for a
+// loaded workload on an engine: models come from the engine's shared
+// cache (with characterize-on-demand for cell types that SwapCell edits
+// introduce), and the initial full propagation runs before returning, so
+// the caller starts from converged state.
+func BuildGraph(eng *engine.Engine, tech cells.Tech, wl *Workload, cfg csm.Config, primary map[string]wave.Waveform, opt sta.Options) (*graph.TimingGraph, error) {
+	g, _, err := BuildGraphCtx(context.Background(), eng, tech, wl, cfg, primary, opt)
+	return g, err
+}
+
+// BuildGraphCtx is BuildGraph with cooperative cancellation for the
+// initial propagation and the cold-analysis stats exposed — the one
+// graph-construction path the CLIs and the service's session endpoint
+// share, so model resolution cannot silently diverge between them.
+func BuildGraphCtx(ctx context.Context, eng *engine.Engine, tech cells.Tech, wl *Workload, cfg csm.Config, primary map[string]wave.Waveform, opt sta.Options) (*graph.TimingGraph, graph.Stats, error) {
+	models, err := eng.ModelsFor(tech, wl.NL, cfg)
+	if err != nil {
+		return nil, graph.Stats{}, err
+	}
+	g, err := graph.Build(wl.NL, models, primary, opt, graph.Config{
+		Workers: eng.Workers(),
+		ModelFor: func(cellType string) (*csm.Model, error) {
+			spec, err := cells.Get(cellType)
+			if err != nil {
+				return nil, err
+			}
+			return eng.Cache().Get(tech, spec, engine.KindFor(spec), cfg)
+		},
+	})
+	if err != nil {
+		return nil, graph.Stats{}, err
+	}
+	stats, err := g.Propagate(ctx)
+	if err != nil {
+		return nil, graph.Stats{}, err
+	}
+	return g, stats, nil
 }
 
 // FmtCounts renders a cell-count map deterministically ("[INV:3 NAND2:7]").

@@ -1,13 +1,18 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"math"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
+	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/engine"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
@@ -208,5 +213,71 @@ func TestFmtCounts(t *testing.T) {
 	}
 	if !strings.HasPrefix(FmtCounts(nil), "[") {
 		t.Error("nil counts should render as empty brackets")
+	}
+}
+
+// TestLoadEditScript covers the -eco file plumbing: a valid script file
+// parses, a broken one and a missing one error.
+func TestLoadEditScript(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"batches": [[{"op": "set_load", "net": "y", "cap": "2f"}]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadEditScript(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Batches) != 1 || len(s.Batches[0]) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"batches": [[{"op": "explode"}]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEditScript(bad); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := LoadEditScript(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestBuildGraph builds the retained graph for the c17 workload through
+// an engine, checks it starts converged, and exercises the
+// characterize-on-demand hook with a swap to a type outside the
+// netlist's own cells.
+func TestBuildGraph(t *testing.T) {
+	wl, err := ParseWorkload("c17", "net", sta.C17Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(1, nil)
+	tech := cells.Default130()
+	const horizon = 4e-9
+	g, err := BuildGraph(eng, tech, wl, csm.CoarseConfig(), sta.C17Stimulus(tech.Vdd, horizon),
+		sta.Options{Horizon: horizon, Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DirtyCount() != 0 {
+		t.Fatalf("%d stages dirty after BuildGraph", g.DirtyCount())
+	}
+	if g.StageEvals() != int64(len(wl.NL.Instances)) {
+		t.Errorf("stage evals = %d, want %d", g.StageEvals(), len(wl.NL.Instances))
+	}
+	// Characterize-on-demand through the engine's cache.
+	if err := g.SwapCell("G10", "NOR2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Propagate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Models()["NOR2"]; !ok {
+		t.Error("NOR2 model not characterized on demand")
+	}
+	// The graph edits its own clone: the shared workload is untouched.
+	if wl.NL.Instances[0].Type != "NAND2" {
+		t.Error("edit leaked into the shared workload netlist")
 	}
 }

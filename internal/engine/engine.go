@@ -9,6 +9,7 @@ import (
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/graph"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -124,84 +125,26 @@ func (e *Engine) Analyze(nl *sta.Netlist, models map[string]*csm.Model, primary 
 // bit-identical to Analyze; a canceled run returns ctx.Err() and no
 // report. This is the hook the timing service uses for per-request
 // deadlines and client disconnects.
+//
+// Since the incremental layer landed, this is a thin wrapper over "build a
+// retained timing graph + one full propagation" (internal/graph): the
+// one-shot and ECO paths share every primitive, so they cannot drift. The
+// golden fixtures under testdata/golden pin the wrapper's bytes against
+// the pre-graph implementation.
 func (e *Engine) AnalyzeCtx(ctx context.Context, nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt sta.Options) (*sta.Report, error) {
-	levels, err := nl.Levels()
+	// ShareNetlist: the graph is discarded after one propagation and no
+	// edits ever run, so cloning the netlist would be pure overhead — and
+	// sharing keeps the netlist's memoized Levels/Fanouts warm across
+	// repeat analyses of one cached workload.
+	g, err := graph.Build(nl, models, primary, opt, graph.Config{Workers: e.workers, ShareNetlist: true})
 	if err != nil {
 		return nil, err
 	}
-	vdd, opt, err := sta.Setup(models, primary, opt)
-	if err != nil {
+	if _, err := g.Propagate(ctx); err != nil {
 		return nil, err
 	}
-
-	waves := make(map[string]wave.Waveform, len(primary)+len(nl.Instances))
-	for net, w := range primary {
-		waves[net] = w
-	}
-	fanouts := nl.Fanouts()
-	var mis []string
-
-	for _, level := range levels {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		outs := make([]wave.Waveform, len(level))
-		switching := make([]int, len(level))
-		errs := make([]error, len(level))
-
-		if e.workers == 1 || len(level) == 1 {
-			for j, idx := range level {
-				outs[j], switching[j], errs[j] = sta.EvalStage(nl, models, fanouts, idx, waves, vdd, opt)
-				e.stageEvals.Add(1)
-				if errs[j] != nil {
-					break
-				}
-			}
-		} else {
-			jobs := make(chan int)
-			var wg sync.WaitGroup
-			var failed atomic.Bool
-			workers := e.workers
-			if workers > len(level) {
-				workers = len(level)
-			}
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for j := range jobs {
-						if failed.Load() {
-							continue // drain: a stage already failed, skip the expensive sims
-						}
-						outs[j], switching[j], errs[j] = sta.EvalStage(nl, models, fanouts, level[j], waves, vdd, opt)
-						e.stageEvals.Add(1)
-						if errs[j] != nil {
-							failed.Store(true)
-						}
-					}
-				}()
-			}
-			for j := range level {
-				jobs <- j
-			}
-			close(jobs)
-			wg.Wait()
-		}
-
-		for j := range level {
-			if errs[j] != nil {
-				return nil, errs[j]
-			}
-		}
-		for j, idx := range level {
-			inst := nl.Instances[idx]
-			if switching[j] >= 2 {
-				mis = append(mis, inst.Name)
-			}
-			waves[inst.Output] = outs[j]
-		}
-	}
-	return sta.BuildReport(vdd, waves, mis), nil
+	e.stageEvals.Add(g.StageEvals())
+	return g.Report(), nil
 }
 
 // FlatReference delegates to sta.FlatReference — the flat transistor-level

@@ -1,0 +1,167 @@
+package graph_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"mcsm/internal/graph"
+)
+
+// validScript is the canonical-shaped script the parser tests and the
+// fuzz corpus share.
+const validScript = `{
+  "batches": [
+    [
+      {"op": "swap_cell", "inst": "G10", "type": "NOR2"},
+      {"op": "set_arrival", "net": "n1", "wave": "rise@1.2n", "slew": "60p"}
+    ],
+    [
+      {"op": "rewire", "inst": "G19", "pin": 1, "net": "n10"},
+      {"op": "set_load", "net": "n22", "cap": "5f"},
+      {"op": "set_arrival", "net": "n7", "wave": "high"}
+    ]
+  ]
+}`
+
+func TestParseEditScript(t *testing.T) {
+	s, err := graph.ParseEditScript([]byte(validScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Batches) != 2 || len(s.Batches[0]) != 2 || len(s.Batches[1]) != 3 {
+		t.Fatalf("parsed shape %d/%v", len(s.Batches), s.Batches)
+	}
+	if e := s.Batches[0][0]; e.Op != "swap_cell" || e.Inst != "G10" || e.Type != "NOR2" {
+		t.Errorf("batch 0 edit 0 = %+v", e)
+	}
+
+	bad := []struct {
+		name, src string
+		want      string // substring of the error
+	}{
+		{"empty", ``, "edit script"},
+		{"not json", `nope`, "edit script"},
+		{"no batches", `{"batches": []}`, "no batches"},
+		{"empty batch", `{"batches": [[]]}`, "batch 0 is empty"},
+		{"unknown field", `{"batches": [[{"op": "set_load", "net": "y", "cap": "1f", "volume": 11}]]}`, "unknown field"},
+		{"unknown op", `{"batches": [[{"op": "delete_gate", "inst": "G1"}]]}`, "unknown op"},
+		{"missing op", `{"batches": [[{"inst": "G1"}]]}`, "missing op"},
+		{"swap missing type", `{"batches": [[{"op": "swap_cell", "inst": "G1"}]]}`, "needs inst and type"},
+		{"swap stray field", `{"batches": [[{"op": "swap_cell", "inst": "G1", "type": "INV", "net": "y"}]]}`, "takes only"},
+		{"arrival bad wave", `{"batches": [[{"op": "set_arrival", "net": "a", "wave": "wiggle@1n"}]]}`, "bad set_arrival wave"},
+		{"arrival bad time", `{"batches": [[{"op": "set_arrival", "net": "a", "wave": "rise@soon"}]]}`, "bad value"},
+		{"arrival bad slew", `{"batches": [[{"op": "set_arrival", "net": "a", "wave": "rise@1n", "slew": "-5p"}]]}`, "must be positive"},
+		{"arrival high with slew", `{"batches": [[{"op": "set_arrival", "net": "a", "wave": "high", "slew": "5p"}]]}`, "takes no slew"},
+		{"rewire negative pin", `{"batches": [[{"op": "rewire", "inst": "G1", "pin": -1, "net": "a"}]]}`, "non-negative"},
+		{"load bad cap", `{"batches": [[{"op": "set_load", "net": "y", "cap": "heavy"}]]}`, "bad value"},
+		{"load negative cap", `{"batches": [[{"op": "set_load", "net": "y", "cap": "-1f"}]]}`, "non-negative"},
+		{"load NaN cap", `{"batches": [[{"op": "set_load", "net": "y", "cap": "NaN"}]]}`, "non-finite"},
+		{"arrival Inf time", `{"batches": [[{"op": "set_arrival", "net": "a", "wave": "rise@Infinity"}]]}`, "non-finite"},
+		{"arrival NaN slew", `{"batches": [[{"op": "set_arrival", "net": "a", "wave": "rise@1n", "slew": "NaN"}]]}`, "non-finite"},
+		{"trailing data", `{"batches": [[{"op": "set_load", "net": "y", "cap": "1f"}]]} extra`, "trailing data"},
+	}
+	for _, tc := range bad {
+		_, err := graph.ParseEditScript([]byte(tc.src))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestApplyBatchReplay replays the canonical script on a live c17 graph
+// and checks the delta bookkeeping plus the cold invariant after each
+// batch.
+func TestApplyBatchReplay(t *testing.T) {
+	g := buildC17(t, 2)
+	s, err := graph.ParseEditScript([]byte(validScript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, batch := range s.Batches {
+		applied, err := g.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if applied != len(batch) {
+			t.Fatalf("batch %d: applied %d of %d", bi, applied, len(batch))
+		}
+		stats, err := g.Propagate(context.Background())
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		delta := g.Delta("c17", applied, stats)
+		data, err := graph.MarshalDelta(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := graph.MarshalDelta(g.Delta("c17", applied, stats))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("batch %d: delta encoding is not deterministic", bi)
+		}
+		if len(delta.ChangedNets) != len(stats.ChangedNets) {
+			t.Errorf("batch %d: delta nets %d vs stats %d", bi, len(delta.ChangedNets), len(stats.ChangedNets))
+		}
+		requireMatchesCold(t, "replay batch", g, 2)
+	}
+	if g.Edits() == 0 {
+		t.Error("no edits recorded after replay")
+	}
+}
+
+// TestApplyBatchStopsAtFailure: the failing edit's index is reported and
+// prior edits of the batch stay applied, leaving a consistent graph.
+func TestApplyBatchStopsAtFailure(t *testing.T) {
+	g := buildC17(t, 1)
+	batch := []graph.Edit{
+		{Op: "set_load", Net: "n22", Cap: "3f"},
+		{Op: "swap_cell", Inst: "GHOST", Type: "NOR2"},
+		{Op: "set_load", Net: "n23", Cap: "3f"},
+	}
+	applied, err := g.ApplyBatch(batch)
+	if err == nil {
+		t.Fatal("batch with unknown instance applied cleanly")
+	}
+	if applied != 1 {
+		t.Fatalf("applied = %d, want 1", applied)
+	}
+	if !strings.Contains(err.Error(), "edit 1") {
+		t.Errorf("error %q does not name the failing edit", err)
+	}
+	if _, err := g.Propagate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	requireMatchesCold(t, "after partial batch", g, 1)
+}
+
+// TestNoOpEditsAreFree: edits that change nothing must not dirty stages.
+func TestNoOpEditsAreFree(t *testing.T) {
+	g := buildC17(t, 1)
+	if err := g.SwapCell("G10", "NAND2"); err != nil { // already NAND2
+		t.Fatal(err)
+	}
+	if err := g.Rewire("G19", 1, "n7"); err != nil { // already n7
+		t.Fatal(err)
+	}
+	if err := g.SetLoad("n22", 0); err != nil { // already absent
+		t.Fatal(err)
+	}
+	if g.Edits() != 0 {
+		t.Errorf("no-op edits counted: %d", g.Edits())
+	}
+	stats, err := g.Propagate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StagesEvaluated+stats.StagesSkipped != 0 {
+		t.Errorf("no-op edits dirtied stages: %+v", stats)
+	}
+}

@@ -1,0 +1,58 @@
+package graph_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mcsm/internal/graph"
+)
+
+// FuzzParseEditScript fuzzes the ECO edit-script parser: no input may
+// panic it, and any script it accepts must survive a marshal → re-parse
+// round trip unchanged (the parser is strict, so its own output must be
+// admissible). Crafted seeds cover every op, every validation branch,
+// and near-miss syntax; the committed corpus under
+// testdata/fuzz/FuzzParseEditScript extends them.
+func FuzzParseEditScript(f *testing.F) {
+	seeds := []string{
+		validScript,
+		`{"batches": [[{"op": "swap_cell", "inst": "U1", "type": "INV"}]]}`,
+		`{"batches": [[{"op": "set_arrival", "net": "a", "wave": "fall@800p"}]]}`,
+		`{"batches": [[{"op": "set_arrival", "net": "a", "wave": "low"}]]}`,
+		`{"batches": [[{"op": "rewire", "inst": "U1", "pin": 0, "net": "n9"}]]}`,
+		`{"batches": [[{"op": "set_load", "net": "y", "cap": "0"}]]}`,
+		`{"batches": [[{"op": "set_load", "net": "y", "cap": "2.5e-15"}]]}`,
+		`{"batches": []}`,
+		`{"batches": [[]]}`,
+		`{"batches": [[{"op": "set_arrival", "net": "a", "wave": "rise@"}]]}`,
+		`{"batches": [[{"op": "set_arrival", "net": "a", "wave": "rise@1n", "slew": "1e-12p"}]]}`,
+		`{"batches": [[{"op": ""}]]}`,
+		`{"batches": [[{"op": "swap_cell"}]]}`,
+		`{"batches": [[{"op": "rewire", "inst": "U1", "pin": 99, "net": "n9"}]]}`,
+		`[]`,
+		`{"batches": 7}`,
+		`{"batches": [[{"op": "set_load", "net": "y", "cap": "1f"}]], "extra": 1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := graph.ParseEditScript(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted script does not re-marshal: %v", err)
+		}
+		s2, err := graph.ParseEditScript(out)
+		if err != nil {
+			t.Fatalf("re-marshaled script rejected: %v\nscript: %s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip drifted:\n%+v\nvs\n%+v", s, s2)
+		}
+	})
+}

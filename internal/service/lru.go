@@ -7,65 +7,151 @@ import (
 	"mcsm/internal/cliutil"
 )
 
-// netlistLRU memoizes parsed, mapped, and leveled workloads by the
-// content hash of their source (format + netlist text, or a generator
-// spec). Workloads are immutable after construction — sta.Netlist carries
-// no lazily-mutated state — so one entry may back any number of
-// concurrent analyses.
-type netlistLRU struct {
+// lruCore is the shared recency/eviction machinery behind both caches the
+// server keeps: the parsed-workload cache (netlistLRU) and the stateful
+// ECO session store (sessionStore). One implementation, two policies on
+// top — the session store adds TTL expiry and explicit removal.
+type lruCore[V any] struct {
 	mu        sync.Mutex
 	cap       int
-	order     *list.List // front = most recent; values are *lruEntry
+	order     *list.List // front = most recent; values are *lruItem[V]
 	entries   map[string]*list.Element
 	hits      int64
 	misses    int64
 	evictions int64
 }
 
-type lruEntry struct {
+type lruItem[V any] struct {
 	key string
-	wl  *cliutil.Workload
+	val V
 }
 
-func newNetlistLRU(capacity int) *netlistLRU {
-	return &netlistLRU{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+func newLRUCore[V any](capacity int) *lruCore[V] {
+	return &lruCore[V]{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
 }
 
-// getOrParse returns the workload for key, building it via parse on a
-// miss. Concurrent misses of one key may parse redundantly (the last one
-// wins the slot); unlike characterization, parsing is cheap enough that
-// singleflighting it would cost more in coordination than it saves.
-func (l *netlistLRU) getOrParse(key string, parse func() (*cliutil.Workload, error)) (*cliutil.Workload, error) {
+// get returns the entry and marks it most-recently-used.
+func (l *lruCore[V]) get(key string) (V, bool) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if el, ok := l.entries[key]; ok {
 		l.order.MoveToFront(el)
 		l.hits++
-		wl := el.Value.(*lruEntry).wl
-		l.mu.Unlock()
-		return wl, nil
+		return el.Value.(*lruItem[V]).val, true
 	}
 	l.misses++
-	l.mu.Unlock()
+	var zero V
+	return zero, false
+}
 
+// putIfAbsent inserts key unless it is already resident (the resident
+// value then wins and is returned) and evicts the least-recently-used
+// entries beyond capacity, returning the victims so the caller can
+// account for (or tear down) them. A conflicting insert does NOT refresh
+// the resident's recency: the session store's TTL sweep relies on LRU
+// order tracking actual use (get), and a rejected create is not use.
+func (l *lruCore[V]) putIfAbsent(key string, v V) (resident V, evicted []lruItem[V]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok {
+		return el.Value.(*lruItem[V]).val, nil
+	}
+	l.entries[key] = l.order.PushFront(&lruItem[V]{key: key, val: v})
+	for l.order.Len() > l.cap {
+		last := l.order.Back()
+		l.order.Remove(last)
+		item := last.Value.(*lruItem[V])
+		delete(l.entries, item.key)
+		l.evictions++
+		evicted = append(evicted, *item)
+	}
+	return v, evicted
+}
+
+// remove deletes key (a no-op miss when absent). Removals are not counted
+// as evictions — they are policy decisions of the wrapper (TTL expiry,
+// explicit close).
+func (l *lruCore[V]) remove(key string) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var zero V
+	el, ok := l.entries[key]
+	if !ok {
+		return zero, false
+	}
+	l.order.Remove(el)
+	delete(l.entries, key)
+	return el.Value.(*lruItem[V]).val, true
+}
+
+// contains reports residency without touching recency or hit counters —
+// the cheap existence probe behind early session-conflict rejection.
+func (l *lruCore[V]) contains(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.entries[key]
+	return ok
+}
+
+// peekOldest returns the least-recently-used entry without touching
+// recency — the probe the TTL sweep walks.
+func (l *lruCore[V]) peekOldest() (string, V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var zero V
+	last := l.order.Back()
+	if last == nil {
+		return "", zero, false
+	}
+	item := last.Value.(*lruItem[V])
+	return item.key, item.val, true
+}
+
+func (l *lruCore[V]) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// stats snapshots the counters.
+func (l *lruCore[V]) stats() lruStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return lruStats{Hits: l.hits, Misses: l.misses, Entries: l.order.Len(), Evictions: l.evictions}
+}
+
+// netlistLRU memoizes parsed, mapped, and leveled workloads by the
+// content hash of their source (format + netlist text, or a generator
+// spec). Workloads are immutable after construction — sta.Netlist carries
+// no structural mutation (its lazily-memoized topology views are
+// internally locked) — so one entry may back any number of concurrent
+// analyses and graph builds (which clone before editing).
+type netlistLRU struct {
+	core *lruCore[*cliutil.Workload]
+}
+
+func newNetlistLRU(capacity int) *netlistLRU {
+	return &netlistLRU{core: newLRUCore[*cliutil.Workload](capacity)}
+}
+
+// getOrParse returns the workload for key, building it via parse on a
+// miss. Concurrent misses of one key may parse redundantly (the first
+// resident entry wins the slot); unlike characterization, parsing is
+// cheap enough that singleflighting it would cost more in coordination
+// than it saves.
+func (l *netlistLRU) getOrParse(key string, parse func() (*cliutil.Workload, error)) (*cliutil.Workload, error) {
+	if wl, ok := l.core.get(key); ok {
+		return wl, nil
+	}
 	wl, err := parse()
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if el, ok := l.entries[key]; ok { // raced: keep the resident entry
-		l.order.MoveToFront(el)
-		return el.Value.(*lruEntry).wl, nil
-	}
-	l.entries[key] = l.order.PushFront(&lruEntry{key: key, wl: wl})
-	for l.order.Len() > l.cap {
-		last := l.order.Back()
-		l.order.Remove(last)
-		delete(l.entries, last.Value.(*lruEntry).key)
-		l.evictions++
-	}
-	return wl, nil
+	resident, _ := l.core.putIfAbsent(key, wl) // raced misses: resident wins
+	return resident, nil
 }
+
+func (l *netlistLRU) stats() lruStats { return l.core.stats() }
 
 // lruStats is the /metrics snapshot.
 type lruStats struct {
@@ -73,10 +159,4 @@ type lruStats struct {
 	Misses    int64 `json:"misses"`
 	Entries   int   `json:"entries"`
 	Evictions int64 `json:"evictions"`
-}
-
-func (l *netlistLRU) stats() lruStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return lruStats{Hits: l.hits, Misses: l.misses, Entries: l.order.Len(), Evictions: l.evictions}
 }

@@ -10,17 +10,23 @@ import (
 // metrics is the server's live counter set (atomics; read racily and
 // coherently enough for monitoring).
 type metrics struct {
-	staRequests    atomic.Int64
-	sweepRequests  atomic.Int64
-	charRequests   atomic.Int64
-	staComputed    atomic.Int64
-	sweepComputed  atomic.Int64
-	staCoalesced   atomic.Int64
-	sweepCoalesced atomic.Int64
-	sweepPoints    atomic.Int64
-	errors         atomic.Int64
-	inFlight       atomic.Int64
-	queued         atomic.Int64
+	staRequests     atomic.Int64
+	sweepRequests   atomic.Int64
+	charRequests    atomic.Int64
+	sessionRequests atomic.Int64
+	ecoRequests     atomic.Int64
+	staComputed     atomic.Int64
+	sweepComputed   atomic.Int64
+	staCoalesced    atomic.Int64
+	sweepCoalesced  atomic.Int64
+	sweepPoints     atomic.Int64
+	ecoRounds       atomic.Int64
+	ecoEdits        atomic.Int64
+	ecoStageEvals   atomic.Int64
+	ecoNetsChanged  atomic.Int64
+	errors          atomic.Int64
+	inFlight        atomic.Int64
+	queued          atomic.Int64
 }
 
 // ModelCacheMetrics mirrors engine.CacheStats plus the derived rate.
@@ -35,9 +41,26 @@ type ModelCacheMetrics struct {
 
 // RequestCounts breaks request totals down by endpoint.
 type RequestCounts struct {
-	STA   int64 `json:"sta"`
-	Sweep int64 `json:"sweep"`
-	Char  int64 `json:"char"`
+	STA     int64 `json:"sta"`
+	Sweep   int64 `json:"sweep"`
+	Char    int64 `json:"char"`
+	Session int64 `json:"session"`
+	Eco     int64 `json:"eco"`
+}
+
+// SessionMetrics is the stateful-session section of /metrics: lifecycle
+// counters plus the ECO economy aggregate (stage evals per edit round vs
+// what cold full analyses would have cost).
+type SessionMetrics struct {
+	Active  int   `json:"active"`
+	Created int64 `json:"created"`
+	Evicted int64 `json:"evicted"` // LRU capacity evictions
+	Expired int64 `json:"expired"` // TTL expiries
+
+	EcoRounds      int64 `json:"eco_rounds"`
+	EcoEdits       int64 `json:"eco_edits"`
+	EcoStageEvals  int64 `json:"eco_stage_evals"`
+	EcoNetsChanged int64 `json:"eco_nets_changed"`
 }
 
 // Metrics is the GET /metrics response: effectiveness of all three
@@ -63,6 +86,7 @@ type Metrics struct {
 
 	ModelCache   ModelCacheMetrics `json:"model_cache"`
 	NetlistCache lruStats          `json:"netlist_cache"`
+	Sessions     SessionMetrics    `json:"sessions"`
 
 	StageEvals        int64   `json:"stage_evals"`
 	StageEvalsPerSec  float64 `json:"stage_evals_per_sec"`
@@ -81,9 +105,11 @@ func (s *Server) Snapshot() Metrics {
 		InFlight:      s.metrics.inFlight.Load(),
 		Queued:        s.metrics.queued.Load(),
 		Requests: RequestCounts{
-			STA:   s.metrics.staRequests.Load(),
-			Sweep: s.metrics.sweepRequests.Load(),
-			Char:  s.metrics.charRequests.Load(),
+			STA:     s.metrics.staRequests.Load(),
+			Sweep:   s.metrics.sweepRequests.Load(),
+			Char:    s.metrics.charRequests.Load(),
+			Session: s.metrics.sessionRequests.Load(),
+			Eco:     s.metrics.ecoRequests.Load(),
 		},
 		Errors:         s.metrics.errors.Load(),
 		STAComputed:    s.metrics.staComputed.Load(),
@@ -95,6 +121,7 @@ func (s *Server) Snapshot() Metrics {
 			SpillRejects: cs.SpillRejects, Entries: cs.Entries, HitRate: cs.HitRate(),
 		},
 		NetlistCache:    s.nets.stats(),
+		Sessions:        s.sessionMetrics(),
 		StageEvals:      s.eng.StageEvals(),
 		SweepPointEvals: s.metrics.sweepPoints.Load(),
 	}

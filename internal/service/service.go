@@ -8,12 +8,18 @@
 //	                  bit-exact canonical STA report out. The response
 //	                  bytes are identical to what the CLI/golden path
 //	                  produces for the same inputs, at any worker count.
-//	POST /v1/sweep  — MIS skew/slew/load grid spec in, surface out
-//	                  (exact-float CSV or JSON).
-//	POST /v1/char   — warm/characterize one cell model into the cache.
-//	GET  /healthz   — liveness.
-//	GET  /metrics   — cache hit rates, coalescing, in-flight gauge,
-//	                  throughput counters.
+//	POST /v1/sweep   — MIS skew/slew/load grid spec in, surface out
+//	                   (exact-float CSV or JSON).
+//	POST /v1/char    — warm/characterize one cell model into the cache.
+//	POST /v1/session — build a stateful ECO session: the workload is
+//	                   analyzed once and retained as an incremental
+//	                   timing graph (internal/graph).
+//	POST /v1/eco     — apply an edit batch to a session; answers the
+//	                   canonical delta report (changed nets + how much
+//	                   of the circuit was re-evaluated).
+//	GET  /healthz    — liveness.
+//	GET  /metrics    — cache hit rates, coalescing, in-flight gauge,
+//	                   session/ECO counters, throughput counters.
 //
 // Three layers of work-sharing stack up:
 //
@@ -37,6 +43,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"mcsm/internal/cells"
@@ -61,6 +68,13 @@ type Config struct {
 	// Timeout is the per-request compute deadline (default 5 minutes).
 	// It covers queue wait plus analysis, not characterization spill I/O.
 	Timeout time.Duration
+	// SessionCap bounds live ECO sessions; beyond it the least-recently-
+	// used session is evicted (default 32). Sessions retain full per-net
+	// waveform state, so this is the server's main memory knob.
+	SessionCap int
+	// SessionTTL expires sessions idle longer than this (default 15
+	// minutes). Expiry is lazy: checked on access and before creates.
+	SessionTTL time.Duration
 	// Logf, when set, receives request logs and recovered diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -78,20 +92,28 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Minute
 	}
+	if c.SessionCap <= 0 {
+		c.SessionCap = 32
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
 // Server is one timing service instance. Create with New, expose with
 // Handler, stop with Close.
 type Server struct {
-	cfg     Config
-	tech    cells.Tech
-	eng     *engine.Engine
-	nets    *netlistLRU
-	flights *flightGroup
-	sem     chan struct{}
-	metrics metrics
-	start   time.Time
+	cfg        Config
+	tech       cells.Tech
+	eng        *engine.Engine
+	nets       *netlistLRU
+	flights    *flightGroup
+	sessions   *sessionStore
+	sessionSeq atomic.Int64
+	sem        chan struct{}
+	metrics    metrics
+	start      time.Time
 
 	baseCtx context.Context // canceled by Close: computations stop draining
 	cancel  context.CancelFunc
@@ -123,15 +145,16 @@ func NewWithEngine(cfg Config, eng *engine.Engine) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:     cfg,
-		tech:    cells.Default130(),
-		eng:     eng,
-		nets:    newNetlistLRU(cfg.NetlistCap),
-		flights: newFlightGroup(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		start:   time.Now(),
-		baseCtx: ctx,
-		cancel:  cancel,
+		cfg:      cfg,
+		tech:     cells.Default130(),
+		eng:      eng,
+		nets:     newNetlistLRU(cfg.NetlistCap),
+		flights:  newFlightGroup(),
+		sessions: newSessionStore(cfg.SessionCap, cfg.SessionTTL),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		start:    time.Now(),
+		baseCtx:  ctx,
+		cancel:   cancel,
 	}
 }
 
@@ -148,6 +171,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sta", s.post(s.handleSTA))
 	mux.HandleFunc("/v1/sweep", s.post(s.handleSweep))
 	mux.HandleFunc("/v1/char", s.post(s.handleChar))
+	mux.HandleFunc("/v1/session", s.post(s.handleSession))
+	mux.HandleFunc("/v1/eco", s.post(s.handleEco))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux

@@ -276,9 +276,7 @@ func (s *Server) computeSTA(job *staJob) response {
 	if err != nil {
 		return response{err: err}
 	}
-	rep, err := s.eng.AnalyzeCtx(ctx, wl.NL, models, primary, sta.Options{
-		Mode: job.mode, Horizon: horizon, Dt: job.dt,
-	})
+	rep, err := s.eng.AnalyzeCtx(ctx, wl.NL, models, primary, staOptions(job, horizon))
 	if err != nil {
 		return response{err: err}
 	}

@@ -116,6 +116,15 @@ func Setup(models map[string]*csm.Model, primary map[string]wave.Waveform, opt O
 // instances of one topological level (which never consume each other's
 // outputs) are safe as long as no call writes waves in parallel.
 func EvalStage(nl *Netlist, models map[string]*csm.Model, fanouts map[string][][2]int, idx int, waves map[string]wave.Waveform, vdd float64, opt Options) (wave.Waveform, int, error) {
+	return EvalStageWithLoad(nl, models, idx, waves,
+		StageLoad(nl, models, fanouts, nl.Instances[idx].Output), vdd, opt)
+}
+
+// EvalStageWithLoad is EvalStage with the output load supplied by the
+// caller instead of rebuilt from the fanout map — the primitive the
+// incremental timing graph uses to retain per-stage loads across edits
+// instead of reassembling them on every evaluation.
+func EvalStageWithLoad(nl *Netlist, models map[string]*csm.Model, idx int, waves map[string]wave.Waveform, load csm.Load, vdd float64, opt Options) (wave.Waveform, int, error) {
 	inst := nl.Instances[idx]
 	model, ok := models[inst.Type]
 	if !ok {
@@ -125,7 +134,6 @@ func EvalStage(nl *Netlist, models map[string]*csm.Model, fanouts map[string][][
 	if err != nil {
 		return wave.Waveform{}, 0, err
 	}
-	load := stageLoad(nl, models, fanouts, inst.Output)
 
 	var outW wave.Waveform
 	if opt.Mode == ModeSIS && switching >= 2 {
@@ -209,9 +217,11 @@ func netSwitches(w wave.Waveform) bool {
 	return max-min > 0.25
 }
 
-// stageLoad builds the load on a net: wire capacitance plus every fanout
-// pin's receiver capacitance table.
-func stageLoad(nl *Netlist, models map[string]*csm.Model, fanouts map[string][][2]int, net string) csm.Load {
+// StageLoad builds the load on a net: wire capacitance plus every fanout
+// pin's receiver capacitance table. It is exported so the incremental
+// timing graph can rebuild exactly the load the one-shot path would see
+// when an edit invalidates a retained one.
+func StageLoad(nl *Netlist, models map[string]*csm.Model, fanouts map[string][][2]int, net string) csm.Load {
 	var loads csm.MultiLoad
 	if c := nl.NetCap[net]; c > 0 {
 		loads = append(loads, csm.CapLoad(c))

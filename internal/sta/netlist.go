@@ -24,6 +24,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Instance is one placed cell in the netlist. Inputs are net names in the
@@ -36,11 +37,62 @@ type Instance struct {
 }
 
 // Netlist is a gate-level combinational netlist.
+//
+// Levels and Fanouts memoize their results on the netlist (computed once,
+// shared by every analysis of the same parsed workload); a consumer that
+// mutates Instances — the incremental timing graph's edit ops — must call
+// InvalidateTopology afterwards. Because of the embedded cache a Netlist
+// must not be copied by value; use Clone for a mutable private copy.
 type Netlist struct {
 	Instances  []Instance
 	PrimaryIn  []string
 	PrimaryOut []string
 	NetCap     map[string]float64 // additional wire capacitance per net
+
+	topo topoCache
+}
+
+// topoCache memoizes the derived topology views. The mutex makes the lazy
+// fills safe under the service's concurrent analyses of one shared
+// workload.
+type topoCache struct {
+	mu        sync.Mutex
+	levels    [][]int
+	levelsErr error
+	levelsOK  bool
+	fanouts   map[string][][2]int
+}
+
+// InvalidateTopology drops the memoized Levels/Fanouts views. Call after
+// any structural mutation (instance input rewiring, type swaps do not
+// change topology but rewires do). Net capacitance edits do not require
+// invalidation — NetCap is not part of either view.
+func (nl *Netlist) InvalidateTopology() {
+	nl.topo.mu.Lock()
+	nl.topo.levels, nl.topo.levelsErr, nl.topo.levelsOK = nil, nil, false
+	nl.topo.fanouts = nil
+	nl.topo.mu.Unlock()
+}
+
+// Clone returns a deep copy of the netlist (instances, pin slices, net
+// caps) with an empty topology cache — the private mutable copy the
+// incremental timing graph edits in place without disturbing the shared
+// parsed workload.
+func (nl *Netlist) Clone() *Netlist {
+	cp := &Netlist{
+		Instances:  make([]Instance, len(nl.Instances)),
+		PrimaryIn:  append([]string(nil), nl.PrimaryIn...),
+		PrimaryOut: append([]string(nil), nl.PrimaryOut...),
+		NetCap:     make(map[string]float64, len(nl.NetCap)),
+	}
+	for i, inst := range nl.Instances {
+		inst.Inputs = append([]string(nil), inst.Inputs...)
+		cp.Instances[i] = inst
+	}
+	for net, c := range nl.NetCap {
+		cp.NetCap[net] = c
+	}
+	return cp
 }
 
 // ParseNetlist reads the tiny line-based netlist format:
@@ -202,7 +254,22 @@ func (nl *Netlist) Levelize() ([]int, error) {
 // ascending instance order, and the concatenation of all levels is a valid
 // topological order. Levels shares Levelize's validation (loops, multiple
 // drivers, undriven nets).
+//
+// The result is computed once and memoized on the netlist (see
+// InvalidateTopology); callers share the backing slices and must not
+// mutate them.
 func (nl *Netlist) Levels() ([][]int, error) {
+	nl.topo.mu.Lock()
+	defer nl.topo.mu.Unlock()
+	if nl.topo.levelsOK {
+		return nl.topo.levels, nl.topo.levelsErr
+	}
+	levels, err := nl.computeLevels()
+	nl.topo.levels, nl.topo.levelsErr, nl.topo.levelsOK = levels, err, true
+	return levels, err
+}
+
+func (nl *Netlist) computeLevels() ([][]int, error) {
 	order, err := nl.Levelize()
 	if err != nil {
 		return nil, err
@@ -240,8 +307,19 @@ func (nl *Netlist) Levels() ([][]int, error) {
 }
 
 // Fanouts returns, for each net, the (instance index, pin index) pairs that
-// load it.
+// load it. Like Levels, the map is memoized on the netlist and shared —
+// callers must not mutate it.
 func (nl *Netlist) Fanouts() map[string][][2]int {
+	nl.topo.mu.Lock()
+	defer nl.topo.mu.Unlock()
+	if nl.topo.fanouts != nil {
+		return nl.topo.fanouts
+	}
+	nl.topo.fanouts = nl.computeFanouts()
+	return nl.topo.fanouts
+}
+
+func (nl *Netlist) computeFanouts() map[string][][2]int {
 	out := map[string][][2]int{}
 	for i, inst := range nl.Instances {
 		for p, net := range inst.Inputs {

@@ -20,12 +20,17 @@ func (r *Report) CriticalPath(nl *Netlist, endNet string) []PathStep {
 		driver[nl.Instances[i].Output] = &nl.Instances[i]
 	}
 	var rev []PathStep
+	visited := map[string]bool{}
 	net := endNet
 	for {
 		nr, ok := r.Nets[net]
-		if !ok {
+		if !ok || visited[net] {
+			// Unknown net, or a net seen before: the latter can only happen
+			// on a cyclic netlist (e.g. assembled by hand or mid-edit, never
+			// levelized) — terminate instead of tracing forever.
 			break
 		}
+		visited[net] = true
 		step := PathStep{Net: net, Arrival: nr.Arrival}
 		inst := driver[net]
 		if inst != nil {

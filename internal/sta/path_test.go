@@ -1,0 +1,219 @@
+package sta_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// Table tests for the report-tracing helpers against the report shapes
+// the incremental layer produces: delta reports carry only the changed
+// subset of nets (a net "removed" from view by a Rewire), endpoints may
+// never switch (NaN arrivals), and hand-assembled netlists may even be
+// cyclic — none of which may panic or hang the tracer.
+
+// pathNetlist parses a small reconvergent netlist for the table.
+func pathNetlist(t *testing.T, src string) *sta.Netlist {
+	t.Helper()
+	nl, err := sta.ParseNetlist(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// mkReport builds a report holding exactly the given net arrivals (NaN =
+// present but never switching).
+func mkReport(arrivals map[string]float64) *sta.Report {
+	rep := &sta.Report{Vdd: 1.2, Nets: map[string]sta.NetResult{}}
+	for net, arr := range arrivals {
+		rep.Nets[net] = sta.NetResult{Arrival: arr, Wave: wave.Constant(0, 0, 1e-9)}
+	}
+	return rep
+}
+
+func TestCriticalPathEditedReports(t *testing.T) {
+	const src = `
+input a b
+output y
+inst U1 NAND2 n1 a b
+inst U2 INV n2 n1
+inst U3 NAND2 y n1 n2
+`
+	nl := pathNetlist(t, src)
+
+	cases := []struct {
+		name     string
+		arrivals map[string]float64
+		end      string
+		wantNets []string
+	}{
+		{
+			name:     "full report traces source to sink",
+			arrivals: map[string]float64{"a": 1, "b": 2, "n1": 3, "n2": 4, "y": 5},
+			end:      "y",
+			wantNets: []string{"b", "n1", "n2", "y"},
+		},
+		{
+			name: "delta report with intermediate net missing stops early",
+			// n1 was dropped from view (e.g. a Rewire moved the cone and
+			// the delta only re-measured downstream nets).
+			arrivals: map[string]float64{"a": 1, "b": 2, "n2": 4, "y": 5},
+			end:      "y",
+			wantNets: []string{"n2", "y"},
+		},
+		{
+			name:     "unknown endpoint yields empty path",
+			arrivals: map[string]float64{"a": 1},
+			end:      "nope",
+			wantNets: nil,
+		},
+		{
+			name: "non-switching endpoint still anchors the trace",
+			// y never switches (NaN); its latest-arriving input leads on.
+			arrivals: map[string]float64{"a": 1, "b": 2, "n1": 3, "n2": 4, "y": math.NaN()},
+			end:      "y",
+			wantNets: []string{"b", "n1", "n2", "y"},
+		},
+		{
+			name: "all inputs non-switching terminates at the gate",
+			arrivals: map[string]float64{
+				"a": math.NaN(), "b": math.NaN(), "n1": math.NaN(),
+				"n2": math.NaN(), "y": 5,
+			},
+			end:      "y",
+			wantNets: []string{"y"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := mkReport(tc.arrivals).CriticalPath(nl, tc.end)
+			var nets []string
+			for _, step := range path {
+				nets = append(nets, step.Net)
+			}
+			if len(nets) != len(tc.wantNets) {
+				t.Fatalf("path %v, want nets %v", nets, tc.wantNets)
+			}
+			for i := range nets {
+				if nets[i] != tc.wantNets[i] {
+					t.Fatalf("path %v, want nets %v", nets, tc.wantNets)
+				}
+			}
+		})
+	}
+}
+
+// TestCriticalPathCyclicNetlist: a cyclic netlist (constructible by hand;
+// Levelize would reject it, but CriticalPath takes any netlist) must
+// terminate instead of tracing the loop forever.
+func TestCriticalPathCyclicNetlist(t *testing.T) {
+	nl := &sta.Netlist{
+		Instances: []sta.Instance{
+			{Name: "U1", Type: "INV", Inputs: []string{"y"}, Output: "x"},
+			{Name: "U2", Type: "INV", Inputs: []string{"x"}, Output: "y"},
+		},
+		PrimaryOut: []string{"y"},
+	}
+	rep := mkReport(map[string]float64{"x": 1, "y": 2})
+	path := rep.CriticalPath(nl, "y")
+	if len(path) > 2 {
+		t.Fatalf("cycle not cut: path of %d steps", len(path))
+	}
+}
+
+func TestWorstOutputEditedReports(t *testing.T) {
+	const src = `
+input a
+output y z
+inst U1 INV y a
+inst U2 INV z a
+`
+	nl := pathNetlist(t, src)
+
+	cases := []struct {
+		name     string
+		arrivals map[string]float64
+		wantNet  string
+		wantOK   bool
+	}{
+		{"both switch", map[string]float64{"y": 2, "z": 3}, "z", true},
+		{"one output missing from the delta view", map[string]float64{"y": 2}, "y", true},
+		{"non-switching output skipped", map[string]float64{"y": 2, "z": math.NaN()}, "y", true},
+		{"no output switches", map[string]float64{"y": math.NaN(), "z": math.NaN()}, "", false},
+		{"empty report", map[string]float64{}, "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net, arr, ok := mkReport(tc.arrivals).WorstOutput(nl)
+			if ok != tc.wantOK || net != tc.wantNet {
+				t.Fatalf("WorstOutput = (%q, %g, %t), want (%q, _, %t)", net, arr, ok, tc.wantNet, tc.wantOK)
+			}
+		})
+	}
+}
+
+// TestTopologyCaching pins the memoization contract of Levels/Fanouts:
+// repeat calls return the identical backing structures (no recompute),
+// InvalidateTopology forces a rebuild that reflects mutations, Clone
+// starts with a cache of its own, and concurrent fills are race-safe
+// (this test runs under -race in CI).
+func TestTopologyCaching(t *testing.T) {
+	nl := pathNetlist(t, `
+input a b
+output y
+inst U1 NAND2 n1 a b
+inst U2 INV y n1
+`)
+	l1, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := nl.Levels()
+	if &l1[0] != &l2[0] {
+		t.Error("Levels recomputed despite a warm cache")
+	}
+	f1 := nl.Fanouts()
+	if f2 := nl.Fanouts(); len(f1) != len(f2) {
+		t.Error("Fanouts changed between cached calls")
+	}
+
+	// A clone edits independently: rewiring U2 to read "a" drops n1's
+	// fanout and flattens the levels — but only on the clone.
+	cp := nl.Clone()
+	cp.Instances[1].Inputs[0] = "a"
+	cp.InvalidateTopology()
+	cpLevels, err := cp.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpLevels) != 1 {
+		t.Errorf("clone levels = %d, want 1 (both gates read primaries)", len(cpLevels))
+	}
+	if len(cp.Fanouts()["n1"]) != 0 {
+		t.Error("clone fanouts still list the rewired pin")
+	}
+	if orig, _ := nl.Levels(); len(orig) != 2 {
+		t.Errorf("original levels = %d, want 2 (clone edit leaked)", len(orig))
+	}
+	if len(nl.Fanouts()["n1"]) != 1 {
+		t.Error("original fanouts lost the n1 pin")
+	}
+
+	// Concurrent cold fills on a fresh netlist must be race-free.
+	fresh := nl.Clone()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			fresh.Levels()
+			fresh.Fanouts()
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

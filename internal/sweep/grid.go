@@ -2,7 +2,7 @@ package sweep
 
 import (
 	"fmt"
-	"strconv"
+	"mcsm/internal/units"
 	"strings"
 )
 
@@ -219,29 +219,7 @@ func parseValues(s string) ([]float64, error) {
 	return out, nil
 }
 
-// ParseSI reads a float with an optional engineering suffix. The suffix is
-// applied textually (e.g. "5f" parses as "5e-15"), so suffixed values get
-// the correctly-rounded float — not a multiplication residue — and survive
-// the exact-float round trip of the CSV/golden encodings.
-func ParseSI(s string) (float64, error) {
-	s = strings.TrimSpace(s)
-	exp := ""
-	switch {
-	case strings.HasSuffix(s, "f"):
-		exp, s = "e-15", strings.TrimSuffix(s, "f")
-	case strings.HasSuffix(s, "p"):
-		exp, s = "e-12", strings.TrimSuffix(s, "p")
-	case strings.HasSuffix(s, "n"):
-		exp, s = "e-9", strings.TrimSuffix(s, "n")
-	case strings.HasSuffix(s, "u"):
-		exp, s = "e-6", strings.TrimSuffix(s, "u")
-	}
-	if exp != "" && strings.ContainsAny(s, "eE") {
-		return 0, fmt.Errorf("bad value %q: mixed exponent and suffix", s+exp)
-	}
-	v, err := strconv.ParseFloat(s+exp, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad value %q", s)
-	}
-	return v, nil
-}
+// ParseSI reads a float with an optional engineering suffix. It delegates
+// to units.ParseSI — the one textual SI parser every layer shares — and
+// survives here for the historical sweep API.
+func ParseSI(s string) (float64, error) { return units.ParseSI(s) }

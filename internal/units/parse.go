@@ -1,0 +1,43 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSI reads a float with an optional engineering suffix (f/p/n/u). The
+// suffix is applied textually (e.g. "5f" parses as "5e-15"), so suffixed
+// values get the correctly-rounded float — not a multiplication residue —
+// and survive the exact-float round trip of the CSV/golden encodings. It
+// lives in this leaf package so every layer (sweep grids, CLI flags, edit
+// scripts) parses times and capacitances with identical bit behavior.
+func ParseSI(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	exp := ""
+	switch {
+	case strings.HasSuffix(s, "f"):
+		exp, s = "e-15", strings.TrimSuffix(s, "f")
+	case strings.HasSuffix(s, "p"):
+		exp, s = "e-12", strings.TrimSuffix(s, "p")
+	case strings.HasSuffix(s, "n"):
+		exp, s = "e-9", strings.TrimSuffix(s, "n")
+	case strings.HasSuffix(s, "u"):
+		exp, s = "e-6", strings.TrimSuffix(s, "u")
+	}
+	if exp != "" && strings.ContainsAny(s, "eE") {
+		return 0, fmt.Errorf("bad value %q: mixed exponent and suffix", s+exp)
+	}
+	v, err := strconv.ParseFloat(s+exp, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	// ParseFloat accepts "NaN"/"Inf" spellings; no physical quantity here
+	// is non-finite, and a NaN slips through every `< 0`-style validation
+	// downstream (NaN comparisons are all false) — reject at the source.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad value %q: non-finite", s)
+	}
+	return v, nil
+}

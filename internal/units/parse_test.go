@@ -1,0 +1,30 @@
+package units
+
+import "testing"
+
+func TestParseSI(t *testing.T) {
+	good := map[string]float64{
+		"5f":      5e-15,
+		"2.6n":    2.6e-9,
+		"80p":     80e-12,
+		"1u":      1e-6,
+		"  40p  ": 40e-12,
+		"1e-12":   1e-12,
+		"0":       0,
+		"-3p":     -3e-12,
+	}
+	for in, want := range good {
+		got, err := ParseSI(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSI(%q) = (%g, %v), want %g", in, got, err, want)
+		}
+	}
+	// Rejections — including the non-finite spellings strconv.ParseFloat
+	// would otherwise admit (a NaN passes every `< 0` validation
+	// downstream, so it must die here).
+	for _, in := range []string{"", "abc", "1e-3p", "NaN", "nan", "Inf", "-Inf", "+inf"} {
+		if v, err := ParseSI(in); err == nil {
+			t.Errorf("ParseSI(%q) accepted as %g", in, v)
+		}
+	}
+}

@@ -85,3 +85,43 @@ func TestQuickDerivativeIntegralRoundtrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDerivativeSkipsDegenerateSpacing: central differences over a raw
+// sample triple with coincident outer times (unreachable through New,
+// which enforces strictly increasing times, but constructible by direct
+// struct use) must skip the degenerate point instead of dividing by zero.
+func TestDerivativeSkipsDegenerateSpacing(t *testing.T) {
+	w := Waveform{T: []float64{0, 0, 0, 1, 2}, V: []float64{0, 1, 2, 3, 4}}
+	d := w.Derivative()
+	for i, v := range d.V {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("sample %d: non-finite derivative %g", i, v)
+		}
+	}
+	if d.Len() != 2 { // interior points k=2 (dt=1) and k=3 (dt=2) survive
+		t.Errorf("len = %d, want 2", d.Len())
+	}
+}
+
+// TestIntegralNonUniformGrid pins the trapezoid rule on an uneven grid:
+// ∫ of v(t)=t over [0,3] sampled at {0,1,3} is exactly 4.5.
+func TestIntegralNonUniformGrid(t *testing.T) {
+	w := MustNew([]float64{0, 1, 3}, []float64{0, 1, 3})
+	in := w.Integral()
+	if got := in.V[in.Len()-1]; math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("integral end = %g, want 4.5", got)
+	}
+	if in.V[0] != 0 {
+		t.Errorf("integral must start at zero, got %g", in.V[0])
+	}
+}
+
+// TestEnergyEdgeCases: empty and single-sample waveforms carry no energy.
+func TestEnergyEdgeCases(t *testing.T) {
+	if got := (Waveform{}).Energy(); got != 0 {
+		t.Errorf("empty energy = %g", got)
+	}
+	if got := (Waveform{T: []float64{1}, V: []float64{5}}).Energy(); got != 0 {
+		t.Errorf("single-sample energy = %g", got)
+	}
+}

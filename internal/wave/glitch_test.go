@@ -55,3 +55,34 @@ func TestMeasureGlitchWindowing(t *testing.T) {
 		t.Errorf("windowed peak %g at %g", g.Peak, g.PeakTime)
 	}
 }
+
+// TestMeasureGlitchNoReturnCrossing: a bump that never settles back below
+// the 50% level inside the window keeps the window end as its exit time.
+func TestMeasureGlitchNoReturnCrossing(t *testing.T) {
+	w := MustNew([]float64{0, 1, 2}, []float64{0, 1, 1})
+	g := MeasureGlitch(w, 0, 0, 2)
+	if g.Peak != 1 || g.Height != 1 {
+		t.Fatalf("peak/height = %g/%g", g.Peak, g.Height)
+	}
+	// Entering crossing at 0.5, no exit: width runs to the window end.
+	if math.Abs(g.Width-1.5) > 1e-9 {
+		t.Errorf("width = %g, want 1.5", g.Width)
+	}
+	if g.Area <= 0 {
+		t.Errorf("area = %g, want positive", g.Area)
+	}
+}
+
+// TestMeasureGlitchDownNoCrossings: a waveform that sits entirely below
+// base (no 50% crossings at all) must fall back to the full window width
+// and report the minimum as the peak.
+func TestMeasureGlitchDownNoCrossings(t *testing.T) {
+	w := Constant(-2, 0, 4)
+	g := MeasureGlitch(w, 0, 0, 4)
+	if g.Peak != -2 || g.Height != 2 {
+		t.Fatalf("peak/height = %g/%g", g.Peak, g.Height)
+	}
+	if math.Abs(g.Width-4) > 1e-9 {
+		t.Errorf("width = %g, want the full window", g.Width)
+	}
+}
