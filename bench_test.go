@@ -179,6 +179,44 @@ func BenchmarkCharacterizeNOR2(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterizeNAND2Cold times a cold exact-path MCSM NAND2
+// characterization at the golden-pinned CoarseConfig, with allocation
+// reporting — the workload of this repo's zero-alloc inner-loop work
+// (EXPERIMENTS.md "Cold characterization").
+func BenchmarkCharacterizeNAND2Cold(b *testing.B) {
+	tech := cells.Default130()
+	spec, err := cells.Get("NAND2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csm.Characterize(tech, spec, csm.KindMCSM, csm.CoarseConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeNAND2Fast is the same workload through the
+// Config.Fast solver path (chord Newton, warm-started DC, adaptive ramps).
+func BenchmarkCharacterizeNAND2Fast(b *testing.B) {
+	tech := cells.Default130()
+	spec, err := cells.Get("NAND2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := csm.CoarseConfig()
+	cfg.Fast = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := csm.Characterize(tech, spec, csm.KindMCSM, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTableInterp4D times the hot lookup of the stage solver.
 func BenchmarkTableInterp4D(b *testing.B) {
 	m := benchModel(b)

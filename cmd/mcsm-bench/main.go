@@ -52,7 +52,9 @@ import (
 	"sync"
 	"time"
 
+	"mcsm/internal/cells"
 	"mcsm/internal/cliutil"
+	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
 	"mcsm/internal/netlist"
@@ -144,6 +146,24 @@ type ecoProbe struct {
 	BitIdentical       bool    `json:"bit_identical"`
 }
 
+// charProbe measures cold characterization: the exact (golden-pinned)
+// solver path timed with allocation counters, the Config.Fast path timed
+// against it, and the fast-vs-exact stage-delay divergence over the MIS
+// probe grid. GridPoints counts the current-table DC grid; allocs/point
+// is the process Mallocs delta over the exact characterization divided by
+// that count — the zero-alloc inner loop shows up here directly.
+type charProbe struct {
+	Cell             string  `json:"cell"`
+	Kind             string  `json:"kind"`
+	GridPoints       int     `json:"grid_points"`
+	ColdSeconds      float64 `json:"cold_seconds"`
+	ColdPointsPerSec float64 `json:"cold_points_per_sec"`
+	AllocsPerPoint   float64 `json:"allocs_per_point"`
+	FastSeconds      float64 `json:"fast_seconds"`
+	FastSpeedup      float64 `json:"fast_speedup"`
+	FastMaxDelayErrS float64 `json:"fast_max_delay_err_s"`
+}
+
 type perfSummary struct {
 	SchemaVersion int          `json:"schema_version"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -155,6 +175,7 @@ type perfSummary struct {
 	SweepProbe    *sweepProbe  `json:"sweep_probe,omitempty"`
 	ServeProbe    *serveProbe  `json:"serve_probe,omitempty"`
 	EcoProbe      *ecoProbe    `json:"eco_probe,omitempty"`
+	CharProbe     *charProbe   `json:"char_probe,omitempty"`
 }
 
 func main() {
@@ -168,8 +189,16 @@ func main() {
 		cacheDir = flag.String("cache", "", "model cache directory (spill/reload characterized models)")
 		benchNl  = flag.String("bench", "", "STA-probe workload: a .bench circuit, technology-mapped (default: built-in c17)")
 		genGates = flag.Int("gen", 0, "STA-probe workload: a generated synthetic circuit with this many gates (overrides -bench)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -252,9 +281,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("eco probe: %w", err))
 	}
+	chProbe, err := runCharProbe(sess)
+	if err != nil {
+		fatal(fmt.Errorf("char probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 4,
+		SchemaVersion: 5,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -266,6 +299,7 @@ func main() {
 		SweepProbe: swProbe,
 		ServeProbe: svProbe,
 		EcoProbe:   ecProbe,
+		CharProbe:  chProbe,
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -732,6 +766,74 @@ func runSweepProbe(sess *experiments.Session) (*sweepProbe, error) {
 	if parallelSec > 0 {
 		probe.Speedup = serialSec / parallelSec
 		probe.PointsPerSec = float64(grid.Size()*len(cellNames)) / parallelSec
+	}
+	return probe, nil
+}
+
+// runCharProbe measures cold characterization on the NAND2 MCSM at
+// csm.CoarseConfig() — the config the golden fixtures pin, so the probe is
+// stable PR over PR. It times the exact path with a process-Mallocs delta
+// (allocs/point), times the Config.Fast path against it, and reports the
+// fast-vs-exact stage-delay divergence over the MIS probe grid using the
+// two just-characterized models from a shared cache.
+func runCharProbe(sess *experiments.Session) (*charProbe, error) {
+	tech := sess.Cfg.Tech
+	spec, err := cells.Get("NAND2")
+	if err != nil {
+		return nil, err
+	}
+	kind := engine.KindFor(spec)
+	exactCfg := csm.CoarseConfig()
+	fastCfg := exactCfg
+	fastCfg.Fast = true
+
+	cache := engine.New(1, nil).Cache()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	model, err := cache.Get(tech, spec, kind, exactCfg)
+	if err != nil {
+		return nil, err
+	}
+	coldSec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	points := model.Io.Size()
+
+	start = time.Now()
+	if _, err := cache.Get(tech, spec, kind, fastCfg); err != nil {
+		return nil, err
+	}
+	fastSec := time.Since(start).Seconds()
+
+	grid := sweep.ProbeGrid()
+	se, err := sweep.New(engine.New(1, cache), sweep.Config{Tech: tech, CharCfg: exactCfg, Dt: sess.Cfg.Dt}).Sweep(spec.Name, grid)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := sweep.New(engine.New(1, cache), sweep.Config{Tech: tech, CharCfg: fastCfg, Dt: sess.Cfg.Dt}).Sweep(spec.Name, grid)
+	if err != nil {
+		return nil, err
+	}
+	var maxErr float64
+	for i := range se.Results {
+		if d := math.Abs(sf.Results[i].Delay - se.Results[i].Delay); d > maxErr {
+			maxErr = d
+		}
+	}
+
+	probe := &charProbe{
+		Cell: spec.Name, Kind: kind.String(), GridPoints: points,
+		ColdSeconds: coldSec, FastSeconds: fastSec,
+		AllocsPerPoint:   float64(m1.Mallocs-m0.Mallocs) / float64(points),
+		FastMaxDelayErrS: maxErr,
+	}
+	if coldSec > 0 {
+		probe.ColdPointsPerSec = float64(points) / coldSec
+	}
+	if fastSec > 0 {
+		probe.FastSpeedup = coldSec / fastSec
 	}
 	return probe, nil
 }

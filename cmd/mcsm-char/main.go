@@ -3,7 +3,14 @@
 // Usage:
 //
 //	mcsm-char -cell NOR2 -kind mcsm -o nor2_mcsm.json
-//	mcsm-char -cell NOR2 -kind mcsm -grid 11 -fast=false -o nor2.json
+//	mcsm-char -cell NAND2 -kind mcsm -fast -check-exact 2p -o nand2.json
+//	mcsm-char -cell NOR2 -kind mcsm -quick -o nor2_quick.json
+//
+// -fast keeps the full grids but switches the SPICE solver to the
+// approximate fast path (chord Newton, warm-started DC sweeps, adaptive
+// ramp stepping); -quick trades grid fidelity instead. -check-exact runs
+// the characterized cell's MIS delay surface with both the fast and exact
+// models and fails when they diverge beyond the given bound.
 //
 // The output is the JSON serialization of csm.Model, loadable with
 // csm.LoadModel and usable anywhere in the library.
@@ -12,12 +19,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
 	"mcsm/internal/cells"
+	"mcsm/internal/cliutil"
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
+	"mcsm/internal/sweep"
 )
 
 func main() {
@@ -25,15 +35,25 @@ func main() {
 		cellName   = flag.String("cell", "NOR2", "catalog cell to characterize (INV, NOR2, NAND2, NOR3, NAND3, AOI21)")
 		kindName   = flag.String("kind", "mcsm", "model kind: sis, baseline, mcsm")
 		outPath    = flag.String("o", "", "output JSON path (default <cell>_<kind>.json)")
-		fast       = flag.Bool("fast", false, "reduced-fidelity grids (quick demos)")
+		fast       = flag.Bool("fast", false, "fast solver path: chord Newton, warm-started DC sweeps, adaptive ramps (same grids, approximate numerics)")
+		quick      = flag.Bool("quick", false, "reduced-fidelity grids for quick demos (the pre-v6 meaning of -fast)")
 		grid       = flag.Int("grid", 0, "override current-table grid points per axis")
 		gridCap    = flag.Int("gridcap", 0, "override capacitance-table grid points per axis")
 		noNMiller  = flag.Bool("no-internal-miller", false, "paper-faithful §3.2 simplification (drop CmN/CmNO)")
 		verify     = flag.Bool("verify", false, "run the QA battery against the transistor reference after characterizing")
 		directCaps = flag.Bool("direct-caps", false, "direct operating-point capacitance extraction")
 		cacheDir   = flag.String("cache", "", "model cache directory: reuse a previously spilled characterization instead of re-running it")
+		checkExact = flag.String("check-exact", "", "max allowed |fast−exact| stage delay (SI seconds, e.g. 2p): sweeps the cell's MIS surface with both solver paths and fails beyond the bound")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	tech := cells.Default130()
 	spec, err := cells.Get(*cellName)
@@ -53,7 +73,7 @@ func main() {
 	}
 
 	cfg := csm.DefaultConfig()
-	if *fast {
+	if *quick {
 		cfg = csm.FastConfig()
 	}
 	if *grid > 0 {
@@ -64,6 +84,7 @@ func main() {
 	}
 	cfg.NoInternalMiller = *noNMiller
 	cfg.DirectCaps = *directCaps
+	cfg.Fast = *fast
 
 	fmt.Fprintf(os.Stderr, "characterizing %s as %s (tech %s, Vdd %.2fV)...\n",
 		spec.Name, kind, tech.Name, tech.Vdd)
@@ -95,6 +116,46 @@ func main() {
 		}
 		fmt.Print("\n" + rep.String())
 	}
+	if *checkExact != "" {
+		bound, err := cliutil.ParseSI(*checkExact)
+		if err != nil {
+			fatal(fmt.Errorf("-check-exact: %w", err))
+		}
+		maxErr, err := fastVsExactDelayError(tech, *cellName, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("-check-exact: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "fast-vs-exact max |Δdelay| = %.4g s (bound %.4g s)\n", maxErr, bound)
+		if maxErr > bound {
+			fatal(fmt.Errorf("-check-exact: fast path delay error %.4g s exceeds bound %.4g s", maxErr, bound))
+		}
+	}
+}
+
+// fastVsExactDelayError characterizes the cell twice — solver fast path on
+// and off, identical grids — and compares the stage delays over the MIS
+// probe grid. The exact-path model is the flat-SPICE-anchored reference the
+// repo's golden fixtures pin, so this bound is the user-facing accuracy
+// contract of -fast.
+func fastVsExactDelayError(tech cells.Tech, cell string, cfg csm.Config) (float64, error) {
+	grid := sweep.ProbeGrid()
+	fastCfg, exactCfg := cfg, cfg
+	fastCfg.Fast, exactCfg.Fast = true, false
+	sf, err := sweep.New(nil, sweep.Config{Tech: tech, CharCfg: fastCfg}).Sweep(cell, grid)
+	if err != nil {
+		return 0, fmt.Errorf("fast sweep: %w", err)
+	}
+	se, err := sweep.New(nil, sweep.Config{Tech: tech, CharCfg: exactCfg}).Sweep(cell, grid)
+	if err != nil {
+		return 0, fmt.Errorf("exact sweep: %w", err)
+	}
+	var maxErr float64
+	for i := range se.Results {
+		if d := math.Abs(sf.Results[i].Delay - se.Results[i].Delay); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr, nil
 }
 
 func fatal(err error) {

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"mcsm/internal/cells"
 	"mcsm/internal/spice"
 	"mcsm/internal/table"
+	"mcsm/internal/wave"
 )
 
 // capFloor is the minimum stored capacitance. Lumped subtraction (e.g.
@@ -49,11 +49,7 @@ func forEachCombo(axes []table.Axis, skip int, fn func(idx []int, coords []float
 // all other model nodes are held at DC grid values; the monitored source
 // current, minus the exact DC component, divided by the ramp slope, yields
 // the capacitance. Values are averaged over the configured slopes.
-func fillCapsTransient(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
-	h, err := newHarness(tech, spec, m.Inputs, m.Kind == KindMCSM)
-	if err != nil {
-		return err
-	}
+func fillCapsTransient(m *Model, h *harness, cfg Config) error {
 	axes := makeAxes(m, cfg.GridCap, 0)
 	nIn := len(m.Inputs)
 	outAxis := len(axes) - 1
@@ -64,6 +60,7 @@ func fillCapsTransient(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) e
 
 	// Miller capacitances: ramp each input, watch the output source.
 	m.Cm = make([]*table.Table, nIn)
+	var err error
 	for i := 0; i < nIn; i++ {
 		t, err := extractCapTable(m, h, cfg, axes, i, h.srcOut, dcIo)
 		if err != nil {
@@ -227,6 +224,7 @@ func extractCapTable(m *Model, h *harness, cfg Config, axes []table.Axis, rampAx
 				iCap := iw.At(timeOf(v)) - dcAt[k]
 				acc[k] += sign * iCap / slope
 			}
+			wave.Release(&iw)
 		}
 		for k := range rampPts {
 			idx[rampAxis] = k
@@ -243,13 +241,10 @@ func extractCapTable(m *Model, h *harness, cfg Config, axes []table.Axis, rampAx
 // fillCapsDirect computes the lumped capacitances by summing the device
 // terminal capacitances at each DC operating point — the fast path and the
 // EXP-A2 comparison partner for the transient procedure.
-func fillCapsDirect(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
-	h, err := newHarness(tech, spec, m.Inputs, m.Kind == KindMCSM)
-	if err != nil {
-		return err
-	}
+func fillCapsDirect(m *Model, h *harness, cfg Config) error {
 	axes := makeAxes(m, cfg.GridCap, 0)
 	nIn := len(m.Inputs)
+	var err error
 
 	withNMiller := m.Kind == KindMCSM && !cfg.NoInternalMiller
 
@@ -287,7 +282,7 @@ func fillCapsDirect(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) erro
 		}
 		vin, vn, vo := splitCoords(m, coords)
 		h.setPoint(vin, vn, vo)
-		x, err := h.eng.DCAt(0)
+		x, err := h.dcSolve()
 		if err != nil {
 			sweepErr = fmt.Errorf("csm: direct caps DC at %v: %w", coords, err)
 			return capFloor

@@ -46,14 +46,23 @@ func Characterize(tech cells.Tech, spec cells.Spec, kind Kind, cfg Config) (*Mod
 		m.Internal = spec.Internal
 	}
 
-	if err := fillCurrents(m, tech, spec, cfg); err != nil {
+	// One shared bench serves the whole current+capacitance procedure: the
+	// circuit/engine pair is built once, not once per table. Every solve on
+	// it is self-contained (DC inits from scratch in exact mode, transient
+	// runs reset capacitor histories), so sharing is bit-neutral for the
+	// golden-pinned exact path while letting fast mode chain warm starts
+	// across the grid.
+	h, err := newHarness(tech, spec, inputs, kind == KindMCSM, cfg.Fast)
+	if err != nil {
 		return nil, err
 	}
-	var err error
+	if err := fillCurrents(m, h, cfg); err != nil {
+		return nil, err
+	}
 	if cfg.DirectCaps {
-		err = fillCapsDirect(m, tech, spec, cfg)
+		err = fillCapsDirect(m, h, cfg)
 	} else {
-		err = fillCapsTransient(m, tech, spec, cfg)
+		err = fillCapsTransient(m, h, cfg)
 	}
 	if err != nil {
 		return nil, err
@@ -141,41 +150,45 @@ func splitCoords(m *Model, coords []float64) (vin []float64, vn, vo float64) {
 	return vin, vn, vo
 }
 
-// fillCurrents sweeps the DC grid and fills Io (and IN for MCSM).
-func fillCurrents(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
-	h, err := newHarness(tech, spec, m.Inputs, m.Kind == KindMCSM)
+// fillCurrents sweeps the DC grid and fills Io (and IN for MCSM). The
+// sweep is row-batched against the shared bench: the output axis is the
+// innermost loop, so all grid rows of one sweep variable run in a single
+// engine setup, and — in fast mode — every solve warm-starts Newton from
+// its grid neighbor one output increment away (the operating points
+// differ by a fraction of Vdd, so the warm start converges in a couple of
+// iterations instead of a full homotopy ladder).
+func fillCurrents(m *Model, h *harness, cfg Config) error {
+	io, err := table.New(makeAxes(m, cfg.GridCurrent, cfg.GridInternal)...)
 	if err != nil {
 		return err
 	}
-	io, err2 := table.New(makeAxes(m, cfg.GridCurrent, cfg.GridInternal)...)
-	if err2 != nil {
-		return err2
-	}
 	var iN *table.Table
 	if m.Kind == KindMCSM {
-		if iN, err2 = table.New(makeAxes(m, cfg.GridCurrent, cfg.GridInternal)...); err2 != nil {
-			return err2
+		if iN, err = table.New(makeAxes(m, cfg.GridCurrent, cfg.GridInternal)...); err != nil {
+			return err
 		}
 	}
-	var sweepErr error
-	io.Fill(func(coords []float64) float64 {
-		if sweepErr != nil {
-			return 0
+	axes := io.Axes
+	outAxis := len(axes) - 1
+	err = forEachCombo(axes, outAxis, func(idx []int, coords []float64) error {
+		for k, vo := range axes[outAxis].Points {
+			coords[outAxis] = vo
+			idx[outAxis] = k
+			vin, vn, _ := splitCoords(m, coords)
+			h.setPoint(vin, vn, vo)
+			ioVal, inVal, err := h.dcCurrents()
+			if err != nil {
+				return fmt.Errorf("csm: DC sweep at %v: %w", coords, err)
+			}
+			io.Set(ioVal, idx...)
+			if iN != nil {
+				iN.Set(inVal, idx...)
+			}
 		}
-		vin, vn, vo := splitCoords(m, coords)
-		h.setPoint(vin, vn, vo)
-		ioVal, inVal, err := h.dcCurrents()
-		if err != nil {
-			sweepErr = fmt.Errorf("csm: DC sweep at %v: %w", coords, err)
-			return 0
-		}
-		if iN != nil {
-			iN.Set(inVal, indicesOf(iN, coords)...)
-		}
-		return ioVal
+		return nil
 	})
-	if sweepErr != nil {
-		return sweepErr
+	if err != nil {
+		return err
 	}
 	m.Io = io
 	m.IN = iN

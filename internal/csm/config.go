@@ -41,6 +41,17 @@ type Config struct {
 	NoInternalMiller bool
 	// TranDt is the integration step for the characterization transients.
 	TranDt float64
+	// Fast enables the approximate solver fast path for characterization:
+	// chord (lagged-Jacobian) Newton inside SPICE, warm-started DC sweeps
+	// (each grid point seeds its neighbor's Newton iteration), and
+	// ΔV-adaptive transient stepping for the extraction ramps with the
+	// first step seeded from the previous ramp's accepted-step history.
+	// Off by default: the exact path is golden-pinned and
+	// bit-reproducible. Fast trades bit-identity for a large cold-
+	// characterization speedup while keeping delay/slew within the
+	// flat-SPICE comparison tolerance (enforced by tests and the CI
+	// smoke). The grids are untouched — fidelity knobs stay orthogonal.
+	Fast bool
 }
 
 // DefaultConfig returns production-fidelity characterization settings.

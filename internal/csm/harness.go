@@ -2,6 +2,7 @@ package csm
 
 import (
 	"fmt"
+	"sort"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/spice"
@@ -30,13 +31,24 @@ type harness struct {
 	inNodes []spice.Node // modeled input nodes, model order
 	outNode spice.Node
 	nNode   spice.Node // internal node (0 when the cell has none)
+
+	// Fast-path state (Config.Fast). warm carries the previous DC
+	// solution so neighboring grid points seed each other's Newton;
+	// dtSeed carries the previous ramp's accepted-step history so the
+	// next adaptive run skips the grow-from-minimum transient.
+	fast   bool
+	warm   []float64
+	dtSeed float64
 }
 
 // newHarness builds the bench. modelInputs selects which pins get sweep
 // sources; all other input pins are parked at the spec's non-controlling
 // level. When pinInternal is true the spec's internal node is also pinned.
-func newHarness(tech cells.Tech, spec cells.Spec, modelInputs []string, pinInternal bool) (*harness, error) {
-	h := &harness{tech: tech, spec: spec}
+// fast enables the approximate solver path (chord Newton, warm starts,
+// adaptive ramp stepping); off, every solve matches the golden-pinned
+// exact numerics.
+func newHarness(tech cells.Tech, spec cells.Spec, modelInputs []string, pinInternal, fast bool) (*harness, error) {
+	h := &harness{tech: tech, spec: spec, fast: fast}
 	c := spice.NewCircuit()
 	vdd := c.Node("vdd")
 	c.AddVSource("VDD", vdd, spice.Ground, spice.DC(tech.Vdd))
@@ -99,8 +111,38 @@ func newHarness(tech cells.Tech, spec cells.Spec, modelInputs []string, pinInter
 	// and 2·C·s around the true C·s (nothing damps them in a fully pinned
 	// network). BE is exact for constant-slope excitation of a capacitor.
 	opt.Method = spice.BackwardEuler
+	if fast {
+		// Chord Newton: reuse LU factors for up to 3 iterations while the
+		// residual keeps contracting. Characterization solves are mildly
+		// nonlinear steps from good guesses — exactly chord's sweet spot.
+		opt.JacobianLag = 3
+	}
 	h.eng = spice.NewEngine(c, opt)
 	return h, nil
+}
+
+// dcSolve computes the operating point at the current stimulus settings.
+// In fast mode Newton warm-starts from the previous point's solution —
+// neighboring sweep points differ by one grid increment — and the result
+// is retained as the next seed; DCFrom falls back to the full homotopy
+// ladder internally if the warm start diverges.
+func (h *harness) dcSolve() ([]float64, error) {
+	if !h.fast {
+		return h.eng.DCAt(0)
+	}
+	var x []float64
+	var err error
+	if h.warm != nil {
+		x, err = h.eng.DCFrom(h.warm, 0)
+	} else {
+		x, err = h.eng.DCAt(0)
+	}
+	if err != nil {
+		h.warm = nil
+		return nil, err
+	}
+	h.warm = x
+	return x, nil
 }
 
 // setPoint assigns the DC sweep values. vn is ignored when the internal
@@ -120,7 +162,7 @@ func (h *harness) setPoint(vin []float64, vn, vo float64) {
 // VSource branch current is the current flowing from the node into the
 // source, which by KCL equals the cell's injection.
 func (h *harness) dcCurrents() (io, in float64, err error) {
-	x, err := h.eng.DCAt(0)
+	x, err := h.dcSolve()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -144,7 +186,8 @@ type rampSpec struct {
 
 // runRamp performs the transient, measures the named source's branch
 // current, and returns the measurement result plus the time at which the
-// ramp crosses voltage v.
+// ramp crosses voltage v. The returned waveform's samples come from the
+// wave pool — the caller must wave.Release it after measuring.
 func (h *harness) runRamp(rs rampSpec, measure *spice.VSource, dt float64) (iw wave.Waveform, timeOf func(v float64) float64, err error) {
 	loPad := rs.lo - rs.pad
 	hiPad := rs.hi + rs.pad
@@ -154,13 +197,67 @@ func (h *harness) runRamp(rs rampSpec, measure *spice.VSource, dt float64) (iw w
 	rs.src.SetStimulus(ramp)
 	defer rs.src.SetStimulus(rs.stim)
 
-	res, err := h.eng.Run(0, end, dt)
+	var res *spice.Result
+	if h.fast {
+		res, err = h.runRampFast(end, dt)
+	} else {
+		res, err = h.eng.Run(0, end, dt)
+	}
 	if err != nil {
 		return wave.Waveform{}, nil, fmt.Errorf("csm: ramp extraction: %w", err)
 	}
-	iw = res.AuxWave(measure.AuxIndex())
+	iw = res.AuxWavePooled(measure.AuxIndex())
 	timeOf = func(v float64) float64 {
 		return rs.tFlat + (v-loPad)/rs.slope
 	}
 	return iw, timeOf, nil
+}
+
+// runRampFast is the Config.Fast transient: a warm-started DC solve
+// followed by ΔV-adaptive stepping whose first step is seeded from the
+// previous ramp's accepted-step history. The ΔV bound (Vdd/24, ≈50 mV at
+// 1.2 V) keeps the sampled current waveform resolved through the ramp
+// while flat settle intervals coast at up to 16·dt.
+func (h *harness) runRampFast(end, dt float64) (*spice.Result, error) {
+	x0, err := h.dcSolve()
+	if err != nil {
+		return nil, err
+	}
+	aopt := spice.AdaptiveOptions{
+		DtMin:    dt / 2,
+		DtMax:    dt * 16,
+		MaxDV:    h.tech.Vdd / 24,
+		GrowBy:   1.4,
+		ShrinkBy: 0.5,
+		DtInit:   h.dtSeed,
+	}
+	res, err := h.eng.RunAdaptiveFrom(x0, 0, end, aopt)
+	if err != nil {
+		return nil, err
+	}
+	h.dtSeed = seedStep(res.Times, aopt.DtMin, aopt.DtMax)
+	return res, nil
+}
+
+// seedStep distills a run's accepted time points into the next run's
+// initial step: the median accepted step, clamped to the adaptive window.
+// The median (not the mean) ignores both the start-up ramp from DtMin and
+// the long coasting steps of the settle tails.
+func seedStep(times []float64, dtMin, dtMax float64) float64 {
+	if len(times) < 3 {
+		return 0
+	}
+	diffs := make([]float64, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		diffs[i-1] = times[i] - times[i-1]
+	}
+	sort.Float64s(diffs)
+	med := diffs[len(diffs)/2]
+	if med < dtMin {
+		med = dtMin
+	}
+	if med > dtMax {
+		med = dtMax
+	}
+	return med
 }

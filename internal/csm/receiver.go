@@ -6,6 +6,7 @@ import (
 
 	"mcsm/internal/cells"
 	"mcsm/internal/table"
+	"mcsm/internal/wave"
 )
 
 // fillReceiverCaps characterizes the input (receiver) capacitances CA/CB of
@@ -15,7 +16,7 @@ import (
 // grid of the other input and the output voltage. The internal node is left
 // free, as it is in a real receiving cell.
 func fillReceiverCaps(m *Model, tech cells.Tech, spec cells.Spec, cfg Config) error {
-	h, err := newHarness(tech, spec, m.Inputs, false)
+	h, err := newHarness(tech, spec, m.Inputs, false, cfg.Fast)
 	if err != nil {
 		return err
 	}
@@ -89,7 +90,7 @@ func receiverTransientPass(m *Model, h *harness, cfg Config, i int, samples []fl
 		for s, v := range samples {
 			vin[i] = v
 			h.setPoint(vin, 0, vo)
-			x, err := h.eng.DCAt(0)
+			x, err := h.dcSolve()
 			if err != nil {
 				return fmt.Errorf("csm: receiver DC at %v: %w", vin, err)
 			}
@@ -124,6 +125,7 @@ func receiverTransientPass(m *Model, h *harness, cfg Config, i int, samples []fl
 				}
 				acc[s] += math.Max(total-branch, 0)
 			}
+			wave.Release(&iw)
 			*count++
 		}
 		return nil
@@ -148,7 +150,7 @@ func receiverDirectPass(m *Model, h *harness, i int, samples []float64, secAxes 
 		for s, v := range samples {
 			vin[i] = v
 			h.setPoint(vin, 0, vo)
-			x, err := h.eng.DCAt(0)
+			x, err := h.dcSolve()
 			if err != nil {
 				return fmt.Errorf("csm: direct receiver DC: %w", err)
 			}

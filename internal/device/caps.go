@@ -22,6 +22,30 @@ type Caps struct {
 // the per-step capacitance linearization in the transient solver never sees
 // discontinuities.
 func (m MOS) Capacitances(vgs, vds, vbs float64) Caps {
+	return m.CapacitancesCached(nil, nil, vgs, vds, vbs)
+}
+
+// JunctionCache memoizes the drain and source depletion-capacitance
+// evaluations of one device instance, each keyed by the exact reverse-bias
+// bits of its last call. Like ThresholdCache it must be private to one
+// device and one goroutine; a hit replays the bits the recomputation would
+// produce.
+type JunctionCache struct {
+	d, s jcEntry
+}
+
+type jcEntry struct {
+	valid bool
+	vr    float64
+	c     float64
+}
+
+// CapacitancesCached is Capacitances with optional memos (nil is valid for
+// either). vtc caches the body-effect threshold chain — the expression is
+// identical to the DC model's, so one cache can be shared with EvalCached.
+// jc caches the two junction evaluations, whose reverse-bias arguments are
+// constant for any device whose source or drain is tied to a rail.
+func (m MOS) CapacitancesCached(vtc *ThresholdCache, jc *JunctionCache, vgs, vds, vbs float64) Caps {
 	p := m.P
 	// n-equivalent space.
 	if p.Polarity == PMOS {
@@ -35,12 +59,21 @@ func (m MOS) Capacitances(vgs, vds, vbs float64) Caps {
 	}
 
 	// Threshold with body effect (same expression as the DC model).
-	se := p.Phi - vbs
-	seff, _ := softplus(se, 0.05)
-	if seff < 1e-9 {
-		seff = 1e-9
+	var vt float64
+	if vtc != nil && vtc.valid && vtc.vbs == vbs {
+		vt = vtc.vt
+	} else {
+		se := p.Phi - vbs
+		seff, dseff := softplus(se, 0.05)
+		if seff < 1e-9 {
+			seff = 1e-9
+		}
+		sq := math.Sqrt(seff)
+		vt = p.VT0 + p.Gamma*(sq-math.Sqrt(p.Phi))
+		if vtc != nil {
+			*vtc = ThresholdCache{valid: true, vbs: vbs, vt: vt, dvt: -p.Gamma / (2 * sq) * dseff}
+		}
 	}
-	vt := p.VT0 + p.Gamma*(math.Sqrt(seff)-math.Sqrt(p.Phi))
 	nvt := p.NSub * vThermal
 	vov := vgs - vt
 	veff, _ := softplus(vov, nvt)
@@ -71,10 +104,27 @@ func (m MOS) Capacitances(vgs, vds, vbs float64) Caps {
 	// Junction capacitances from the *real* terminal voltages (recompute
 	// reverse bias in real space; polarity mapping is symmetric because both
 	// vdb and the junction orientation flip together).
-	c.CDB = m.junctionCap(vds - vbs) // vdb = vds − vbs in n-space
-	c.CSB = m.junctionCap(-vbs)      // vsb = −vbs in n-space
+	var jd, js *jcEntry
+	if jc != nil {
+		jd, js = &jc.d, &jc.s
+	}
+	c.CDB = m.junctionCapCached(jd, vds-vbs) // vdb = vds − vbs in n-space
+	c.CSB = m.junctionCapCached(js, -vbs)    // vsb = −vbs in n-space
 	if swapped {
 		c.CDB, c.CSB = c.CSB, c.CDB
+	}
+	return c
+}
+
+// junctionCapCached wraps junctionCap with a one-entry memo keyed by the
+// exact reverse-bias bits (nil entry disables caching).
+func (m MOS) junctionCapCached(e *jcEntry, vr float64) float64 {
+	if e != nil && e.valid && e.vr == vr {
+		return e.c
+	}
+	c := m.junctionCap(vr)
+	if e != nil {
+		*e = jcEntry{valid: true, vr: vr, c: c}
 	}
 	return c
 }

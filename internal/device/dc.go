@@ -21,9 +21,34 @@ type OP struct {
 	Gmb float64
 }
 
+// ThresholdCache memoizes the body-effect threshold chain of the model
+// evaluation, keyed by the exact n-space vbs bits. The threshold voltage
+// and its body derivative depend only on vbs (and the fixed device
+// parameters); during a transient most devices sit at vbs = 0 for every
+// Newton iteration, so the softplus/sqrt chain is recomputed millions of
+// times with the same operand. A hit replays the previously computed
+// values — the same bits the recomputation would produce — so the cached
+// path is bit-identical to the uncached one.
+//
+// A cache must be private to one device instance (the memo is only valid
+// for that device's parameters) and is not safe for concurrent use.
+type ThresholdCache struct {
+	valid bool
+	vbs   float64
+	vt    float64
+	dvt   float64
+}
+
 // Eval computes the channel current and conductances at the given terminal
 // voltages (all relative to the source terminal).
 func (m MOS) Eval(vgs, vds, vbs float64) OP {
+	return m.EvalCached(nil, vgs, vds, vbs)
+}
+
+// EvalCached is Eval with an optional per-device threshold memo (nil is
+// valid and means no caching). Hot loops that re-evaluate one device many
+// times should pass a cache they own.
+func (m MOS) EvalCached(c *ThresholdCache, vgs, vds, vbs float64) OP {
 	// Map to n-equivalent space.
 	sgn := 1.0
 	if m.P.Polarity == PMOS {
@@ -32,7 +57,7 @@ func (m MOS) Eval(vgs, vds, vbs float64) OP {
 	}
 	var op OP
 	if vds >= 0 {
-		id, gm, gds, gmb := m.evalN(vgs, vds, vbs)
+		id, gm, gds, gmb := m.evalN(c, vgs, vds, vbs)
 		op = OP{Id: id, Gm: gm, Gds: gds, Gmb: gmb}
 	} else {
 		// Source/drain exchange. With the forward model F(vgs,vds,vbs), the
@@ -42,7 +67,7 @@ func (m MOS) Eval(vgs, vds, vbs float64) OP {
 		//   ∂I/∂vgs = −gm',   ∂I/∂vds = gm'+gds'+gmb',   ∂I/∂vbs = −gmb'
 		// (primes evaluated at the mirrored point). TestEvalDerivatives
 		// verifies these signs by finite differences across Vds = 0.
-		id, gm, gds, gmb := m.evalN(vgs-vds, -vds, vbs-vds)
+		id, gm, gds, gmb := m.evalN(c, vgs-vds, -vds, vbs-vds)
 		op = OP{
 			Id:  -id,
 			Gm:  -gm,
@@ -58,22 +83,30 @@ func (m MOS) Eval(vgs, vds, vbs float64) OP {
 
 // evalN evaluates the n-equivalent alpha-power model for vds >= 0.
 // Returns id (≥0) and the derivatives w.r.t. vgs, vds, vbs.
-func (m MOS) evalN(vgs, vds, vbs float64) (id, gm, gds, gmb float64) {
+func (m MOS) evalN(c *ThresholdCache, vgs, vds, vbs float64) (id, gm, gds, gmb float64) {
 	p := m.P
 	wl := m.W / p.L
 
 	// Body-affected threshold. vsb = −vbs; smooth-clamp φ+vsb above a small
 	// positive floor so the sqrt stays differentiable under forward body
 	// bias excursions during Newton iterations.
-	se := p.Phi - vbs
-	const clampW = 0.05
-	seff, dseff := softplus(se, clampW)
-	if seff < 1e-9 {
-		seff = 1e-9
+	var vt, dvtDvbs float64
+	if c != nil && c.valid && c.vbs == vbs {
+		vt, dvtDvbs = c.vt, c.dvt
+	} else {
+		se := p.Phi - vbs
+		const clampW = 0.05
+		seff, dseff := softplus(se, clampW)
+		if seff < 1e-9 {
+			seff = 1e-9
+		}
+		sq := math.Sqrt(seff)
+		vt = p.VT0 + p.Gamma*(sq-math.Sqrt(p.Phi))
+		dvtDvbs = -p.Gamma / (2 * sq) * dseff // ∂vt/∂vbs (negative: raising vbs lowers vt)
+		if c != nil {
+			*c = ThresholdCache{valid: true, vbs: vbs, vt: vt, dvt: dvtDvbs}
+		}
 	}
-	sq := math.Sqrt(seff)
-	vt := p.VT0 + p.Gamma*(sq-math.Sqrt(p.Phi))
-	dvtDvbs := -p.Gamma / (2 * sq) * dseff // ∂vt/∂vbs (negative: raising vbs lowers vt)
 
 	// Smoothed overdrive (softplus) for continuous subthreshold conduction.
 	nvt := p.NSub * vThermal
@@ -91,7 +124,6 @@ func (m MOS) evalN(vgs, vds, vbs float64) (id, gm, gds, gmb float64) {
 	if vdsat < 1e-6 {
 		vdsat = 1e-6
 	}
-	dVdsatDveff := p.KV * (p.Alpha / 2) * math.Pow(veff, p.Alpha/2-1)
 
 	clm := 1 + p.Lambda*vds
 	if vds >= vdsat {
@@ -104,6 +136,9 @@ func (m MOS) evalN(vgs, vds, vbs float64) (id, gm, gds, gmb float64) {
 		return id, gm, gds, gmb
 	}
 	// Triode region: id = idsat·(2−x)·x·clm with x = vds/vdsat.
+	// (dVdsatDveff is only needed here, so the third Pow is not paid in
+	// saturation — the common region during extraction ramps.)
+	dVdsatDveff := p.KV * (p.Alpha / 2) * math.Pow(veff, p.Alpha/2-1)
 	x := vds / vdsat
 	shape := (2 - x) * x
 	id = idsat * shape * clm

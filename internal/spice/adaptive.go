@@ -15,6 +15,11 @@ type AdaptiveOptions struct {
 	MaxDV    float64 // target maximum node-voltage change per step (default Vdd/20 ≈ 60 mV)
 	GrowBy   float64 // step growth factor after quiet steps (default 1.4)
 	ShrinkBy float64 // step reduction factor on violation (default 0.5)
+	// DtInit seeds the very first step (clamped to [DtMin, DtMax]).
+	// Zero keeps the historical default of DtMin·4. Characterization
+	// callers set it from the previous grid point's accepted step history
+	// so neighboring points skip the initial grow-from-minimum ramp.
+	DtInit float64
 }
 
 // DefaultAdaptive returns the standard adaptive configuration for the
@@ -76,7 +81,16 @@ func (e *Engine) RunAdaptiveFrom(x0 []float64, start, stop float64, opt Adaptive
 
 	res.record(start, x0)
 	t := start
-	dt := opt.DtMin * 4
+	dt := opt.DtInit
+	if dt <= 0 {
+		dt = opt.DtMin * 4
+	}
+	if dt < opt.DtMin {
+		dt = opt.DtMin
+	}
+	if dt > opt.DtMax {
+		dt = opt.DtMax
+	}
 	firstStep := true
 	for t < stop-opt.DtMin/2 {
 		if t+dt > stop {

@@ -84,6 +84,92 @@ func TestAdaptiveInverterMatchesFixed(t *testing.T) {
 		ad.Steps(), fixed.Steps(), math.Abs(tF-tA)*1e12, rmse*1e3)
 }
 
+// TestAdaptiveDtInitSeeding pins the warm-start step seeding: on a quiet
+// circuit the very first step is exactly DtInit, out-of-range seeds clamp
+// to [DtMin, DtMax], and zero keeps the historical DtMin·4 default.
+func TestAdaptiveDtInitSeeding(t *testing.T) {
+	build := func() (*Engine, []float64) {
+		c := NewCircuit()
+		n := c.Node("n")
+		c.AddVSource("V", n, Ground, DC(1))
+		c.AddResistor("R", n, c.Node("out"), 1e3)
+		c.AddCapacitor("C", c.Node("out"), Ground, 1e-12)
+		e := NewEngine(c, DefaultOptions())
+		x0, err := e.DCAt(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, x0
+	}
+	opt := DefaultAdaptive()
+	opt.DtMin = 1e-12
+	opt.DtMax = 100e-12
+	cases := []struct {
+		init, want float64
+	}{
+		{0, 4e-12},        // default DtMin·4
+		{25e-12, 25e-12},  // used as-is
+		{0.1e-12, 1e-12},  // clamped up to DtMin
+		{900e-12, 100e-12}, // clamped down to DtMax
+	}
+	for _, tc := range cases {
+		e, x0 := build()
+		o := opt
+		o.DtInit = tc.init
+		res, err := e.RunAdaptiveFrom(x0, 0, 1e-9, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Times) < 2 {
+			t.Fatal("no steps recorded")
+		}
+		got := res.Times[1] - res.Times[0]
+		if math.Abs(got-tc.want) > tc.want*1e-9 {
+			t.Errorf("DtInit=%g: first step %g, want %g", tc.init, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptiveStepRejection drives an RC into a fast transition with a
+// deliberately huge seeded step: the ΔV criterion must reject and shrink it
+// rather than record a coarse first step.
+func TestAdaptiveStepRejection(t *testing.T) {
+	c := NewCircuit()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("V1", in, Ground, wave.SaturatedRamp(0, 1, 10e-12, 5e-12, 5e-9))
+	c.AddResistor("R", in, out, 1e3)
+	c.AddCapacitor("C", out, Ground, 1e-12)
+	e := NewEngine(c, DefaultOptions())
+	x0, err := e.DCAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultAdaptive()
+	opt.DtMin = 0.5e-12
+	opt.DtMax = 500e-12
+	opt.MaxDV = 0.05
+	opt.DtInit = 500e-12 // the input finishes its swing inside one such step
+	res, err := e.RunAdaptiveFrom(x0, 0, 3e-9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Times[1] - res.Times[0]
+	if first > opt.DtInit/2 {
+		t.Errorf("first step %g was not rejected (seed %g, MaxDV %g)", first, opt.DtInit, opt.MaxDV)
+	}
+	// The accepted trajectory must still respect the ΔV bound away from the
+	// minimum-step floor.
+	w := res.Wave(out)
+	for i := 1; i < len(res.Times); i++ {
+		dv := math.Abs(w.V[i] - w.V[i-1])
+		dt := res.Times[i] - res.Times[i-1]
+		if dv > opt.MaxDV*1.0001 && dt > opt.DtMin*1.0001 {
+			t.Errorf("step %d: ΔV %.3g at dt %.3g violates MaxDV", i, dv, dt)
+		}
+	}
+}
+
 func TestAdaptiveValidation(t *testing.T) {
 	c := NewCircuit()
 	n := c.Node("n")

@@ -26,7 +26,20 @@ type Options struct {
 	// the first step after DC always uses backward Euler to damp the
 	// trapezoidal start-up ringing).
 	Method Method
+	// JacobianLag enables chord (lagged-Jacobian) Newton: after a fresh
+	// factorization, up to JacobianLag subsequent iterations reuse the LU
+	// factors and only reassemble the right-hand side, refactorizing as
+	// soon as the residual stops contracting (or the step goes
+	// non-finite). 0 — the default — factorizes every iteration and is the
+	// golden-pinned exact path.
+	JacobianLag int
 }
+
+// chordContraction is the fallback rule of chord mode: a lagged-Jacobian
+// iteration is only allowed while the previous iteration shrank the
+// residual to below this fraction of its predecessor's; otherwise the
+// factors are stale and Newton refactorizes.
+const chordContraction = 0.9
 
 // DefaultOptions returns the solver configuration used throughout the
 // repository.
@@ -48,6 +61,21 @@ type Engine struct {
 	nNodes   int // excluding ground
 	nAux     int
 	steppers []Stepper
+
+	// Per-engine Newton workspace: two assembly targets (swapped by the
+	// line-search assembly-reuse optimization), the linear-solver scratch,
+	// and the step vectors. Everything is reused across all solves so the
+	// inner loop allocates nothing. An Engine is therefore not safe for
+	// concurrent use — it never was: element histories already serialize
+	// it.
+	sysA, sysB *System
+	solver     *SolveWorkspace
+	x0, dir    []float64
+	xChord     []float64
+
+	// Chord-Newton (Options.JacobianLag) state, reset per newton call.
+	chordAge int
+	fPrev    float64
 }
 
 // NewEngine prepares a circuit for analysis, assigning auxiliary unknown
@@ -65,6 +93,13 @@ func NewEngine(c *Circuit, opt Options) *Engine {
 		}
 	}
 	e.nAux = base - e.nNodes
+	n := e.Unknowns()
+	e.sysA = NewSystem(n)
+	e.sysB = NewSystem(n)
+	e.solver = NewSolveWorkspace(n)
+	e.x0 = make([]float64, n)
+	e.dir = make([]float64, n)
+	e.xChord = make([]float64, n)
 	return e
 }
 
@@ -90,13 +125,40 @@ func residualNorm(sys *System, x []float64) float64 {
 	var sum float64
 	for i := 0; i < n; i++ {
 		r := -sys.B[i]
-		row := i * n
-		for j := 0; j < n; j++ {
-			r += sys.A[row+j] * x[j]
+		arow := sys.A[i*n : i*n+n : i*n+n]
+		for j, v := range arow {
+			r += v * x[j]
 		}
 		sum += r * r
 	}
 	return math.Sqrt(sum)
+}
+
+// chordStep computes x − J₀⁻¹·F(x) against the solver workspace's retained
+// LU factors, where F(x)_i = Σⱼ A_ij·x_j − b_i is the exact nonlinear
+// residual of the freshly assembled system — only the Jacobian is lagged,
+// never the right-hand side. It returns nil when the result is non-finite,
+// in which case the caller falls back to a fresh factorization.
+func (e *Engine) chordStep(sys *System, x []float64) []float64 {
+	ws := e.solver
+	n := sys.N
+	for i := 0; i < n; i++ {
+		sum := -sys.B[i]
+		arow := sys.A[i*n : i*n+n : i*n+n]
+		for j, v := range arow {
+			sum += v * x[j]
+		}
+		ws.r[i] = sum
+	}
+	ws.fact.solveInto(ws.r, ws.d)
+	out := e.xChord
+	for i := 0; i < n; i++ {
+		out[i] = x[i] - ws.d[i]
+		if math.IsNaN(out[i]) || math.IsInf(out[i], 0) {
+			return nil
+		}
+	}
+	return out
 }
 
 // newton iterates to convergence at the context's time/mode, starting from
@@ -108,19 +170,49 @@ func residualNorm(sys *System, x []float64) float64 {
 // search on the nonlinear residual norm rejects steps that do not make
 // progress — this is what tames the subthreshold-exponential oscillations
 // of floating stacked nodes (e.g. a NOR3 with all inputs high).
+//
+// Two reuse mechanisms keep the loop cheap. First — always on, and exact:
+// when the line search accepts its last-assembled trial point, the
+// accepted ctx.X recomputes to bit-identical values, so the trial system
+// and its residual carry over to the next iteration (one full
+// assemble+residualNorm saved; Stamp is deterministic and stateless within
+// a step, so the carried system equals what reassembly would produce).
+// Second — opt-in via Options.JacobianLag: chord iterations reuse the LU
+// factors while the residual contracts (see chordStep).
 func (e *Engine) newton(ctx *Context, gmin float64) error {
 	n := e.Unknowns()
-	sysA := NewSystem(n)
-	sysB := NewSystem(n)
-	x0 := make([]float64, n)
-	dir := make([]float64, n)
+	sysA, sysB := e.sysA, e.sysB
+	x0, dir := e.x0, e.dir
+	lag := e.opt.JacobianLag
+	e.chordAge = 0
+	e.fPrev = math.Inf(1)
+	haveAssembly := false
+	var f0 float64
 	for iter := 0; iter < e.opt.MaxIter; iter++ {
-		e.assemble(sysA, ctx, gmin)
-		f0 := residualNorm(sysA, ctx.X)
-		xNew, err := sysA.Solve()
-		if err != nil {
-			return fmt.Errorf("spice: %w at t=%g iter=%d", err, ctx.Time, iter)
+		if !haveAssembly {
+			e.assemble(sysA, ctx, gmin)
+			f0 = residualNorm(sysA, ctx.X)
 		}
+		haveAssembly = false
+		var xNew []float64
+		chord := lag > 0 && iter > 0 && e.chordAge < lag && f0 < e.fPrev*chordContraction
+		if chord {
+			xNew = e.chordStep(sysA, ctx.X)
+			if xNew == nil {
+				chord = false // non-finite chord step: refactorize fresh
+			}
+		}
+		if chord {
+			e.chordAge++
+		} else {
+			var err error
+			xNew, err = sysA.SolveWith(e.solver)
+			if err != nil {
+				return fmt.Errorf("spice: %w at t=%g iter=%d", err, ctx.Time, iter)
+			}
+			e.chordAge = 0
+		}
+		e.fPrev = f0
 		copy(x0, ctx.X)
 		maxMove := 0.0
 		for i := 0; i < n; i++ {
@@ -158,12 +250,14 @@ func (e *Engine) newton(ctx *Context, gmin float64) error {
 		// moving even on shallow landscapes.
 		bestScale, bestF := scale, math.Inf(1)
 		s := scale
+		sLast, fLast := math.NaN(), math.Inf(1)
 		for k := 0; k < 8; k++ {
 			for i := 0; i < n; i++ {
 				ctx.X[i] = x0[i] + s*dir[i]
 			}
 			e.assemble(sysB, ctx, gmin)
 			f1 := residualNorm(sysB, ctx.X)
+			sLast, fLast = s, f1
 			if f1 < bestF {
 				bestF, bestScale = f1, s
 			}
@@ -174,6 +268,14 @@ func (e *Engine) newton(ctx *Context, gmin float64) error {
 		}
 		for i := 0; i < n; i++ {
 			ctx.X[i] = x0[i] + bestScale*dir[i]
+		}
+		if bestScale == sLast {
+			// The accepted point recomputes bit-identically to the last
+			// trial, so sysB already holds next iteration's assembly and
+			// fLast its residual.
+			sysA, sysB = sysB, sysA
+			f0 = fLast
+			haveAssembly = true
 		}
 		if debugNewton && iter > e.opt.MaxIter-5 {
 			fmt.Printf("newton iter=%d scale=%.3g f0=%.3g best=%.3g x=%v\n", iter, bestScale, f0, bestF, ctx.X)
@@ -233,6 +335,25 @@ func (e *Engine) DCAt(t float64) ([]float64, error) {
 		}
 	}
 	return ctx.X, nil
+}
+
+// DCFrom computes the operating point at time t with Newton warm-started
+// from the supplied unknown vector — typically the previous grid point's
+// solution during batched characterization, where neighboring operating
+// points differ by one small sweep increment. On any failure (or a
+// mis-sized seed) it falls back to the full DCAt homotopy ladder.
+func (e *Engine) DCFrom(seed []float64, t float64) ([]float64, error) {
+	n := e.Unknowns()
+	if len(seed) != n {
+		return e.DCAt(t)
+	}
+	x := make([]float64, n)
+	copy(x, seed)
+	ctx := &Context{Mode: ModeDC, Time: t, SrcScale: 1, X: x, Xprev: make([]float64, n)}
+	if err := e.newton(ctx, e.opt.Gmin); err == nil {
+		return ctx.X, nil
+	}
+	return e.DCAt(t)
 }
 
 // Run performs a transient analysis from start to stop with fixed step dt,

@@ -15,6 +15,20 @@ type MOSFET struct {
 	// Per-step frozen capacitance values and their branch histories.
 	caps                    device.Caps
 	cgs, cgd, cgb, cdb, csb CapBranch
+
+	// Per-element memos, private to this element so they share the
+	// engine's single-goroutine discipline. vtc serves both the DC model
+	// and the cap model (identical threshold expressions); jc serves the
+	// per-step junction evaluations. The op memo replays the full model
+	// evaluation when the terminal triple repeats exactly — the first
+	// Newton assembly of each transient step re-evaluates the previous
+	// step's accepted solution, which the accepted line-search trial
+	// already computed.
+	vtc                 device.ThresholdCache
+	jc                  device.JunctionCache
+	opValid             bool
+	opVgs, opVds, opVbs float64
+	op                  device.OP
 }
 
 // Name returns the element name.
@@ -30,7 +44,7 @@ func (m *MOSFET) Terminals() (d, g, s, b Node) { return m.d, m.g, m.s, m.b }
 // The direct (operating-point) capacitance extraction of internal/csm uses
 // this to lump device caps without transient analysis.
 func (m *MOSFET) CapsAt(vd, vg, vs, vb float64) device.Caps {
-	return m.mos.Capacitances(vg-vs, vd-vs, vb-vs)
+	return m.mos.CapacitancesCached(&m.vtc, &m.jc, vg-vs, vd-vs, vb-vs)
 }
 
 // BeginStep freezes the capacitance matrix at the last accepted solution.
@@ -38,14 +52,21 @@ func (m *MOSFET) BeginStep(ctx *Context) {
 	vgs := ctx.Vprev(m.g) - ctx.Vprev(m.s)
 	vds := ctx.Vprev(m.d) - ctx.Vprev(m.s)
 	vbs := ctx.Vprev(m.b) - ctx.Vprev(m.s)
-	m.caps = m.mos.Capacitances(vgs, vds, vbs)
+	m.caps = m.mos.CapacitancesCached(&m.vtc, &m.jc, vgs, vds, vbs)
 }
 
 // Stamp adds the linearized channel current and, in transient mode, the
 // five capacitive branches.
 func (m *MOSFET) Stamp(sys *System, ctx *Context) {
 	vg, vd, vs, vb := ctx.V(m.g), ctx.V(m.d), ctx.V(m.s), ctx.V(m.b)
-	op := m.mos.Eval(vg-vs, vd-vs, vb-vs)
+	vgs, vds, vbs := vg-vs, vd-vs, vb-vs
+	var op device.OP
+	if m.opValid && vgs == m.opVgs && vds == m.opVds && vbs == m.opVbs {
+		op = m.op
+	} else {
+		op = m.mos.EvalCached(&m.vtc, vgs, vds, vbs)
+		m.opVgs, m.opVds, m.opVbs, m.op, m.opValid = vgs, vds, vbs, op, true
+	}
 
 	id0 := op.Id
 	gm, gds, gmb := op.Gm, op.Gds, op.Gmb
@@ -65,7 +86,7 @@ func (m *MOSFET) Stamp(sys *System, ctx *Context) {
 	sys.AddA(isIdx, ibIdx, -gmb)
 	sys.AddA(isIdx, isIdx, gss)
 	// Residual linearization: b += J·x₀ − F(x₀).
-	lin := gm*(vg-vs) + gds*(vd-vs) + gmb*(vb-vs)
+	lin := gm*vgs + gds*vds + gmb*vbs
 	sys.AddB(idIdx, lin-id0)
 	sys.AddB(isIdx, -(lin - id0))
 

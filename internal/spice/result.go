@@ -12,17 +12,30 @@ type Result struct {
 	ckt    *Circuit
 	Times  []float64
 	values [][]float64 // values[k] is the unknown vector at Times[k]
+	arena  []float64   // chunked backing store the rows of values slice into
 }
 
 func newResult(c *Circuit, n int) *Result {
 	return &Result{ckt: c}
 }
 
+// record appends a snapshot of x. Rows are carved out of a chunked arena
+// (64 steps per chunk) so a transient run costs O(steps/64) allocations
+// instead of one per step; rows never move once handed out, so retained
+// sub-slices in values stay valid as the arena advances.
 func (r *Result) record(t float64, x []float64) {
-	cp := make([]float64, len(x))
-	copy(cp, x)
+	if len(x) > 0 {
+		if len(r.arena) < len(x) {
+			r.arena = make([]float64, 64*len(x))
+		}
+		cp := r.arena[:len(x):len(x)]
+		r.arena = r.arena[len(x):]
+		copy(cp, x)
+		r.values = append(r.values, cp)
+	} else {
+		r.values = append(r.values, nil)
+	}
 	r.Times = append(r.Times, t)
-	r.values = append(r.values, cp)
 }
 
 // Steps returns the number of recorded time points.
@@ -67,6 +80,22 @@ func (r *Result) AuxWave(idx int) wave.Waveform {
 	t := make([]float64, len(r.Times))
 	copy(t, r.Times)
 	v := make([]float64, len(r.Times))
+	for k := range r.Times {
+		v[k] = r.values[k][idx]
+	}
+	return wave.Waveform{T: t, V: v}
+}
+
+// AuxWavePooled is AuxWave with the sample slices drawn from the wave
+// package's free-list pool. The caller owns the returned waveform and must
+// hand it back with wave.Release once done measuring — after that the
+// samples may be overwritten by an unrelated waveform. Use it only in
+// tight characterization loops that fully consume the waveform before the
+// next solve; anything retained beyond the loop should use AuxWave.
+func (r *Result) AuxWavePooled(idx int) wave.Waveform {
+	t := wave.GetSamples(len(r.Times))
+	copy(t, r.Times)
+	v := wave.GetSamples(len(r.Times))
 	for k := range r.Times {
 		v[k] = r.values[k][idx]
 	}

@@ -2,6 +2,7 @@ package spice
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -46,61 +47,128 @@ func (s *System) AddB(i int, v float64) {
 	s.B[i] += v
 }
 
-// errSingular is returned when LU factorization meets a numerically zero
-// pivot.
-var errSingular = errors.New("spice: singular matrix")
+// ErrSingular is the sentinel wrapped by every solver failure caused by a
+// numerically singular (or non-finite) system. Callers match it with
+// errors.Is; the wrapping message carries the unknown count and the
+// offending pivot for diagnosability.
+var ErrSingular = errors.New("spice: singular matrix")
 
-// Solve returns x solving A·x = b. The system contents are destroyed.
+// SolveWorkspace holds every scratch buffer one solve needs: the factor
+// matrix, the permutation and equilibration vectors, and the
+// solution/residual/correction vectors of iterative refinement. A solver
+// hot loop (one Newton iteration per call, thousands of calls per
+// characterization) reuses one workspace and allocates nothing.
+//
+// A workspace is not safe for concurrent use; each Engine owns one.
+type SolveWorkspace struct {
+	n       int
+	fact    lu
+	af      []float64 // factor buffer: copy of A, decomposed in place
+	x, r, d []float64 // solution, refinement residual, refinement correction
+}
+
+// NewSolveWorkspace returns a workspace sized for n unknowns. It grows
+// automatically if later used with a larger system.
+func NewSolveWorkspace(n int) *SolveWorkspace {
+	ws := &SolveWorkspace{}
+	ws.ensure(n)
+	return ws
+}
+
+// ensure (re)sizes the buffers for n unknowns.
+func (ws *SolveWorkspace) ensure(n int) {
+	if ws.n == n && ws.af != nil {
+		return
+	}
+	ws.n = n
+	ws.af = make([]float64, n*n)
+	ws.x = make([]float64, n)
+	ws.r = make([]float64, n)
+	ws.d = make([]float64, n)
+	ws.fact = lu{n: n, l: make([]float64, n*n), perm: make([]int, n), scale: make([]float64, n)}
+}
+
+// Solve returns x solving A·x = b, leaving the system contents intact.
+// It is the convenience form of SolveWith for one-shot callers: a fresh
+// workspace is allocated and the solution copied out.
+func (s *System) Solve() ([]float64, error) {
+	x, err := s.SolveWith(NewSolveWorkspace(s.N))
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), x...), nil
+}
+
+// SolveWith solves A·x = b using the workspace's buffers. The system
+// contents are preserved (the factorization decomposes a workspace copy),
+// which lets the Newton loop keep the assembled system for residual
+// reuse. The returned slice is owned by ws and overwritten by the next
+// call.
 //
 // The factorization equilibrates rows (MNA systems mix gmin-scale 1e-12 S
 // rows with 1e-2 S cap companions and unit source constraints) and applies
 // two rounds of iterative refinement against the original matrix: without
 // refinement the ~1e10 condition number leaves µA-scale residuals that
 // stall Newton's line search at a false floor.
-func (s *System) Solve() ([]float64, error) {
+func (s *System) SolveWith(ws *SolveWorkspace) ([]float64, error) {
 	n := s.N
-	a0 := append([]float64(nil), s.A...)
-	b0 := append([]float64(nil), s.B...)
-	f, err := factorize(n, s.A)
-	if err != nil {
+	ws.ensure(n)
+	copy(ws.af, s.A)
+	if err := ws.fact.factorize(n, ws.af); err != nil {
 		return nil, err
 	}
-	x := f.solve(append([]float64(nil), b0...))
-	// Iterative refinement.
-	r := make([]float64, n)
+	copy(ws.r, s.B)
+	ws.fact.solveInto(ws.r, ws.x)
+	x := ws.x
+	// Iterative refinement against the untouched A/B.
 	for round := 0; round < 2; round++ {
 		for i := 0; i < n; i++ {
-			sum := b0[i]
-			row := i * n
-			for j := 0; j < n; j++ {
-				sum -= a0[row+j] * x[j]
+			sum := s.B[i]
+			arow := s.A[i*n : i*n+n : i*n+n]
+			for j, v := range arow {
+				sum -= v * x[j]
 			}
-			r[i] = sum
+			ws.r[i] = sum
 		}
-		d := f.solve(r)
+		ws.fact.solveInto(ws.r, ws.d)
 		for i := range x {
-			x[i] += d[i]
+			x[i] += ws.d[i]
 		}
 	}
 	for i := range x {
 		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-			return nil, errSingular
+			return nil, fmt.Errorf("%w: non-finite solution for %d unknowns (worst pivot %.3g at column %d)",
+				ErrSingular, n, ws.fact.minPivot, ws.fact.minPivotCol)
 		}
 	}
 	return x, nil
 }
 
-// lu is a row-equilibrated LU factorization with partial pivoting.
+// lu is a row-equilibrated LU factorization with partial pivoting. Rows
+// are pivoted physically (swapped in the factor buffer) and the
+// elimination multipliers are stored column-major in l, so the three
+// substitutions each factorization serves (one solve plus two refinement
+// rounds) walk contiguous memory with no permutation indirection. The
+// arithmetic — operand values and operation order — is identical to the
+// classic virtual-permutation formulation; only the data layout differs.
 type lu struct {
 	n     int
-	a     []float64 // factors, in place, virtual row order via perm
-	perm  []int
-	scale []float64 // row equilibration factors
+	a     []float64 // U (and scratch) in physical pivot order
+	l     []float64 // multipliers, column-major: l[col*n+r]
+	perm  []int     // perm[i] = original row index at physical position i
+	scale []float64 // row equilibration factors, original row order
+
+	// Diagnostics: the smallest accepted pivot and its column, reported
+	// when a downstream solve turns out non-finite.
+	minPivot    float64
+	minPivotCol int
 }
 
-// factorize decomposes a (destroyed in place).
-func factorize(n int, a []float64) (*lu, error) {
-	f := &lu{n: n, a: a, perm: make([]int, n), scale: make([]float64, n)}
+// factorize decomposes the matrix in buffer a (destroyed in place). perm,
+// scale, and l must already have length n / n·n.
+func (f *lu) factorize(n int, a []float64) error {
+	f.n, f.a = n, a
+	f.minPivot, f.minPivotCol = math.Inf(1), -1
 	for i := 0; i < n; i++ {
 		f.perm[i] = i
 		row := i * n
@@ -123,58 +191,85 @@ func factorize(n int, a []float64) (*lu, error) {
 	}
 	for col := 0; col < n; col++ {
 		p := col
-		max := math.Abs(a[f.perm[col]*n+col])
+		max := math.Abs(a[col*n+col])
 		for r := col + 1; r < n; r++ {
-			if v := math.Abs(a[f.perm[r]*n+col]); v > max {
+			if v := math.Abs(a[r*n+col]); v > max {
 				max, p = v, r
 			}
 		}
 		if max < 1e-300 {
-			return nil, errSingular
+			return fmt.Errorf("%w: %d unknowns, numerically zero pivot %.3g at column %d",
+				ErrSingular, n, max, col)
 		}
-		f.perm[col], f.perm[p] = f.perm[p], f.perm[col]
-		prow := f.perm[col] * n
+		if max < f.minPivot {
+			f.minPivot, f.minPivotCol = max, col
+		}
+		if p != col {
+			f.perm[col], f.perm[p] = f.perm[p], f.perm[col]
+			pr, cr := a[p*n:p*n+n:p*n+n], a[col*n:col*n+n:col*n+n]
+			for k := range pr {
+				pr[k], cr[k] = cr[k], pr[k]
+			}
+			// Swap the already-stored multiplier prefixes too: they belong
+			// to the logical rows being exchanged.
+			lcolp, lcolc := p, col
+			for c := 0; c < col; c++ {
+				f.l[c*n+lcolp], f.l[c*n+lcolc] = f.l[c*n+lcolc], f.l[c*n+lcolp]
+			}
+		}
+		prow := col * n
 		pivot := a[prow+col]
+		ap := a[prow+col+1 : prow+n : prow+n]
+		lcol := f.l[col*n : col*n+n : col*n+n]
 		for r := col + 1; r < n; r++ {
-			row := f.perm[r] * n
+			row := r * n
 			m := a[row+col] / pivot
-			a[row+col] = m // store the multiplier for solve()
+			lcol[r] = m
 			if m == 0 {
 				continue
 			}
-			for k := col + 1; k < n; k++ {
-				a[row+k] -= m * a[prow+k]
+			ar := a[row+col+1 : row+n : row+n]
+			for k, v := range ap {
+				ar[k] -= m * v
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
-// solve applies the factorization to rhs (modified in place; also returned).
-func (f *lu) solve(rhs []float64) []float64 {
+// solveInto applies the factorization: rhs is consumed (scaled, permuted,
+// and forward-eliminated in place), the solution lands in x. rhs and x
+// must not alias.
+func (f *lu) solveInto(rhs, x []float64) {
 	n := f.n
+	a, l, perm, scale := f.a, f.l, f.perm, f.scale
+	// Equilibrate in original row order, then permute into pivot order
+	// (staged through x, which is fully overwritten afterwards).
 	for i := 0; i < n; i++ {
-		rhs[i] *= f.scale[i]
+		pi := perm[i]
+		x[i] = rhs[pi] * scale[pi]
 	}
-	// Forward elimination using the stored multipliers.
+	copy(rhs, x)
+	// Forward elimination: contiguous column-major multipliers.
 	for col := 0; col < n; col++ {
+		rc := rhs[col]
+		lcol := l[col*n : col*n+n : col*n+n]
 		for r := col + 1; r < n; r++ {
-			m := f.a[f.perm[r]*n+col]
-			if m != 0 {
-				rhs[f.perm[r]] -= m * rhs[f.perm[col]]
+			if m := lcol[r]; m != 0 {
+				rhs[r] -= m * rc
 			}
 		}
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
-		row := f.perm[i] * n
-		sum := rhs[f.perm[i]]
-		for k := i + 1; k < n; k++ {
-			sum -= f.a[row+k] * x[k]
+		row := i * n
+		sum := rhs[i]
+		arow := a[row+i : row+n : row+n]
+		xs := x[i:n]
+		for k := 1; k < len(arow); k++ {
+			sum -= arow[k] * xs[k]
 		}
-		x[i] = sum / f.a[row+i]
+		x[i] = sum / arow[0]
 	}
-	return x
 }
 
 // StampConductance adds a two-terminal conductance g between nodes a and b

@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/testutil"
+)
+
+// TestFastCharacterizationAccuracy is the end-to-end accuracy contract of
+// csm.Config.Fast: a model characterized through the approximate solver
+// path (chord Newton, warm-started DC, adaptive ramps) must land on the
+// same NAND2 MIS delay surface as the exact golden-pinned path, well
+// inside the model-vs-flat-SPICE error the repo already tolerates (a few
+// picoseconds per stage; see EXPERIMENTS.md).
+func TestFastCharacterizationAccuracy(t *testing.T) {
+	exactCfg := testutil.CoarseConfig()
+	fastCfg := exactCfg
+	fastCfg.Fast = true
+	grid := ProbeGrid()
+
+	se, err := New(nil, Config{Tech: testutil.Tech(), CharCfg: exactCfg, Dt: 4e-12}).Sweep("NAND2", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := New(nil, Config{Tech: testutil.Tech(), CharCfg: fastCfg, Dt: 4e-12}).Sweep("NAND2", grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Results) != len(se.Results) {
+		t.Fatalf("surface sizes differ: %d vs %d", len(sf.Results), len(se.Results))
+	}
+	var maxDelay, maxSlew float64
+	for i := range se.Results {
+		if d := math.Abs(sf.Results[i].Delay - se.Results[i].Delay); d > maxDelay {
+			maxDelay = d
+		}
+		if d := math.Abs(sf.Results[i].OutSlew - se.Results[i].OutSlew); d > maxSlew {
+			maxSlew = d
+		}
+	}
+	t.Logf("fast vs exact over %d points: max |Δdelay| = %.3g s, max |Δslew| = %.3g s",
+		len(se.Results), maxDelay, maxSlew)
+	if maxDelay > 2e-12 {
+		t.Errorf("fast-path delay error %.3g s exceeds 2 ps", maxDelay)
+	}
+	if maxSlew > 4e-12 {
+		t.Errorf("fast-path slew error %.3g s exceeds 4 ps", maxSlew)
+	}
+}

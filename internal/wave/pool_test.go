@@ -1,0 +1,124 @@
+package wave
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetSamplesSizingAndZeroing(t *testing.T) {
+	for _, n := range []int{1, 15, 16, 17, 100, 1 << poolMinBits, 1 << 10} {
+		s := GetSamples(n)
+		if len(s) != n {
+			t.Fatalf("GetSamples(%d): len %d", n, len(s))
+		}
+		if c := cap(s); c&(c-1) != 0 {
+			t.Errorf("GetSamples(%d): cap %d not a power of two", n, c)
+		}
+		for i, v := range s {
+			if v != 0 {
+				t.Fatalf("GetSamples(%d): s[%d] = %g, want zeroed", n, i, v)
+			}
+		}
+		PutSamples(s)
+	}
+	// Beyond the largest class: plain allocation, still usable.
+	big := GetSamples(1<<poolMaxBits + 1)
+	if len(big) != 1<<poolMaxBits+1 {
+		t.Fatalf("oversized GetSamples len %d", len(big))
+	}
+	PutSamples(big) // silently dropped, must not panic
+}
+
+func TestPutSamplesRecycles(t *testing.T) {
+	s := GetSamples(100)
+	s[0] = 42
+	PutSamples(s)
+	r := GetSamples(100)
+	if &r[0] != &s[0] {
+		// Another test may have stocked the class; drain until ours shows up
+		// or the list is empty.
+		found := false
+		for i := 0; i < 70; i++ {
+			r2 := GetSamples(100)
+			if &r2[0] == &s[0] {
+				found = true
+				r = r2
+				break
+			}
+		}
+		if !found {
+			t.Fatal("recycled buffer never came back from the pool")
+		}
+	}
+	if r[0] != 0 {
+		t.Errorf("recycled buffer not zeroed: %g", r[0])
+	}
+}
+
+func TestPutSamplesRejectsForeignSlices(t *testing.T) {
+	// Non-power-of-two capacity, too small, nil: all dropped silently.
+	PutSamples(make([]float64, 10, 10))
+	PutSamples(make([]float64, 3))
+	PutSamples(nil)
+	s := GetSamples(10)
+	if cap(s) != 1<<poolMinBits {
+		t.Errorf("small class cap %d, want %d", cap(s), 1<<poolMinBits)
+	}
+	PutSamples(s)
+}
+
+// TestReleaseAliasing is the ownership contract of the pool: data copied out
+// of a pooled waveform before Release must survive the buffer being recycled
+// and scribbled on by the next owner, and the released waveform itself is
+// cleared so a stale re-release cannot double-free.
+func TestReleaseAliasing(t *testing.T) {
+	const n = 64
+	w := Waveform{T: GetSamples(n), V: GetSamples(n)}
+	for i := 0; i < n; i++ {
+		w.T[i] = float64(i) * 1e-12
+		w.V[i] = float64(i) * 0.01
+	}
+	keep := w.Clone()
+
+	Release(&w)
+	if w.T != nil || w.V != nil {
+		t.Fatal("Release left slices attached")
+	}
+	Release(&w) // second release is a no-op, not a double-free
+
+	// The next owner gets the recycled buffers and overwrites them.
+	a := GetSamples(n)
+	b := GetSamples(n)
+	for i := range a {
+		a[i] = -999
+		b[i] = -999
+	}
+	for i := 0; i < n; i++ {
+		if keep.T[i] != float64(i)*1e-12 || keep.V[i] != float64(i)*0.01 {
+			t.Fatalf("live clone corrupted at %d: (%g, %g)", i, keep.T[i], keep.V[i])
+		}
+	}
+	PutSamples(a)
+	PutSamples(b)
+}
+
+// TestPoolConcurrent hammers get/put from many goroutines so the race
+// detector can see the lock discipline.
+func TestPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 16 + (g*37+i)%500
+				s := GetSamples(n)
+				for j := range s {
+					s[j] = float64(g)
+				}
+				PutSamples(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
