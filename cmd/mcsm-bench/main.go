@@ -164,6 +164,33 @@ type charProbe struct {
 	FastMaxDelayErrS float64 `json:"fast_max_delay_err_s"`
 }
 
+// hybridProbe measures the hybrid delay backend on the probe workload:
+// one full-CSM analysis (warm model cache) timed against one hybrid
+// analysis (NLDM pass + slack classification + CSM re-evaluation of the
+// near-critical stages). CSMFraction is the economy headline (how little
+// of the circuit still needs waveform evaluation). Two error measures:
+// CriticalErrS is the worst-arrival deviation — the number the margin
+// contract bounds, since the critical cone is CSM-refined — and
+// MaxOutputErrS is the largest deviation over every transitioning
+// primary output, including far-from-critical ones the hybrid plan
+// deliberately leaves at table accuracy (it may exceed the margin
+// without threatening the critical-path answer).
+type hybridProbe struct {
+	Netlist       string  `json:"netlist"`
+	Stages        int     `json:"stages"`
+	MarginS       float64 `json:"margin_s"`
+	CSMStages     int     `json:"csm_stages"`
+	CSMFraction   float64 `json:"csm_fraction"`
+	FullSeconds   float64 `json:"full_csm_seconds"`
+	HybridSeconds float64 `json:"hybrid_seconds"`
+	Speedup       float64 `json:"speedup"`
+	WorstCSMS     float64 `json:"worst_arrival_csm_s"`
+	WorstHybridS  float64 `json:"worst_arrival_hybrid_s"`
+	CriticalErrS  float64 `json:"critical_path_err_s"`
+	MaxOutputErrS float64 `json:"max_output_err_s"`
+	WithinMargin  bool    `json:"within_margin"`
+}
+
 type perfSummary struct {
 	SchemaVersion int          `json:"schema_version"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -176,19 +203,21 @@ type perfSummary struct {
 	ServeProbe    *serveProbe  `json:"serve_probe,omitempty"`
 	EcoProbe      *ecoProbe    `json:"eco_probe,omitempty"`
 	CharProbe     *charProbe   `json:"char_probe,omitempty"`
+	HybridProbe   *hybridProbe `json:"hybrid_probe,omitempty"`
 }
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced characterization and sweep densities")
-		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		parallel = flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS, 1 = serial)")
-		dtSpec   = flag.String("dt", "", "transient step override, e.g. 4p (default: the profile's 1 ps; coarser steps speed up mid-size probe workloads)")
-		jsonPath = flag.String("json", "", "write a machine-readable perf summary to this path (\"-\" = stdout)")
-		cacheDir = flag.String("cache", "", "model cache directory (spill/reload characterized models)")
-		benchNl  = flag.String("bench", "", "STA-probe workload: a .bench circuit, technology-mapped (default: built-in c17)")
-		genGates = flag.Int("gen", 0, "STA-probe workload: a generated synthetic circuit with this many gates (overrides -bench)")
+		quick      = flag.Bool("quick", false, "reduced characterization and sweep densities")
+		only       = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel   = flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS, 1 = serial)")
+		dtSpec     = flag.String("dt", "", "transient step override, e.g. 4p (default: the profile's 1 ps; coarser steps speed up mid-size probe workloads)")
+		jsonPath   = flag.String("json", "", "write a machine-readable perf summary to this path (\"-\" = stdout)")
+		cacheDir   = flag.String("cache", "", "model cache directory (spill/reload characterized models)")
+		benchNl    = flag.String("bench", "", "STA-probe workload: a .bench circuit, technology-mapped (default: built-in c17)")
+		genGates   = flag.Int("gen", 0, "STA-probe workload: a generated synthetic circuit with this many gates (overrides -bench)")
+		marginS    = flag.String("margin", "", "hybrid-probe criticality margin as an SI time, e.g. 150p (default: 10% of the NLDM worst arrival)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -285,9 +314,19 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("char probe: %w", err))
 	}
+	margin := 0.0
+	if *marginS != "" {
+		if margin, err = cliutil.ParseSI(*marginS); err != nil {
+			fatal(fmt.Errorf("margin: %w", err))
+		}
+	}
+	hyProbe, err := runHybridProbe(sess, wl, margin)
+	if err != nil {
+		fatal(fmt.Errorf("hybrid probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 5,
+		SchemaVersion: 6,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -295,11 +334,12 @@ func main() {
 		Cache: cacheSummary{
 			Hits: st.Hits, Misses: st.Misses, DiskHits: st.DiskHits, HitRate: st.HitRate(),
 		},
-		STAProbe:   probe,
-		SweepProbe: swProbe,
-		ServeProbe: svProbe,
-		EcoProbe:   ecProbe,
-		CharProbe:  chProbe,
+		STAProbe:    probe,
+		SweepProbe:  swProbe,
+		ServeProbe:  svProbe,
+		EcoProbe:    ecProbe,
+		CharProbe:   chProbe,
+		HybridProbe: hyProbe,
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -767,6 +807,83 @@ func runSweepProbe(sess *experiments.Session) (*sweepProbe, error) {
 		probe.Speedup = serialSec / parallelSec
 		probe.PointsPerSec = float64(grid.Size()*len(cellNames)) / parallelSec
 	}
+	return probe, nil
+}
+
+// runHybridProbe times the hybrid delay backend against full CSM on the
+// probe workload. Both runs share the session's model cache (warmed by
+// the full pass), so the comparison measures analysis, not first-touch
+// characterization.
+func runHybridProbe(sess *experiments.Session, wl *probeNetlist, margin float64) (*hybridProbe, error) {
+	tech := sess.Cfg.Tech
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng := engine.New(workers, sess.Engine().Cache())
+	primary := wl.primary(tech.Vdd)
+	opt := sta.Options{Mode: sta.ModeMIS, Horizon: wl.horizon, Dt: sess.Cfg.Dt}
+	ctx := context.Background()
+
+	// Warm the CSM model cache outside either timed pass.
+	if _, err := eng.ModelsFor(tech, wl.wl.NL, sess.Cfg.CharCfg); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	full, err := eng.AnalyzeBackend(ctx, engine.BackendSpec{
+		Kind: engine.BackendCSM, Tech: tech, CSM: sess.Cfg.CharCfg,
+	}, wl.wl.NL, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+	fullSec := time.Since(start).Seconds()
+
+	// The NLDM tables characterize inside the timed hybrid pass the first
+	// time — that cost is part of a cold hybrid analysis — but table
+	// characterization is milliseconds against the CSM solver, so the
+	// headline is the analysis economy either way.
+	start = time.Now()
+	hyb, err := eng.AnalyzeBackend(ctx, engine.BackendSpec{
+		Kind: engine.BackendHybrid, Tech: tech, CSM: sess.Cfg.CharCfg, Margin: margin,
+	}, wl.wl.NL, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+	hybSec := time.Since(start).Seconds()
+
+	var maxErr float64
+	for _, po := range wl.wl.NL.PrimaryOut {
+		a, b := full.Report.Nets[po].Arrival, hyb.Report.Nets[po].Arrival
+		if math.IsNaN(a) || math.IsNaN(b) {
+			continue
+		}
+		if d := math.Abs(a - b); d > maxErr {
+			maxErr = d
+		}
+	}
+	probe := &hybridProbe{
+		Netlist:     wl.wl.Name,
+		Stages:      len(wl.wl.NL.Instances),
+		MarginS:     hyb.Plan.Margin,
+		CSMStages:   hyb.Plan.CSMStages,
+		FullSeconds: fullSec, HybridSeconds: hybSec,
+		MaxOutputErrS: maxErr,
+	}
+	if n := len(hyb.Plan.Assign); n > 0 {
+		probe.CSMFraction = float64(hyb.Plan.CSMStages) / float64(n)
+	}
+	if hybSec > 0 {
+		probe.Speedup = fullSec / hybSec
+	}
+	if _, arr, ok := full.Report.WorstOutput(wl.wl.NL); ok {
+		probe.WorstCSMS = arr
+	}
+	if _, arr, ok := hyb.Report.WorstOutput(wl.wl.NL); ok {
+		probe.WorstHybridS = arr
+	}
+	probe.CriticalErrS = math.Abs(probe.WorstHybridS - probe.WorstCSMS)
+	probe.WithinMargin = probe.CriticalErrS <= hyb.Plan.Margin
 	return probe, nil
 }
 

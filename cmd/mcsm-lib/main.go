@@ -27,6 +27,7 @@ func main() {
 		outPath  = flag.String("o", "mcsm.lib", "output .lib path")
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
 		ccs      = flag.Bool("ccs", true, "emit CCS-style output-current vectors (needs CSM characterization)")
+		check    = flag.Bool("check", false, "re-parse the written file and verify the NLDM tables round-trip bit-exactly")
 	)
 	flag.Parse()
 
@@ -78,11 +79,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := liberty.Write(f, lib); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d cells)\n", *outPath, len(lib.Cells))
+
+	if *check {
+		if err := checkRoundTrip(*outPath, lib); err != nil {
+			fatal(fmt.Errorf("check: %w", err))
+		}
+		fmt.Printf("check: %d cells round-trip bit-exactly\n", len(lib.Cells))
+	}
+}
+
+// checkRoundTrip re-parses the written file and verifies every cell's
+// NLDM tables came back with the identical float64 bits that went out.
+func checkRoundTrip(path string, lib *liberty.Library) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	parsed, err := liberty.Parse(f)
+	if err != nil {
+		return err
+	}
+	for _, cell := range lib.Cells {
+		got := parsed.Cell(cell.Name)
+		if got == nil {
+			return fmt.Errorf("cell %s missing after re-parse", cell.Name)
+		}
+		// The writer emits the tech supply as nom_voltage; align before the
+		// bitwise compare so only the tables themselves are judged.
+		reparsed := *got.NLDM
+		reparsed.Vdd = cell.NLDM.Vdd
+		if err := liberty.EqualNLDM(cell.NLDM, &reparsed); err != nil {
+			return fmt.Errorf("cell %s: %w", cell.Name, err)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -82,7 +82,9 @@ func main() {
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
 		eco      = flag.String("eco", "", "replay an ECO edit script (JSON) incrementally and report per-batch deltas instead of the MIS/SIS comparison")
 		ecoJSON  = flag.String("eco-json", "", "with -eco: also write the canonical per-batch delta reports as a JSON array to this path (\"-\" = stdout)")
+		beJSON   = flag.String("backend-json", "", "with -backend nldm/hybrid: write the canonical backend report (attribution + critical path) to this path (\"-\" = stdout)")
 		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
+		beFlags  = cliutil.RegisterBackendFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -164,6 +166,27 @@ func main() {
 		fatal(err)
 	}
 	eng := engFlags.NewEngine()
+	beSpec, err := beFlags.Spec(tech, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if beSpec.Kind != engine.BackendCSM {
+		h := wl.Horizon(explicitHorizon, *horizon, *slew)
+		primary := wl.Stimulus(tech.Vdd, *slew, h)
+		if err := cliutil.ApplyArrivalSpec(primary, tech.Vdd, *arrivals, *slew, h); err != nil {
+			fatal(err)
+		}
+		if *eco != "" || *ecoJSON != "" {
+			fatal(fmt.Errorf("-eco replay runs on the csm backend"))
+		}
+		if err := runBackend(eng, wl, beSpec, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *beJSON, wl.Mapped && !*all); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *beJSON != "" {
+		fatal(fmt.Errorf("-backend-json requires -backend nldm or hybrid"))
+	}
 	fmt.Fprintf(os.Stderr, "characterizing cell models (%d workers)...\n", eng.Workers())
 	models, err := eng.ModelsFor(tech, wl.NL, cfg)
 	if err != nil {
@@ -232,6 +255,59 @@ func main() {
 		fmt.Printf("worst output %s arrives at %s ps (critical path: %d nets)\n",
 			out, fmtArr(arr), len(mis.CriticalPath(wl.NL, out)))
 	}
+}
+
+// runBackend is the -backend nldm/hybrid mode: one MIS analysis under the
+// selected delay calculator, per-net arrivals with stage attribution, the
+// hybrid economy line, and optionally the canonical backend report JSON.
+func runBackend(eng *engine.Engine, wl *cliutil.Workload, spec engine.BackendSpec, primary map[string]wave.Waveform, opt sta.Options, jsonPath string, outputsOnly bool) error {
+	fmt.Fprintf(os.Stderr, "analyzing with %s backend (%d workers)...\n", spec.Kind, eng.Workers())
+	start := time.Now()
+	res, err := eng.AnalyzeBackend(context.Background(), spec, wl.NL, primary, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	plan := res.Plan
+
+	progress := os.Stdout
+	if jsonPath == "-" {
+		progress = os.Stderr
+	}
+	attr := plan.Attribution(wl.NL)
+	driver := map[string]string{}
+	for _, inst := range wl.NL.Instances {
+		driver[inst.Output] = inst.Name
+	}
+	fmt.Fprintf(progress, "%-14s %12s %8s\n", "net", "arrival(ps)", "backend")
+	for _, net := range reportNets(wl.NL, outputsOnly) {
+		fmt.Fprintf(progress, "%-14s %12s %8s\n", net, fmtArr(res.Report.Nets[net].Arrival), attr[driver[net]])
+	}
+	if plan.Kind == engine.BackendHybrid {
+		fmt.Fprintf(progress, "hybrid: %d/%d stages via CSM (%.1f%%), margin %s ps\n",
+			plan.CSMStages, len(plan.Assign),
+			100*float64(plan.CSMStages)/float64(len(plan.Assign)), fmtArr(plan.Margin))
+	}
+	if out, arr, ok := res.Report.WorstOutput(wl.NL); ok {
+		fmt.Fprintf(progress, "worst output %s arrives at %s ps (%s)\n", out, fmtArr(arr), elapsed.Truncate(time.Microsecond))
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	body, err := engine.MarshalBackendReport(wl.Name, wl.NL, res)
+	if err != nil {
+		return err
+	}
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote backend report to %s\n", jsonPath)
+	return nil
 }
 
 // runEco is the -eco replay mode: build the retained incremental timing

@@ -13,12 +13,15 @@ package mcsm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -93,6 +96,103 @@ func TestGoldenC432Report(t *testing.T) {
 	}
 	testutil.Golden(t, filepath.Join(goldenDir, "c432_sta.json"),
 		testutil.MarshalReport(t, "c432", rep))
+}
+
+// loadC432 parses and technology-maps the c432-class corpus circuit.
+func loadC432(t *testing.T) *sta.Netlist {
+	t.Helper()
+	f, err := os.Open("internal/netlist/testdata/c432.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := netlist.ParseBench(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := netlist.Map(circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// goldenWorstArrival decodes a committed golden report and returns its
+// worst primary-output arrival — the full-CSM truth the hybrid fixtures
+// are judged against, without re-running the full analysis.
+func goldenWorstArrival(t *testing.T, path string, outputs []string) float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g sta.GoldenReport
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	worst := math.Inf(-1)
+	for _, po := range outputs {
+		nr, ok := g.Nets[po]
+		if !ok || nr.Arrival == "NaN" {
+			continue
+		}
+		arr, err := strconv.ParseFloat(nr.Arrival, 64)
+		if err != nil {
+			t.Fatalf("%s: net %s arrival %q: %v", path, po, nr.Arrival, err)
+		}
+		if arr > worst {
+			worst = arr
+		}
+	}
+	if math.IsInf(worst, -1) {
+		t.Fatalf("%s: no finite primary-output arrival", path)
+	}
+	return worst
+}
+
+// c432HybridMargin is the pinned criticality margin of the hybrid golden
+// fixtures: explicit rather than the 10%-of-worst default, so the fixture
+// does not move when the NLDM pass drifts.
+const c432HybridMargin = 150e-12
+
+// TestGoldenC432Hybrid pins the hybrid backend on the mid-size corpus
+// circuit: the NLDM pre-pass classifies stages at a fixed 150 ps margin,
+// near-critical stages re-evaluate through CSM, and the attributed report
+// (c432_hybrid_sta.json) is committed bit-for-bit. Two acceptance
+// properties ride along: the CSM re-evaluation set stays small (≤ 40% of
+// stages), and the worst primary-output arrival lands within the margin
+// of the committed full-CSM report.
+func TestGoldenC432Hybrid(t *testing.T) {
+	nl := loadC432(t)
+	const horizon = 2.6e-9
+	primary := netlist.Stimulus(nl.PrimaryIn, testutil.Tech().Vdd, 80e-12, horizon)
+	res, err := goldenEngine().AnalyzeBackend(context.Background(), engine.BackendSpec{
+		Kind:   engine.BackendHybrid,
+		Tech:   testutil.Tech(),
+		CSM:    testutil.CoarseConfig(),
+		Margin: c432HybridMargin,
+	}, nl, primary, sta.Options{Horizon: horizon, Dt: 4e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(res.Plan.CSMStages) / float64(len(nl.Instances)); frac > 0.40 {
+		t.Errorf("hybrid re-evaluated %d/%d stages (%.1f%%) through CSM, want ≤ 40%%",
+			res.Plan.CSMStages, len(nl.Instances), 100*frac)
+	}
+	csmWorst := goldenWorstArrival(t, filepath.Join(goldenDir, "c432_sta.json"), nl.PrimaryOut)
+	_, hybWorst, ok := res.Report.WorstOutput(nl)
+	if !ok {
+		t.Fatal("hybrid report has no worst output")
+	}
+	if d := math.Abs(hybWorst - csmWorst); d > c432HybridMargin {
+		t.Errorf("hybrid worst arrival off the full-CSM fixture by %.1f ps (margin %.1f ps)",
+			d*1e12, c432HybridMargin*1e12)
+	}
+	body, err := engine.MarshalBackendReport("c432", nl, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.Golden(t, filepath.Join(goldenDir, "c432_hybrid_sta.json"), body)
 }
 
 // goldenPost fires one POST at an in-process service and returns status
@@ -194,6 +294,100 @@ func TestGoldenServeC432(t *testing.T) {
 		t.Fatalf("status %d: %s", status, body)
 	}
 	testutil.Golden(t, filepath.Join(goldenDir, "c432_sta.json"), body)
+}
+
+// TestGoldenServeHybrid extends the service determinism contract to the
+// hybrid backend: the pinned request (c432_hybrid_request.json) must
+// reproduce the committed attributed report byte-for-byte at every
+// worker-pool width — the same fixture the engine-level test pins, so
+// "the service answers exactly what the engine computes" stays a
+// byte-level statement for the new backend too.
+func TestGoldenServeHybrid(t *testing.T) {
+	bench, err := os.ReadFile("internal/netlist/testdata/c432.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := service.STARequest{
+		Name:    "c432",
+		Netlist: string(bench),
+		Format:  "bench",
+		Config:  "coarse",
+		Dt:      "4p",
+		Horizon: "2.6n",
+		Backend: "hybrid",
+		Margin:  "150p",
+	}
+	reqBody := marshalRequest(t, req)
+	testutil.Golden(t, filepath.Join(goldenDir, "c432_hybrid_request.json"), reqBody)
+
+	for _, workers := range []int{1, 4} {
+		srv := service.NewWithEngine(service.Config{}, engine.New(workers, goldenEngine().Cache()))
+		ts := httptest.NewServer(srv.Handler())
+		status, body := goldenPost(t, ts.URL+"/v1/sta", reqBody)
+		ts.Close()
+		srv.Close()
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, status, body)
+		}
+		if workers == 1 {
+			testutil.Golden(t, filepath.Join(goldenDir, "c432_hybrid_sta.json"), body)
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, "c432_hybrid_sta.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("workers=%d: served hybrid report drifted from the fixture", workers)
+		}
+	}
+}
+
+// TestGoldenBackendCSMBitIdentity is the no-regression guarantee of the
+// backend layer: a request that *explicitly* selects the csm backend must
+// produce today's committed reports byte-for-byte — the backend plumbing
+// may not perturb the historical path by even one bit, at any worker
+// count.
+func TestGoldenBackendCSMBitIdentity(t *testing.T) {
+	bench, err := os.ReadFile("internal/netlist/testdata/c432.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		fixture string
+		req     service.STARequest
+	}{
+		{"c17_sta.json", service.STARequest{
+			Name: "c17", Netlist: sta.C17Netlist, Format: "net",
+			Config: "coarse", Stimulus: "c17", Dt: "2p", Horizon: "4n",
+			Backend: "csm",
+		}},
+		{"c432_sta.json", service.STARequest{
+			Name: "c432", Netlist: string(bench), Format: "bench",
+			Config: "coarse", Dt: "4p", Horizon: "2.6n",
+			Backend: "csm",
+		}},
+	}
+	for _, tc := range cases {
+		want, err := os.ReadFile(filepath.Join(goldenDir, tc.fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			srv := service.NewWithEngine(service.Config{}, engine.New(workers, goldenEngine().Cache()))
+			ts := httptest.NewServer(srv.Handler())
+			status, body := goldenPost(t, ts.URL+"/v1/sta", marshalRequest(t, tc.req))
+			ts.Close()
+			srv.Close()
+			if status != http.StatusOK {
+				t.Fatalf("%s workers=%d: status %d: %s", tc.fixture, workers, status, body)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("%s workers=%d: explicit -backend csm drifted from the committed fixture",
+					tc.fixture, workers)
+			}
+		}
+	}
 }
 
 // TestGoldenServeEco pins the stateful ECO flow end to end: the committed

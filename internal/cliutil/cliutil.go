@@ -28,6 +28,7 @@ import (
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/graph"
+	"mcsm/internal/liberty"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
@@ -70,6 +71,61 @@ func RegisterEngineFlags(fs *flag.FlagSet) *EngineFlags {
 // NewEngine builds the engine the flags describe.
 func (ef *EngineFlags) NewEngine() *engine.Engine {
 	return engine.New(ef.Parallel, engine.NewSpillCache(ef.CacheDir))
+}
+
+// BackendFlags bundles the delay-backend configuration of the analysis
+// binaries: the calculator, the hybrid criticality margin, and an
+// optional Liberty file preloading NLDM tables.
+type BackendFlags struct {
+	Backend string
+	Margin  string
+	Lib     string
+}
+
+// RegisterBackendFlags installs -backend, -margin, and -lib on fs.
+func RegisterBackendFlags(fs *flag.FlagSet) *BackendFlags {
+	bf := &BackendFlags{}
+	fs.StringVar(&bf.Backend, "backend", "csm", "delay backend: csm (waveform models), nldm (table lookup), or hybrid (NLDM everywhere, CSM for near-critical stages)")
+	fs.StringVar(&bf.Margin, "margin", "", "hybrid criticality threshold as an SI time, e.g. 150p (default: 10% of the NLDM worst arrival)")
+	fs.StringVar(&bf.Lib, "lib", "", "Liberty file preloading NLDM tables for the nldm/hybrid backends (cells not in the file characterize on demand)")
+	return bf
+}
+
+// Spec resolves the flags into an engine backend spec, loading the
+// Liberty tables when -lib is set.
+func (bf *BackendFlags) Spec(tech cells.Tech, cfg csm.Config) (engine.BackendSpec, error) {
+	kind, err := engine.ParseBackendKind(bf.Backend)
+	if err != nil {
+		return engine.BackendSpec{}, err
+	}
+	spec := engine.BackendSpec{Kind: kind, Tech: tech, CSM: cfg}
+	if bf.Margin != "" {
+		if kind != engine.BackendHybrid {
+			return spec, fmt.Errorf("-margin is only valid with -backend hybrid")
+		}
+		if spec.Margin, err = ParseSI(bf.Margin); err != nil {
+			return spec, fmt.Errorf("margin: %w", err)
+		}
+		if spec.Margin <= 0 {
+			return spec, fmt.Errorf("margin must be positive")
+		}
+	}
+	if bf.Lib != "" {
+		if kind == engine.BackendCSM {
+			return spec, fmt.Errorf("-lib is only used by the nldm and hybrid backends")
+		}
+		f, err := os.Open(bf.Lib)
+		if err != nil {
+			return spec, err
+		}
+		defer f.Close()
+		plib, err := liberty.Parse(f)
+		if err != nil {
+			return spec, err
+		}
+		spec.Tables = plib.NLDMLibraries()
+	}
+	return spec, nil
 }
 
 // CharConfig resolves a named characterization profile. The names are part
@@ -323,6 +379,40 @@ func BuildGraphCtx(ctx context.Context, eng *engine.Engine, tech cells.Tech, wl 
 		return nil, graph.Stats{}, err
 	}
 	return g, stats, nil
+}
+
+// BuildBackendGraphCtx is BuildGraphCtx under an arbitrary delay backend:
+// the resolved plan's eval hook and (possibly partial) model set drive
+// the graph. The plan is retained by the graph's eval closure, so ECO
+// edits on the returned graph keep the session's backend; cell types
+// SwapCell introduces later characterize on demand — CSM through the
+// engine's model cache, NLDM through the evaluator fallback inside the
+// plan. The csm kind routes through BuildGraphCtx unchanged.
+func BuildBackendGraphCtx(ctx context.Context, eng *engine.Engine, tech cells.Tech, wl *Workload, spec engine.BackendSpec, primary map[string]wave.Waveform, opt sta.Options) (*graph.TimingGraph, *engine.BackendPlan, graph.Stats, error) {
+	plan, err := eng.PlanBackend(ctx, spec, wl.NL, primary, opt)
+	if err != nil {
+		return nil, nil, graph.Stats{}, err
+	}
+	if plan.Kind == engine.BackendCSM {
+		g, stats, err := BuildGraphCtx(ctx, eng, tech, wl, spec.CSM, primary, opt)
+		return g, plan, stats, err
+	}
+	cfg := plan.GraphConfig(eng.Workers(), func(cellType string) (*csm.Model, error) {
+		cs, err := cells.Get(cellType)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Cache().Get(tech, cs, engine.KindFor(cs), spec.CSM)
+	})
+	g, err := graph.Build(wl.NL, plan.Models, primary, opt, cfg)
+	if err != nil {
+		return nil, nil, graph.Stats{}, err
+	}
+	stats, err := g.Propagate(ctx)
+	if err != nil {
+		return nil, nil, graph.Stats{}, err
+	}
+	return g, plan, stats, nil
 }
 
 // FmtCounts renders a cell-count map deterministically ("[INV:3 NAND2:7]").

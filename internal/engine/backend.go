@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/graph"
+	"mcsm/internal/nldm"
+	"mcsm/internal/sta"
+	"mcsm/internal/wave"
+)
+
+// The pluggable delay-backend layer: one request-level switch between the
+// CSM waveform path (accurate, expensive), the NLDM table path (cheap,
+// shape-blind), and the hybrid strategy of the Ferdowsi et al. follow-up
+// work — a table pass over the whole circuit, slack classification, and
+// CSM re-evaluation of only the near-critical stages. The CSM backend is
+// the default and routes through exactly the code path it always did, so
+// its reports stay byte-identical to the golden corpus.
+
+// BackendKind names a delay calculator.
+type BackendKind string
+
+const (
+	BackendCSM    BackendKind = "csm"
+	BackendNLDM   BackendKind = "nldm"
+	BackendHybrid BackendKind = "hybrid"
+)
+
+// ParseBackendKind resolves a request string ("" = the CSM default).
+func ParseBackendKind(s string) (BackendKind, error) {
+	switch BackendKind(s) {
+	case "", BackendCSM:
+		return BackendCSM, nil
+	case BackendNLDM:
+		return BackendNLDM, nil
+	case BackendHybrid:
+		return BackendHybrid, nil
+	}
+	return "", fmt.Errorf("engine: unknown backend %q (want csm, nldm, or hybrid)", s)
+}
+
+// BackendSpec configures one backend analysis.
+type BackendSpec struct {
+	Kind BackendKind
+	Tech cells.Tech
+	// CSM is the characterization config for waveform models (csm and
+	// hybrid kinds).
+	CSM csm.Config
+	// NLDM is the table characterization grid (nldm and hybrid kinds);
+	// the zero value means nldm.DefaultConfig(Tech).
+	NLDM nldm.Config
+	// Margin is the hybrid criticality threshold in seconds: stages whose
+	// NLDM slack is ≤ Margin are re-evaluated with CSM. Zero or negative
+	// selects the default, 10% of the NLDM pass's worst output arrival.
+	Margin float64
+	// Tables preloads per-cell-type NLDM libraries (parsed Liberty
+	// ingestion); missing types are characterized on demand.
+	Tables map[string]*nldm.Library
+}
+
+// BackendPlan is a resolved backend: everything a timing graph build
+// needs (models, eval hook, rail voltage) plus the per-stage attribution
+// the hybrid classification produced. Plans are immutable once built —
+// ECO sessions hold one for their lifetime, so a session keeps its
+// backend across every edit round.
+type BackendPlan struct {
+	Kind   BackendKind
+	Margin float64 // resolved hybrid margin (0 for csm/nldm)
+	// Models are the CSM models the graph evaluates with (nil for the
+	// pure table backend).
+	Models map[string]*csm.Model
+	// Vdd carries the rail when Models is empty (graph.Config.Vdd).
+	Vdd float64
+	// Eval is the stage hook for graph.Config.Eval (nil = default CSM).
+	Eval graph.EvalFunc
+	// Assign records, per instance index, which calculator evaluates the
+	// stage. Instance indices are stable across ECO edits.
+	Assign []BackendKind
+	// CSMStages/NLDMStages count the assignment (CSMStages+NLDMStages =
+	// len(Assign)).
+	CSMStages  int
+	NLDMStages int
+}
+
+// Attribution maps instance name → backend kind for reporting.
+func (p *BackendPlan) Attribution(nl *sta.Netlist) map[string]BackendKind {
+	out := make(map[string]BackendKind, len(p.Assign))
+	for i, k := range p.Assign {
+		out[nl.Instances[i].Name] = k
+	}
+	return out
+}
+
+// GraphConfig is the graph build configuration realizing this plan.
+func (p *BackendPlan) GraphConfig(workers int, modelFor func(string) (*csm.Model, error)) graph.Config {
+	return graph.Config{
+		Workers:  workers,
+		ModelFor: modelFor,
+		Eval:     p.Eval,
+		Vdd:      p.Vdd,
+	}
+}
+
+// BackendResult couples a plan with the report its propagation produced.
+type BackendResult struct {
+	Plan   *BackendPlan
+	Report *sta.Report
+}
+
+// PlanBackend resolves a backend spec against a netlist: characterizes
+// (or accepts preloaded) tables and models, and — for the hybrid kind —
+// runs the whole-circuit NLDM pass, classifies stages by slack against
+// the margin, and assigns each stage its calculator.
+func (e *Engine) PlanBackend(ctx context.Context, spec BackendSpec, nl *sta.Netlist, primary map[string]wave.Waveform, opt sta.Options) (*BackendPlan, error) {
+	kind := spec.Kind
+	if kind == "" {
+		kind = BackendCSM
+	}
+	switch kind {
+	case BackendCSM:
+		models, err := e.ModelsFor(spec.Tech, nl, spec.CSM)
+		if err != nil {
+			return nil, err
+		}
+		assign := make([]BackendKind, len(nl.Instances))
+		for i := range assign {
+			assign[i] = BackendCSM
+		}
+		return &BackendPlan{Kind: kind, Models: models, Assign: assign, CSMStages: len(assign)}, nil
+
+	case BackendNLDM:
+		ev, err := e.evaluatorFor(spec, nl)
+		if err != nil {
+			return nil, err
+		}
+		assign := make([]BackendKind, len(nl.Instances))
+		for i := range assign {
+			assign[i] = BackendNLDM
+		}
+		return &BackendPlan{
+			Kind: kind, Vdd: ev.Vdd(), Eval: nldmEval(ev),
+			Assign: assign, NLDMStages: len(assign),
+		}, nil
+
+	case BackendHybrid:
+		return e.planHybrid(ctx, spec, nl, primary, opt)
+	}
+	return nil, fmt.Errorf("engine: unknown backend %q", kind)
+}
+
+// planHybrid: NLDM everywhere → slack classification → CSM models for the
+// near-critical stages only → a per-index routing hook.
+func (e *Engine) planHybrid(ctx context.Context, spec BackendSpec, nl *sta.Netlist, primary map[string]wave.Waveform, opt sta.Options) (*BackendPlan, error) {
+	ev, err := e.evaluatorFor(spec, nl)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ev.Analyze(nl, primary, opt)
+	if err != nil {
+		return nil, fmt.Errorf("engine: hybrid NLDM pass: %w", err)
+	}
+	slacks, err := res.Slacks(nl)
+	if err != nil {
+		return nil, err
+	}
+	margin := spec.Margin
+	if margin <= 0 {
+		// Default criticality window: 10% of the table pass's worst
+		// output arrival — near-critical in the ECO sense.
+		if w := res.WorstArrival(nl); !math.IsNaN(w) && w > 0 {
+			margin = w / 10
+		}
+	}
+
+	assign := make([]BackendKind, len(nl.Instances))
+	csmCount := 0
+	for i, s := range slacks {
+		if s <= margin {
+			assign[i] = BackendCSM
+			csmCount++
+		} else {
+			assign[i] = BackendNLDM
+		}
+	}
+
+	// Characterize CSM models only for the cell types the near-critical
+	// stages actually use.
+	var models map[string]*csm.Model
+	if csmCount > 0 {
+		sub := &sta.Netlist{}
+		for i := range nl.Instances {
+			if assign[i] == BackendCSM {
+				sub.Instances = append(sub.Instances, nl.Instances[i])
+			}
+		}
+		if models, err = e.ModelsFor(spec.Tech, sub, spec.CSM); err != nil {
+			return nil, err
+		}
+		for t, m := range models {
+			if m.Vdd != ev.Vdd() {
+				return nil, fmt.Errorf("engine: hybrid: CSM model %s at %gV, NLDM tables at %gV", t, m.Vdd, ev.Vdd())
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	eval := func(nlx *sta.Netlist, models map[string]*csm.Model, idx int, waves map[string]wave.Waveform, load csm.Load, vdd float64, opt sta.Options) (wave.Waveform, int, error) {
+		if assign[idx] == BackendCSM {
+			return sta.EvalStageWithLoad(nlx, models, idx, waves, load, vdd, opt)
+		}
+		return ev.EvalStage(nlx, idx, waves, opt)
+	}
+	return &BackendPlan{
+		Kind: BackendHybrid, Margin: margin,
+		Models: models, Vdd: ev.Vdd(), Eval: eval,
+		Assign: assign, CSMStages: csmCount, NLDMStages: len(assign) - csmCount,
+	}, nil
+}
+
+// nldmEval adapts an evaluator to the graph's hook signature: the CSM
+// arguments (models, precomputed load, vdd) are ignored — the evaluator
+// carries its own tables, load model, and rail.
+func nldmEval(ev *nldm.Evaluator) graph.EvalFunc {
+	return func(nl *sta.Netlist, _ map[string]*csm.Model, idx int, waves map[string]wave.Waveform, _ csm.Load, _ float64, opt sta.Options) (wave.Waveform, int, error) {
+		return ev.EvalStage(nl, idx, waves, opt)
+	}
+}
+
+// evaluatorFor builds the NLDM evaluator for a spec: preloaded tables
+// first, the characterization cache for everything else (including cell
+// types ECO swaps introduce later).
+func (e *Engine) evaluatorFor(spec BackendSpec, nl *sta.Netlist) (*nldm.Evaluator, error) {
+	cfg := spec.NLDM
+	if len(cfg.Slews) == 0 {
+		cfg = nldm.DefaultConfig(spec.Tech)
+	}
+	libs, err := e.NLDMFor(spec.Tech, nl, cfg, spec.Tables)
+	if err != nil {
+		return nil, err
+	}
+	return nldm.NewEvaluator(libs, func(cellType string) (*nldm.Library, error) {
+		if lib, ok := spec.Tables[cellType]; ok {
+			return lib, nil
+		}
+		return e.nldmGet(spec.Tech, cellType, cfg)
+	})
+}
+
+// AnalyzeBackend runs one full analysis under the chosen backend. The
+// CSM kind routes through the identical graph build as AnalyzeCtx, so
+// its reports are byte-for-byte the historical ones at any worker count.
+func (e *Engine) AnalyzeBackend(ctx context.Context, spec BackendSpec, nl *sta.Netlist, primary map[string]wave.Waveform, opt sta.Options) (*BackendResult, error) {
+	plan, err := e.PlanBackend(ctx, spec, nl, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := plan.GraphConfig(e.workers, nil)
+	cfg.ShareNetlist = true
+	g, err := graph.Build(nl, plan.Models, primary, opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Propagate(ctx); err != nil {
+		return nil, err
+	}
+	e.stageEvals.Add(g.StageEvals())
+	return &BackendResult{Plan: plan, Report: g.Report()}, nil
+}
+
+// --- NLDM characterization cache ---------------------------------------
+
+// nldmCache singleflights NLDM table characterization, mirroring
+// ModelCache's contract: one build per key, joiners block, errors cache.
+type nldmCache struct {
+	mu      sync.Mutex
+	entries map[string]*nldmEntry
+}
+
+type nldmEntry struct {
+	ready chan struct{}
+	lib   *nldm.Library
+	err   error
+}
+
+func newNLDMCache() *nldmCache {
+	return &nldmCache{entries: map[string]*nldmEntry{}}
+}
+
+// nldmKey fingerprints a table characterization identity (cf. Key).
+func nldmKey(tech cells.Tech, spec cells.Spec, cfg nldm.Config) string {
+	return fmt.Sprintf("nldm|tech{%s vdd=%g n=%+v p=%+v wn=%g wp=%g}|cell{%s in=%v nch=%t npin=%v drive=%g}|cfg=%+v",
+		tech.Name, tech.Vdd, tech.NMOS, tech.PMOS, tech.WNMin, tech.WPMin,
+		spec.Name, spec.Inputs, spec.NonControllingHigh, spec.NonControllingPin, spec.Drive,
+		cfg)
+}
+
+// nldmGet characterizes (at most once) the NLDM library of a cell type.
+func (e *Engine) nldmGet(tech cells.Tech, cellType string, cfg nldm.Config) (*nldm.Library, error) {
+	spec, err := cells.Get(cellType)
+	if err != nil {
+		return nil, err
+	}
+	c := e.nldm
+	key := nldmKey(tech, spec, cfg)
+	c.mu.Lock()
+	if ent, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.lib, ent.err
+	}
+	ent := &nldmEntry{ready: make(chan struct{})}
+	c.entries[key] = ent
+	c.mu.Unlock()
+
+	ent.lib, ent.err = nldm.Characterize(tech, spec, cfg)
+	if ent.err != nil {
+		ent.err = fmt.Errorf("engine: characterize %s (nldm): %w", cellType, ent.err)
+	}
+	close(ent.ready)
+	return ent.lib, ent.err
+}
+
+// NLDMFor assembles one NLDM library per distinct cell type in the
+// netlist: preloaded tables win, everything else characterizes through
+// the engine's table cache, fanned out on the worker pool.
+func (e *Engine) NLDMFor(tech cells.Tech, nl *sta.Netlist, cfg nldm.Config, preset map[string]*nldm.Library) (map[string]*nldm.Library, error) {
+	var types []string
+	seen := map[string]bool{}
+	for _, inst := range nl.Instances {
+		if !seen[inst.Type] {
+			seen[inst.Type] = true
+			types = append(types, inst.Type)
+		}
+	}
+	libsArr := make([]*nldm.Library, len(types))
+	errs := make([]error, len(types))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i, t := range types {
+		if lib, ok := preset[t]; ok {
+			libsArr[i] = lib
+			continue
+		}
+		wg.Add(1)
+		go func(i int, t string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			libsArr[i], errs[i] = e.nldmGet(tech, t, cfg)
+		}(i, t)
+	}
+	wg.Wait()
+
+	libs := make(map[string]*nldm.Library, len(types))
+	for i, t := range types {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		libs[t] = libsArr[i]
+	}
+	return libs, nil
+}
+
+// --- Canonical backend report ------------------------------------------
+
+// BackendStep is one critical-path step of a backend report.
+type BackendStep struct {
+	Net      string `json:"net"`
+	Instance string `json:"instance,omitempty"`
+	Arrival  string `json:"arrival"`
+	Backend  string `json:"backend"` // csm | nldm | input (primary inputs)
+}
+
+// BackendGolden is the canonical wire form of a backend analysis: the
+// attribution and critical path the hybrid strategy is judged by, plus
+// the standard golden report. Exact shortest round-trip floats and sorted
+// map keys make equal results byte-identical (testdata/golden pins it).
+type BackendGolden struct {
+	Circuit      string            `json:"circuit"`
+	Backend      string            `json:"backend"`
+	Margin       string            `json:"margin"`
+	Stages       int               `json:"stages"`
+	CSMStages    int               `json:"csm_stages"`
+	NLDMStages   int               `json:"nldm_stages"`
+	Attribution  map[string]string `json:"attribution"`
+	WorstOutput  string            `json:"worst_output,omitempty"`
+	WorstArrival string            `json:"worst_arrival,omitempty"`
+	CriticalPath []BackendStep     `json:"critical_path,omitempty"`
+	Report       *sta.GoldenReport `json:"report"`
+}
+
+// CanonicalBackendReport assembles the canonical form of a result.
+func CanonicalBackendReport(circuit string, nl *sta.Netlist, res *BackendResult) *BackendGolden {
+	plan := res.Plan
+	attr := make(map[string]string, len(plan.Assign))
+	instKind := make(map[string]string, len(plan.Assign))
+	for i, k := range plan.Assign {
+		attr[nl.Instances[i].Name] = string(k)
+		instKind[nl.Instances[i].Name] = string(k)
+	}
+	g := &BackendGolden{
+		Circuit:     circuit,
+		Backend:     string(plan.Kind),
+		Margin:      sta.FormatFloat(plan.Margin),
+		Stages:      len(plan.Assign),
+		CSMStages:   plan.CSMStages,
+		NLDMStages:  plan.NLDMStages,
+		Attribution: attr,
+		Report:      sta.CanonicalReport(circuit, res.Report),
+	}
+	if net, arr, ok := res.Report.WorstOutput(nl); ok {
+		g.WorstOutput = net
+		g.WorstArrival = sta.FormatFloat(arr)
+		for _, step := range res.Report.CriticalPath(nl, net) {
+			bk := "input"
+			if step.Instance != "" {
+				bk = instKind[step.Instance]
+			}
+			g.CriticalPath = append(g.CriticalPath, BackendStep{
+				Net:      step.Net,
+				Instance: step.Instance,
+				Arrival:  sta.FormatFloat(step.Arrival),
+				Backend:  bk,
+			})
+		}
+	}
+	return g
+}
+
+// MarshalBackendReport renders the canonical JSON bytes (two-space
+// indent plus trailing newline — the golden framing).
+func MarshalBackendReport(circuit string, nl *sta.Netlist, res *BackendResult) ([]byte, error) {
+	data, err := json.MarshalIndent(CanonicalBackendReport(circuit, nl, res), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -22,6 +22,7 @@ import (
 type Engine struct {
 	workers    int
 	cache      *ModelCache
+	nldm       *nldmCache
 	stageEvals atomic.Int64
 }
 
@@ -35,7 +36,7 @@ func New(workers int, cache *ModelCache) *Engine {
 	if cache == nil {
 		cache = NewModelCache()
 	}
-	return &Engine{workers: workers, cache: cache}
+	return &Engine{workers: workers, cache: cache, nldm: newNLDMCache()}
 }
 
 // Workers reports the worker-pool width.

@@ -39,6 +39,14 @@ import (
 	"mcsm/internal/wave"
 )
 
+// EvalFunc is the stage-evaluation primitive a TimingGraph routes every
+// (re-)evaluation through — the sta.EvalStageWithLoad signature. Delay
+// backends substitute table lookup or per-stage mixed evaluation here; a
+// nil hook means the CSM waveform path, bit-identical to the one-shot
+// engine. Implementations must be safe for concurrent calls across the
+// stages of one topological level and must treat waves as read-only.
+type EvalFunc func(nl *sta.Netlist, models map[string]*csm.Model, idx int, waves map[string]wave.Waveform, load csm.Load, vdd float64, opt sta.Options) (wave.Waveform, int, error)
+
 // Config scopes a TimingGraph build.
 type Config struct {
 	// Workers is the level-parallel pool width for Propagate
@@ -53,6 +61,13 @@ type Config struct {
 	// clone. Only safe when the graph will never be edited (the engine's
 	// one-shot wrapper) — edit ops mutate the netlist in place.
 	ShareNetlist bool
+	// Eval overrides the stage evaluator (nil = sta.EvalStageWithLoad).
+	// The graph retains the hook for its lifetime, so ECO sessions keep
+	// their delay backend across every edit round.
+	Eval EvalFunc
+	// Vdd supplies the rail voltage when the graph runs without CSM models
+	// (a table-only Eval hook); ignored when models are present.
+	Vdd float64
 }
 
 // Stats summarizes one Propagate call.
@@ -91,7 +106,9 @@ type TimingGraph struct {
 	vdd     float64
 	workers int
 
-	modelFor func(string) (*csm.Model, error)
+	eval       EvalFunc
+	customEval bool // a backend hook is installed (relaxes SwapCell's CSM-model demand)
+	modelFor   func(string) (*csm.Model, error)
 
 	instIdx map[string]int  // instance name -> index
 	driver  map[string]int  // net -> driving instance index
@@ -123,7 +140,13 @@ func Build(nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wav
 	}
 	vdd, opt, err := sta.Setup(models, primary, opt)
 	if err != nil {
-		return nil, err
+		// A backend hook can run without any CSM model as long as it
+		// brings its own rail voltage (the table-only NLDM path).
+		if len(models) == 0 && cfg.Eval != nil && cfg.Vdd > 0 {
+			vdd, opt, err = cfg.Vdd, sta.ResolveOptions(primary, opt), nil
+		} else {
+			return nil, err
+		}
 	}
 	if !cfg.ShareNetlist {
 		nl = nl.Clone()
@@ -151,6 +174,11 @@ func Build(nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wav
 		loads:          make(map[string]csm.Load, len(nl.Instances)),
 		dirty:          make(map[int]bool, len(nl.Instances)),
 		pendingChanged: map[string]bool{},
+	}
+	g.eval = cfg.Eval
+	g.customEval = cfg.Eval != nil
+	if g.eval == nil {
+		g.eval = sta.EvalStageWithLoad
 	}
 	for t, m := range models {
 		g.models[t] = m
@@ -413,7 +441,7 @@ func (g *TimingGraph) evalStage(idx int) stageResult {
 	if g.lastEval[idx].matches(rec.typ, rec.loadGen, cur) {
 		return stageResult{skipped: true}
 	}
-	out, sw, err := sta.EvalStageWithLoad(g.nl, g.models, idx, g.waves, g.loads[inst.Output], g.vdd, g.opt)
+	out, sw, err := g.eval(g.nl, g.models, idx, g.waves, g.loads[inst.Output], g.vdd, g.opt)
 	if err != nil {
 		return stageResult{err: err}
 	}

@@ -20,7 +20,6 @@ import (
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
 	"mcsm/internal/nldm"
-	"mcsm/internal/units"
 	"mcsm/internal/wave"
 )
 
@@ -67,8 +66,19 @@ func DefaultFunction(cellName string) string {
 	return ""
 }
 
+// Decimal-exponent shifts from SI to the written display units. The writer
+// formats every numeric value with FormatScaled under these shifts and the
+// parser undoes them with ParseScaled, so write→parse is bit-exact.
+const (
+	expTime    = 9  // seconds → ns
+	expCap     = 12 // farads → pF
+	expCurrent = 3  // amperes → mA
+)
+
 // Write emits the library. Times are in ns, capacitances in pF, currents
-// in mA — the conventional Liberty unit set.
+// in mA — the conventional Liberty unit set. All values use the exact
+// shortest round-trip encoding (FormatScaled), so a library parsed back by
+// Parse reproduces the in-memory tables bit-for-bit.
 func Write(w io.Writer, lib *Library) error {
 	if len(lib.Cells) == 0 {
 		return fmt.Errorf("liberty: empty library")
@@ -102,8 +112,8 @@ func Write(w io.Writer, lib *Library) error {
 		e.open("lu_table_template (%s)", name)
 		e.attr("variable_1", "input_net_transition")
 		e.attr("variable_2", "total_output_net_capacitance")
-		e.attr(fmt.Sprintf("index_1 (%s)", quoteList(scaleAll(c.NLDM.Arcs[0].Delay.Axes[0].Points, 1/units.NS))), "")
-		e.attr(fmt.Sprintf("index_2 (%s)", quoteList(scaleAll(c.NLDM.Arcs[0].Delay.Axes[1].Points, 1/units.PF))), "")
+		e.attr(fmt.Sprintf("index_1 (%s)", quoteList(c.NLDM.Arcs[0].Delay.Axes[0].Points, expTime)), "")
+		e.attr(fmt.Sprintf("index_2 (%s)", quoteList(c.NLDM.Arcs[0].Delay.Axes[1].Points, expCap)), "")
 		e.close()
 	}
 
@@ -130,7 +140,7 @@ func writeCell(e *emitter, lib *Library, c Cell, tmpl string) error {
 	for _, pin := range pins {
 		e.open("pin (%s)", pin)
 		e.attr("direction", "input")
-		e.attr("capacitance", fmt.Sprintf("%.6f", pinCapPF(lib, c, pin)))
+		e.attr("capacitance", FormatScaled(pinCap(lib, c, pin), expCap))
 		e.close()
 	}
 	// Output pin with the timing arcs.
@@ -149,8 +159,8 @@ func writeCell(e *emitter, lib *Library, c Cell, tmpl string) error {
 		if arc.OutRise {
 			kind, trans = "cell_rise", "rise_transition"
 		}
-		writeTable(e, kind, tmpl, arc.Delay.Data, 1/units.NS)
-		writeTable(e, trans, tmpl, arc.Slew.Data, 1/units.NS)
+		writeTable(e, kind, tmpl, arc.Delay.Data, expTime)
+		writeTable(e, trans, tmpl, arc.Slew.Data, expTime)
 		if c.CSM != nil {
 			if err := writeCCSVectors(e, lib, c, arc); err != nil {
 				e.close() // timing
@@ -180,9 +190,13 @@ func inputPins(c Cell) []string {
 	return out
 }
 
-// pinCapPF returns the pin capacitance in pF: the CSM's mean CPin when
-// available, otherwise the technology estimate.
-func pinCapPF(lib *Library, c Cell, pin string) float64 {
+// pinCap returns the pin capacitance in farads: the NLDM library's own
+// input-cap entry when present, else the CSM's mean CPin, else the
+// technology estimate.
+func pinCap(lib *Library, c Cell, pin string) float64 {
+	if cap, ok := c.NLDM.InputCap[pin]; ok {
+		return cap
+	}
 	if c.CSM != nil {
 		for i, p := range c.CSM.Inputs {
 			if p == pin {
@@ -190,35 +204,27 @@ func pinCapPF(lib *Library, c Cell, pin string) float64 {
 				for _, v := range c.CSM.CPin[i].Data {
 					sum += v
 				}
-				return sum / float64(len(c.CSM.CPin[i].Data)) / units.PF
+				return sum / float64(len(c.CSM.CPin[i].Data))
 			}
 		}
 	}
-	return lib.Tech.MinInverterInputCap() / units.PF
+	return lib.Tech.MinInverterInputCap()
 }
 
 // writeTable emits a values() group over the template grid.
-func writeTable(e *emitter, kind, tmpl string, data []float64, scale float64) {
+func writeTable(e *emitter, kind, tmpl string, data []float64, exp int) {
 	e.open("%s (%s)", kind, tmpl)
-	e.attr(fmt.Sprintf("values (%s)", quoteList(scaleAll(data, scale))), "")
+	e.attr(fmt.Sprintf("values (%s)", quoteList(data, exp)), "")
 	e.close()
 }
 
-// quoteList renders `"a, b, c"`.
-func quoteList(vals []float64) string {
+// quoteList renders `"a, b, c"` with each value exactly scaled by 10^exp.
+func quoteList(vals []float64, exp int) string {
 	parts := make([]string, len(vals))
 	for i, v := range vals {
-		parts[i] = fmt.Sprintf("%.6g", v)
+		parts[i] = FormatScaled(v, exp)
 	}
 	return `"` + strings.Join(parts, ", ") + `"`
-}
-
-func scaleAll(vals []float64, k float64) []float64 {
-	out := make([]float64, len(vals))
-	for i, v := range vals {
-		out[i] = v * k
-	}
-	return out
 }
 
 // writeCCSVectors emits CCS-style output_current vectors for the arc: one
@@ -259,20 +265,20 @@ func writeCCSVectors(e *emitter, lib *Library, c Cell, arc *nldm.Arc) error {
 				return fmt.Errorf("liberty: CCS vector %s %s: %w", c.Name, arc.Input, err)
 			}
 			e.open("vector (ccs_%dpt)", nPts)
-			e.attr("reference_time", fmt.Sprintf("%.6g", t0/units.NS))
-			e.attr(fmt.Sprintf("index_1 (%s)", quoteList([]float64{slew / units.NS})), "")
-			e.attr(fmt.Sprintf("index_2 (%s)", quoteList([]float64{load / units.PF})), "")
+			e.attr("reference_time", FormatScaled(t0, expTime))
+			e.attr(fmt.Sprintf("index_1 (%s)", quoteList([]float64{slew}, expTime)), "")
+			e.attr(fmt.Sprintf("index_2 (%s)", quoteList([]float64{load}, expCap)), "")
 			// Sample the current over the switching window.
 			span := iw.End() - t0
 			ts := make([]float64, nPts)
 			vs := make([]float64, nPts)
 			for k := 0; k < nPts; k++ {
 				t := t0 + span*float64(k)/float64(nPts-1)
-				ts[k] = t / units.NS
-				vs[k] = iw.At(t) / 1e-3 // mA
+				ts[k] = t
+				vs[k] = iw.At(t)
 			}
-			e.attr(fmt.Sprintf("index_3 (%s)", quoteList(ts)), "")
-			e.attr(fmt.Sprintf("values (%s)", quoteList(vs)), "")
+			e.attr(fmt.Sprintf("index_3 (%s)", quoteList(ts, expTime)), "")
+			e.attr(fmt.Sprintf("values (%s)", quoteList(vs, expCurrent)), "")
 			e.close()
 		}
 	}

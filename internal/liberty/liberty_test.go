@@ -116,20 +116,29 @@ func TestWriteValuesPlausible(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	// Delay values are emitted in ns: the NOR2 delays are tens of ps, so
-	// every cell_rise row should contain values like 0.0xx.
-	idx := strings.Index(out, "cell_rise (")
-	if idx < 0 {
-		t.Fatal("no cell_rise group")
+	// Parse the written text back and check the values landed in physically
+	// plausible SI ranges (the units round-tripped, not just the syntax).
+	parsed, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
 	}
-	seg := out[idx : idx+400]
-	if !strings.Contains(seg, "0.0") {
-		t.Errorf("cell_rise values not in plausible ns range: %s", seg)
+	inv := parsed.Cell("INV")
+	if inv == nil {
+		t.Fatal("no INV cell in parsed output")
 	}
-	// Pin capacitance in pF: ~0.002–0.02 pF for these cells.
-	capIdx := strings.Index(out, "capacitance : 0.0")
-	if capIdx < 0 {
-		t.Error("pin capacitance not in plausible pF range")
+	arc, err := inv.NLDM.FindArc("INV", "A", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range arc.Delay.Data {
+		if d < 1e-12 || d > 1e-9 {
+			t.Errorf("INV delay %g s outside plausible ps–ns range", d)
+		}
+	}
+	// Pin capacitance ~2–20 fF for these cells.
+	cap := inv.Pin("A").Capacitance
+	if cap < 2e-16 || cap > 2e-14 {
+		t.Errorf("pin capacitance %g F not in plausible fF range", cap)
 	}
 }
 

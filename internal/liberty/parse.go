@@ -1,0 +1,812 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mcsm/internal/nldm"
+	"mcsm/internal/table"
+)
+
+// This file is the reader half of the package: a Liberty (.lib) parser
+// able to ingest mcsm-lib's own output (bit-exactly, via ParseScaled — the
+// inverse of the writer's FormatScaled) as well as real-world exemplars
+// with features the writer never emits: scalar tables, setup/hold
+// constraint arcs, ff/latch groups, comments, line continuations, and
+// non-default unit declarations. Unknown groups and attributes are
+// skipped; *malformed* syntax is rejected with a line-numbered error, and
+// the parser never panics (FuzzParseLiberty enforces this).
+
+// maxGroupDepth bounds group nesting so hostile inputs cannot grow the
+// recursion unboundedly.
+const maxGroupDepth = 64
+
+// errf builds the package's canonical line-numbered parse error.
+func errf(line int, format string, args ...any) error {
+	return fmt.Errorf("liberty:%d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokColon
+	tokSemi
+	tokComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokWord:
+		return "word"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	}
+	return "token"
+}
+
+type token struct {
+	kind   tokKind
+	text   string
+	quoted bool
+	line   int
+}
+
+func (t token) describe() string {
+	if t.kind == tokWord {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return t.kind.String()
+}
+
+type scanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newScanner(src string) *scanner { return &scanner{src: src, line: 1} }
+
+// skipSpace consumes whitespace, comments, and backslash-newline
+// continuations, tracking line numbers.
+func (s *scanner) skipSpace() error {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == '\n':
+			s.line++
+			s.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			s.pos++
+		case c == '\\' && s.pos+1 < len(s.src) && (s.src[s.pos+1] == '\n' || s.src[s.pos+1] == '\r'):
+			s.pos++ // the backslash; the newline is consumed by the loop
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			start := s.line
+			end := strings.Index(s.src[s.pos+2:], "*/")
+			if end < 0 {
+				return errf(start, "unterminated comment")
+			}
+			s.line += strings.Count(s.src[s.pos:s.pos+2+end+2], "\n")
+			s.pos += 2 + end + 2
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '/':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// isDelim reports whether c ends a bare word.
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '{', '}', '(', ')', ':', ';', ',', '"', '\\':
+		return true
+	}
+	return false
+}
+
+func (s *scanner) next() (token, error) {
+	if err := s.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if s.pos >= len(s.src) {
+		return token{kind: tokEOF, line: s.line}, nil
+	}
+	line := s.line
+	c := s.src[s.pos]
+	single := map[byte]tokKind{
+		'{': tokLBrace, '}': tokRBrace, '(': tokLParen, ')': tokRParen,
+		':': tokColon, ';': tokSemi, ',': tokComma,
+	}
+	if k, ok := single[c]; ok {
+		s.pos++
+		return token{kind: k, line: line}, nil
+	}
+	if c == '"' {
+		s.pos++
+		var b strings.Builder
+		for {
+			if s.pos >= len(s.src) {
+				return token{}, errf(line, "unterminated string")
+			}
+			ch := s.src[s.pos]
+			switch {
+			case ch == '"':
+				s.pos++
+				return token{kind: tokWord, text: b.String(), quoted: true, line: line}, nil
+			case ch == '\\' && s.pos+1 < len(s.src) && (s.src[s.pos+1] == '\n' || s.src[s.pos+1] == '\r'):
+				// Line continuation inside a quoted list.
+				s.pos++
+			case ch == '\n':
+				s.line++
+				s.pos++
+				b.WriteByte(' ')
+			default:
+				b.WriteByte(ch)
+				s.pos++
+			}
+		}
+	}
+	start := s.pos
+	for s.pos < len(s.src) && !isDelim(s.src[s.pos]) {
+		// A '/' only delimits when it starts a comment.
+		if s.src[s.pos] == '/' && s.pos+1 < len(s.src) &&
+			(s.src[s.pos+1] == '/' || s.src[s.pos+1] == '*') {
+			break
+		}
+		s.pos++
+	}
+	if s.pos == start {
+		return token{}, errf(line, "unexpected character %q", string(s.src[s.pos]))
+	}
+	return token{kind: tokWord, text: s.src[start:s.pos], line: line}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Group tree
+
+// group is one parsed Liberty group: `type (args) { attrs/subgroups }`.
+type group struct {
+	Type   string
+	Args   []string
+	Attrs  []attr
+	Groups []*group
+	Line   int
+}
+
+// attr is one attribute: `name : value;` (simple) or `name (v1, v2);`
+// (complex). Quoted values have their quotes stripped.
+type attr struct {
+	Name    string
+	Value   string   // simple form
+	Values  []string // complex form
+	Complex bool
+	Line    int
+}
+
+// simple returns the first simple attribute by name.
+func (g *group) simple(name string) (string, bool) {
+	for i := range g.Attrs {
+		if !g.Attrs[i].Complex && g.Attrs[i].Name == name {
+			return g.Attrs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// complexAttr returns the first complex attribute by name.
+func (g *group) complexAttr(name string) (*attr, bool) {
+	for i := range g.Attrs {
+		if g.Attrs[i].Complex && g.Attrs[i].Name == name {
+			return &g.Attrs[i], true
+		}
+	}
+	return nil, false
+}
+
+// child returns the first subgroup of the given type.
+func (g *group) child(typ string) (*group, bool) {
+	for _, c := range g.Groups {
+		if c.Type == typ {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+type parser struct {
+	sc    *scanner
+	tok   token
+	depth int
+}
+
+func (p *parser) advance() error {
+	t, err := p.sc.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// parseTree parses a whole file: exactly one top-level group.
+func parseTree(src string) (*group, error) {
+	p := &parser{sc: newScanner(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokWord || p.tok.quoted {
+		return nil, errf(p.tok.line, "expected a group, got %s", p.tok.describe())
+	}
+	g, err := p.parseNamed()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokSemi {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errf(p.tok.line, "unexpected %s after top-level group", p.tok.describe())
+	}
+	return g, nil
+}
+
+// parseNamed parses `name (args) {...}` or reports the statement is not a
+// group. The current token is the bare name.
+func (p *parser) parseNamed() (*group, error) {
+	g := &group{Type: p.tok.text, Line: p.tok.line}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, errf(p.tok.line, "expected '(' after %q, got %s", g.Type, p.tok.describe())
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	g.Args = args
+	if p.tok.kind != tokLBrace {
+		return nil, errf(p.tok.line, "expected '{' to open group %q, got %s", g.Type, p.tok.describe())
+	}
+	if err := p.parseBody(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseArgs consumes '(' value[, value...] ')'.
+func (p *parser) parseArgs() ([]string, error) {
+	open := p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var args []string
+	for {
+		switch p.tok.kind {
+		case tokRParen:
+			err := p.advance()
+			return args, err
+		case tokWord:
+			args = append(args, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokEOF:
+			return nil, errf(open, "unclosed '('")
+		default:
+			return nil, errf(p.tok.line, "unexpected %s in argument list", p.tok.describe())
+		}
+	}
+}
+
+// parseBody consumes '{' statements '}' [';'] into g.
+func (p *parser) parseBody(g *group) error {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxGroupDepth {
+		return errf(p.tok.line, "groups nested deeper than %d", maxGroupDepth)
+	}
+	if err := p.advance(); err != nil { // consume '{'
+		return err
+	}
+	for {
+		switch p.tok.kind {
+		case tokRBrace:
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokSemi {
+				return p.advance()
+			}
+			return nil
+		case tokEOF:
+			return errf(g.Line, "group %q is never closed", g.Type)
+		case tokSemi:
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case tokWord:
+			if p.tok.quoted {
+				return errf(p.tok.line, "unexpected string %q (expected attribute or group)", p.tok.text)
+			}
+			if err := p.parseStatement(g); err != nil {
+				return err
+			}
+		default:
+			return errf(p.tok.line, "unexpected %s in group %q", p.tok.describe(), g.Type)
+		}
+	}
+}
+
+// parseStatement dispatches one `name : value;`, `name (args);`, or
+// `name (args) {...}` inside g. The current token is the bare name.
+func (p *parser) parseStatement(g *group) error {
+	name, line := p.tok.text, p.tok.line
+	if err := p.advance(); err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokColon:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokWord {
+			return errf(p.tok.line, "expected a value after %q :, got %s", name, p.tok.describe())
+		}
+		g.Attrs = append(g.Attrs, attr{Name: name, Value: p.tok.text, Line: line})
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokSemi {
+			return p.advance()
+		}
+		return nil
+	case tokLParen:
+		args, err := p.parseArgs()
+		if err != nil {
+			return err
+		}
+		if p.tok.kind == tokLBrace {
+			sub := &group{Type: name, Args: args, Line: line}
+			if err := p.parseBody(sub); err != nil {
+				return err
+			}
+			g.Groups = append(g.Groups, sub)
+			return nil
+		}
+		g.Attrs = append(g.Attrs, attr{Name: name, Values: args, Complex: true, Line: line})
+		if p.tok.kind == tokSemi {
+			return p.advance()
+		}
+		return nil
+	default:
+		return errf(line, "expected ':' or '(' after %q, got %s", name, p.tok.describe())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Semantic layer
+
+// Template is a parsed lu_table_template with breakpoints in SI units.
+type Template struct {
+	Name           string
+	Var1, Var2     string
+	Index1, Index2 []float64
+}
+
+// ParsedPin is one pin group of a parsed cell.
+type ParsedPin struct {
+	Name        string
+	Direction   string
+	Capacitance float64 // farads (0 when the file carries none)
+	Function    string
+	Line        int
+}
+
+// ParsedCell is one cell group: its pins plus the delay/slew arcs
+// converted into an nldm.Library (empty for cells with no delay arcs,
+// e.g. constants or flops that carry only constraint tables).
+type ParsedCell struct {
+	Name string
+	Area float64
+	Pins []ParsedPin
+	NLDM *nldm.Library
+	Line int
+}
+
+// Pin returns the named pin, or nil.
+func (c *ParsedCell) Pin(name string) *ParsedPin {
+	for i := range c.Pins {
+		if c.Pins[i].Name == name {
+			return &c.Pins[i]
+		}
+	}
+	return nil
+}
+
+// ParsedLibrary is the semantic result of Parse.
+type ParsedLibrary struct {
+	Name       string
+	NomVoltage float64
+	Templates  map[string]*Template
+	Cells      []*ParsedCell
+}
+
+// Cell returns the named cell, or nil.
+func (l *ParsedLibrary) Cell(name string) *ParsedCell {
+	for _, c := range l.Cells {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// NLDMLibraries returns the per-cell NLDM views keyed by cell name — the
+// preload format the engine's table-lookup backend consumes.
+func (l *ParsedLibrary) NLDMLibraries() map[string]*nldm.Library {
+	out := make(map[string]*nldm.Library, len(l.Cells))
+	for _, c := range l.Cells {
+		out[c.Name] = c.NLDM
+	}
+	return out
+}
+
+// Parse reads a Liberty library. Syntax errors carry the source line
+// (`liberty:12: ...`); unknown groups and attributes are skipped, so
+// real-world libraries with flops, constraint arcs, and vendor attributes
+// ingest cleanly down to their NLDM content.
+func Parse(r io.Reader) (*ParsedLibrary, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	root, err := parseTree(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if root.Type != "library" {
+		return nil, errf(root.Line, "top-level group is %q, want library", root.Type)
+	}
+	lib := &ParsedLibrary{Templates: map[string]*Template{}}
+	if len(root.Args) > 0 {
+		lib.Name = root.Args[0]
+	}
+
+	timeExp, capExp, err := unitShifts(root)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := root.simple("nom_voltage"); ok {
+		if lib.NomVoltage, err = ParseScaled(v, 0); err != nil {
+			return nil, errf(root.Line, "nom_voltage: %v", err)
+		}
+	}
+
+	for _, g := range root.Groups {
+		switch g.Type {
+		case "lu_table_template":
+			t, err := parseTemplate(g, timeExp, capExp)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := lib.Templates[t.Name]; dup {
+				return nil, errf(g.Line, "duplicate lu_table_template %q", t.Name)
+			}
+			lib.Templates[t.Name] = t
+		case "cell":
+			c, err := parseCell(g, lib, timeExp, capExp)
+			if err != nil {
+				return nil, err
+			}
+			if lib.Cell(c.Name) != nil {
+				return nil, errf(g.Line, "duplicate cell %q", c.Name)
+			}
+			lib.Cells = append(lib.Cells, c)
+		}
+	}
+	return lib, nil
+}
+
+// unitShifts resolves the library's declared units into the decimal
+// exponent shifts that convert file values to SI. Defaults match the
+// writer: ns and pF.
+func unitShifts(root *group) (timeExp, capExp int, err error) {
+	timeExp, capExp = -expTime, -expCap
+	if v, ok := root.simple("time_unit"); ok {
+		switch strings.ToLower(v) {
+		case "1s":
+			timeExp = 0
+		case "1ms":
+			timeExp = -3
+		case "1us":
+			timeExp = -6
+		case "1ns":
+			timeExp = -9
+		case "1ps":
+			timeExp = -12
+		case "1fs":
+			timeExp = -15
+		default:
+			return 0, 0, errf(root.Line, "unsupported time_unit %q", v)
+		}
+	}
+	if a, ok := root.complexAttr("capacitive_load_unit"); ok {
+		if len(a.Values) != 2 || a.Values[0] != "1" {
+			return 0, 0, errf(a.Line, "unsupported capacitive_load_unit (%s)", strings.Join(a.Values, ","))
+		}
+		switch strings.ToLower(a.Values[1]) {
+		case "f":
+			capExp = 0
+		case "uf":
+			capExp = -6
+		case "nf":
+			capExp = -9
+		case "pf":
+			capExp = -12
+		case "ff":
+			capExp = -15
+		default:
+			return 0, 0, errf(a.Line, "unsupported capacitance unit %q", a.Values[1])
+		}
+	}
+	return timeExp, capExp, nil
+}
+
+// listValues flattens a complex attribute's arguments: each argument may
+// itself be a quoted comma-separated row ("0.1, 0.2").
+func listValues(a *attr) []string {
+	var out []string
+	for _, arg := range a.Values {
+		for _, f := range strings.Split(arg, ",") {
+			f = strings.TrimSpace(f)
+			if f != "" {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// parseFloats converts a flattened value list with a unit shift.
+func parseFloats(a *attr, exp int) ([]float64, error) {
+	fields := listValues(a)
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := ParseScaled(f, exp)
+		if err != nil {
+			return nil, errf(a.Line, "%s: %v", a.Name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// axisShift picks the unit shift for a template variable by its Liberty
+// meaning: transition/time variables are times, capacitance variables are
+// capacitances.
+func axisShift(variable string, def, timeExp, capExp int) int {
+	switch {
+	case strings.Contains(variable, "capacitance"):
+		return capExp
+	case strings.Contains(variable, "transition"), strings.Contains(variable, "time"):
+		return timeExp
+	}
+	return def
+}
+
+func parseTemplate(g *group, timeExp, capExp int) (*Template, error) {
+	if len(g.Args) == 0 {
+		return nil, errf(g.Line, "lu_table_template needs a name")
+	}
+	t := &Template{Name: g.Args[0]}
+	t.Var1, _ = g.simple("variable_1")
+	t.Var2, _ = g.simple("variable_2")
+	if a, ok := g.complexAttr("index_1"); ok {
+		pts, err := parseFloats(a, axisShift(t.Var1, timeExp, timeExp, capExp))
+		if err != nil {
+			return nil, err
+		}
+		t.Index1 = pts
+	}
+	if a, ok := g.complexAttr("index_2"); ok {
+		pts, err := parseFloats(a, axisShift(t.Var2, capExp, timeExp, capExp))
+		if err != nil {
+			return nil, err
+		}
+		t.Index2 = pts
+	}
+	if len(t.Index1) == 0 {
+		return nil, errf(g.Line, "lu_table_template %q has no index_1", t.Name)
+	}
+	return t, nil
+}
+
+func parseCell(g *group, lib *ParsedLibrary, timeExp, capExp int) (*ParsedCell, error) {
+	if len(g.Args) == 0 {
+		return nil, errf(g.Line, "cell needs a name")
+	}
+	c := &ParsedCell{Name: g.Args[0], Line: g.Line}
+	if v, ok := g.simple("area"); ok {
+		a, err := ParseScaled(v, 0)
+		if err != nil {
+			return nil, errf(g.Line, "cell %s area: %v", c.Name, err)
+		}
+		c.Area = a
+	}
+	c.NLDM = &nldm.Library{Vdd: lib.NomVoltage, InputCap: map[string]float64{}}
+
+	for _, pg := range g.Groups {
+		if pg.Type != "pin" {
+			continue // ff, latch, statetable, ... — not timing content
+		}
+		if len(pg.Args) == 0 {
+			return nil, errf(pg.Line, "cell %s: pin needs a name", c.Name)
+		}
+		pin := ParsedPin{Name: pg.Args[0], Line: pg.Line}
+		pin.Direction, _ = pg.simple("direction")
+		pin.Function, _ = pg.simple("function")
+		if v, ok := pg.simple("capacitance"); ok {
+			cap, err := ParseScaled(v, capExp)
+			if err != nil {
+				return nil, errf(pg.Line, "pin %s/%s capacitance: %v", c.Name, pin.Name, err)
+			}
+			pin.Capacitance = cap
+		}
+		if pin.Direction == "input" && pin.Capacitance > 0 {
+			c.NLDM.InputCap[pin.Name] = pin.Capacitance
+		}
+		c.Pins = append(c.Pins, pin)
+
+		for _, tg := range pg.Groups {
+			if tg.Type != "timing" {
+				continue
+			}
+			if err := parseTiming(tg, c, lib, timeExp, capExp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// parseTiming converts one timing group into zero or more nldm arcs: one
+// per (related pin × present output direction). Constraint-only groups
+// (setup/hold) carry no cell_rise/cell_fall and produce no arcs.
+func parseTiming(tg *group, c *ParsedCell, lib *ParsedLibrary, timeExp, capExp int) error {
+	related, ok := tg.simple("related_pin")
+	if !ok {
+		return errf(tg.Line, "cell %s: timing group has no related_pin", c.Name)
+	}
+	sense, _ := tg.simple("timing_sense")
+	pins := strings.Fields(related)
+	if len(pins) == 0 {
+		return errf(tg.Line, "cell %s: empty related_pin", c.Name)
+	}
+
+	for _, outRise := range []bool{true, false} {
+		delayKind, slewKind := "cell_fall", "fall_transition"
+		if outRise {
+			delayKind, slewKind = "cell_rise", "rise_transition"
+		}
+		dg, ok := tg.child(delayKind)
+		if !ok {
+			continue
+		}
+		sg, ok := tg.child(slewKind)
+		if !ok {
+			return errf(dg.Line, "cell %s: %s without %s", c.Name, delayKind, slewKind)
+		}
+		delay, err := parseTableGroup(dg, lib, timeExp, capExp, timeExp)
+		if err != nil {
+			return err
+		}
+		slew, err := parseTableGroup(sg, lib, timeExp, capExp, timeExp)
+		if err != nil {
+			return err
+		}
+		inputRise := !outRise // negative_unate (the default and writer's sense)
+		if sense == "positive_unate" {
+			inputRise = outRise
+		}
+		for _, pin := range pins {
+			c.NLDM.Arcs = append(c.NLDM.Arcs, nldm.Arc{
+				Cell:      c.Name,
+				Input:     pin,
+				InputRise: inputRise,
+				OutRise:   outRise,
+				Delay:     delay,
+				Slew:      slew,
+			})
+		}
+	}
+	return nil
+}
+
+// parseTableGroup builds a 2-D lookup table from a `kind (template)`
+// group: axes come from the named template (index_1/index_2 overrides
+// inside the group win), a "scalar" template is the degenerate 1×1 grid,
+// and the flattened values row-major fill must match the grid size. The
+// value unit shift is valExp (times for delay/slew tables).
+func parseTableGroup(g *group, lib *ParsedLibrary, timeExp, capExp, valExp int) (*table.Table, error) {
+	idx1 := []float64{0}
+	idx2 := []float64{0}
+	if len(g.Args) > 0 && g.Args[0] != "scalar" {
+		t, ok := lib.Templates[g.Args[0]]
+		if !ok {
+			return nil, errf(g.Line, "%s references unknown template %q", g.Type, g.Args[0])
+		}
+		idx1 = t.Index1
+		if len(t.Index2) > 0 {
+			idx2 = t.Index2
+		}
+	}
+	if a, ok := g.complexAttr("index_1"); ok {
+		pts, err := parseFloats(a, timeExp)
+		if err != nil {
+			return nil, err
+		}
+		idx1 = pts
+	}
+	if a, ok := g.complexAttr("index_2"); ok {
+		pts, err := parseFloats(a, capExp)
+		if err != nil {
+			return nil, err
+		}
+		idx2 = pts
+	}
+	va, ok := g.complexAttr("values")
+	if !ok {
+		return nil, errf(g.Line, "%s has no values", g.Type)
+	}
+	vals, err := parseFloats(va, valExp)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(idx1)*len(idx2) {
+		return nil, errf(va.Line, "%s has %d values for a %dx%d grid",
+			g.Type, len(vals), len(idx1), len(idx2))
+	}
+	tbl, err := table.New(
+		table.Axis{Name: "slew", Points: idx1},
+		table.Axis{Name: "load", Points: idx2},
+	)
+	if err != nil {
+		return nil, errf(g.Line, "%s: %v", g.Type, err)
+	}
+	copy(tbl.Data, vals)
+	return tbl, nil
+}

@@ -1,0 +1,341 @@
+package liberty
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/nldm"
+	"mcsm/internal/table"
+)
+
+// TestFormatScaledRoundTrip checks the bit-exactness contract of the
+// textual exponent shift on awkward values.
+func TestFormatScaledRoundTrip(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 1.2, math.Pi * 1e-10, 1.0 / 3.0 * 1e-12,
+		2.3470281308994945e-11, 5e-324, math.MaxFloat64, -7.25e-16,
+		math.Nextafter(1e-9, 2e-9),
+	}
+	for _, exp := range []int{0, 9, 12, 3, -15} {
+		for _, v := range vals {
+			s := FormatScaled(v, exp)
+			got, err := ParseScaled(s, -exp)
+			if err != nil {
+				t.Fatalf("ParseScaled(%q, %d): %v", s, -exp, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Errorf("round trip %g via exp %d: %q -> %g", v, exp, s, got)
+			}
+		}
+	}
+	if _, err := ParseScaled("NaN", 0); err == nil {
+		t.Error("ParseScaled accepted NaN")
+	}
+	if _, err := ParseScaled("1e400", 0); err == nil {
+		t.Error("ParseScaled accepted overflow")
+	}
+}
+
+// compareNLDM asserts two libraries are bit-for-bit identical in
+// everything Liberty carries: Vdd, input caps, arcs, axes, table data.
+func compareNLDM(t *testing.T, cell string, want, got *nldm.Library) {
+	t.Helper()
+	if math.Float64bits(want.Vdd) != math.Float64bits(got.Vdd) {
+		t.Errorf("%s: Vdd %g != %g", cell, got.Vdd, want.Vdd)
+	}
+	if len(want.InputCap) != len(got.InputCap) {
+		t.Errorf("%s: input caps %v != %v", cell, got.InputCap, want.InputCap)
+	}
+	for pin, w := range want.InputCap {
+		if g := got.InputCap[pin]; math.Float64bits(g) != math.Float64bits(w) {
+			t.Errorf("%s/%s: input cap %g != %g", cell, pin, g, w)
+		}
+	}
+	if len(want.Arcs) != len(got.Arcs) {
+		t.Fatalf("%s: %d arcs, want %d", cell, len(got.Arcs), len(want.Arcs))
+	}
+	for i := range want.Arcs {
+		w, g := &want.Arcs[i], &got.Arcs[i]
+		if g.Input != w.Input || g.InputRise != w.InputRise || g.OutRise != w.OutRise {
+			t.Errorf("%s arc %d: %s rise=%v/%v, want %s rise=%v/%v",
+				cell, i, g.Input, g.InputRise, g.OutRise, w.Input, w.InputRise, w.OutRise)
+		}
+		compareTable(t, fmt.Sprintf("%s arc %d delay", cell, i), w.Delay, g.Delay)
+		compareTable(t, fmt.Sprintf("%s arc %d slew", cell, i), w.Slew, g.Slew)
+	}
+}
+
+func compareTable(t *testing.T, what string, want, got *table.Table) {
+	t.Helper()
+	if len(want.Axes) != len(got.Axes) {
+		t.Fatalf("%s: %d axes, want %d", what, len(got.Axes), len(want.Axes))
+	}
+	for a := range want.Axes {
+		wp, gp := want.Axes[a].Points, got.Axes[a].Points
+		if len(wp) != len(gp) {
+			t.Fatalf("%s axis %d: %d points, want %d", what, a, len(gp), len(wp))
+		}
+		for i := range wp {
+			if math.Float64bits(wp[i]) != math.Float64bits(gp[i]) {
+				t.Errorf("%s axis %d point %d: %g != %g", what, a, i, gp[i], wp[i])
+			}
+		}
+	}
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Errorf("%s data %d: %g != %g", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestRoundTripCharacterized: a characterized library written by Write and
+// read back by Parse reproduces the in-memory tables bit-for-bit — the
+// satellite contract that lets served backends trust ingested libraries.
+func TestRoundTripCharacterized(t *testing.T) {
+	lib := fixtureLibrary(t)
+	var sb strings.Builder
+	if err := Write(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != lib.Name {
+		t.Errorf("library name %q, want %q", parsed.Name, lib.Name)
+	}
+	for _, c := range lib.Cells {
+		pc := parsed.Cell(c.Name)
+		if pc == nil {
+			t.Fatalf("cell %s missing from parsed library", c.Name)
+		}
+		compareNLDM(t, c.Name, c.NLDM, pc.NLDM)
+	}
+}
+
+// TestRoundTripAwkwardFloats writes a synthetic library stuffed with
+// values that expose any multiply-based scaling, then requires bit
+// equality after the round trip.
+func TestRoundTripAwkwardFloats(t *testing.T) {
+	slews := []float64{math.Pi * 1e-11, 1.0 / 3.0 * 1e-10}
+	loads := []float64{2.3470281308994945e-15, 7.000000000000001e-15}
+	mk := func(seed float64) *table.Table {
+		tb, err := table.New(
+			table.Axis{Name: "slew", Points: slews},
+			table.Axis{Name: "load", Points: loads},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tb.Data {
+			tb.Data[i] = seed * (1 + float64(i)/7)
+		}
+		return tb
+	}
+	src := &nldm.Library{
+		Vdd:      1.2000000000000002,
+		InputCap: map[string]float64{"A": math.Nextafter(1.3e-15, 2e-15)},
+		Arcs: []nldm.Arc{
+			{Cell: "INV", Input: "A", InputRise: true, OutRise: false, Delay: mk(3.0000000000000004e-11), Slew: mk(1e-10 / 3)},
+			{Cell: "INV", Input: "A", InputRise: false, OutRise: true, Delay: mk(math.Pi * 1e-11), Slew: mk(5.1e-11)},
+		},
+	}
+	lib := &Library{Name: "awkward", Tech: cells.Default130(), Cells: []Cell{{Name: "INV", NLDM: src}}}
+	var sb strings.Builder
+	if err := Write(&sb, lib); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := parsed.Cell("INV")
+	if pc == nil {
+		t.Fatal("INV missing")
+	}
+	// Vdd is written from Tech, not the nldm library; compare the rest.
+	got := pc.NLDM
+	got.Vdd = src.Vdd
+	compareNLDM(t, "INV", src, got)
+}
+
+// TestParseExemplar ingests the trimmed real-world cmos.lib exemplar:
+// scalar tables, ff/constraint groups, quoted values, fF units,
+// comments, and line continuations.
+func TestParseExemplar(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "cmos_trimmed.lib"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lib, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "cmoslib" {
+		t.Errorf("name %q, want cmoslib", lib.Name)
+	}
+	if lib.NomVoltage != 1.1 {
+		t.Errorf("nom_voltage %g, want 1.1", lib.NomVoltage)
+	}
+	if len(lib.Cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(lib.Cells))
+	}
+
+	dff := lib.Cell("DFF")
+	if dff == nil {
+		t.Fatal("no DFF")
+	}
+	// fF units: capacitance 1 → 1e-15 F.
+	if c := dff.Pin("CLK").Capacitance; c != 1e-15 {
+		t.Errorf("CLK cap %g, want 1e-15", c)
+	}
+	// Constraint-only timing groups on D produce no delay arcs; the Q pin's
+	// rising_edge group has all four tables → 2 arcs.
+	if n := len(dff.NLDM.Arcs); n != 2 {
+		t.Errorf("DFF arcs = %d, want 2", n)
+	}
+
+	if zero := lib.Cell("ZERO"); zero == nil || len(zero.NLDM.Arcs) != 0 {
+		t.Error("ZERO should parse with no arcs")
+	}
+
+	inv := lib.Cell("INV")
+	arc, err := inv.NLDM.FindArc("INV", "A", false) // rise output, negative unate
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar table: 1 ns everywhere, including off-grid queries (clamped).
+	if d := arc.Delay.At2(123e-12, 9e-15); d != 1e-9 {
+		t.Errorf("scalar delay = %g, want 1e-9", d)
+	}
+
+	nand := lib.Cell("NAND2")
+	if c := nand.Pin("A").Capacitance; c != 1.5e-15 {
+		t.Errorf("NAND2 A cap %g, want 1.5e-15", c)
+	}
+	if n := len(nand.NLDM.Arcs); n != 1 {
+		t.Fatalf("NAND2 arcs = %d, want 1", n)
+	}
+	na := &nand.NLDM.Arcs[0]
+	if !na.OutRise || na.InputRise {
+		t.Errorf("NAND2 arc directions out=%v in=%v, want rise/fall", na.OutRise, na.InputRise)
+	}
+	// Template axes in ns/fF; values list used a line continuation.
+	if got := na.Delay.Axes[0].Points[1]; got != 0.2e-9 {
+		t.Errorf("slew axis point %g, want 2e-10", got)
+	}
+	if got := na.Delay.Axes[1].Points[1]; got != 4e-15 {
+		t.Errorf("load axis point %g, want 4e-15", got)
+	}
+	if got := na.Delay.Data[1]; got != 0.23e-9 {
+		t.Errorf("delay[0][1] = %g, want 2.3e-10", got)
+	}
+	if got := na.Delay.Data[2]; got != 0.17e-9 {
+		t.Errorf("delay[1][0] = %g, want 1.7e-10", got)
+	}
+}
+
+// TestParseErrors: malformed inputs are rejected with line-numbered
+// errors, never a panic.
+func TestParseErrors(t *testing.T) {
+	deep := "library (x) {" + strings.Repeat("g (a) {", 80) + strings.Repeat("}", 81)
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "liberty:1:"},
+		{"not a group", "42", "liberty:1:"},
+		{"wrong top group", "foo (x) { }", "want library"},
+		{"unclosed group", "library (x) {", "never closed"},
+		{"unclosed paren", "library (x", "unclosed '('"},
+		{"unterminated string", "library (x) { a : \"oops", "unterminated string"},
+		{"unterminated comment", "library (x) { /* oops", "unterminated comment"},
+		{"trailing junk", "library (x) { } extra", "after top-level group"},
+		{"missing colon", "library (x) { delay_model table_lookup; }", "expected ':' or '('"},
+		{"nameless cell", "library (x) { cell () { } }", "cell needs a name"},
+		{"nameless pin", "library (x) { cell (c) { pin () { } } }", "pin needs a name"},
+		{"bad time unit", `library (x) { time_unit : "2ns"; }`, "unsupported time_unit"},
+		{"bad cap unit", "library (x) { capacitive_load_unit (1,furlongs); }", "unsupported capacitance unit"},
+		{"bad capacitance", "library (x) { cell (c) { pin (p) { capacitance : 1e; } } }", "bad number"},
+		{"bad nom_voltage", "library (x) { nom_voltage : zap; }", "bad number"},
+		{"nameless template", "library (x) { lu_table_template () { index_1 (\"1\"); } }", "needs a name"},
+		{"template no index", "library (x) { lu_table_template (t) { variable_1 : input_net_transition; } }", "no index_1"},
+		{"dup template", `library (x) { lu_table_template (t) { index_1 ("1"); } lu_table_template (t) { index_1 ("1"); } }`, "duplicate lu_table_template"},
+		{"dup cell", "library (x) { cell (c) { } cell (c) { } }", "duplicate cell"},
+		{"unknown template", `library (x) { cell (c) { pin (y) { timing () { related_pin : "a"; cell_rise (ghost) { values ("1"); } rise_transition (scalar) { values ("1"); } } } } }`, "unknown template"},
+		{"no related pin", `library (x) { cell (c) { pin (y) { timing () { cell_rise (scalar) { values ("1"); } } } } }`, "no related_pin"},
+		{"delay without slew", `library (x) { cell (c) { pin (y) { timing () { related_pin : "a"; cell_rise (scalar) { values ("1"); } } } } }`, "cell_rise without rise_transition"},
+		{"no values", `library (x) { cell (c) { pin (y) { timing () { related_pin : "a"; cell_rise (scalar) { } rise_transition (scalar) { values ("1"); } } } } }`, "has no values"},
+		{"value count", `library (x) { lu_table_template (t) { index_1 ("1, 2"); index_2 ("1, 2"); } cell (c) { pin (y) { timing () { related_pin : "a"; cell_rise (t) { values ("1, 2, 3"); } rise_transition (t) { values ("1, 2, 3, 4"); } } } } }`, "3 values for a 2x2 grid"},
+		{"non-monotone index", `library (x) { lu_table_template (t) { index_1 ("2, 1"); } cell (c) { pin (y) { timing () { related_pin : "a"; cell_rise (t) { values ("1, 2"); } rise_transition (t) { values ("1, 2"); } } } } }`, "liberty:"},
+		{"too deep", deep, "nested deeper"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.HasPrefix(err.Error(), "liberty:") {
+				t.Errorf("error lacks line prefix: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q lacks %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseErrorLineNumbers spot-checks that reported lines point at the
+// offending construct, not the start of the file.
+func TestParseErrorLineNumbers(t *testing.T) {
+	src := "library (x) {\n  delay_model : table_lookup;\n  cell () {\n  }\n}\n"
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("accepted nameless cell")
+	}
+	if !strings.HasPrefix(err.Error(), "liberty:3:") {
+		t.Errorf("error should point at line 3: %v", err)
+	}
+}
+
+func FuzzParseLiberty(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, de := range entries {
+		if !strings.HasSuffix(de.Name(), ".lib") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join("testdata", de.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	f.Add("library (x) { }")
+	f.Add(`library (x) { time_unit : "1ps"; capacitive_load_unit (1,ff); }`)
+	f.Add("library (x) { cell (c) { pin (p) { capacitance : 1e; } } }")
+	f.Add("library(x){a(b){c(d){}}}")
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := Parse(strings.NewReader(src))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "liberty:") {
+				t.Errorf("error lacks line prefix: %v", err)
+			}
+			return
+		}
+		// A successful parse must yield a usable library view.
+		for _, nl := range lib.NLDMLibraries() {
+			for i := range nl.Arcs {
+				nl.Arcs[i].Evaluate(1e-10, 1e-15)
+			}
+		}
+	})
+}

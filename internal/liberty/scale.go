@@ -1,0 +1,67 @@
+package liberty
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Liberty files carry values in display units (ns, pF, mA) while the rest
+// of the stack works in SI. Converting by multiplication (v*1e9 on write,
+// *1e-9 on read) is not bit-exact — powers of ten are not powers of two,
+// so the round trip accumulates a rounding residue. These helpers instead
+// shift the *decimal exponent* of the shortest round-trip representation
+// textually (the same idiom as units.ParseSI), so
+//
+//	ParseScaled(FormatScaled(v, e), -e) == v
+//
+// holds for every finite float64 bit pattern, which is what makes the
+// writer→parser round trip a bit-level contract rather than a tolerance.
+
+// FormatScaled renders v·10^exp exactly: the shortest decimal string that
+// round-trips to v, with its exponent shifted by exp. Non-finite values
+// render via strconv ("NaN", "+Inf") — characterized tables never contain
+// them, and ParseScaled rejects them.
+func FormatScaled(v float64, exp int) string {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	s := strconv.FormatFloat(v, 'e', -1, 64) // mantissa "d.ddd" + "e±dd"
+	mant, es, _ := strings.Cut(s, "e")
+	n, _ := strconv.Atoi(es)
+	n += exp
+	if n == 0 {
+		return mant
+	}
+	return mant + "e" + strconv.Itoa(n)
+}
+
+// ParseScaled reads a decimal number and applies a power-of-ten shift to
+// its exponent textually before the single correctly-rounded ParseFloat —
+// the exact inverse of FormatScaled. Rejects non-finite results.
+func ParseScaled(s string, exp int) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	mant, es, found := strings.Cut(s, "e")
+	if !found {
+		mant, es, found = strings.Cut(s, "E")
+	}
+	n := 0
+	if found {
+		var err error
+		if n, err = strconv.Atoi(es); err != nil {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+	}
+	v, err := strconv.ParseFloat(mant+"e"+strconv.Itoa(n+exp), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad number %q: non-finite", s)
+	}
+	return v, nil
+}

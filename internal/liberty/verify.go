@@ -1,0 +1,84 @@
+package liberty
+
+import (
+	"fmt"
+	"math"
+
+	"mcsm/internal/nldm"
+	"mcsm/internal/table"
+)
+
+// EqualNLDM reports whether two NLDM libraries are bit-identical: same
+// supply, same input-cap map, same arcs with bitwise-equal axes and data.
+// This is the write→parse round-trip contract mcsm-lib -check enforces:
+// the textual decimal-exponent scaling of the writer and parser must
+// reproduce every float64 exactly.
+func EqualNLDM(a, b *nldm.Library) error {
+	if !sameBits(a.Vdd, b.Vdd) {
+		return fmt.Errorf("vdd %v != %v", a.Vdd, b.Vdd)
+	}
+	if len(a.InputCap) != len(b.InputCap) {
+		return fmt.Errorf("input-cap count %d != %d", len(a.InputCap), len(b.InputCap))
+	}
+	for pin, c := range a.InputCap {
+		if !sameBits(c, b.InputCap[pin]) {
+			return fmt.Errorf("pin %s capacitance %v != %v", pin, c, b.InputCap[pin])
+		}
+	}
+	if len(a.Arcs) != len(b.Arcs) {
+		return fmt.Errorf("arc count %d != %d", len(a.Arcs), len(b.Arcs))
+	}
+	for i := range a.Arcs {
+		aa := &a.Arcs[i]
+		bb := findArc(b, aa)
+		if bb == nil {
+			return fmt.Errorf("arc %s (in rise=%t, out rise=%t) missing", aa.Input, aa.InputRise, aa.OutRise)
+		}
+		if err := equalTable(aa.Delay, bb.Delay); err != nil {
+			return fmt.Errorf("arc %s delay: %w", aa.Input, err)
+		}
+		if err := equalTable(aa.Slew, bb.Slew); err != nil {
+			return fmt.Errorf("arc %s slew: %w", aa.Input, err)
+		}
+	}
+	return nil
+}
+
+func findArc(lib *nldm.Library, want *nldm.Arc) *nldm.Arc {
+	for i := range lib.Arcs {
+		a := &lib.Arcs[i]
+		if a.Input == want.Input && a.InputRise == want.InputRise && a.OutRise == want.OutRise {
+			return a
+		}
+	}
+	return nil
+}
+
+func equalTable(a, b *table.Table) error {
+	if len(a.Axes) != len(b.Axes) {
+		return fmt.Errorf("rank %d != %d", len(a.Axes), len(b.Axes))
+	}
+	for i := range a.Axes {
+		if len(a.Axes[i].Points) != len(b.Axes[i].Points) {
+			return fmt.Errorf("axis %d: %d points != %d", i, len(a.Axes[i].Points), len(b.Axes[i].Points))
+		}
+		for j, p := range a.Axes[i].Points {
+			if !sameBits(p, b.Axes[i].Points[j]) {
+				return fmt.Errorf("axis %d point %d: %v != %v", i, j, p, b.Axes[i].Points[j])
+			}
+		}
+	}
+	if len(a.Data) != len(b.Data) {
+		return fmt.Errorf("%d values != %d", len(a.Data), len(b.Data))
+	}
+	for i, v := range a.Data {
+		if !sameBits(v, b.Data[i]) {
+			return fmt.Errorf("value %d: %v != %v", i, v, b.Data[i])
+		}
+	}
+	return nil
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

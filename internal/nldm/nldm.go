@@ -38,6 +38,19 @@ type Arc struct {
 type Library struct {
 	Vdd  float64
 	Arcs []Arc
+	// InputCap maps input pin name → lumped pin capacitance (farads): the
+	// load an NLDM-only analysis charges a driving stage with per fanout
+	// pin. Characterize fills a technology estimate; Liberty ingestion
+	// carries the file's pin capacitance attributes through exactly.
+	InputCap map[string]float64
+}
+
+// InputCapFor returns the pin's lumped input capacitance.
+func (l *Library) InputCapFor(pin string) (float64, error) {
+	if c, ok := l.InputCap[pin]; ok {
+		return c, nil
+	}
+	return 0, fmt.Errorf("nldm: no input capacitance for pin %q", pin)
 }
 
 // Config controls NLDM characterization.
@@ -65,8 +78,17 @@ func Characterize(tech cells.Tech, spec cells.Spec, cfg Config) (*Library, error
 	if len(cfg.Slews) < 2 || len(cfg.Loads) < 2 {
 		return nil, fmt.Errorf("nldm: need at least a 2x2 grid")
 	}
-	lib := &Library{Vdd: tech.Vdd}
+	lib := &Library{Vdd: tech.Vdd, InputCap: map[string]float64{}}
 	for _, pin := range spec.Inputs {
+		// Pin load estimate: the minimum inverter's gate capacitance scaled
+		// by the cell's drive (device widths scale with Drive, and gate cap
+		// scales with width). NLDM loading is approximate by construction;
+		// the CSM receiver tables remain the accurate source.
+		drive := spec.Drive
+		if drive <= 0 {
+			drive = 1
+		}
+		lib.InputCap[pin] = tech.MinInverterInputCap() * drive
 		for _, inputRise := range []bool{true, false} {
 			arc, err := characterizeArc(tech, spec, pin, inputRise, cfg)
 			if err != nil {

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"mcsm/internal/engine"
 )
 
 // metrics is the server's live counter set (atomics; read racily and
@@ -27,6 +29,36 @@ type metrics struct {
 	errors          atomic.Int64
 	inFlight        atomic.Int64
 	queued          atomic.Int64
+
+	// Per-backend analysis counts plus the hybrid stage economy (how many
+	// stages went through each calculator across all hybrid analyses).
+	backendCSM       atomic.Int64
+	backendNLDM      atomic.Int64
+	backendHybrid    atomic.Int64
+	hybridCSMStages  atomic.Int64
+	hybridNLDMStages atomic.Int64
+}
+
+// backendCounter maps a backend kind to its analysis counter.
+func (m *metrics) backendCounter(kind engine.BackendKind) *atomic.Int64 {
+	switch kind {
+	case engine.BackendNLDM:
+		return &m.backendNLDM
+	case engine.BackendHybrid:
+		return &m.backendHybrid
+	}
+	return &m.backendCSM
+}
+
+// BackendMetrics is the delay-backend section of /metrics.
+type BackendMetrics struct {
+	CSM    int64 `json:"csm"`
+	NLDM   int64 `json:"nldm"`
+	Hybrid int64 `json:"hybrid"`
+	// Hybrid stage attribution totals: of all stages hybrid analyses
+	// evaluated, how many went through each calculator.
+	HybridCSMStages  int64 `json:"hybrid_csm_stages"`
+	HybridNLDMStages int64 `json:"hybrid_nldm_stages"`
 }
 
 // ModelCacheMetrics mirrors engine.CacheStats plus the derived rate.
@@ -87,6 +119,7 @@ type Metrics struct {
 	ModelCache   ModelCacheMetrics `json:"model_cache"`
 	NetlistCache lruStats          `json:"netlist_cache"`
 	Sessions     SessionMetrics    `json:"sessions"`
+	Backends     BackendMetrics    `json:"backends"`
 
 	StageEvals        int64   `json:"stage_evals"`
 	StageEvalsPerSec  float64 `json:"stage_evals_per_sec"`
@@ -120,8 +153,15 @@ func (s *Server) Snapshot() Metrics {
 			Hits: cs.Hits, Misses: cs.Misses, DiskHits: cs.DiskHits,
 			SpillRejects: cs.SpillRejects, Entries: cs.Entries, HitRate: cs.HitRate(),
 		},
-		NetlistCache:    s.nets.stats(),
-		Sessions:        s.sessionMetrics(),
+		NetlistCache: s.nets.stats(),
+		Sessions:     s.sessionMetrics(),
+		Backends: BackendMetrics{
+			CSM:              s.metrics.backendCSM.Load(),
+			NLDM:             s.metrics.backendNLDM.Load(),
+			Hybrid:           s.metrics.backendHybrid.Load(),
+			HybridCSMStages:  s.metrics.hybridCSMStages.Load(),
+			HybridNLDMStages: s.metrics.hybridNLDMStages.Load(),
+		},
 		StageEvals:      s.eng.StageEvals(),
 		SweepPointEvals: s.metrics.sweepPoints.Load(),
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mcsm/internal/cliutil"
+	"mcsm/internal/engine"
 	"mcsm/internal/graph"
 	"mcsm/internal/sta"
 )
@@ -112,6 +113,7 @@ type SessionRequest struct {
 type SessionResponse struct {
 	Session    string  `json:"session"`
 	Circuit    string  `json:"circuit"`
+	Backend    string  `json:"backend"`
 	Stages     int     `json:"stages"`
 	Levels     int     `json:"levels"`
 	Nets       int     `json:"nets"`
@@ -204,14 +206,21 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	// One shared graph-construction path with the CLIs (cliutil): the
 	// netlist is cloned away from the shared parsed-workload cache, and
 	// swap-introduced cell types characterize through the server-wide
-	// model cache on demand.
+	// model cache on demand. The backend-aware build retains the resolved
+	// plan inside the graph's eval hook, so every ECO round of this
+	// session keeps its backend.
 	// The session-create cold propagation is deliberately NOT added to
 	// the eco_* counters — those aggregate the per-edit economy, and a
 	// full-circuit build would drown the signal.
-	g, _, err := cliutil.BuildGraphCtx(ctx, s.eng, s.tech, wl, job.cfg, primary, staOptions(job, horizon))
+	s.metrics.backendCounter(job.backend).Add(1)
+	g, plan, _, err := cliutil.BuildBackendGraphCtx(ctx, s.eng, s.tech, wl, job.backendSpec(s.tech), primary, staOptions(job, horizon))
 	if err != nil {
 		s.error(w, statusFor(err), err)
 		return
+	}
+	if plan.Kind == engine.BackendHybrid {
+		s.metrics.hybridCSMStages.Add(int64(plan.CSMStages))
+		s.metrics.hybridNLDMStages.Add(int64(plan.NLDMStages))
 	}
 
 	// Register under the requested id, or mint auto ids until one is
@@ -241,6 +250,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, SessionResponse{
 		Session:    id,
 		Circuit:    name,
+		Backend:    string(plan.Kind),
 		Stages:     len(g.Netlist().Instances),
 		Levels:     len(levels),
 		Nets:       g.NetCount(),

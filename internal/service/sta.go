@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"sort"
 
+	"mcsm/internal/cells"
 	"mcsm/internal/cliutil"
 	"mcsm/internal/csm"
+	"mcsm/internal/engine"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
@@ -52,6 +54,14 @@ type STARequest struct {
 	// Arrivals overlays per-net overrides in the CLI syntax:
 	// "a:rise@1n,b:fall@1.2n,c:high,d:low".
 	Arrivals string `json:"arrivals,omitempty"`
+	// Backend selects the delay calculator: "csm" (default; the golden
+	// waveform path), "nldm" (table lookup), or "hybrid" (NLDM everywhere,
+	// CSM for near-critical stages).
+	Backend string `json:"backend,omitempty"`
+	// Margin is the hybrid criticality threshold as an SI time ("150p");
+	// only valid with backend "hybrid". Empty selects the default (10% of
+	// the NLDM pass's worst arrival).
+	Margin string `json:"margin,omitempty"`
 }
 
 // staJob is a fully resolved STA request: every default applied, every
@@ -70,6 +80,8 @@ type staJob struct {
 	slew     float64
 	stimulus string
 	arrivals string
+	backend  engine.BackendKind
+	margin   float64 // hybrid criticality threshold (0 = default)
 }
 
 // resolveSTA validates a request into a job. All errors here are 400s.
@@ -151,6 +163,21 @@ func (s *Server) resolveSTA(req STARequest) (*staJob, error) {
 	default:
 		return nil, fmt.Errorf("unknown stimulus %q (want uniform, staggered, or c17)", req.Stimulus)
 	}
+
+	if job.backend, err = engine.ParseBackendKind(req.Backend); err != nil {
+		return nil, err
+	}
+	if req.Margin != "" {
+		if job.backend != engine.BackendHybrid {
+			return nil, fmt.Errorf("margin is only valid with backend hybrid")
+		}
+		if job.margin, err = cliutil.ParseSI(req.Margin); err != nil {
+			return nil, fmt.Errorf("margin: %w", err)
+		}
+		if job.margin <= 0 {
+			return nil, fmt.Errorf("margin must be positive")
+		}
+	}
 	return job, nil
 }
 
@@ -160,9 +187,10 @@ func (s *Server) resolveSTA(req STARequest) (*staJob, error) {
 func (j *staJob) key() string {
 	h := fnv.New128a()
 	h.Write([]byte(j.source))
-	return fmt.Sprintf("sta|%s|%s|%x|%+v|%t|%s|%d|%b|%b|%b|%s|%s",
+	return fmt.Sprintf("sta|%s|%s|%x|%+v|%t|%s|%d|%b|%b|%b|%s|%s|%s|%b",
 		j.name, j.format, h.Sum(nil), j.gen, j.genSet, j.cfgName,
-		j.mode, j.dt, j.horizon, j.slew, j.stimulus, j.arrivals)
+		j.mode, j.dt, j.horizon, j.slew, j.stimulus, j.arrivals,
+		j.backend, j.margin)
 }
 
 // netlistKey addresses the parsed-workload LRU: content hash for source
@@ -268,11 +296,31 @@ func (s *Server) computeSTA(job *staJob) response {
 		name = wl.Name
 	}
 	horizon := wl.Horizon(job.horizon, 4e-9, job.slew)
-	models, err := s.eng.ModelsFor(s.tech, wl.NL, job.cfg)
+	primary, err := job.primaryFor(wl, s.tech.Vdd, horizon)
 	if err != nil {
 		return response{err: err}
 	}
-	primary, err := job.primaryFor(wl, s.tech.Vdd, horizon)
+
+	// The non-csm backends answer the attribution-bearing backend report;
+	// the csm default stays on the historical path so its bytes remain
+	// pinned by the golden corpus.
+	if job.backend != engine.BackendCSM {
+		s.metrics.backendCounter(job.backend).Add(1)
+		res, err := s.eng.AnalyzeBackend(ctx, job.backendSpec(s.tech), wl.NL, primary, staOptions(job, horizon))
+		if err != nil {
+			return response{err: err}
+		}
+		s.metrics.hybridCSMStages.Add(int64(res.Plan.CSMStages))
+		s.metrics.hybridNLDMStages.Add(int64(res.Plan.NLDMStages))
+		body, err := engine.MarshalBackendReport(name, wl.NL, res)
+		if err != nil {
+			return response{err: err}
+		}
+		return response{status: http.StatusOK, contentType: "application/json", body: body}
+	}
+	s.metrics.backendCounter(engine.BackendCSM).Add(1)
+
+	models, err := s.eng.ModelsFor(s.tech, wl.NL, job.cfg)
 	if err != nil {
 		return response{err: err}
 	}
@@ -285,6 +333,11 @@ func (s *Server) computeSTA(job *staJob) response {
 		return response{err: err}
 	}
 	return response{status: http.StatusOK, contentType: "application/json", body: body}
+}
+
+// backendSpec assembles the engine backend spec a job implies.
+func (j *staJob) backendSpec(tech cells.Tech) engine.BackendSpec {
+	return engine.BackendSpec{Kind: j.backend, Tech: tech, CSM: j.cfg, Margin: j.margin}
 }
 
 // reply writes a materialized response (or its error).

@@ -93,6 +93,13 @@ func Setup(models map[string]*csm.Model, primary map[string]wave.Waveform, opt O
 	if vdd == 0 {
 		return 0, opt, fmt.Errorf("sta: no models supplied")
 	}
+	return vdd, ResolveOptions(primary, opt), nil
+}
+
+// ResolveOptions fills the defaulted analysis options (Dt, Horizon derived
+// from the primary stimuli) without requiring a model set — shared by
+// Setup and by delay backends that carry their own supply voltage.
+func ResolveOptions(primary map[string]wave.Waveform, opt Options) Options {
 	if opt.Dt <= 0 {
 		opt.Dt = 1e-12
 	}
@@ -105,7 +112,7 @@ func Setup(models map[string]*csm.Model, primary map[string]wave.Waveform, opt O
 		}
 		opt.Horizon = last + 2e-9
 	}
-	return vdd, opt, nil
+	return opt
 }
 
 // EvalStage evaluates the single instance at index idx: it gathers the
