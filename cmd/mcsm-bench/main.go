@@ -18,7 +18,9 @@
 // coalescing ratio), and an ECO probe through internal/graph (a retained
 // timing graph fed endpoint-biased single edits, measuring edits/sec,
 // the mean re-evaluated stage fraction, and incremental-vs-cold
-// bit-identity), and writes a JSON summary (per-experiment wall
+// bit-identity), and a Monte-Carlo probe through internal/mc (a small
+// variation budget at workers 1 vs N, measuring trials/sec and
+// report bit-identity across worker counts), and writes a JSON summary (per-experiment wall
 // times, characterization-cache hit rate, stage-evals/sec, sweep
 // points/sec, parallel speedups, bit-identity checks) so successive PRs
 // have a perf trajectory to compare against. Use "-json -" for stdout.
@@ -57,6 +59,7 @@ import (
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
+	"mcsm/internal/mc"
 	"mcsm/internal/netlist"
 	"mcsm/internal/service"
 	"mcsm/internal/sta"
@@ -191,6 +194,29 @@ type hybridProbe struct {
 	WithinMargin  bool    `json:"within_margin"`
 }
 
+// mcProbe measures the Monte-Carlo variation subsystem (internal/mc) on
+// the probe workload: a small trial budget run once on a serial engine
+// and once on the session's pool width. TrialsPerSec (parallel) is the
+// throughput headline; BitIdentical asserts the two canonical reports
+// match byte for byte — the subsystem's determinism contract (results
+// keyed by instance×trial, reduced in trial order, independent of
+// worker count). On a single-core host the speedup is ~1 by
+// construction; the bit-identity check is the part that must hold
+// everywhere.
+type mcProbe struct {
+	Netlist            string  `json:"netlist"`
+	Stages             int     `json:"stages"`
+	Trials             int     `json:"trials"`
+	Workers            int     `json:"workers"`
+	SerialSeconds      float64 `json:"serial_seconds"`
+	ParallelSeconds    float64 `json:"parallel_seconds"`
+	TrialsPerSecSerial float64 `json:"trials_per_sec_serial"`
+	TrialsPerSec       float64 `json:"trials_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	StageEvals         int64   `json:"stage_evals"`
+	BitIdentical       bool    `json:"bit_identical"`
+}
+
 type perfSummary struct {
 	SchemaVersion int          `json:"schema_version"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -204,6 +230,7 @@ type perfSummary struct {
 	EcoProbe      *ecoProbe    `json:"eco_probe,omitempty"`
 	CharProbe     *charProbe   `json:"char_probe,omitempty"`
 	HybridProbe   *hybridProbe `json:"hybrid_probe,omitempty"`
+	MCProbe       *mcProbe     `json:"mc_probe,omitempty"`
 }
 
 func main() {
@@ -324,9 +351,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("hybrid probe: %w", err))
 	}
+	mcPr, err := runMCProbe(sess, wl)
+	if err != nil {
+		fatal(fmt.Errorf("mc probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 6,
+		SchemaVersion: 7,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -340,6 +371,7 @@ func main() {
 		EcoProbe:    ecProbe,
 		CharProbe:   chProbe,
 		HybridProbe: hyProbe,
+		MCProbe:     mcPr,
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -884,6 +916,81 @@ func runHybridProbe(sess *experiments.Session, wl *probeNetlist, margin float64)
 	}
 	probe.CriticalErrS = math.Abs(probe.WorstHybridS - probe.WorstCSMS)
 	probe.WithinMargin = probe.CriticalErrS <= hyb.Plan.Margin
+	return probe, nil
+}
+
+// runMCProbe runs a small Monte-Carlo budget through internal/mc twice —
+// serial engine, then the session pool width — byte-comparing the
+// canonical reports (the worker-count determinism contract) and timing
+// trials/sec on each. The CSM backend keeps the probe exact; the trial
+// budget shrinks on mid-size corpus workloads where a single waveform
+// trial runs seconds.
+func runMCProbe(sess *experiments.Session, wl *probeNetlist) (*mcProbe, error) {
+	tech := sess.Cfg.Tech
+	cache := sess.Engine().Cache()
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	trials := 8
+	if len(wl.wl.NL.Instances) > 50 {
+		trials = 2
+	}
+	cfg := mc.Config{
+		Backend:       engine.BackendSpec{Kind: engine.BackendCSM, Tech: tech, CSM: sess.Cfg.CharCfg},
+		Trials:        trials,
+		Seed:          7,
+		SigmaVt:       mc.DefaultSigmaVt,
+		SigmaStrength: mc.DefaultSigmaStrength,
+	}
+	primary := wl.primary(tech.Vdd)
+	opt := sta.Options{Mode: sta.ModeMIS, Horizon: wl.horizon, Dt: sess.Cfg.Dt}
+	ctx := context.Background()
+
+	serialEng := engine.New(1, cache)
+	// Warm the model cache outside the timed passes.
+	if _, err := serialEng.ModelsFor(tech, wl.wl.NL, sess.Cfg.CharCfg); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	serialRes, err := mc.New(serialEng).Run(ctx, cfg, wl.wl.NL, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+	serialSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	parallelRes, err := mc.New(engine.New(workers, cache)).Run(ctx, cfg, wl.wl.NL, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+	parallelSec := time.Since(start).Seconds()
+
+	serialRep, err := mc.MarshalReport(wl.wl.Name, serialRes)
+	if err != nil {
+		return nil, err
+	}
+	parallelRep, err := mc.MarshalReport(wl.wl.Name, parallelRes)
+	if err != nil {
+		return nil, err
+	}
+
+	probe := &mcProbe{
+		Netlist: wl.wl.Name, Stages: len(wl.wl.NL.Instances),
+		Trials: trials, Workers: workers,
+		SerialSeconds: serialSec, ParallelSeconds: parallelSec,
+		StageEvals:   parallelRes.StageEvals,
+		BitIdentical: bytes.Equal(serialRep, parallelRep),
+	}
+	if serialSec > 0 {
+		probe.TrialsPerSecSerial = float64(trials) / serialSec
+	}
+	if parallelSec > 0 {
+		probe.TrialsPerSec = float64(trials) / parallelSec
+		probe.Speedup = serialSec / parallelSec
+	}
 	return probe, nil
 }
 

@@ -43,6 +43,15 @@
 // optionally capturing the canonical delta reports. The same flow runs
 // as a stateful HTTP session via mcsm-serve's /v1/session + /v1/eco.
 //
+// -mc spec.json switches to the Monte-Carlo variation mode: the spec
+// file carries the statistical knobs (trial budget, seed, sigmas — see
+// internal/mc.Spec), the workload and backend come from the usual flags,
+// and every trial runs a full-circuit STA with deterministic
+// instance-keyed variation sampling. The reduced per-output delay
+// distributions print as a table, with -mc-json capturing the canonical
+// exact-float report (byte-identical to the served /v1/mc reply for the
+// same inputs at any worker count).
+//
 // The flag plumbing (workload loading, -parallel/-cache, SI time parsing)
 // is shared with mcsm-sweep and mcsm-serve via internal/cliutil; the
 // same analysis is served over HTTP by cmd/mcsm-serve.
@@ -62,6 +71,7 @@ import (
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/graph"
+	"mcsm/internal/mc"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
@@ -81,6 +91,8 @@ func main() {
 		flat     = flag.Bool("flat", true, "also run the flat transistor reference (bench/gen inputs default to off)")
 		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
 		eco      = flag.String("eco", "", "replay an ECO edit script (JSON) incrementally and report per-batch deltas instead of the MIS/SIS comparison")
+		mcSpec   = flag.String("mc", "", "run a Monte-Carlo variation analysis from this spec file (JSON, see internal/mc.Spec) instead of the MIS/SIS comparison")
+		mcJSON   = flag.String("mc-json", "", "with -mc: write the canonical MC report to this path (\"-\" = stdout)")
 		ecoJSON  = flag.String("eco-json", "", "with -eco: also write the canonical per-batch delta reports as a JSON array to this path (\"-\" = stdout)")
 		beJSON   = flag.String("backend-json", "", "with -backend nldm/hybrid: write the canonical backend report (attribution + critical path) to this path (\"-\" = stdout)")
 		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
@@ -169,6 +181,26 @@ func main() {
 	beSpec, err := beFlags.Spec(tech, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *mcSpec != "" {
+		if *eco != "" || *ecoJSON != "" {
+			fatal(fmt.Errorf("-mc and -eco are mutually exclusive"))
+		}
+		spec, err := cliutil.LoadMCSpec(*mcSpec)
+		if err != nil {
+			fatal(err)
+		}
+		primary := wl.Stimulus(tech.Vdd, *slew, h)
+		if err := cliutil.ApplyArrivalSpec(primary, tech.Vdd, *arrivals, *slew, h); err != nil {
+			fatal(err)
+		}
+		if err := runMC(eng, wl, beSpec, spec, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *mcJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mcJSON != "" {
+		fatal(fmt.Errorf("-mc-json requires -mc"))
 	}
 	if beSpec.Kind != engine.BackendCSM {
 		h := wl.Horizon(explicitHorizon, *horizon, *slew)
@@ -307,6 +339,68 @@ func runBackend(eng *engine.Engine, wl *cliutil.Workload, spec engine.BackendSpe
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote backend report to %s\n", jsonPath)
+	return nil
+}
+
+// runMC is the -mc mode: one Monte-Carlo variation run on the selected
+// backend, trials fanned across the engine workers, the reduced
+// per-output delay distributions printed as a table, and optionally the
+// canonical MC report JSON.
+func runMC(eng *engine.Engine, wl *cliutil.Workload, beSpec engine.BackendSpec, spec *mc.Spec, primary map[string]wave.Waveform, opt sta.Options, jsonPath string) error {
+	sigmaVt, sigmaStrength, err := spec.Sigmas()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "monte-carlo: %d trials on %s backend (%d workers, seed %d, σVt %.0fmV, σstr %.2f)...\n",
+		spec.Trials, beSpec.Kind, eng.Workers(), spec.Seed, sigmaVt*1e3, sigmaStrength)
+	start := time.Now()
+	res, err := mc.New(eng).Run(context.Background(), mc.Config{
+		Backend:       beSpec,
+		Trials:        spec.Trials,
+		Seed:          spec.Seed,
+		SigmaVt:       sigmaVt,
+		SigmaStrength: sigmaStrength,
+		Batch:         spec.Batch,
+		Bins:          spec.Bins,
+	}, wl.NL, primary, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	progress := os.Stdout
+	if jsonPath == "-" {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "%-14s %9s %10s %9s %10s %10s %10s\n",
+		"output", "switched", "mean(ps)", "σ(ps)", "p50(ps)", "p95(ps)", "p99(ps)")
+	row := func(name string, d mc.OutputDist) {
+		fmt.Fprintf(progress, "%-14s %9d %10s %9s %10s %10s %10s\n",
+			name, d.Switched, fmtArr(d.Mean), fmtArr(d.Sigma), fmtArr(d.P50), fmtArr(d.P95), fmtArr(d.P99))
+	}
+	for _, d := range res.Outputs {
+		row(d.Net, d)
+	}
+	row("worst", res.Worst)
+	fmt.Fprintf(progress, "%d trials, %d stage evals in %s (%.1f trials/s)\n",
+		res.Trials, res.StageEvals, elapsed.Truncate(time.Millisecond),
+		float64(res.Trials)/elapsed.Seconds())
+
+	if jsonPath == "" {
+		return nil
+	}
+	body, err := mc.MarshalReport(wl.Name, res)
+	if err != nil {
+		return err
+	}
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote MC report to %s\n", jsonPath)
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"mcsm/internal/engine"
 	"mcsm/internal/graph"
+	"mcsm/internal/mc"
 	"mcsm/internal/netlist"
 	"mcsm/internal/service"
 	"mcsm/internal/sta"
@@ -447,6 +448,102 @@ func TestGoldenServeEco(t *testing.T) {
 		if !bytes.Equal(reply, want) {
 			t.Errorf("workers=%d: eco delta drifted from the fixture", workers)
 		}
+	}
+}
+
+// goldenMCTrials is the pinned Monte-Carlo trial budget of the MC
+// fixtures: enough draws for a non-degenerate distribution (spread,
+// distinct percentiles, a populated histogram), small enough that the
+// coarse c17 workload runs the budget in seconds.
+const goldenMCTrials = 24
+
+// TestGoldenC17MC pins the Monte-Carlo variation report on the c17
+// fixture bit-for-bit: 24 trials at the default sigmas (σVt 15 mV,
+// σstrength 5%), seed 7, coarse models — every percentile string, the
+// worst-path tally, and the histogram are exact-float encoded, so any
+// drift in sampling, trial evaluation, or the streaming reducer shows
+// as a byte diff.
+func TestGoldenC17MC(t *testing.T) {
+	nl, primary, opt := testutil.C17Fixture(t)
+	res, err := mc.New(goldenEngine()).Run(context.Background(), mc.Config{
+		Backend: engine.BackendSpec{
+			Kind: engine.BackendCSM, Tech: testutil.Tech(), CSM: testutil.CoarseConfig(),
+		},
+		Trials:        goldenMCTrials,
+		Seed:          7,
+		SigmaVt:       mc.DefaultSigmaVt,
+		SigmaStrength: mc.DefaultSigmaStrength,
+	}, nl, primary, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := mc.MarshalReport("c17", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_mc.json"), body)
+}
+
+// TestGoldenServeMC extends the service determinism contract to the
+// statistical layer: the pinned /v1/mc request (c17_mc_request.json)
+// must reproduce the committed reply byte-for-byte at every worker-pool
+// width, and — because the request names the exact engine-fixture
+// configuration — the served reply must equal the engine-level
+// c17_mc.json fixture too. CI's smoke job POSTs the same request file
+// at a real mcsm-serve process and cmps the same reply.
+func TestGoldenServeMC(t *testing.T) {
+	req := service.MCRequest{
+		STARequest: service.STARequest{
+			Name:     "c17",
+			Netlist:  sta.C17Netlist,
+			Format:   "net",
+			Config:   "coarse",
+			Stimulus: "c17",
+			Dt:       "2p",
+			Horizon:  "4n",
+		},
+		Trials:        goldenMCTrials,
+		Seed:          7,
+		SigmaVt:       "15m",
+		SigmaStrength: "0.05",
+	}
+	reqBody := marshalRequest(t, req)
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_mc_request.json"), reqBody)
+
+	for _, workers := range []int{1, 4} {
+		srv := service.NewWithEngine(service.Config{}, engine.New(workers, goldenEngine().Cache()))
+		ts := httptest.NewServer(srv.Handler())
+		status, body := goldenPost(t, ts.URL+"/v1/mc", reqBody)
+		ts.Close()
+		srv.Close()
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, status, body)
+		}
+		if workers == 1 {
+			testutil.Golden(t, filepath.Join(goldenDir, "c17_mc_reply.json"), body)
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, "c17_mc_reply.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("workers=%d: served MC report drifted from the fixture", workers)
+		}
+	}
+
+	// The request pins the engine fixture's exact configuration, so the
+	// served bytes and the engine-level bytes are one fixture, not two.
+	engineFix, err := os.ReadFile(filepath.Join(goldenDir, "c17_mc.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := os.ReadFile(filepath.Join(goldenDir, "c17_mc_reply.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(engineFix, reply) {
+		t.Error("served MC reply and engine-level MC fixture disagree")
 	}
 }
 

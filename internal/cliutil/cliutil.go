@@ -29,6 +29,7 @@ import (
 	"mcsm/internal/engine"
 	"mcsm/internal/graph"
 	"mcsm/internal/liberty"
+	"mcsm/internal/mc"
 	"mcsm/internal/netlist"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
@@ -340,6 +341,17 @@ func LoadEditScript(path string) (*graph.EditScript, error) {
 		return nil, err
 	}
 	return graph.ParseEditScript(data)
+}
+
+// LoadMCSpec reads and strictly validates a Monte-Carlo spec (mc.Spec
+// JSON) from a file — the -mc flag plumbing shared by mcsm-sta's
+// statistical mode and anything else that scripts MC runs.
+func LoadMCSpec(path string) (*mc.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return mc.ParseSpec(data)
 }
 
 // BuildGraph constructs the retained incremental timing graph for a

@@ -243,6 +243,35 @@ func TestLoadEditScript(t *testing.T) {
 	}
 }
 
+func TestLoadMCSpec(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"trials": 8, "seed": 7, "sigma_vt": "15m", "batch": 4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadMCSpec(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 8 || s.Seed != 7 || s.Batch != 4 {
+		t.Fatalf("parsed %+v", s)
+	}
+	sv, ss, err := s.Sigmas()
+	if err != nil || sv != 15e-3 {
+		t.Fatalf("sigmas %v %v %v", sv, ss, err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"trials": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMCSpec(bad); err == nil {
+		t.Error("zero-trial spec accepted")
+	}
+	if _, err := LoadMCSpec(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
 // TestBuildGraph builds the retained graph for the c17 workload through
 // an engine, checks it starts converged, and exercises the
 // characterize-on-demand hook with a swap to a type outside the

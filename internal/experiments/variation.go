@@ -6,6 +6,7 @@ import (
 
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/mc"
 	"mcsm/internal/wave"
 )
 
@@ -15,6 +16,13 @@ import (
 // experiment shifts both threshold voltages globally (±3σ ≈ ±45 mV at
 // 130 nm), re-characterizes the MCSM at each corner, and verifies the model
 // tracks the corner-to-corner delay spread of the transistor reference.
+//
+// The corners fan out on the session engine's worker pool through
+// mc.ForEachCorner — the statistical layer's corner primitive — with
+// results landing in index-addressed rows, so the rendered figure is
+// identical to the historical serial loop at any worker count. Corner
+// models go through the engine's characterization cache, so repeated
+// sessions (and the Monte-Carlo subsystem itself) share them.
 func runVariation(s *Session) (Renderable, error) {
 	cfg := s.Cfg
 	tm := cells.DefaultHistoryTiming()
@@ -24,60 +32,75 @@ func runVariation(s *Session) (Renderable, error) {
 	if cfg.Quick {
 		shifts = []float64{-0.045, 0, 0.045}
 	}
+	corners := mc.VtCorners(shifts)
 
 	g := &Grid{
 		Title:  "EXP-V1 — corner re-characterization: ΔVt sweep (history case 2, FO2)",
 		Header: []string{"ΔVt (mV)", "ref delay (ps)", "mcsm delay (ps)", "err"},
 	}
-	var nominal float64
-	var worstErr float64
-	for _, dv := range shifts {
-		tech := cfg.Tech
-		tech.NMOS.VT0 += dv
-		tech.PMOS.VT0 += dv
 
+	type cornerResult struct {
+		dRef, dMod float64
+	}
+	results := make([]cornerResult, len(corners))
+
+	spec, err := cells.Get("NOR2")
+	if err != nil {
+		return nil, err
+	}
+	err = mc.ForEachCorner(s.Engine(), cfg.Tech, corners, func(i int, tech cells.Tech) error {
 		// Reference at this corner.
 		wa, wb := cells.NOR2HistoryInputs(tech.Vdd, 2, tm)
 		refCfg := cfg
 		refCfg.Tech = tech
 		refOut, _, err := nor2Ref(refCfg, wa, wb, cl, tm.TEnd)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dRef, err := switchDelay(refOut, tech.Vdd, tm)
 		if err != nil {
-			return nil, err
-		}
-		if dv == 0 {
-			nominal = dRef
+			return err
 		}
 
-		// Corner model: fast direct-caps re-characterization, as a
-		// statistical flow would do per sample.
+		// Corner model: fast direct-caps re-characterization — as a
+		// statistical flow would do per sample — through the session's
+		// model cache (each corner tech is its own cache identity).
 		cc := cfg.CharCfg
 		cc.DirectCaps = true
-		spec, err := cells.Get("NOR2")
+		m, err := s.Engine().Cache().Get(tech, spec, csm.KindMCSM, cc)
 		if err != nil {
-			return nil, err
-		}
-		m, err := csm.Characterize(tech, spec, csm.KindMCSM, cc)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: corner ΔVt=%.0fmV: %w", dv*1e3, err)
+			return fmt.Errorf("experiments: corner %s: %w", corners[i].Name, err)
 		}
 		sr, err := csm.SimulateStage(m, []wave.Waveform{wa, wb}, csm.CapLoad(cl), 0, tm.TEnd, cfg.Dt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dMod, err := switchDelay(sr.Out, tech.Vdd, tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e := math.Abs(dMod-dRef) / dRef
+		results[i] = cornerResult{dRef: dRef, dMod: dMod}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce in corner order — rows, nominal, and the worst-error note
+	// come out exactly as the serial loop produced them.
+	var nominal float64
+	var worstErr float64
+	for i, c := range corners {
+		r := results[i]
+		if c.DVt == 0 {
+			nominal = r.dRef
+		}
+		e := math.Abs(r.dMod-r.dRef) / r.dRef
 		if e > worstErr {
 			worstErr = e
 		}
 		g.Rows = append(g.Rows, []string{
-			fmt.Sprintf("%+.0f", dv*1e3), ps(dRef), ps(dMod), pct(e),
+			fmt.Sprintf("%+.0f", c.DVt*1e3), ps(r.dRef), ps(r.dMod), pct(e),
 		})
 	}
 	g.Notes = append(g.Notes,

@@ -1,0 +1,92 @@
+package mc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mcsm/internal/cells"
+	"mcsm/internal/engine"
+)
+
+// Corner is one deterministic point of a process-corner sweep: a global
+// threshold shift applied to both device polarities (the slow/fast
+// corner axis the EXP-V1 experiment walks).
+type Corner struct {
+	Name string
+	DVt  float64 // volts added to both VT0s
+}
+
+// Apply returns the corner-shifted technology.
+func (c Corner) Apply(base cells.Tech) cells.Tech {
+	base.NMOS.VT0 += c.DVt
+	base.PMOS.VT0 += c.DVt
+	return base
+}
+
+// VtCorners builds the standard symmetric corner set from a list of
+// threshold shifts, named by their millivolt offset ("+45mV", "-15mV",
+// "nominal" for zero).
+func VtCorners(shifts []float64) []Corner {
+	out := make([]Corner, len(shifts))
+	for i, dv := range shifts {
+		name := "nominal"
+		if dv != 0 {
+			name = fmt.Sprintf("%+.0fmV", dv*1e3)
+		}
+		out[i] = Corner{Name: name, DVt: dv}
+	}
+	return out
+}
+
+// ForEachCorner evaluates eval(i, corners[i].Apply(base)) for every
+// corner on the engine's worker pool, under the same determinism
+// contract as the trial pool: eval must write its result into
+// caller-owned index-addressed storage (never append), and on failure
+// the lowest-index error is returned. Corner evaluations are
+// independent, so any characterization they trigger shares the engine's
+// model cache.
+func ForEachCorner(eng *engine.Engine, base cells.Tech, corners []Corner, eval func(i int, tech cells.Tech) error) error {
+	workers := eng.Workers()
+	if workers > len(corners) {
+		workers = len(corners)
+	}
+	if workers <= 1 {
+		for i, c := range corners {
+			if err := eval(i, c.Apply(base)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	errs := make([]error, len(corners))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				if err := eval(i, corners[i].Apply(base)); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range corners {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

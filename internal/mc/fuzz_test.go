@@ -1,0 +1,56 @@
+package mc
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseMCSpec fuzzes the Monte-Carlo spec parser, mirroring
+// FuzzParseEditScript: no input may panic it, and any spec it accepts
+// must survive a marshal → re-parse round trip unchanged (the parser is
+// strict, so its own canonical output must be admissible). Seeds cover
+// every field, every validation branch, and near-miss syntax; the
+// committed corpus under testdata/fuzz/FuzzParseMCSpec extends them.
+func FuzzParseMCSpec(f *testing.F) {
+	seeds := []string{
+		`{"trials": 8}`,
+		`{"trials": 100, "seed": 7, "sigma_vt": "15m", "sigma_strength": "0.05", "batch": 10, "bins": 20}`,
+		`{"trials": 1, "sigma_vt": "45m"}`,
+		`{"trials": 2, "sigma_vt": "0", "sigma_strength": "0"}`,
+		`{"trials": 16, "seed": 18446744073709551615}`,
+		`{}`,
+		`{"trials": 0}`,
+		`{"trials": -5}`,
+		`{"trials": 1, "works": true}`,
+		`{"trials": 1} {"trials": 2}`,
+		`{"trials": 1, "sigma_vt": "15x"}`,
+		`{"trials": 1, "sigma_vt": "NaN"}`,
+		`{"trials": 1, "sigma_vt": "-1m"}`,
+		`{"trials": 1, "batch": -1}`,
+		`{"trials": 1, "bins": 100000}`,
+		`[]`,
+		`trials`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-marshal: %v", err)
+		}
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("re-marshaled spec rejected: %v\nspec: %s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip drifted:\n%+v\nvs\n%+v", s, s2)
+		}
+	})
+}

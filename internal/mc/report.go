@@ -1,0 +1,96 @@
+package mc
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"mcsm/internal/sta"
+)
+
+// The golden-style MC report encoding: every float rendered through
+// sta.FormatFloat (shortest exact round-trip form, NaN spelled "NaN"),
+// maps keyed by net name (encoding/json sorts keys), 2-space indent,
+// trailing newline. Byte-identical reports are the package's acceptance
+// contract, so the encoder is as canonical as the statistics.
+
+// GoldenDist is the exact-float encoding of an OutputDist.
+type GoldenDist struct {
+	Switched int    `json:"switched"`
+	Mean     string `json:"mean"`
+	Sigma    string `json:"sigma"`
+	Min      string `json:"min"`
+	Max      string `json:"max"`
+	P50      string `json:"p50"`
+	P95      string `json:"p95"`
+	P99      string `json:"p99"`
+}
+
+// GoldenHist is the exact-float encoding of a Histogram.
+type GoldenHist struct {
+	Lo     string `json:"lo"`
+	Hi     string `json:"hi"`
+	Counts []int  `json:"counts"`
+}
+
+// GoldenMC is the canonical encoding of a Result.
+type GoldenMC struct {
+	Circuit       string                `json:"circuit"`
+	Backend       string                `json:"backend"`
+	Trials        int                   `json:"trials"`
+	Seed          string                `json:"seed"`
+	SigmaVt       string                `json:"sigma_vt"`
+	SigmaStrength string                `json:"sigma_strength"`
+	VtSens        string                `json:"vt_sensitivity"`
+	Outputs       map[string]GoldenDist `json:"outputs"`
+	Worst         GoldenDist            `json:"worst"`
+	WorstNets     map[string]int        `json:"worst_nets"`
+	Histogram     GoldenHist            `json:"histogram"`
+}
+
+func goldenDist(d OutputDist) GoldenDist {
+	return GoldenDist{
+		Switched: d.Switched,
+		Mean:     sta.FormatFloat(d.Mean),
+		Sigma:    sta.FormatFloat(d.Sigma),
+		Min:      sta.FormatFloat(d.Min),
+		Max:      sta.FormatFloat(d.Max),
+		P50:      sta.FormatFloat(d.P50),
+		P95:      sta.FormatFloat(d.P95),
+		P99:      sta.FormatFloat(d.P99),
+	}
+}
+
+// CanonicalResult converts a Result into its canonical encoding.
+func CanonicalResult(circuit string, res *Result) *GoldenMC {
+	g := &GoldenMC{
+		Circuit:       circuit,
+		Backend:       string(res.Backend),
+		Trials:        res.Trials,
+		Seed:          strconv.FormatUint(res.Seed, 10),
+		SigmaVt:       sta.FormatFloat(res.SigmaVt),
+		SigmaStrength: sta.FormatFloat(res.SigmaStrength),
+		VtSens:        sta.FormatFloat(res.VtSens),
+		Outputs:       make(map[string]GoldenDist, len(res.Outputs)),
+		Worst:         goldenDist(res.Worst),
+		WorstNets:     res.WorstNets,
+		Histogram: GoldenHist{
+			Lo:     sta.FormatFloat(res.Hist.Lo),
+			Hi:     sta.FormatFloat(res.Hist.Hi),
+			Counts: res.Hist.Counts,
+		},
+	}
+	for _, d := range res.Outputs {
+		g.Outputs[d.Net] = goldenDist(d)
+	}
+	return g
+}
+
+// MarshalReport renders the canonical MC report: 2-space indent plus a
+// trailing newline, the exact bytes the golden fixtures pin.
+func MarshalReport(circuit string, res *Result) ([]byte, error) {
+	b, err := json.MarshalIndent(CanonicalResult(circuit, res), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,115 @@
+// Package mc is the statistical layer of the timing stack: a Monte-Carlo
+// / corner-sweep subsystem that samples per-instance process variation,
+// evaluates every trial as a full mapped-circuit STA on the engine worker
+// pool, and reduces the trials into exact streaming delay statistics
+// (P50/P95/P99, mean/σ, worst-path histograms) with a canonical
+// exact-float report encoder in the golden style.
+//
+// The whole package is built around one contract, the same one sweep and
+// graph enforce: results are bit-identical at any worker count and any
+// trial-batch size. Three mechanisms carry it:
+//
+//   - sampling is keyed, not sequenced: every random draw is a pure
+//     function of (seed ⊕ FNV-64a(instance name), trial index), so the
+//     factors an instance sees do not depend on which worker evaluates
+//     the trial or in what order trials complete;
+//   - each trial propagates serially (Workers:1) on its own retained
+//     graph over the shared netlist — parallelism is across trials, and
+//     per-trial arithmetic is a fixed serial sequence;
+//   - reduction walks trials in index order over a results slice, and
+//     streaming updates fire at watermark boundaries (the longest
+//     contiguous prefix of completed trials), so even the intermediate
+//     percentile snapshots are deterministic.
+package mc
+
+import (
+	"hash/fnv"
+	"math"
+
+	"mcsm/internal/cells"
+)
+
+// splitmix64 advances a 64-bit state and returns a well-mixed output —
+// the standard SplitMix64 finalizer (Steele et al.), chosen because a
+// single multiply-xor-shift chain over a keyed counter gives stateless
+// random access: draw k of stream s needs no draws 0..k-1.
+func splitmix64(state uint64) uint64 {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// InstanceKey derives the per-instance stream key: seed ⊕ FNV-64a(name).
+// Keying by name (not index) keeps draws stable under netlist reorderings
+// that preserve names, and makes the independence from iteration order
+// self-evident — no draw ever consumes shared PRNG state.
+func InstanceKey(seed uint64, instance string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(instance))
+	return seed ^ h.Sum64()
+}
+
+// normPair returns two independent standard-normal draws for (key, trial)
+// via Box–Muller over two splitmix64 outputs. u1 is mapped into (0, 1]
+// (never 0, so the log is finite); u2 into [0, 1).
+func normPair(key uint64, trial int) (float64, float64) {
+	s := key + 0x9E3779B97F4A7C15*uint64(uint(trial)+1)
+	b1 := splitmix64(s)
+	b2 := splitmix64(s + 0x6A09E667F3BCC909)
+	u1 := (float64(b1>>11) + 1) / (1 << 53)
+	u2 := float64(b2>>11) / (1 << 53)
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}
+
+// Variation is a sampling distribution over per-instance delay-scale
+// factors.
+type Variation struct {
+	// SigmaVt is the 1σ threshold-voltage shift in volts (mismatch
+	// between instances, zero mean).
+	SigmaVt float64
+	// SigmaStrength is the 1σ of the log-normal drive-strength factor
+	// (β/mobility/width mismatch): strength = exp(σ·z).
+	SigmaStrength float64
+	// VtSens converts a threshold shift into a relative delay shift
+	// (per volt) — see VtSensitivity.
+	VtSens float64
+}
+
+// scaleClamp bounds a trial factor so a pathological tail draw cannot
+// produce a non-physical (negative or runaway) delay scale.
+const (
+	scaleMin = 0.1
+	scaleMax = 10.0
+)
+
+// Scale returns the deterministic delay-scale factor k for (key, trial):
+// k = (1 + VtSens·ΔVt) / strength, clamped to [0.1, 10]. k > 1 slows the
+// stage (higher threshold, weaker drive); k < 1 speeds it up. With both
+// sigmas zero the result is exactly 1.
+func (v Variation) Scale(key uint64, trial int) float64 {
+	z0, z1 := normPair(key, trial)
+	dvt := v.SigmaVt * z0
+	strength := math.Exp(v.SigmaStrength * z1)
+	k := (1 + v.VtSens*dvt) / strength
+	if k < scaleMin {
+		k = scaleMin
+	} else if k > scaleMax {
+		k = scaleMax
+	}
+	return k
+}
+
+// VtSensitivity derives the relative delay sensitivity to a threshold
+// shift from the alpha-power law the device models use: delay ∝
+// Vdd/(Vdd−VT)^α, so ∂(ln d)/∂VT = α/(Vdd−VT). NMOS and PMOS averaged —
+// a global ΔVt moves both rails. For the default 130 nm technology this
+// is ≈1.5/V: a +45 mV (3σ) shift slows a stage by ≈7%, matching the
+// corner re-characterization experiment (EXP-V1).
+func VtSensitivity(tech cells.Tech) float64 {
+	sn := tech.NMOS.Alpha / (tech.Vdd - tech.NMOS.VT0)
+	sp := tech.PMOS.Alpha / (tech.Vdd - tech.PMOS.VT0)
+	return (sn + sp) / 2
+}

@@ -1,0 +1,75 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"mcsm/internal/cells"
+)
+
+func TestScaleDeterministicAndKeyed(t *testing.T) {
+	v := Variation{SigmaVt: 0.015, SigmaStrength: 0.05, VtSens: 1.5}
+	kA := InstanceKey(7, "G10")
+	kB := InstanceKey(7, "G11")
+
+	if v.Scale(kA, 3) != v.Scale(kA, 3) {
+		t.Fatal("same (key, trial) must repeat exactly")
+	}
+	if v.Scale(kA, 3) == v.Scale(kB, 3) {
+		t.Error("distinct instances drew identical factors")
+	}
+	if v.Scale(kA, 3) == v.Scale(kA, 4) {
+		t.Error("distinct trials drew identical factors")
+	}
+	if InstanceKey(7, "G10") != kA {
+		t.Error("InstanceKey not deterministic")
+	}
+	if InstanceKey(8, "G10") == kA {
+		t.Error("seed does not reach the key")
+	}
+}
+
+func TestScaleZeroSigmaIsExactlyOne(t *testing.T) {
+	v := Variation{VtSens: 1.5}
+	for trial := 0; trial < 50; trial++ {
+		if k := v.Scale(InstanceKey(1, "X"), trial); k != 1 {
+			t.Fatalf("trial %d: zero-sigma scale %v != 1", trial, k)
+		}
+	}
+}
+
+func TestScaleDistribution(t *testing.T) {
+	// Sanity over many draws: finite, clamped, centered near 1, and
+	// actually spread (not constant).
+	v := Variation{SigmaVt: 0.015, SigmaStrength: 0.05, VtSens: VtSensitivity(cells.Default130())}
+	var s Stream
+	for i := 0; i < 4000; i++ {
+		k := v.Scale(InstanceKey(42, "G"), i)
+		if math.IsNaN(k) || k < scaleMin || k > scaleMax {
+			t.Fatalf("draw %d: scale %v out of bounds", i, k)
+		}
+		if err := s.Add(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Mean(); m < 0.97 || m > 1.03 {
+		t.Errorf("mean scale %v drifted from 1", m)
+	}
+	if sg := s.Sigma(); sg < 0.01 || sg > 0.2 {
+		t.Errorf("scale sigma %v implausible", sg)
+	}
+}
+
+func TestVtSensitivity(t *testing.T) {
+	tech := cells.Default130()
+	sens := VtSensitivity(tech)
+	// Alpha-power law at 130nm: α≈1.3, Vdd−VT≈0.88 → ≈1.5/V.
+	if sens < 1.0 || sens > 2.0 {
+		t.Fatalf("sensitivity %v/V outside the plausible 130nm band", sens)
+	}
+	// A 3σ=45mV shift should move delay by a few percent, mirroring the
+	// EXP-V1 corner spread.
+	if shift := sens * 0.045; shift < 0.03 || shift > 0.12 {
+		t.Errorf("3σ delay shift %v implausible", shift)
+	}
+}

@@ -1,0 +1,103 @@
+package mc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"mcsm/internal/units"
+)
+
+// Defaults for the optional spec knobs. SigmaVt's 15 mV puts the 3σ
+// corner at ±45 mV — the same span the EXP-V1 corner re-characterization
+// sweeps at 130 nm.
+const (
+	DefaultSigmaVt       = 0.015 // volts, 1σ
+	DefaultSigmaStrength = 0.05  // log-normal 1σ
+	DefaultBatch         = 32    // trials per streaming update
+	DefaultBins          = 12    // worst-path histogram buckets
+	MaxBins              = 4096
+)
+
+// Spec is the JSON Monte-Carlo parameter block consumed by
+// `mcsm-sta -mc spec.json` and embedded (field-for-field) in the
+// service's /v1/mc requests. It holds only the statistical knobs — the
+// workload (netlist, stimulus, backend) comes from the usual flags or
+// request fields. Sigmas are SI strings ("15m" = 15 mV) like every other
+// physical quantity in the spec files.
+type Spec struct {
+	// Trials is the trial budget (required, ≥ 1).
+	Trials int `json:"trials"`
+	// Seed is the PRNG seed (0 is a valid seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// SigmaVt is the 1σ threshold shift in volts ("" = 15m).
+	SigmaVt string `json:"sigma_vt,omitempty"`
+	// SigmaStrength is the 1σ log-normal strength factor ("" = 0.05).
+	SigmaStrength string `json:"sigma_strength,omitempty"`
+	// Batch is the streaming-update granularity in trials (0 = 32).
+	Batch int `json:"batch,omitempty"`
+	// Bins is the worst-path histogram bucket count (0 = 12).
+	Bins int `json:"bins,omitempty"`
+}
+
+// ParseSpec strictly decodes and validates a spec: unknown fields and
+// trailing data are rejected, the trial budget checked, and every SI
+// string parsed — so a run can only fail on workload conditions, never
+// on spec syntax. The parser accepts its own marshaled output unchanged
+// (fuzzed as a parse → marshal → re-parse fixpoint).
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("mc: spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("mc: spec: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's shape without running anything.
+func (s *Spec) Validate() error {
+	if s.Trials < 1 {
+		return fmt.Errorf("mc: spec: trials must be >= 1 (got %d)", s.Trials)
+	}
+	if _, _, err := s.Sigmas(); err != nil {
+		return err
+	}
+	if s.Batch < 0 {
+		return fmt.Errorf("mc: spec: batch must be >= 0 (got %d)", s.Batch)
+	}
+	if s.Bins < 0 || s.Bins > MaxBins {
+		return fmt.Errorf("mc: spec: bins must be in [0, %d] (got %d)", MaxBins, s.Bins)
+	}
+	return nil
+}
+
+// Sigmas resolves the SI strings into numeric sigmas, applying defaults
+// for empty fields and rejecting negatives and non-finite values.
+func (s *Spec) Sigmas() (sigmaVt, sigmaStrength float64, err error) {
+	sigmaVt = DefaultSigmaVt
+	if s.SigmaVt != "" {
+		if sigmaVt, err = units.ParseSI(s.SigmaVt); err != nil {
+			return 0, 0, fmt.Errorf("mc: spec: sigma_vt: %w", err)
+		}
+	}
+	sigmaStrength = DefaultSigmaStrength
+	if s.SigmaStrength != "" {
+		if sigmaStrength, err = units.ParseSI(s.SigmaStrength); err != nil {
+			return 0, 0, fmt.Errorf("mc: spec: sigma_strength: %w", err)
+		}
+	}
+	if sigmaVt < 0 || sigmaVt > 1 {
+		return 0, 0, fmt.Errorf("mc: spec: sigma_vt %v out of range [0, 1] volts", sigmaVt)
+	}
+	if sigmaStrength < 0 || sigmaStrength > 2 {
+		return 0, 0, fmt.Errorf("mc: spec: sigma_strength %v out of range [0, 2]", sigmaStrength)
+	}
+	return sigmaVt, sigmaStrength, nil
+}

@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	good := []struct {
+		name, in string
+		check    func(*Spec) bool
+	}{
+		{"minimal", `{"trials": 8}`, func(s *Spec) bool {
+			return s.Trials == 8 && s.Seed == 0
+		}},
+		{"full", `{"trials": 100, "seed": 7, "sigma_vt": "15m", "sigma_strength": "0.05", "batch": 10, "bins": 20}`, func(s *Spec) bool {
+			return s.Trials == 100 && s.Seed == 7 && s.Batch == 10 && s.Bins == 20
+		}},
+		{"si-suffix", `{"trials": 1, "sigma_vt": "45m"}`, func(s *Spec) bool {
+			vt, _, err := s.Sigmas()
+			return err == nil && vt == 0.045
+		}},
+		{"zero-sigma", `{"trials": 2, "sigma_vt": "0", "sigma_strength": "0"}`, func(s *Spec) bool {
+			vt, st, err := s.Sigmas()
+			return err == nil && vt == 0 && st == 0
+		}},
+	}
+	for _, tc := range good {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseSpec([]byte(tc.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.check(s) {
+				t.Errorf("parsed %+v fails check", s)
+			}
+		})
+	}
+
+	// Defaults resolve when fields are absent.
+	s, err := ParseSpec([]byte(`{"trials": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, st, err := s.Sigmas()
+	if err != nil || vt != DefaultSigmaVt || st != DefaultSigmaStrength {
+		t.Errorf("defaults: %v %v %v", vt, st, err)
+	}
+
+	bad := []struct{ name, in string }{
+		{"empty", `{}`},
+		{"zero-trials", `{"trials": 0}`},
+		{"negative-trials", `{"trials": -5}`},
+		{"unknown-field", `{"trials": 1, "works": true}`},
+		{"trailing", `{"trials": 1} {"trials": 2}`},
+		{"bad-sigma", `{"trials": 1, "sigma_vt": "15x"}`},
+		{"nan-sigma", `{"trials": 1, "sigma_vt": "NaN"}`},
+		{"negative-sigma", `{"trials": 1, "sigma_vt": "-1m"}`},
+		{"huge-sigma", `{"trials": 1, "sigma_vt": "2"}`},
+		{"negative-batch", `{"trials": 1, "batch": -1}`},
+		{"huge-bins", `{"trials": 1, "bins": 100000}`},
+		{"not-object", `[]`},
+		{"garbage", `trials`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSpec([]byte(tc.in)); err == nil {
+				t.Errorf("accepted %s", tc.in)
+			}
+		})
+	}
+}
+
+func TestSpecMarshalFixpoint(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"trials": 12, "seed": 3, "sigma_vt": "20m", "batch": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(out)
+	if err != nil {
+		t.Fatalf("own output rejected: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip drifted: %+v vs %+v", s, s2)
+	}
+}

@@ -1,0 +1,138 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream is an exact streaming estimator for the sample statistics the
+// MC reports carry: mean, sample σ, min/max, and nearest-rank quantiles.
+//
+// "Streaming" here means queryable after every Add with deterministic
+// cost — not approximate. The stream retains every sample twice: in
+// insertion order (so the mean is the canonical left-to-right sum — the
+// same bits a reference computing over the full sample would produce)
+// and in a sorted slice maintained by binary insertion (so quantiles are
+// exact order statistics at any prefix). The property suite holds every
+// accessor to bit-equality against a sort-the-full-sample reference.
+type Stream struct {
+	ordered []float64 // insertion order (mean/σ sums walk this)
+	sorted  []float64 // ascending (quantiles index this)
+}
+
+// Add appends one sample. NaN and ±Inf are rejected with an error and
+// leave the stream untouched — a non-finite delay is a modeling failure
+// the caller must classify (e.g. an output that never switches), not a
+// value percentiles could absorb.
+func (s *Stream) Add(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("mc: non-finite sample %v", x)
+	}
+	s.ordered = append(s.ordered, x)
+	i := sort.SearchFloat64s(s.sorted, x)
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = x
+	return nil
+}
+
+// N is the sample count.
+func (s *Stream) N() int { return len(s.ordered) }
+
+// Mean is the left-to-right sum over insertion order divided by N
+// (NaN when empty).
+func (s *Stream) Mean() float64 {
+	if len(s.ordered) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.ordered {
+		sum += x
+	}
+	return sum / float64(len(s.ordered))
+}
+
+// Sigma is the two-pass sample standard deviation (divisor N−1) over
+// insertion order. Fewer than two samples yield 0.
+func (s *Stream) Sigma() float64 {
+	n := len(s.ordered)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.ordered {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the nearest-rank order statistic for q in [0, 1]:
+// the ⌈q·N⌉-th smallest sample (clamped to the sample range ends).
+// Empty streams yield NaN.
+func (s *Stream) Quantile(q float64) float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s.sorted[idx]
+}
+
+// Min returns the smallest sample (NaN when empty).
+func (s *Stream) Min() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	return s.sorted[0]
+}
+
+// Max returns the largest sample (NaN when empty).
+func (s *Stream) Max() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	return s.sorted[len(s.sorted)-1]
+}
+
+// Histogram is an equal-width binning of a stream's samples over
+// [Lo, Hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// Histogram bins the stream's samples into `bins` equal-width buckets
+// spanning [Min, Max]. A degenerate span (all samples equal, or an empty
+// stream) collapses to a single bucket holding everything.
+func (s *Stream) Histogram(bins int) Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	n := len(s.sorted)
+	if n == 0 {
+		return Histogram{Counts: make([]int, 1)}
+	}
+	lo, hi := s.sorted[0], s.sorted[n-1]
+	if hi <= lo {
+		return Histogram{Lo: lo, Hi: hi, Counts: []int{n}}
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := hi - lo
+	for _, x := range s.sorted {
+		i := int(float64(bins) * (x - lo) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}

@@ -1,0 +1,213 @@
+package mc
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// refStats recomputes every statistic from scratch over the full sample —
+// the sort-the-full-sample reference the streaming estimator must match
+// bit-for-bit. It deliberately shares no code with Stream: quantiles come
+// from sort.Float64s over a fresh copy, mean is the left-to-right sum,
+// sigma the two-pass recomputation.
+type refStats struct{ sample []float64 }
+
+func (r refStats) mean() float64 {
+	if len(r.sample) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range r.sample {
+		sum += x
+	}
+	return sum / float64(len(r.sample))
+}
+
+func (r refStats) sigma() float64 {
+	if len(r.sample) < 2 {
+		return 0
+	}
+	m := r.mean()
+	ss := 0.0
+	for _, x := range r.sample {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(len(r.sample)-1))
+}
+
+func (r refStats) quantile(q float64) float64 {
+	if len(r.sample) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), r.sample...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func requireMatchesReference(t *testing.T, label string, s *Stream, sample []float64) {
+	t.Helper()
+	ref := refStats{sample}
+	if s.N() != len(sample) {
+		t.Fatalf("%s: N=%d want %d", label, s.N(), len(sample))
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", s.Mean(), ref.mean()},
+		{"sigma", s.Sigma(), ref.sigma()},
+		{"min", s.Min(), ref.quantile(0)},
+		{"max", s.Max(), ref.quantile(1)},
+		{"p50", s.Quantile(0.50), ref.quantile(0.50)},
+		{"p95", s.Quantile(0.95), ref.quantile(0.95)},
+		{"p99", s.Quantile(0.99), ref.quantile(0.99)},
+		{"p0", s.Quantile(0), ref.quantile(0)},
+		{"p100", s.Quantile(1), ref.quantile(1)},
+	}
+	for _, c := range checks {
+		if !sameBits(c.got, c.want) {
+			t.Errorf("%s: %s = %v, reference %v", label, c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestStreamTableCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{3.5e-10}},
+		{"pair", []float64{2e-10, 1e-10}},
+		{"duplicates", []float64{1, 1, 1, 1}},
+		{"negatives", []float64{-3, -1, -2, 0, 2, 1}},
+		{"descending", []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}},
+		{"tiny-times", []float64{1.25e-10, 1.5e-10, 1.1e-10, 2.5e-10, 1.9e-10}},
+		{"mixed-magnitude", []float64{1e-15, 1e3, -1e-15, 0.5, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Stream
+			for _, x := range tc.sample {
+				if err := s.Add(x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			requireMatchesReference(t, tc.name, &s, tc.sample)
+		})
+	}
+}
+
+// TestStreamRandomizedAgainstReference drives the streaming estimator with
+// fixed-seed random samples and checks every accessor against the
+// sort-the-full-sample reference at every prefix length — the "streaming"
+// half of the contract: the estimator is exact after each Add, not only at
+// the end.
+func TestStreamRandomizedAgainstReference(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		var s Stream
+		var sample []float64
+		for i := 0; i < 300; i++ {
+			bits := splitmix64(seed*1e6 + uint64(i))
+			// Uniform in [-0.5, 0.5), scaled to the ~100ps magnitudes the
+			// arrival streams see plus occasional exact duplicates.
+			x := (float64(bits>>11)/(1<<53) - 0.5) * 2e-10
+			if bits%17 == 0 && len(sample) > 0 {
+				x = sample[int(bits%uint64(len(sample)))]
+			}
+			if err := s.Add(x); err != nil {
+				t.Fatal(err)
+			}
+			sample = append(sample, x)
+			if i < 10 || i%37 == 0 || i == 299 {
+				requireMatchesReference(t, "prefix", &s, sample)
+			}
+		}
+	}
+}
+
+func TestStreamRejectsNonFinite(t *testing.T) {
+	var s Stream
+	if err := s.Add(1.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := s.Add(x); err == nil {
+			t.Errorf("Add(%v) accepted", x)
+		}
+	}
+	// Rejection must leave the stream untouched.
+	if s.N() != 1 || s.Mean() != 1.5 || s.Min() != 1.5 || s.Max() != 1.5 {
+		t.Errorf("stream mutated by rejected samples: N=%d mean=%v", s.N(), s.Mean())
+	}
+}
+
+func TestStreamEdgeCounts(t *testing.T) {
+	var s Stream
+	// Zero samples: quantiles and mean NaN, sigma 0.
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty stream should yield NaN statistics")
+	}
+	if s.Sigma() != 0 {
+		t.Error("empty stream sigma should be 0")
+	}
+	// One sample: every statistic collapses to it, sigma 0.
+	if err := s.Add(42); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if s.Quantile(q) != 42 {
+			t.Errorf("single-sample quantile(%v) = %v", q, s.Quantile(q))
+		}
+	}
+	if s.Mean() != 42 || s.Sigma() != 0 {
+		t.Errorf("single-sample mean/sigma = %v/%v", s.Mean(), s.Sigma())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		if err := s.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.Histogram(5)
+	if h.Lo != 0 || h.Hi != 9 {
+		t.Fatalf("span [%v, %v]", h.Lo, h.Hi)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 || len(h.Counts) != 5 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	// The max lands in the last bucket, not one past it.
+	if h.Counts[4] == 0 {
+		t.Error("max sample fell out of the last bucket")
+	}
+
+	// Degenerate: all-equal samples collapse to one bucket.
+	var d Stream
+	d.Add(5)
+	d.Add(5)
+	if h := d.Histogram(8); len(h.Counts) != 1 || h.Counts[0] != 2 {
+		t.Errorf("degenerate histogram %v", h)
+	}
+	// Empty stream: one empty bucket.
+	var e Stream
+	if h := e.Histogram(4); len(h.Counts) != 1 || h.Counts[0] != 0 {
+		t.Errorf("empty histogram %v", h)
+	}
+}

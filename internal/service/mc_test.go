@@ -1,0 +1,178 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mcsm/internal/mc"
+)
+
+// mcRequest is the canonical cheap MC request: the inverter chain with a
+// small trial budget.
+func mcRequest() MCRequest {
+	return MCRequest{
+		STARequest:    invRequest(),
+		Trials:        5,
+		Seed:          3,
+		SigmaVt:       "15m",
+		SigmaStrength: "0.05",
+		Batch:         2,
+	}
+}
+
+func TestMCEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 4})
+	resp, body := postJSON(t, ts.URL+"/v1/mc", mcRequest())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var rep mc.GoldenMC
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("reply not a canonical MC report: %v\n%s", err, body)
+	}
+	if rep.Circuit != "invchain" || rep.Backend != "csm" || rep.Trials != 5 {
+		t.Errorf("report header %+v", rep)
+	}
+	if rep.Worst.Switched != 5 {
+		t.Errorf("worst switched %d", rep.Worst.Switched)
+	}
+	if _, ok := rep.Outputs["y"]; !ok {
+		t.Errorf("missing output y: %v", rep.Outputs)
+	}
+
+	m := srv.Snapshot()
+	if m.Requests.MC != 1 || m.MC.Computed != 1 || m.MC.Trials != 5 {
+		t.Errorf("metrics %+v", m.MC)
+	}
+	if m.MC.StageEvals < 5*2 {
+		t.Errorf("stage evals %d, want at least trials×stages", m.MC.StageEvals)
+	}
+
+	// An identical repeat answers byte-identically (and, being
+	// sequential, recomputes rather than coalesces).
+	resp2, body2 := postJSON(t, ts.URL+"/v1/mc", mcRequest())
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Errorf("repeat differs:\n%s\nvs\n%s", body, body2)
+	}
+}
+
+func TestMCStream(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 4})
+
+	// The buffered reply is the reference the final streamed line must
+	// match (content-wise: same canonical struct, compact framing).
+	_, buffered := postJSON(t, ts.URL+"/v1/mc", mcRequest())
+
+	req := mcRequest()
+	req.Stream = true
+	resp, body := postJSON(t, ts.URL+"/v1/mc", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+
+	var lines []string
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	// Batch=2 over 5 trials → updates at 2 and 4 (batch multiples) and 5
+	// (completion), then the final report line.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 3 progress + 1 report:\n%s", len(lines), body)
+	}
+	wantDone := []int{2, 4, 5}
+	for i, line := range lines[:3] {
+		var p mcProgress
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("progress line %d: %v\n%s", i, err, line)
+		}
+		if p.TrialsDone != wantDone[i] || p.Trials != 5 {
+			t.Errorf("progress %d: %+v want trials_done=%d", i, p, wantDone[i])
+		}
+		if p.TrialsDone == 5 && p.Mean == "NaN" {
+			t.Errorf("final progress has no statistics: %+v", p)
+		}
+	}
+	var streamed, ref mc.GoldenMC
+	if err := json.Unmarshal([]byte(lines[3]), &streamed); err != nil {
+		t.Fatalf("final line: %v\n%s", err, lines[3])
+	}
+	if err := json.Unmarshal(buffered, &ref); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := json.Marshal(streamed)
+	rb, _ := json.Marshal(ref)
+	if !bytes.Equal(sb, rb) {
+		t.Errorf("streamed final report differs from buffered reply:\n%s\nvs\n%s", sb, rb)
+	}
+
+	if m := srv.Snapshot(); m.MC.Streamed != 1 {
+		t.Errorf("streamed counter %d", m.MC.Streamed)
+	}
+}
+
+func TestMCValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	cases := []struct {
+		name string
+		mut  func(*MCRequest)
+	}{
+		{"no-trials", func(r *MCRequest) { r.Trials = 0 }},
+		{"negative-trials", func(r *MCRequest) { r.Trials = -1 }},
+		{"bad-sigma", func(r *MCRequest) { r.SigmaVt = "15x" }},
+		{"sigma-range", func(r *MCRequest) { r.SigmaVt = "2" }},
+		{"bad-batch", func(r *MCRequest) { r.Batch = -1 }},
+		{"bad-bins", func(r *MCRequest) { r.Bins = 1 << 20 }},
+		{"no-workload", func(r *MCRequest) { r.Netlist = "" }},
+		{"bad-backend", func(r *MCRequest) { r.Backend = "spice" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := mcRequest()
+			tc.mut(&req)
+			resp, body := postJSON(t, ts.URL+"/v1/mc", req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		})
+	}
+
+	// Unknown fields are typos, not extensions.
+	resp, _ := postRaw(t, ts.URL+"/v1/mc", `{"trials": 1, "netlist": "x", "bogus": true}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: %d", resp.StatusCode)
+	}
+	// GET is not allowed.
+	getResp, err := http.Get(ts.URL + "/v1/mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", getResp.StatusCode)
+	}
+}
+
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}

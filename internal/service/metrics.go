@@ -17,10 +17,16 @@ type metrics struct {
 	charRequests    atomic.Int64
 	sessionRequests atomic.Int64
 	ecoRequests     atomic.Int64
+	mcRequests      atomic.Int64
 	staComputed     atomic.Int64
 	sweepComputed   atomic.Int64
+	mcComputed      atomic.Int64
 	staCoalesced    atomic.Int64
 	sweepCoalesced  atomic.Int64
+	mcCoalesced     atomic.Int64
+	mcStreamed      atomic.Int64
+	mcTrials        atomic.Int64
+	mcStageEvals    atomic.Int64
 	sweepPoints     atomic.Int64
 	ecoRounds       atomic.Int64
 	ecoEdits        atomic.Int64
@@ -78,6 +84,17 @@ type RequestCounts struct {
 	Char    int64 `json:"char"`
 	Session int64 `json:"session"`
 	Eco     int64 `json:"eco"`
+	MC      int64 `json:"mc"`
+}
+
+// MCMetrics is the Monte-Carlo section of /metrics: per-run counters
+// for the statistical layer.
+type MCMetrics struct {
+	Computed   int64 `json:"computed"`
+	Coalesced  int64 `json:"coalesced"`
+	Streamed   int64 `json:"streamed"`
+	Trials     int64 `json:"trials"`
+	StageEvals int64 `json:"stage_evals"`
 }
 
 // SessionMetrics is the stateful-session section of /metrics: lifecycle
@@ -120,6 +137,7 @@ type Metrics struct {
 	NetlistCache lruStats          `json:"netlist_cache"`
 	Sessions     SessionMetrics    `json:"sessions"`
 	Backends     BackendMetrics    `json:"backends"`
+	MC           MCMetrics         `json:"mc"`
 
 	StageEvals        int64   `json:"stage_evals"`
 	StageEvalsPerSec  float64 `json:"stage_evals_per_sec"`
@@ -143,6 +161,7 @@ func (s *Server) Snapshot() Metrics {
 			Char:    s.metrics.charRequests.Load(),
 			Session: s.metrics.sessionRequests.Load(),
 			Eco:     s.metrics.ecoRequests.Load(),
+			MC:      s.metrics.mcRequests.Load(),
 		},
 		Errors:         s.metrics.errors.Load(),
 		STAComputed:    s.metrics.staComputed.Load(),
@@ -161,6 +180,13 @@ func (s *Server) Snapshot() Metrics {
 			Hybrid:           s.metrics.backendHybrid.Load(),
 			HybridCSMStages:  s.metrics.hybridCSMStages.Load(),
 			HybridNLDMStages: s.metrics.hybridNLDMStages.Load(),
+		},
+		MC: MCMetrics{
+			Computed:   s.metrics.mcComputed.Load(),
+			Coalesced:  s.metrics.mcCoalesced.Load(),
+			Streamed:   s.metrics.mcStreamed.Load(),
+			Trials:     s.metrics.mcTrials.Load(),
+			StageEvals: s.metrics.mcStageEvals.Load(),
 		},
 		StageEvals:      s.eng.StageEvals(),
 		SweepPointEvals: s.metrics.sweepPoints.Load(),

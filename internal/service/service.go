@@ -173,6 +173,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/char", s.post(s.handleChar))
 	mux.HandleFunc("/v1/session", s.post(s.handleSession))
 	mux.HandleFunc("/v1/eco", s.post(s.handleEco))
+	mux.HandleFunc("/v1/mc", s.post(s.handleMC))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux

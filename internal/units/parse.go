@@ -25,6 +25,10 @@ func ParseSI(s string) (float64, error) {
 		exp, s = "e-9", strings.TrimSuffix(s, "n")
 	case strings.HasSuffix(s, "u"):
 		exp, s = "e-6", strings.TrimSuffix(s, "u")
+	case strings.HasSuffix(s, "m"):
+		// Milli arrived with the Monte-Carlo specs (threshold sigmas in
+		// mV); it composes with the same rules as the other suffixes.
+		exp, s = "e-3", strings.TrimSuffix(s, "m")
 	}
 	if exp != "" && strings.ContainsAny(s, "eE") {
 		return 0, fmt.Errorf("bad value %q: mixed exponent and suffix", s+exp)

@@ -12,6 +12,8 @@ func TestParseSI(t *testing.T) {
 		"1e-12":   1e-12,
 		"0":       0,
 		"-3p":     -3e-12,
+		"15m":     15e-3,
+		"-45m":    -45e-3,
 	}
 	for in, want := range good {
 		got, err := ParseSI(in)
