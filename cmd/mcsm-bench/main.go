@@ -59,8 +59,10 @@ import (
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/experiments"
+	"mcsm/internal/graph"
 	"mcsm/internal/mc"
 	"mcsm/internal/netlist"
+	"mcsm/internal/obs"
 	"mcsm/internal/service"
 	"mcsm/internal/sta"
 	"mcsm/internal/sweep"
@@ -217,6 +219,40 @@ type mcProbe struct {
 	BitIdentical       bool    `json:"bit_identical"`
 }
 
+// obsBackendRow is one backend's tracing-overhead measurement: the same
+// analysis timed three ways. Baseline reconstructs the pre-observability
+// path by hand (plan + graph build + propagate with no stage histogram
+// and a plain context), Disabled is the production AnalyzeBackend with
+// tracing off (nil-span checks + the always-on stage histogram), Enabled
+// runs under a live trace. The overhead percentages are the PR's
+// contract numbers: <3% disabled, <10% enabled.
+type obsBackendRow struct {
+	Backend             string  `json:"backend"`
+	BaselineSeconds     float64 `json:"baseline_seconds"`
+	DisabledSeconds     float64 `json:"disabled_seconds"`
+	EnabledSeconds      float64 `json:"enabled_seconds"`
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+	TraceSpans          int     `json:"trace_spans"`
+}
+
+// obsProbe measures the observability layer end to end: per-backend
+// tracing overhead on the probe workload, and the HTTP serving path
+// untraced vs traced ("trace": true) — with the embedded report of every
+// traced reply byte-compared against the plain reply, the wrapper's
+// golden-bytes contract.
+type obsProbe struct {
+	Netlist            string          `json:"netlist"`
+	Stages             int             `json:"stages"`
+	Workers            int             `json:"workers"`
+	Runs               int             `json:"runs"`
+	Backends           []obsBackendRow `json:"backends"`
+	UntracedReqPerSec  float64         `json:"untraced_req_per_sec"`
+	TracedReqPerSec    float64         `json:"traced_req_per_sec"`
+	TracedHTTPPct      float64         `json:"traced_http_overhead_pct"`
+	ReportBitIdentical bool            `json:"report_bit_identical"`
+}
+
 type perfSummary struct {
 	SchemaVersion int          `json:"schema_version"`
 	GeneratedUnix int64        `json:"generated_unix"`
@@ -231,6 +267,7 @@ type perfSummary struct {
 	CharProbe     *charProbe   `json:"char_probe,omitempty"`
 	HybridProbe   *hybridProbe `json:"hybrid_probe,omitempty"`
 	MCProbe       *mcProbe     `json:"mc_probe,omitempty"`
+	ObsProbe      *obsProbe    `json:"obs_probe,omitempty"`
 }
 
 func main() {
@@ -355,9 +392,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("mc probe: %w", err))
 	}
+	obsPr, err := runObsProbe(sess, wl, *quick)
+	if err != nil {
+		fatal(fmt.Errorf("obs probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 7,
+		SchemaVersion: 8,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -372,6 +413,7 @@ func main() {
 		CharProbe:   chProbe,
 		HybridProbe: hyProbe,
 		MCProbe:     mcPr,
+		ObsProbe:    obsPr,
 	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -990,6 +1032,180 @@ func runMCProbe(sess *experiments.Session, wl *probeNetlist) (*mcProbe, error) {
 	if parallelSec > 0 {
 		probe.TrialsPerSec = float64(trials) / parallelSec
 		probe.Speedup = serialSec / parallelSec
+	}
+	return probe, nil
+}
+
+// runObsProbe measures what the observability layer costs. Per backend,
+// the same analysis runs three ways — a hand-built baseline equivalent
+// to the pre-instrumentation path (PlanBackend + graph.Build with no
+// stage histogram + Propagate under a plain context), the production
+// AnalyzeBackend with tracing disabled, and AnalyzeBackend under a live
+// trace — best-of-N to suppress scheduler noise on millisecond
+// workloads. The HTTP phase posts the STA-probe request untraced and
+// traced against an in-process server and byte-compares each traced
+// reply's embedded report against the plain reply bytes.
+func runObsProbe(sess *experiments.Session, wl *probeNetlist, quick bool) (*obsProbe, error) {
+	tech := sess.Cfg.Tech
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng := engine.New(workers, sess.Engine().Cache())
+	primary := wl.primary(tech.Vdd)
+	opt := sta.Options{Mode: sta.ModeMIS, Horizon: wl.horizon, Dt: sess.Cfg.Dt}
+	ctx := context.Background()
+
+	probeRuns := 3
+	if len(wl.wl.NL.Instances) > 50 {
+		probeRuns = 1
+	}
+	probe := &obsProbe{
+		Netlist: wl.wl.Name,
+		Stages:  len(wl.wl.NL.Instances),
+		Workers: workers,
+		Runs:    probeRuns,
+	}
+
+	for _, kind := range []engine.BackendKind{engine.BackendCSM, engine.BackendNLDM, engine.BackendHybrid} {
+		spec := engine.BackendSpec{Kind: kind, Tech: tech, CSM: sess.Cfg.CharCfg}
+		// Warm every cache (CSM models, NLDM tables) outside the timed
+		// passes, so all three variants measure analysis on identical
+		// warm state.
+		if _, err := eng.AnalyzeBackend(ctx, spec, wl.wl.NL, primary, opt); err != nil {
+			return nil, err
+		}
+
+		row := obsBackendRow{
+			Backend:         string(kind),
+			BaselineSeconds: math.Inf(1), DisabledSeconds: math.Inf(1), EnabledSeconds: math.Inf(1),
+		}
+		for i := 0; i < probeRuns; i++ {
+			start := time.Now()
+			plan, err := eng.PlanBackend(ctx, spec, wl.wl.NL, primary, opt)
+			if err != nil {
+				return nil, err
+			}
+			gcfg := plan.GraphConfig(workers, nil)
+			gcfg.ShareNetlist = true
+			g, err := graph.Build(wl.wl.NL, plan.Models, primary, opt, gcfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := g.Propagate(ctx); err != nil {
+				return nil, err
+			}
+			if s := time.Since(start).Seconds(); s < row.BaselineSeconds {
+				row.BaselineSeconds = s
+			}
+
+			start = time.Now()
+			if _, err := eng.AnalyzeBackend(ctx, spec, wl.wl.NL, primary, opt); err != nil {
+				return nil, err
+			}
+			if s := time.Since(start).Seconds(); s < row.DisabledSeconds {
+				row.DisabledSeconds = s
+			}
+
+			start = time.Now()
+			tr := obs.New("probe")
+			if _, err := eng.AnalyzeBackend(obs.WithSpan(ctx, tr.Root()), spec, wl.wl.NL, primary, opt); err != nil {
+				return nil, err
+			}
+			tree := tr.Finish()
+			if s := time.Since(start).Seconds(); s < row.EnabledSeconds {
+				row.EnabledSeconds = s
+			}
+			row.TraceSpans = tree.CountSpans()
+		}
+		if row.BaselineSeconds > 0 {
+			row.DisabledOverheadPct = 100 * (row.DisabledSeconds - row.BaselineSeconds) / row.BaselineSeconds
+			row.EnabledOverheadPct = 100 * (row.EnabledSeconds - row.BaselineSeconds) / row.BaselineSeconds
+		}
+		probe.Backends = append(probe.Backends, row)
+	}
+
+	// HTTP phase: untraced vs traced req/s on a fresh in-process server
+	// sharing the session's model cache.
+	srv := service.NewWithEngine(service.Config{}, engine.New(workers, sess.Engine().Cache()))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := wl.staReq
+	req.Config = "default"
+	if quick {
+		req.Config = "fast"
+	}
+	req.Dt = strconv.FormatFloat(sess.Cfg.Dt, 'g', -1, 64)
+	plainBody, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	req.Trace = true
+	tracedBody, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	post := func(body []byte) ([]byte, error) {
+		resp, err := http.Post(ts.URL+"/v1/sta", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("obs probe: status %d: %s", resp.StatusCode, data)
+		}
+		return data, nil
+	}
+
+	// Warm-up request fills the model cache and netlist LRU.
+	want, err := post(plainBody)
+	if err != nil {
+		return nil, err
+	}
+
+	httpN := 16
+	if len(wl.wl.NL.Instances) > 50 {
+		httpN = 3
+	}
+	start := time.Now()
+	for i := 0; i < httpN; i++ {
+		if _, err := post(plainBody); err != nil {
+			return nil, err
+		}
+	}
+	untracedSec := time.Since(start).Seconds()
+
+	probe.ReportBitIdentical = true
+	start = time.Now()
+	for i := 0; i < httpN; i++ {
+		body, err := post(tracedBody)
+		if err != nil {
+			return nil, err
+		}
+		var reply service.TracedReply
+		if err := json.Unmarshal(body, &reply); err != nil {
+			return nil, fmt.Errorf("obs probe: traced reply: %w", err)
+		}
+		rep := append(append([]byte(nil), reply.Report...), '\n')
+		if !bytes.Equal(rep, want) || reply.Trace == nil {
+			probe.ReportBitIdentical = false
+		}
+	}
+	tracedSec := time.Since(start).Seconds()
+
+	if untracedSec > 0 {
+		probe.UntracedReqPerSec = float64(httpN) / untracedSec
+		probe.TracedHTTPPct = 100 * (tracedSec - untracedSec) / untracedSec
+	}
+	if tracedSec > 0 {
+		probe.TracedReqPerSec = float64(httpN) / tracedSec
 	}
 	return probe, nil
 }

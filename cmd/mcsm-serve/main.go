@@ -41,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,15 +53,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8720", "listen address")
-		inflight = flag.Int("max-inflight", 0, "max concurrently computing analyses (0 = max(2, GOMAXPROCS/2)); excess requests queue")
-		nlCache  = flag.Int("netlist-cache", 64, "parsed-netlist LRU capacity (entries)")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request compute deadline (queue wait included)")
-		sessCap  = flag.Int("session-cap", 32, "max live ECO sessions (LRU-evicted beyond; each retains full per-net waveform state)")
-		sessTTL  = flag.Duration("session-ttl", 15*time.Minute, "idle ECO sessions expire after this")
-		grace    = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
-		quiet    = flag.Bool("quiet", false, "suppress per-request logs")
-		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
+		addr      = flag.String("addr", ":8720", "listen address")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently computing analyses (0 = max(2, GOMAXPROCS/2)); excess requests queue")
+		nlCache   = flag.Int("netlist-cache", 64, "parsed-netlist LRU capacity (entries)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-request compute deadline (queue wait included)")
+		sessCap   = flag.Int("session-cap", 32, "max live ECO sessions (LRU-evicted beyond; each retains full per-net waveform state)")
+		sessTTL   = flag.Duration("session-ttl", 15*time.Minute, "idle ECO sessions expire after this")
+		grace     = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain window")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logs")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:8721); empty disables profiling")
+		engFlags  = cliutil.RegisterEngineFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -92,6 +94,33 @@ func main() {
 	log.Printf("mcsm-serve: listening on %s (engine workers %d, cache dir %q)",
 		ln.Addr(), srv.Engine().Workers(), engFlags.CacheDir)
 
+	// -pprof mounts the runtime profiler on its OWN mux and port, never
+	// the service mux: profiling endpoints expose goroutine stacks and
+	// heap contents, so they stay off the service's network surface and
+	// can be bound to loopback independently of -addr. Handlers are
+	// registered explicitly rather than importing for the side effect, so
+	// nothing leaks onto http.DefaultServeMux.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, perr := net.Listen("tcp", *pprofAddr)
+		if perr != nil {
+			fatal(perr)
+		}
+		pprofSrv = &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		log.Printf("mcsm-serve: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("mcsm-serve: pprof server: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
@@ -107,6 +136,9 @@ func main() {
 	defer cancel()
 	err = httpSrv.Shutdown(shutdownCtx)
 	srv.Close() // cancel whatever did not drain
+	if pprofSrv != nil {
+		pprofSrv.Close() // profiling connections don't merit a drain
+	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal(err)
 	}

@@ -73,30 +73,32 @@ import (
 	"mcsm/internal/graph"
 	"mcsm/internal/mc"
 	"mcsm/internal/netlist"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
 
 func main() {
 	var (
-		netPath  = flag.String("netlist", "", "netlist file (may also be given as the positional argument)")
-		format   = flag.String("format", "auto", "netlist format: auto, net, bench")
-		gen      = flag.String("gen", "", "analyze a generated circuit instead of a file: gates[:depth[:fanin[:seed[:inputs]]]]")
-		dump     = flag.String("dump", "", "write the generic circuit as .bench to this path and exit (bench/gen inputs)")
-		all      = flag.Bool("all", false, "report every net, not just primary outputs (bench/gen inputs)")
-		arrivals = flag.String("arrivals", "", "comma list net:rise@TIME or net:fall@TIME (default: all rise@1n; bench/gen: staggered rises)")
-		slew     = flag.Float64("slew", cliutil.DefaultSlew, "primary input transition time")
-		horizon  = flag.Float64("horizon", 4e-9, "analysis window end")
-		dtSpec   = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps; coarser steps trade accuracy for speed)")
-		flat     = flag.Bool("flat", true, "also run the flat transistor reference (bench/gen inputs default to off)")
-		fast     = flag.Bool("fast", true, "reduced-fidelity characterization")
-		eco      = flag.String("eco", "", "replay an ECO edit script (JSON) incrementally and report per-batch deltas instead of the MIS/SIS comparison")
-		mcSpec   = flag.String("mc", "", "run a Monte-Carlo variation analysis from this spec file (JSON, see internal/mc.Spec) instead of the MIS/SIS comparison")
-		mcJSON   = flag.String("mc-json", "", "with -mc: write the canonical MC report to this path (\"-\" = stdout)")
-		ecoJSON  = flag.String("eco-json", "", "with -eco: also write the canonical per-batch delta reports as a JSON array to this path (\"-\" = stdout)")
-		beJSON   = flag.String("backend-json", "", "with -backend nldm/hybrid: write the canonical backend report (attribution + critical path) to this path (\"-\" = stdout)")
-		engFlags = cliutil.RegisterEngineFlags(flag.CommandLine)
-		beFlags  = cliutil.RegisterBackendFlags(flag.CommandLine)
+		netPath   = flag.String("netlist", "", "netlist file (may also be given as the positional argument)")
+		format    = flag.String("format", "auto", "netlist format: auto, net, bench")
+		gen       = flag.String("gen", "", "analyze a generated circuit instead of a file: gates[:depth[:fanin[:seed[:inputs]]]]")
+		dump      = flag.String("dump", "", "write the generic circuit as .bench to this path and exit (bench/gen inputs)")
+		all       = flag.Bool("all", false, "report every net, not just primary outputs (bench/gen inputs)")
+		arrivals  = flag.String("arrivals", "", "comma list net:rise@TIME or net:fall@TIME (default: all rise@1n; bench/gen: staggered rises)")
+		slew      = flag.Float64("slew", cliutil.DefaultSlew, "primary input transition time")
+		horizon   = flag.Float64("horizon", 4e-9, "analysis window end")
+		dtSpec    = flag.String("dt", "", "stage integration step, e.g. 1p (default 1 ps; coarser steps trade accuracy for speed)")
+		flat      = flag.Bool("flat", true, "also run the flat transistor reference (bench/gen inputs default to off)")
+		fast      = flag.Bool("fast", true, "reduced-fidelity characterization")
+		eco       = flag.String("eco", "", "replay an ECO edit script (JSON) incrementally and report per-batch deltas instead of the MIS/SIS comparison")
+		mcSpec    = flag.String("mc", "", "run a Monte-Carlo variation analysis from this spec file (JSON, see internal/mc.Spec) instead of the MIS/SIS comparison")
+		mcJSON    = flag.String("mc-json", "", "with -mc: write the canonical MC report to this path (\"-\" = stdout)")
+		ecoJSON   = flag.String("eco-json", "", "with -eco: also write the canonical per-batch delta reports as a JSON array to this path (\"-\" = stdout)")
+		beJSON    = flag.String("backend-json", "", "with -backend nldm/hybrid: write the canonical backend report (attribution + critical path) to this path (\"-\" = stdout)")
+		engFlags  = cliutil.RegisterEngineFlags(flag.CommandLine)
+		beFlags   = cliutil.RegisterBackendFlags(flag.CommandLine)
+		traceFlag = cliutil.RegisterTraceFlag(flag.CommandLine)
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -182,6 +184,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// -trace threads a span recorder through whichever mode runs below;
+	// the phase table prints to stderr when main returns normally (a
+	// fatal() exit has no complete trace to print).
+	ctx, tr := cliutil.StartTrace(context.Background(), *traceFlag, "sta")
+	defer tr.WriteTable(os.Stderr)
 	if *mcSpec != "" {
 		if *eco != "" || *ecoJSON != "" {
 			fatal(fmt.Errorf("-mc and -eco are mutually exclusive"))
@@ -194,7 +201,7 @@ func main() {
 		if err := cliutil.ApplyArrivalSpec(primary, tech.Vdd, *arrivals, *slew, h); err != nil {
 			fatal(err)
 		}
-		if err := runMC(eng, wl, beSpec, spec, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *mcJSON); err != nil {
+		if err := runMC(ctx, eng, wl, beSpec, spec, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *mcJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -211,7 +218,7 @@ func main() {
 		if *eco != "" || *ecoJSON != "" {
 			fatal(fmt.Errorf("-eco replay runs on the csm backend"))
 		}
-		if err := runBackend(eng, wl, beSpec, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *beJSON, wl.Mapped && !*all); err != nil {
+		if err := runBackend(ctx, eng, wl, beSpec, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *beJSON, wl.Mapped && !*all); err != nil {
 			fatal(err)
 		}
 		return
@@ -220,7 +227,7 @@ func main() {
 		fatal(fmt.Errorf("-backend-json requires -backend nldm or hybrid"))
 	}
 	fmt.Fprintf(os.Stderr, "characterizing cell models (%d workers)...\n", eng.Workers())
-	models, err := eng.ModelsFor(tech, wl.NL, cfg)
+	models, err := eng.ModelsForCtx(ctx, tech, wl.NL, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -238,7 +245,7 @@ func main() {
 	}
 
 	if *eco != "" {
-		if err := runEco(eng, tech, wl, cfg, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *eco, *ecoJSON); err != nil {
+		if err := runEco(ctx, eng, tech, wl, cfg, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt}, *eco, *ecoJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -248,17 +255,26 @@ func main() {
 	}
 
 	opt := sta.Options{Horizon: h, Dt: dt}
-	mis, err := eng.Analyze(wl.NL, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt})
+	// The MIS/SIS comparison traces as two named analysis phases; each
+	// gets the engine's build/propagate spans as children.
+	misSpan := tr.Root().Start("mis")
+	mis, err := eng.AnalyzeCtx(obs.WithSpan(ctx, misSpan), wl.NL, models, primary, sta.Options{Mode: sta.ModeMIS, Horizon: h, Dt: dt})
+	misSpan.End()
 	if err != nil {
 		fatal(err)
 	}
-	sis, err := eng.Analyze(wl.NL, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: h, Dt: dt})
+	sisSpan := tr.Root().Start("sis")
+	sis, err := eng.AnalyzeCtx(obs.WithSpan(ctx, sisSpan), wl.NL, models, primary, sta.Options{Mode: sta.ModeSIS, Horizon: h, Dt: dt})
+	sisSpan.End()
 	if err != nil {
 		fatal(err)
 	}
 	var ref *sta.Report
 	if runFlat {
-		if ref, err = eng.FlatReference(wl.NL, tech, primary, opt); err != nil {
+		flatSpan := tr.Root().Start("flat")
+		ref, err = eng.FlatReference(wl.NL, tech, primary, opt)
+		flatSpan.End()
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -292,10 +308,10 @@ func main() {
 // runBackend is the -backend nldm/hybrid mode: one MIS analysis under the
 // selected delay calculator, per-net arrivals with stage attribution, the
 // hybrid economy line, and optionally the canonical backend report JSON.
-func runBackend(eng *engine.Engine, wl *cliutil.Workload, spec engine.BackendSpec, primary map[string]wave.Waveform, opt sta.Options, jsonPath string, outputsOnly bool) error {
+func runBackend(ctx context.Context, eng *engine.Engine, wl *cliutil.Workload, spec engine.BackendSpec, primary map[string]wave.Waveform, opt sta.Options, jsonPath string, outputsOnly bool) error {
 	fmt.Fprintf(os.Stderr, "analyzing with %s backend (%d workers)...\n", spec.Kind, eng.Workers())
 	start := time.Now()
-	res, err := eng.AnalyzeBackend(context.Background(), spec, wl.NL, primary, opt)
+	res, err := eng.AnalyzeBackend(ctx, spec, wl.NL, primary, opt)
 	if err != nil {
 		return err
 	}
@@ -346,7 +362,7 @@ func runBackend(eng *engine.Engine, wl *cliutil.Workload, spec engine.BackendSpe
 // backend, trials fanned across the engine workers, the reduced
 // per-output delay distributions printed as a table, and optionally the
 // canonical MC report JSON.
-func runMC(eng *engine.Engine, wl *cliutil.Workload, beSpec engine.BackendSpec, spec *mc.Spec, primary map[string]wave.Waveform, opt sta.Options, jsonPath string) error {
+func runMC(ctx context.Context, eng *engine.Engine, wl *cliutil.Workload, beSpec engine.BackendSpec, spec *mc.Spec, primary map[string]wave.Waveform, opt sta.Options, jsonPath string) error {
 	sigmaVt, sigmaStrength, err := spec.Sigmas()
 	if err != nil {
 		return err
@@ -354,7 +370,7 @@ func runMC(eng *engine.Engine, wl *cliutil.Workload, beSpec engine.BackendSpec, 
 	fmt.Fprintf(os.Stderr, "monte-carlo: %d trials on %s backend (%d workers, seed %d, σVt %.0fmV, σstr %.2f)...\n",
 		spec.Trials, beSpec.Kind, eng.Workers(), spec.Seed, sigmaVt*1e3, sigmaStrength)
 	start := time.Now()
-	res, err := mc.New(eng).Run(context.Background(), mc.Config{
+	res, err := mc.New(eng).Run(ctx, mc.Config{
 		Backend:       beSpec,
 		Trials:        spec.Trials,
 		Seed:          spec.Seed,
@@ -409,13 +425,16 @@ func runMC(eng *engine.Engine, wl *cliutil.Workload, beSpec engine.BackendSpec, 
 // one, re-propagating only each batch's dirty cone, and print the
 // per-batch economics. With ecoJSON the canonical delta reports are
 // additionally written as a JSON array.
-func runEco(eng *engine.Engine, tech cells.Tech, wl *cliutil.Workload, cfg csm.Config, primary map[string]wave.Waveform, opt sta.Options, scriptPath, ecoJSON string) error {
+func runEco(ctx context.Context, eng *engine.Engine, tech cells.Tech, wl *cliutil.Workload, cfg csm.Config, primary map[string]wave.Waveform, opt sta.Options, scriptPath, ecoJSON string) error {
 	script, err := cliutil.LoadEditScript(scriptPath)
 	if err != nil {
 		return err
 	}
+	span := obs.SpanFrom(ctx)
 	start := time.Now()
-	g, err := cliutil.BuildGraph(eng, tech, wl, cfg, primary, opt)
+	buildSpan := span.Start("build")
+	g, _, err := cliutil.BuildGraphCtx(obs.WithSpan(ctx, buildSpan), eng, tech, wl, cfg, primary, opt)
+	buildSpan.End()
 	if err != nil {
 		return err
 	}
@@ -436,7 +455,11 @@ func runEco(eng *engine.Engine, tech cells.Tech, wl *cliutil.Workload, cfg csm.C
 			return fmt.Errorf("eco batch %d: %w", bi, err)
 		}
 		t0 := time.Now()
-		stats, err := g.Propagate(context.Background())
+		batchSpan := span.Start("eco_batch")
+		batchSpan.LabelInt("batch", int64(bi))
+		batchSpan.LabelInt("edits", int64(applied))
+		stats, err := g.Propagate(obs.WithSpan(ctx, batchSpan))
+		batchSpan.End()
 		if err != nil {
 			return fmt.Errorf("eco batch %d: %w", bi, err)
 		}

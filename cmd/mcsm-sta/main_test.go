@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -79,7 +80,7 @@ func TestRunEcoReplay(t *testing.T) {
 	const horizon = 4e-9
 	primary := sta.C17Stimulus(tech.Vdd, horizon)
 	opt := sta.Options{Horizon: horizon, Dt: 4e-12}
-	if err := runEco(eng, tech, wl, testutil.CoarseConfig(), primary, opt, script, out); err != nil {
+	if err := runEco(context.Background(), eng, tech, wl, testutil.CoarseConfig(), primary, opt, script, out); err != nil {
 		t.Fatal(err)
 	}
 

@@ -547,6 +547,47 @@ func TestGoldenServeMC(t *testing.T) {
 	}
 }
 
+// TestGoldenTracedSTA pins the traced-reply contract of the
+// observability layer: a /v1/sta request with "trace": true answers a
+// wrapper object whose embedded report is byte-identical to the
+// committed golden fixture — tracing may observe a computation, never
+// perturb its bytes — with a non-empty span tree riding alongside.
+func TestGoldenTracedSTA(t *testing.T) {
+	req := service.STARequest{
+		Name:     "c17",
+		Netlist:  sta.C17Netlist,
+		Format:   "net",
+		Config:   "coarse",
+		Stimulus: "c17",
+		Dt:       "2p",
+		Horizon:  "4n",
+		Trace:    true,
+	}
+	srv := service.NewWithEngine(service.Config{}, engine.New(0, goldenEngine().Cache()))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	status, body := goldenPost(t, ts.URL+"/v1/sta", marshalRequest(t, req))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var reply service.TracedReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("traced reply: %v", err)
+	}
+	if reply.Trace == nil || reply.Trace.Name != "sta" {
+		t.Fatalf("traced reply carries no sta span tree: %+v", reply.Trace)
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, "c17_sta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]byte(nil), reply.Report...), '\n')
+	if !bytes.Equal(got, want) {
+		t.Error("traced reply's embedded report drifted from the committed fixture")
+	}
+}
+
 // TestGoldenNAND2Sweep pins one canonical sweep surface: the NAND2 MIS
 // skew sweep on the standard test grid with flat-SPICE references every
 // fifth point, in the exact-float CSV encoding.

@@ -1,0 +1,27 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+
+	"mcsm/internal/obs"
+)
+
+// RegisterTraceFlag installs -trace on fs (use flag.CommandLine in main)
+// and returns its destination. The CLIs share one definition so the flag
+// reads identically everywhere it appears.
+func RegisterTraceFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("trace", false, "record per-phase spans and print the phase table to stderr when the run completes")
+}
+
+// StartTrace begins a trace named name and threads its root span through
+// ctx, so the engine/graph/mc layers attach their phase spans to it.
+// When disabled it returns ctx unchanged and a nil trace — the nil-safe
+// obs API makes every downstream call a no-op.
+func StartTrace(ctx context.Context, enabled bool, name string) (context.Context, *obs.Trace) {
+	if !enabled {
+		return ctx, nil
+	}
+	tr := obs.New(name)
+	return obs.WithSpan(ctx, tr.Root()), tr
+}

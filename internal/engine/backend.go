@@ -11,6 +11,7 @@ import (
 	"mcsm/internal/csm"
 	"mcsm/internal/graph"
 	"mcsm/internal/nldm"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -124,7 +125,7 @@ func (e *Engine) PlanBackend(ctx context.Context, spec BackendSpec, nl *sta.Netl
 	}
 	switch kind {
 	case BackendCSM:
-		models, err := e.ModelsFor(spec.Tech, nl, spec.CSM)
+		models, err := e.ModelsForCtx(ctx, spec.Tech, nl, spec.CSM)
 		if err != nil {
 			return nil, err
 		}
@@ -157,15 +158,19 @@ func (e *Engine) PlanBackend(ctx context.Context, spec BackendSpec, nl *sta.Netl
 // planHybrid: NLDM everywhere → slack classification → CSM models for the
 // near-critical stages only → a per-index routing hook.
 func (e *Engine) planHybrid(ctx context.Context, spec BackendSpec, nl *sta.Netlist, primary map[string]wave.Waveform, opt sta.Options) (*BackendPlan, error) {
+	span := obs.SpanFrom(ctx)
 	ev, err := e.evaluatorFor(spec, nl)
 	if err != nil {
 		return nil, err
 	}
+	nldmSpan := span.Start("nldm_pass")
 	res, err := ev.Analyze(nl, primary, opt)
 	if err != nil {
+		nldmSpan.End()
 		return nil, fmt.Errorf("engine: hybrid NLDM pass: %w", err)
 	}
 	slacks, err := res.Slacks(nl)
+	nldmSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +196,11 @@ func (e *Engine) planHybrid(ctx context.Context, spec BackendSpec, nl *sta.Netli
 
 	// Characterize CSM models only for the cell types the near-critical
 	// stages actually use.
+	refineSpan := span.Start("csm_refine")
+	refineSpan.LabelInt("csm_stages", int64(csmCount))
+	refineSpan.LabelInt("nldm_stages", int64(len(assign)-csmCount))
+	refineSpan.Label("margin", sta.FormatFloat(margin))
+	defer refineSpan.End()
 	var models map[string]*csm.Model
 	if csmCount > 0 {
 		sub := &sta.Netlist{}
@@ -199,7 +209,7 @@ func (e *Engine) planHybrid(ctx context.Context, spec BackendSpec, nl *sta.Netli
 				sub.Instances = append(sub.Instances, nl.Instances[i])
 			}
 		}
-		if models, err = e.ModelsFor(spec.Tech, sub, spec.CSM); err != nil {
+		if models, err = e.ModelsForCtx(obs.WithSpan(ctx, refineSpan), spec.Tech, sub, spec.CSM); err != nil {
 			return nil, err
 		}
 		for t, m := range models {
@@ -258,19 +268,35 @@ func (e *Engine) evaluatorFor(spec BackendSpec, nl *sta.Netlist) (*nldm.Evaluato
 // CSM kind routes through the identical graph build as AnalyzeCtx, so
 // its reports are byte-for-byte the historical ones at any worker count.
 func (e *Engine) AnalyzeBackend(ctx context.Context, spec BackendSpec, nl *sta.Netlist, primary map[string]wave.Waveform, opt sta.Options) (*BackendResult, error) {
-	plan, err := e.PlanBackend(ctx, spec, nl, primary, opt)
+	span := obs.SpanFrom(ctx)
+	planSpan := span.Start("plan")
+	if spec.Kind == "" {
+		planSpan.Label("backend", string(BackendCSM))
+	} else {
+		planSpan.Label("backend", string(spec.Kind))
+	}
+	plan, err := e.PlanBackend(obs.WithSpan(ctx, planSpan), spec, nl, primary, opt)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	cfg := plan.GraphConfig(e.workers, nil)
 	cfg.ShareNetlist = true
+	cfg.EvalHist = &e.stageHist
+	buildSpan := span.Start("build")
 	g, err := graph.Build(nl, plan.Models, primary, opt, cfg)
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	if _, err := g.Propagate(ctx); err != nil {
+	propSpan := span.Start("propagate")
+	stats, err := g.Propagate(obs.WithSpan(ctx, propSpan))
+	if err != nil {
+		propSpan.End()
 		return nil, err
 	}
+	propSpan.LabelInt("evaluated", int64(stats.StagesEvaluated))
+	propSpan.End()
 	e.stageEvals.Add(g.StageEvals())
 	return &BackendResult{Plan: plan, Report: g.Report()}, nil
 }

@@ -90,28 +90,52 @@ func Key(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) string
 		int(kind), cfg)
 }
 
+// Outcome describes how a ModelCache.GetOutcome call was satisfied —
+// the label the tracing layer attaches to per-model spans.
+type Outcome string
+
+const (
+	// OutcomeHit is a Get served from memory, including joins on
+	// in-flight characterizations of the same key.
+	OutcomeHit Outcome = "hit"
+	// OutcomeDisk is a miss satisfied by reloading a spill file.
+	OutcomeDisk Outcome = "disk"
+	// OutcomeCharacterized is a miss that ran the full SPICE-backed
+	// characterization.
+	OutcomeCharacterized Outcome = "characterized"
+)
+
 // Get returns the model for (tech, spec, kind, cfg), characterizing it at
 // most once per cache. A Get that joins an in-flight characterization of
 // the same key blocks until it completes and counts as a hit. Errors are
 // cached alongside models: characterization is deterministic in its inputs,
 // so a failed key fails every caller identically.
 func (c *ModelCache) Get(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
+	m, _, err := c.GetOutcome(tech, spec, kind, cfg)
+	return m, err
+}
+
+// GetOutcome is Get plus the way the lookup was satisfied, so callers
+// can attribute the cost (a memory hit is ns, a disk reload is ms, a
+// characterization is seconds).
+func (c *ModelCache) GetOutcome(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, Outcome, error) {
 	key := Key(tech, spec, kind, cfg)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.model, e.err
+		return e.model, OutcomeHit, e.err
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
 
-	e.model, e.err = c.build(key, tech, spec, kind, cfg)
+	var outcome Outcome
+	e.model, outcome, e.err = c.build(key, tech, spec, kind, cfg)
 	close(e.ready)
-	return e.model, e.err
+	return e.model, outcome, e.err
 }
 
 // build satisfies a cache miss: reload from the spill file when possible,
@@ -121,7 +145,7 @@ func (c *ModelCache) Get(tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg cs
 // to the caller or, worse, hand back a structurally broken model: it is
 // rejected with a clear diagnostic (Logf + the SpillRejects counter) and
 // the key is transparently re-characterized, overwriting the bad file.
-func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, error) {
+func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, Outcome, error) {
 	var path string
 	if c.dir != "" {
 		path = c.spillPath(spec, kind, key)
@@ -131,7 +155,7 @@ func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind cs
 			c.mu.Lock()
 			c.diskHits++
 			c.mu.Unlock()
-			return m, nil
+			return m, OutcomeDisk, nil
 		case err == nil:
 			c.reject(path, fmt.Errorf("model is for cell %q, want %q", m.Cell, spec.Name))
 		case !errors.Is(err, fs.ErrNotExist):
@@ -140,14 +164,14 @@ func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind cs
 	}
 	m, err := csm.Characterize(tech, spec, kind, cfg)
 	if err != nil {
-		return nil, err
+		return nil, OutcomeCharacterized, err
 	}
 	if path != "" {
 		if mkErr := os.MkdirAll(c.dir, 0o755); mkErr == nil {
 			_ = m.Save(path) // spill is best-effort: a full disk must not fail the Get
 		}
 	}
-	return m, nil
+	return m, OutcomeCharacterized, nil
 }
 
 // reject records a corrupt or mismatched spill file. The file itself is

@@ -10,6 +10,7 @@ import (
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
 	"mcsm/internal/graph"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -24,6 +25,7 @@ type Engine struct {
 	cache      *ModelCache
 	nldm       *nldmCache
 	stageEvals atomic.Int64
+	stageHist  obs.Histogram // per-stage-evaluation latency, all analyses
 }
 
 // New returns an engine with the given worker-pool width (0 or negative
@@ -49,6 +51,11 @@ func (e *Engine) Cache() *ModelCache { return e.cache }
 // has run — the hot-path operation count for throughput metrics.
 func (e *Engine) StageEvals() int64 { return e.stageEvals.Load() }
 
+// StageHist returns the engine's stage-evaluation latency histogram.
+// Every analysis routed through the engine (one-shot, backend, and MC
+// trials) observes each stage evaluation's duration here.
+func (e *Engine) StageHist() *obs.Histogram { return &e.stageHist }
+
 // KindFor selects the model kind the engine characterizes a cell as: the
 // paper's MCSM when the spec models two inputs, the SIS CSM otherwise
 // (e.g. the inverter, which has no stack node).
@@ -64,6 +71,15 @@ func KindFor(spec cells.Spec) csm.Kind {
 // the worker pool (the cache's singleflight collapses duplicates). The
 // model kind per cell comes from KindFor.
 func (e *Engine) ModelsFor(tech cells.Tech, nl *sta.Netlist, cfg csm.Config) (map[string]*csm.Model, error) {
+	return e.ModelsForCtx(context.Background(), tech, nl, cfg)
+}
+
+// ModelsForCtx is ModelsFor with trace attribution: when ctx carries a
+// span, a "models" child records the whole resolution and one "model"
+// grandchild per cell type is labeled with how the cache satisfied it
+// (hit / disk / characterized) — the difference between nanoseconds
+// and seconds of request time.
+func (e *Engine) ModelsForCtx(ctx context.Context, tech cells.Tech, nl *sta.Netlist, cfg csm.Config) (map[string]*csm.Model, error) {
 	var types []string
 	seen := map[string]bool{}
 	for _, inst := range nl.Instances {
@@ -81,6 +97,7 @@ func (e *Engine) ModelsFor(tech cells.Tech, nl *sta.Netlist, cfg csm.Config) (ma
 		specs[i] = spec
 	}
 
+	modelsSpan := obs.SpanFrom(ctx).Start("models")
 	modelsArr := make([]*csm.Model, len(types))
 	errs := make([]error, len(types))
 	sem := make(chan struct{}, e.workers)
@@ -91,10 +108,16 @@ func (e *Engine) ModelsFor(tech cells.Tech, nl *sta.Netlist, cfg csm.Config) (ma
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			modelsArr[i], errs[i] = e.cache.Get(tech, specs[i], KindFor(specs[i]), cfg)
+			sp := modelsSpan.Start("model")
+			var outcome Outcome
+			modelsArr[i], outcome, errs[i] = e.cache.GetOutcome(tech, specs[i], KindFor(specs[i]), cfg)
+			sp.Label("cell", types[i])
+			sp.Label("outcome", string(outcome))
+			sp.End()
 		}(i)
 	}
 	wg.Wait()
+	modelsSpan.End()
 
 	models := make(map[string]*csm.Model, len(types))
 	for i, t := range types {
@@ -137,13 +160,21 @@ func (e *Engine) AnalyzeCtx(ctx context.Context, nl *sta.Netlist, models map[str
 	// edits ever run, so cloning the netlist would be pure overhead — and
 	// sharing keeps the netlist's memoized Levels/Fanouts warm across
 	// repeat analyses of one cached workload.
-	g, err := graph.Build(nl, models, primary, opt, graph.Config{Workers: e.workers, ShareNetlist: true})
+	span := obs.SpanFrom(ctx)
+	buildSpan := span.Start("build")
+	g, err := graph.Build(nl, models, primary, opt, graph.Config{Workers: e.workers, ShareNetlist: true, EvalHist: &e.stageHist})
+	buildSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	if _, err := g.Propagate(ctx); err != nil {
+	propSpan := span.Start("propagate")
+	stats, err := g.Propagate(obs.WithSpan(ctx, propSpan))
+	if err != nil {
+		propSpan.End()
 		return nil, err
 	}
+	propSpan.LabelInt("evaluated", int64(stats.StagesEvaluated))
+	propSpan.End()
 	e.stageEvals.Add(g.StageEvals())
 	return g.Report(), nil
 }

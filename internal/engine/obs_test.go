@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"mcsm/internal/obs"
+	"mcsm/internal/testutil"
+)
+
+// TestTracedAnalyzeBackendBitIdentical: running an analysis under a live
+// trace must change nothing about its result — span recording observes
+// the computation from the outside. Also pins the span taxonomy the
+// service and CLI rely on (plan/build/propagate under the root).
+func TestTracedAnalyzeBackendBitIdentical(t *testing.T) {
+	nl, primary, opt := testutil.C17Fixture(t)
+	for _, kind := range []BackendKind{BackendCSM, BackendNLDM, BackendHybrid} {
+		spec := BackendSpec{Kind: kind, Tech: testutil.Tech(), CSM: testutil.CoarseConfig()}
+		e := New(0, nil)
+		plain, err := e.AnalyzeBackend(context.Background(), spec, nl, primary, opt)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", kind, err)
+		}
+
+		tr := obs.New("test")
+		traced, err := e.AnalyzeBackend(obs.WithSpan(context.Background(), tr.Root()), spec, nl, primary, opt)
+		if err != nil {
+			t.Fatalf("%s traced: %v", kind, err)
+		}
+		testutil.RequireIdenticalReports(t, string(kind)+" traced vs untraced", traced.Report, plain.Report)
+
+		tree := tr.Finish()
+		if tree.CountSpans() < 4 {
+			t.Errorf("%s: trace has %d spans, want >= 4 (root + plan/build/propagate)", kind, tree.CountSpans())
+		}
+		seen := map[string]bool{}
+		for _, c := range tree.Children {
+			seen[c.Name] = true
+		}
+		for _, want := range []string{"plan", "build", "propagate"} {
+			if !seen[want] {
+				t.Errorf("%s: trace missing %q child span (got %v)", kind, want, tree.Children)
+			}
+		}
+	}
+}
+
+// TestStageHistObserves: the engine's always-on stage-evaluation
+// histogram fills during any analysis, traced or not.
+func TestStageHistObserves(t *testing.T) {
+	nl, primary, opt := testutil.C17Fixture(t)
+	e := New(0, nil)
+	before := e.StageHist().Count()
+	if _, err := e.AnalyzeBackend(context.Background(),
+		BackendSpec{Kind: BackendCSM, Tech: testutil.Tech(), CSM: testutil.CoarseConfig()},
+		nl, primary, opt); err != nil {
+		t.Fatal(err)
+	}
+	got := e.StageHist().Count() - before
+	if got < int64(len(nl.Instances)) {
+		t.Errorf("stage histogram grew by %d, want >= %d", got, len(nl.Instances))
+	}
+}

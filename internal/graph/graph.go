@@ -33,8 +33,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcsm/internal/csm"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -68,6 +70,10 @@ type Config struct {
 	// Vdd supplies the rail voltage when the graph runs without CSM models
 	// (a table-only Eval hook); ignored when models are present.
 	Vdd float64
+	// EvalHist, when set, receives the duration of every stage
+	// evaluation — the engine threads its stage-latency histogram here.
+	// Nil disables the timing entirely (no clock reads on the hot path).
+	EvalHist *obs.Histogram
 }
 
 // Stats summarizes one Propagate call.
@@ -109,6 +115,7 @@ type TimingGraph struct {
 	eval       EvalFunc
 	customEval bool // a backend hook is installed (relaxes SwapCell's CSM-model demand)
 	modelFor   func(string) (*csm.Model, error)
+	evalHist   *obs.Histogram
 
 	instIdx map[string]int  // instance name -> index
 	driver  map[string]int  // net -> driving instance index
@@ -177,6 +184,7 @@ func Build(nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wav
 	}
 	g.eval = cfg.Eval
 	g.customEval = cfg.Eval != nil
+	g.evalHist = cfg.EvalHist
 	if g.eval == nil {
 		g.eval = sta.EvalStageWithLoad
 	}
@@ -321,8 +329,9 @@ func (g *TimingGraph) Propagate(ctx context.Context) (Stats, error) {
 	stats := Stats{StagesTotal: len(g.nl.Instances)}
 	changed := g.pendingChanged
 	g.pendingChanged = map[string]bool{}
+	span := obs.SpanFrom(ctx)
 
-	for _, level := range levels {
+	for lvl, level := range levels {
 		if err := ctx.Err(); err != nil {
 			g.stashChanged(changed)
 			return stats, err
@@ -336,6 +345,10 @@ func (g *TimingGraph) Propagate(ctx context.Context) (Stats, error) {
 		if len(todo) == 0 {
 			continue
 		}
+		levelSpan := span.Start("level")
+		levelSpan.LabelInt("level", int64(lvl))
+		levelSpan.LabelInt("dirty", int64(len(todo)))
+		evalBase, skipBase := stats.StagesEvaluated, stats.StagesSkipped
 		// Prefetch the stage loads serially: loadFor fills a cache map,
 		// which must not race with the parallel evaluations.
 		for _, idx := range todo {
@@ -382,6 +395,7 @@ func (g *TimingGraph) Propagate(ctx context.Context) (Stats, error) {
 
 		for j := range todo {
 			if results[j].err != nil {
+				levelSpan.End()
 				g.stashChanged(changed)
 				return stats, results[j].err
 			}
@@ -409,6 +423,9 @@ func (g *TimingGraph) Propagate(ctx context.Context) (Stats, error) {
 				g.dirty[fo[0]] = true
 			}
 		}
+		levelSpan.LabelInt("evaluated", int64(stats.StagesEvaluated-evalBase))
+		levelSpan.LabelInt("skipped", int64(stats.StagesSkipped-skipBase))
+		levelSpan.End()
 	}
 
 	stats.ChangedNets = make([]string, 0, len(changed))
@@ -441,7 +458,14 @@ func (g *TimingGraph) evalStage(idx int) stageResult {
 	if g.lastEval[idx].matches(rec.typ, rec.loadGen, cur) {
 		return stageResult{skipped: true}
 	}
+	var t0 time.Time
+	if g.evalHist != nil {
+		t0 = time.Now()
+	}
 	out, sw, err := g.eval(g.nl, g.models, idx, g.waves, g.loads[inst.Output], g.vdd, g.opt)
+	if g.evalHist != nil {
+		g.evalHist.ObserveSince(t0)
+	}
 	if err != nil {
 		return stageResult{err: err}
 	}

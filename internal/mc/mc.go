@@ -6,10 +6,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/graph"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -132,7 +134,10 @@ func (r *Runner) Run(ctx context.Context, cfg Config, nl *sta.Netlist, primary m
 	// Resolve the backend once: models/tables come out of the engine
 	// caches, and hybrid classification runs a single NLDM pass shared
 	// by every trial.
-	plan, err := r.eng.PlanBackend(ctx, cfg.Backend, nl, primary, opt)
+	span := obs.SpanFrom(ctx)
+	planSpan := span.Start("plan")
+	plan, err := r.eng.PlanBackend(obs.WithSpan(ctx, planSpan), cfg.Backend, nl, primary, opt)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -164,13 +169,19 @@ func (r *Runner) Run(ctx context.Context, cfg Config, nl *sta.Netlist, primary m
 	// OnUpdate at batch boundaries. Workers race to *finish* trials, but
 	// the reduction sequence is the index order — the exact sequence a
 	// serial run produces.
+	trialsSpan := span.Start("trials")
+	trialsSpan.LabelInt("trials", int64(cfg.Trials))
 	var (
-		mu        sync.Mutex
-		done      = make([]bool, cfg.Trials)
-		watermark int
-		prefix    Stream
-		switched  int
+		mu         sync.Mutex
+		done       = make([]bool, cfg.Trials)
+		watermark  int
+		prefix     Stream
+		switched   int
+		batchStart time.Time
 	)
+	if trialsSpan != nil {
+		batchStart = time.Now()
+	}
 	complete := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -182,7 +193,19 @@ func (r *Runner) Run(ctx context.Context, cfg Config, nl *sta.Netlist, primary m
 				prefix.Add(t.worst)
 			}
 			watermark++
-			if cfg.OnUpdate != nil && (watermark%batch == 0 || watermark == cfg.Trials) {
+			if watermark%batch != 0 && watermark != cfg.Trials {
+				continue
+			}
+			// Batch boundary: one retroactive span per batch gives the
+			// trace the trial-throughput timeline without a clock read
+			// per trial.
+			if trialsSpan != nil {
+				now := time.Now()
+				trialsSpan.Record("batch", batchStart, now).
+					LabelInt("trials_done", int64(watermark))
+				batchStart = now
+			}
+			if cfg.OnUpdate != nil {
 				cfg.OnUpdate(Update{
 					TrialsDone: watermark,
 					Trials:     cfg.Trials,
@@ -259,6 +282,7 @@ func (r *Runner) Run(ctx context.Context, cfg Config, nl *sta.Netlist, primary m
 		}
 	}
 
+	trialsSpan.End()
 	return reduce(cfg, plan, v, nl, trials, bins, stageEvals.Load())
 }
 
@@ -280,6 +304,7 @@ func (r *Runner) evalTrial(ctx context.Context, plan *engine.BackendPlan, base g
 		ShareNetlist: true,
 		Eval:         wrapped,
 		Vdd:          plan.Vdd,
+		EvalHist:     r.eng.StageHist(),
 	})
 	if err != nil {
 		return trialResult{}, 0, fmt.Errorf("mc: trial %d: %w", trial, err)

@@ -1,0 +1,22 @@
+package obs
+
+import "context"
+
+type spanKey struct{}
+
+// WithSpan attaches a span to the context. A nil span returns ctx
+// unchanged, so untraced requests never allocate a derived context.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil when the request is
+// untraced. Combined with nil-safe span methods, call sites need no
+// branches.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

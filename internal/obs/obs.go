@@ -1,0 +1,221 @@
+// Package obs is the zero-dependency observability core: per-request
+// span traces and log-bucketed latency histograms. Every entry point is
+// safe on a nil receiver, so instrumented layers call unconditionally
+// and pay only a nil check when tracing is off.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is a per-request span recorder. The zero value is not useful;
+// create one with New. A nil *Trace is inert: Root returns nil and the
+// nil span swallows every call.
+type Trace struct {
+	root *Span
+}
+
+// New starts a trace whose root span begins now.
+func New(name string) *Trace {
+	return &Trace{root: &Span{name: name, start: time.Now()}}
+}
+
+// Root returns the root span, or nil on a nil trace.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (idempotent) and returns the completed
+// span tree, or nil on a nil trace.
+func (t *Trace) Finish() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.root.End()
+	return t.root.Tree()
+}
+
+// Span is one timed phase with optional labels and children. All
+// methods are safe on a nil receiver and safe for concurrent use, so
+// parallel workers may attach children to a shared parent.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	labels   []label
+	children []*Span
+}
+
+type label struct {
+	key   string
+	value string
+}
+
+// Start begins a child span. On a nil receiver it returns nil, so the
+// whole instrumentation chain degrades to no-ops when tracing is off.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// Record attaches an already-completed child span covering
+// [start, end]. It is how batch loops report slices retroactively
+// (e.g. one span per Monte-Carlo batch at the watermark boundary).
+func (s *Span) Record(name string, start, end time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{name: name, start: start, end: end}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End stops the span. The first call wins; later calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Label attaches a key/value annotation. Repeated keys keep the last
+// value.
+func (s *Span) Label(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.labels {
+		if s.labels[i].key == key {
+			s.labels[i].value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.labels = append(s.labels, label{key: key, value: value})
+	s.mu.Unlock()
+}
+
+// LabelInt attaches an integer annotation.
+func (s *Span) LabelInt(key string, v int64) {
+	s.Label(key, fmt.Sprintf("%d", v))
+}
+
+// SpanNode is the exported JSON form of a completed span tree.
+// Durations are milliseconds; label maps marshal with sorted keys, so
+// the encoding is deterministic for a given tree.
+type SpanNode struct {
+	Name     string            `json:"name"`
+	Ms       float64           `json:"ms"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Children []*SpanNode       `json:"children,omitempty"`
+}
+
+// Tree snapshots the span and its descendants. Spans still running are
+// measured up to now.
+func (s *Span) Tree() *SpanNode {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	node := &SpanNode{
+		Name: s.name,
+		Ms:   end.Sub(s.start).Seconds() * 1e3,
+	}
+	if len(s.labels) > 0 {
+		node.Labels = make(map[string]string, len(s.labels))
+		for _, l := range s.labels {
+			node.Labels[l.key] = l.value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		node.Children = append(node.Children, c.Tree())
+	}
+	return node
+}
+
+// CountSpans returns the number of spans in the tree rooted at n.
+func (n *SpanNode) CountSpans() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountSpans()
+	}
+	return total
+}
+
+// WriteTable finishes the trace and prints an indented phase table:
+// one row per span with its duration, share of the root, and labels.
+// It is the `mcsm-sta -trace` stderr renderer.
+func (t *Trace) WriteTable(w io.Writer) {
+	node := t.Finish()
+	if node == nil {
+		return
+	}
+	total := node.Ms
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "%-40s %12s %7s\n", "phase", "ms", "%")
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		name := fmt.Sprintf("%*s%s", 2*depth, "", n.Name)
+		if lbl := formatLabels(n.Labels); lbl != "" {
+			name += " " + lbl
+		}
+		fmt.Fprintf(w, "%-40s %12.3f %7.1f\n", name, n.Ms, 100*n.Ms/total)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(node, 0)
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += k + "=" + labels[k]
+	}
+	return "[" + out + "]"
+}

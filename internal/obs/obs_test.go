@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New("req")
+	root := tr.Root()
+	if root == nil {
+		t.Fatal("Root returned nil on a live trace")
+	}
+	a := root.Start("build")
+	a.LabelInt("stages", 7)
+	a.End()
+	b := root.Start("propagate")
+	lvl := b.Start("level")
+	lvl.Label("dirty", "3")
+	lvl.Label("dirty", "4") // repeated key keeps the last value
+	lvl.End()
+	b.End()
+	t0 := time.Now().Add(-5 * time.Millisecond)
+	root.Record("batch", t0, t0.Add(2*time.Millisecond))
+
+	node := tr.Finish()
+	if node == nil || node.Name != "req" {
+		t.Fatalf("root node = %+v", node)
+	}
+	if len(node.Children) != 3 {
+		t.Fatalf("root children = %d, want 3", len(node.Children))
+	}
+	if node.Children[0].Name != "build" || node.Children[0].Labels["stages"] != "7" {
+		t.Errorf("build child = %+v", node.Children[0])
+	}
+	if got := node.Children[1].Children[0].Labels["dirty"]; got != "4" {
+		t.Errorf("repeated label = %q, want last-write 4", got)
+	}
+	rec := node.Children[2]
+	if rec.Name != "batch" || rec.Ms < 1.5 || rec.Ms > 2.5 {
+		t.Errorf("recorded span = %+v, want ~2ms", rec)
+	}
+	if node.CountSpans() != 5 {
+		t.Errorf("CountSpans = %d, want 5", node.CountSpans())
+	}
+	if node.Ms <= 0 {
+		t.Errorf("root duration = %v, want > 0", node.Ms)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Error("nil trace Root != nil")
+	}
+	if tr.Finish() != nil {
+		t.Error("nil trace Finish != nil")
+	}
+	tr.WriteTable(&strings.Builder{}) // must not panic
+
+	var sp *Span
+	child := sp.Start("x")
+	if child != nil {
+		t.Error("nil span Start != nil")
+	}
+	sp.End()
+	sp.Label("k", "v")
+	sp.LabelInt("n", 1)
+	sp.Record("r", time.Now(), time.Now())
+	if sp.Tree() != nil {
+		t.Error("nil span Tree != nil")
+	}
+
+	var node *SpanNode
+	if node.CountSpans() != 0 {
+		t.Error("nil node CountSpans != 0")
+	}
+
+	ctx := context.Background()
+	if WithSpan(ctx, nil) != ctx {
+		t.Error("WithSpan(ctx, nil) must return ctx unchanged")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Error("SpanFrom on bare ctx != nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("req")
+	ctx := WithSpan(context.Background(), tr.Root())
+	if SpanFrom(ctx) != tr.Root() {
+		t.Fatal("SpanFrom did not return the attached span")
+	}
+	child := SpanFrom(ctx).Start("inner")
+	cctx := WithSpan(ctx, child)
+	if SpanFrom(cctx) != child {
+		t.Fatal("nested WithSpan did not shadow the parent")
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := New("req")
+	root := tr.Root()
+	const workers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Start("child")
+			sp.LabelInt("i", 1)
+			sp.End()
+			root.Record("rec", time.Now(), time.Now())
+		}()
+	}
+	wg.Wait()
+	node := tr.Finish()
+	if len(node.Children) != 2*workers {
+		t.Fatalf("children = %d, want %d", len(node.Children), 2*workers)
+	}
+}
+
+func TestTreeJSONDeterministic(t *testing.T) {
+	tr := New("req")
+	sp := tr.Root().Start("phase")
+	sp.Label("zeta", "1")
+	sp.Label("alpha", "2")
+	sp.End()
+	node := tr.Finish()
+	a, err := json.Marshal(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("marshal not deterministic:\n%s\n%s", a, b)
+	}
+	// Go sorts map keys when marshaling, so labels are canonical.
+	if !strings.Contains(string(a), `"labels":{"alpha":"2","zeta":"1"}`) {
+		t.Errorf("labels not sorted in %s", a)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tr := New("sta")
+	sp := tr.Root().Start("propagate")
+	sp.LabelInt("levels", 3)
+	sp.End()
+	var buf strings.Builder
+	tr.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"phase", "sta", "propagate", "[levels=3]", "100.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + root + child
+		t.Errorf("table rows = %d, want 3:\n%s", len(lines), out)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New("req")
+	sp := tr.Root().Start("x")
+	sp.End()
+	first := sp.Tree().Ms
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if second := sp.Tree().Ms; second != first {
+		t.Errorf("second End moved the stop time: %v -> %v", first, second)
+	}
+	// Finish twice is also stable.
+	n1 := tr.Finish()
+	time.Sleep(2 * time.Millisecond)
+	n2 := tr.Finish()
+	if n1.Ms != n2.Ms {
+		t.Errorf("second Finish moved the root: %v -> %v", n1.Ms, n2.Ms)
+	}
+}
+
+func TestRunningSpanTreeMeasuresToNow(t *testing.T) {
+	tr := New("req")
+	sp := tr.Root().Start("open")
+	time.Sleep(2 * time.Millisecond)
+	if ms := sp.Tree().Ms; ms < 1 {
+		t.Errorf("running span measured %vms, want >= ~2ms", ms)
+	}
+}

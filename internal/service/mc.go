@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"mcsm/internal/mc"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 )
 
@@ -66,6 +68,11 @@ func (s *Server) resolveMC(req MCRequest) (*mcJob, error) {
 	if job.sigmaVt, job.sigmaStrength, err = job.spec.Sigmas(); err != nil {
 		return nil, err
 	}
+	if job.stream && job.sta.trace {
+		// The stream's NDJSON lines are pinned deterministic content; a
+		// trace has nowhere to ride along.
+		return nil, fmt.Errorf("trace and stream are mutually exclusive")
+	}
 	return job, nil
 }
 
@@ -109,6 +116,13 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		s.streamMC(w, job)
 		return
 	}
+	if job.sta.trace {
+		// Same contract as /v1/sta: a traced run bypasses coalescing so
+		// the trace measures its own computation.
+		s.metrics.mcComputed.Add(1)
+		s.reply(w, s.computeMC(job))
+		return
+	}
 	resp, joined := s.flights.do(r.Context(), job.key(), func() response {
 		s.metrics.mcComputed.Add(1)
 		if s.computeGate != nil {
@@ -124,18 +138,26 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 
 // runMC executes a resolved job under a worker-pool slot: workload and
 // stimulus resolution, the Monte-Carlo run itself, and the trial
-// counters. Shared by the buffered and streaming paths.
-func (s *Server) runMC(job *mcJob, onUpdate func(mc.Update)) (string, *mc.Result, error) {
+// counters. Shared by the buffered and streaming paths. A non-nil
+// trace's root span carries through the run, so the runner's plan /
+// trials / batch spans attach under it.
+func (s *Server) runMC(job *mcJob, onUpdate func(mc.Update), tr *obs.Trace) (string, *mc.Result, error) {
 	ctx, cancel := s.computeCtx()
 	defer cancel()
+	ctx = obs.WithSpan(ctx, tr.Root())
+
+	queueSpan := tr.Root().Start("queue")
 	if err := s.acquire(ctx); err != nil {
 		return "", nil, fmt.Errorf("queue: %w", err)
 	}
+	queueSpan.End()
 	defer s.release()
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
+	wlSpan := tr.Root().Start("workload")
 	wl, err := s.workload(job.sta)
+	wlSpan.End()
 	if err != nil {
 		return "", nil, err
 	}
@@ -149,7 +171,9 @@ func (s *Server) runMC(job *mcJob, onUpdate func(mc.Update)) (string, *mc.Result
 		return "", nil, err
 	}
 
+	runStart := time.Now()
 	res, err := mc.New(s.eng).Run(ctx, s.mcConfig(job, onUpdate), wl.NL, primary, staOptions(job.sta, horizon))
+	s.metrics.backendHist(job.sta.backend).ObserveSince(runStart)
 	if err != nil {
 		return "", nil, err
 	}
@@ -159,9 +183,13 @@ func (s *Server) runMC(job *mcJob, onUpdate func(mc.Update)) (string, *mc.Result
 }
 
 // computeMC materializes the buffered (non-streaming) response: the
-// canonical MC report bytes.
+// canonical MC report bytes, wrapped with the span tree when traced.
 func (s *Server) computeMC(job *mcJob) response {
-	name, res, err := s.runMC(job, nil)
+	var tr *obs.Trace
+	if job.sta.trace {
+		tr = obs.New("mc")
+	}
+	name, res, err := s.runMC(job, nil, tr)
 	if err != nil {
 		return response{err: err}
 	}
@@ -169,7 +197,7 @@ func (s *Server) computeMC(job *mcJob) response {
 	if err != nil {
 		return response{err: err}
 	}
-	return response{status: http.StatusOK, contentType: "application/json", body: body}
+	return tracedResponse(body, tr)
 }
 
 // mcProgress is one NDJSON streaming update: exact-float strings in the
@@ -219,7 +247,7 @@ func (s *Server) streamMC(w http.ResponseWriter, job *mcJob) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-	})
+	}, nil)
 	if err != nil {
 		s.metrics.errors.Add(1)
 		enc.Encode(errorBody{Error: err.Error()})

@@ -3,10 +3,14 @@ package service
 import (
 	"encoding/json"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mcsm/internal/engine"
+	"mcsm/internal/obs"
 )
 
 // metrics is the server's live counter set (atomics; read racily and
@@ -43,6 +47,43 @@ type metrics struct {
 	backendHybrid    atomic.Int64
 	hybridCSMStages  atomic.Int64
 	hybridNLDMStages atomic.Int64
+
+	// Latency histograms (wall time per request / per analysis) and the
+	// per-endpoint error breakdown. Keys are fixed at init, so handler
+	// paths only ever read the maps — no lock needed.
+	endpointLat map[string]*obs.Histogram
+	backendLat  map[string]*obs.Histogram
+	endpointErr map[string]*atomic.Int64
+}
+
+// endpointNames lists every instrumented handler; backendNames every
+// delay calculator. Both key the latency/error maps and the /metrics
+// sections, so the JSON shape is stable from the first request.
+var (
+	endpointNames = []string{"sta", "sweep", "char", "session", "eco", "mc", "healthz", "metrics"}
+	backendNames  = []string{string(engine.BackendCSM), string(engine.BackendNLDM), string(engine.BackendHybrid)}
+)
+
+// init allocates the fixed-key observation maps.
+func (m *metrics) init() {
+	m.endpointLat = make(map[string]*obs.Histogram, len(endpointNames))
+	m.endpointErr = make(map[string]*atomic.Int64, len(endpointNames))
+	for _, ep := range endpointNames {
+		m.endpointLat[ep] = &obs.Histogram{}
+		m.endpointErr[ep] = &atomic.Int64{}
+	}
+	m.backendLat = make(map[string]*obs.Histogram, len(backendNames))
+	for _, b := range backendNames {
+		m.backendLat[b] = &obs.Histogram{}
+	}
+}
+
+// backendHist returns the latency histogram for a backend kind ("" = csm).
+func (m *metrics) backendHist(kind engine.BackendKind) *obs.Histogram {
+	if h, ok := m.backendLat[string(kind)]; ok {
+		return h
+	}
+	return m.backendLat[string(engine.BackendCSM)]
 }
 
 // backendCounter maps a backend kind to its analysis counter.
@@ -112,6 +153,17 @@ type SessionMetrics struct {
 	EcoNetsChanged int64 `json:"eco_nets_changed"`
 }
 
+// LatencyMetrics is the latency section of /metrics: per-endpoint and
+// per-backend wall-time histograms (count, mean, p50/p95/p99) plus the
+// engine's stage-evaluation histogram. Quantiles are bucket upper
+// bounds of the powers-of-√2 histogram, so they are exact with respect
+// to the bucketing (≤ √2× the true sample).
+type LatencyMetrics struct {
+	Endpoints  map[string]obs.HistSnapshot `json:"endpoints"`
+	Backends   map[string]obs.HistSnapshot `json:"backends"`
+	StageEvals obs.HistSnapshot            `json:"stage_evals"`
+}
+
 // Metrics is the GET /metrics response: effectiveness of all three
 // work-sharing layers plus throughput counters.
 type Metrics struct {
@@ -123,6 +175,10 @@ type Metrics struct {
 
 	Requests RequestCounts `json:"requests"`
 	Errors   int64         `json:"errors"`
+	// ErrorsByEndpoint counts responses with status >= 400 per handler
+	// (every endpoint present, zeros included, so dashboards see a
+	// stable shape).
+	ErrorsByEndpoint map[string]int64 `json:"errors_by_endpoint"`
 
 	// Coalescing: computed counts actual computations; coalesced counts
 	// requests that joined one. Ratio is served/computed (1.0 = no
@@ -138,6 +194,7 @@ type Metrics struct {
 	Sessions     SessionMetrics    `json:"sessions"`
 	Backends     BackendMetrics    `json:"backends"`
 	MC           MCMetrics         `json:"mc"`
+	Latency      LatencyMetrics    `json:"latency"`
 
 	StageEvals        int64   `json:"stage_evals"`
 	StageEvalsPerSec  float64 `json:"stage_evals_per_sec"`
@@ -190,9 +247,25 @@ func (s *Server) Snapshot() Metrics {
 		},
 		StageEvals:      s.eng.StageEvals(),
 		SweepPointEvals: s.metrics.sweepPoints.Load(),
+		Latency: LatencyMetrics{
+			Endpoints:  make(map[string]obs.HistSnapshot, len(endpointNames)),
+			Backends:   make(map[string]obs.HistSnapshot, len(backendNames)),
+			StageEvals: s.eng.StageHist().Snapshot(),
+		},
+		ErrorsByEndpoint: make(map[string]int64, len(endpointNames)),
 	}
-	if computed := m.STAComputed + m.SweepComputed; computed > 0 {
-		served := m.STAComputed + m.STACoalesced + m.SweepComputed + m.SweepCoalesced
+	for _, ep := range endpointNames {
+		m.Latency.Endpoints[ep] = s.metrics.endpointLat[ep].Snapshot()
+		m.ErrorsByEndpoint[ep] = s.metrics.endpointErr[ep].Load()
+	}
+	for _, b := range backendNames {
+		m.Latency.Backends[b] = s.metrics.backendLat[b].Snapshot()
+	}
+	// Every coalescable endpoint feeds the sharing ratio (MC included —
+	// its runs are the most expensive computations to share).
+	if computed := m.STAComputed + m.SweepComputed + m.MC.Computed; computed > 0 {
+		served := m.STAComputed + m.STACoalesced + m.SweepComputed + m.SweepCoalesced +
+			m.MC.Computed + m.MC.Coalesced
 		m.CoalescingRatio = float64(served) / float64(computed)
 	}
 	if uptime > 0 {
@@ -210,15 +283,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Snapshot())
 }
 
+// HealthzResponse is the GET /healthz body: liveness plus enough build
+// identity to tell replicas apart in a fleet.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	ModuleVersion string  `json:"module_version,omitempty"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	VCSTime       string  `json:"vcs_time,omitempty"`
+	VCSModified   bool    `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     HealthzResponse
+)
+
+// readBuildInfo resolves the binary's identity once: the Go toolchain
+// version always, the module version and VCS stamp when the binary was
+// built from a checkout (go test binaries typically carry neither).
+func readBuildInfo() HealthzResponse {
+	buildInfoOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			buildInfo.ModuleVersion = v
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = kv.Value
+			case "vcs.time":
+				buildInfo.VCSTime = kv.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = kv.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.error(w, http.StatusMethodNotAllowed, errMethod(r))
 		return
 	}
-	writeJSON(w, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+	resp := readBuildInfo()
+	resp.Status = "ok"
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

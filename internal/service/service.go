@@ -144,7 +144,7 @@ func NewWithEngine(cfg Config, eng *engine.Engine) *Server {
 		eng.Cache().SetLogf(cfg.Logf)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		tech:     cells.Default130(),
 		eng:      eng,
@@ -156,6 +156,8 @@ func NewWithEngine(cfg Config, eng *engine.Engine) *Server {
 		baseCtx:  ctx,
 		cancel:   cancel,
 	}
+	s.metrics.init()
+	return s
 }
 
 // Engine returns the evaluation engine (shared model cache included).
@@ -168,24 +170,58 @@ func (s *Server) Close() { s.cancel() }
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/sta", s.post(s.handleSTA))
-	mux.HandleFunc("/v1/sweep", s.post(s.handleSweep))
-	mux.HandleFunc("/v1/char", s.post(s.handleChar))
-	mux.HandleFunc("/v1/session", s.post(s.handleSession))
-	mux.HandleFunc("/v1/eco", s.post(s.handleEco))
-	mux.HandleFunc("/v1/mc", s.post(s.handleMC))
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/sta", s.post("sta", s.handleSTA))
+	mux.HandleFunc("/v1/sweep", s.post("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/char", s.post("char", s.handleChar))
+	mux.HandleFunc("/v1/session", s.post("session", s.handleSession))
+	mux.HandleFunc("/v1/eco", s.post("eco", s.handleEco))
+	mux.HandleFunc("/v1/mc", s.post("mc", s.handleMC))
+	mux.HandleFunc("/healthz", s.observe("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.observe("metrics", s.handleMetrics))
 	return mux
 }
 
 // maxBody bounds request bodies: netlist sources are at most a few MB.
 const maxBody = 32 << 20
 
-// post wraps a handler with method filtering, body limiting, and request
-// logging.
-func (s *Server) post(h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+// statusRecorder captures the response status so the observation layer
+// can attribute errors per endpoint. Flush forwards to the underlying
+// writer when it supports it (the MC streaming path needs it).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observe wraps a handler with the per-endpoint latency histogram and
+// error breakdown. name must be one of endpointNames.
+func (s *Server) observe(name string, h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	hist, errs := s.metrics.endpointLat[name], s.metrics.endpointErr[name]
 	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		hist.ObserveSince(start)
+		if rec.status >= 400 {
+			errs.Add(1)
+		}
+	}
+}
+
+// post wraps a handler with method filtering, body limiting, request
+// logging, and the observation layer.
+func (s *Server) post(name string, h func(w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return s.observe(name, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			s.error(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
 			return
@@ -196,7 +232,7 @@ func (s *Server) post(h func(w http.ResponseWriter, r *http.Request)) http.Handl
 		if s.cfg.Logf != nil {
 			s.cfg.Logf("service: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Truncate(time.Microsecond))
 		}
-	}
+	})
 }
 
 // errorBody is the uniform error envelope.

@@ -166,6 +166,13 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusBadRequest, err)
 		return
 	}
+	if job.trace {
+		// Session replies carry only the session handle; the retained
+		// graph outlives the request, so there is no single computation
+		// for a trace to describe.
+		s.error(w, http.StatusBadRequest, fmt.Errorf("trace is not supported on /v1/session"))
+		return
+	}
 	// Conflicting ids fail here, before the (expensive) cold analysis —
 	// the authoritative check remains sessions.create below, this one
 	// just refuses to burn a full propagation on a doomed request.
@@ -213,7 +220,9 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	// the eco_* counters — those aggregate the per-edit economy, and a
 	// full-circuit build would drown the signal.
 	s.metrics.backendCounter(job.backend).Add(1)
+	buildStart := time.Now()
 	g, plan, _, err := cliutil.BuildBackendGraphCtx(ctx, s.eng, s.tech, wl, job.backendSpec(s.tech), primary, staOptions(job, horizon))
+	s.metrics.backendHist(job.backend).ObserveSince(buildStart)
 	if err != nil {
 		s.error(w, statusFor(err), err)
 		return

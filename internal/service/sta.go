@@ -6,12 +6,14 @@ import (
 	"hash/fnv"
 	"net/http"
 	"sort"
+	"time"
 
 	"mcsm/internal/cells"
 	"mcsm/internal/cliutil"
 	"mcsm/internal/csm"
 	"mcsm/internal/engine"
 	"mcsm/internal/netlist"
+	"mcsm/internal/obs"
 	"mcsm/internal/sta"
 	"mcsm/internal/wave"
 )
@@ -62,6 +64,11 @@ type STARequest struct {
 	// only valid with backend "hybrid". Empty selects the default (10% of
 	// the NLDM pass's worst arrival).
 	Margin string `json:"margin,omitempty"`
+	// Trace opts into per-phase tracing: the reply becomes a wrapper
+	// object whose "report" field carries the byte-identical canonical
+	// report and whose "trace" field is the span tree. Traced requests
+	// never coalesce (each trace measures its own computation).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // staJob is a fully resolved STA request: every default applied, every
@@ -82,11 +89,12 @@ type staJob struct {
 	arrivals string
 	backend  engine.BackendKind
 	margin   float64 // hybrid criticality threshold (0 = default)
+	trace    bool    // wrap the reply with a span tree; bypasses coalescing
 }
 
 // resolveSTA validates a request into a job. All errors here are 400s.
 func (s *Server) resolveSTA(req STARequest) (*staJob, error) {
-	job := &staJob{name: req.Name, arrivals: req.Arrivals}
+	job := &staJob{name: req.Name, arrivals: req.Arrivals, trace: req.Trace}
 
 	switch {
 	case req.Netlist != "" && req.Gen != "":
@@ -261,6 +269,15 @@ func (s *Server) handleSTA(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Traced requests bypass the flight group: a trace must measure its
+	// own computation, and coalesced joiners must keep receiving pure
+	// canonical bodies.
+	if job.trace {
+		s.metrics.staComputed.Add(1)
+		s.reply(w, s.computeSTA(job))
+		return
+	}
+
 	resp, joined := s.flights.do(r.Context(), job.key(), func() response {
 		s.metrics.staComputed.Add(1)
 		if s.computeGate != nil {
@@ -277,17 +294,29 @@ func (s *Server) handleSTA(w http.ResponseWriter, r *http.Request) {
 // computeSTA runs one resolved job under a worker-pool slot and
 // materializes its response. The report bytes are the canonical golden
 // encoding — byte-identical to the CLI/golden path for the same inputs.
+// A traced job additionally records a span tree and answers the traced
+// wrapper (the canonical bytes embedded verbatim, see wrapTraced).
 func (s *Server) computeSTA(job *staJob) response {
+	var tr *obs.Trace
+	if job.trace {
+		tr = obs.New("sta")
+	}
 	ctx, cancel := s.computeCtx()
 	defer cancel()
+	ctx = obs.WithSpan(ctx, tr.Root())
+
+	queueSpan := tr.Root().Start("queue")
 	if err := s.acquire(ctx); err != nil {
 		return response{err: fmt.Errorf("queue: %w", err)}
 	}
+	queueSpan.End()
 	defer s.release()
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
 
+	wlSpan := tr.Root().Start("workload")
 	wl, err := s.workload(job)
+	wlSpan.End()
 	if err != nil {
 		return response{err: err}
 	}
@@ -306,7 +335,9 @@ func (s *Server) computeSTA(job *staJob) response {
 	// pinned by the golden corpus.
 	if job.backend != engine.BackendCSM {
 		s.metrics.backendCounter(job.backend).Add(1)
+		analysisStart := time.Now()
 		res, err := s.eng.AnalyzeBackend(ctx, job.backendSpec(s.tech), wl.NL, primary, staOptions(job, horizon))
+		s.metrics.backendHist(job.backend).ObserveSince(analysisStart)
 		if err != nil {
 			return response{err: err}
 		}
@@ -316,15 +347,17 @@ func (s *Server) computeSTA(job *staJob) response {
 		if err != nil {
 			return response{err: err}
 		}
-		return response{status: http.StatusOK, contentType: "application/json", body: body}
+		return tracedResponse(body, tr)
 	}
 	s.metrics.backendCounter(engine.BackendCSM).Add(1)
 
-	models, err := s.eng.ModelsFor(s.tech, wl.NL, job.cfg)
+	analysisStart := time.Now()
+	models, err := s.eng.ModelsForCtx(ctx, s.tech, wl.NL, job.cfg)
 	if err != nil {
 		return response{err: err}
 	}
 	rep, err := s.eng.AnalyzeCtx(ctx, wl.NL, models, primary, staOptions(job, horizon))
+	s.metrics.backendHist(engine.BackendCSM).ObserveSince(analysisStart)
 	if err != nil {
 		return response{err: err}
 	}
@@ -332,7 +365,7 @@ func (s *Server) computeSTA(job *staJob) response {
 	if err != nil {
 		return response{err: err}
 	}
-	return response{status: http.StatusOK, contentType: "application/json", body: body}
+	return tracedResponse(body, tr)
 }
 
 // backendSpec assembles the engine backend spec a job implies.

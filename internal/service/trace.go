@@ -1,0 +1,53 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"mcsm/internal/obs"
+)
+
+// TracedReply is the decode shape of a traced response: the canonical
+// report bytes (verbatim — json.Unmarshal hands RawMessage the exact
+// sub-slice of the input, whitespace included) and the span tree.
+type TracedReply struct {
+	Report json.RawMessage `json:"report"`
+	Trace  *obs.SpanNode   `json:"trace"`
+}
+
+// wrapTraced assembles the traced wrapper body around canonical report
+// bytes. The wrapper is hand-assembled rather than marshaled: encoding
+// a json.RawMessage through json.Marshal compacts it, which would
+// destroy the byte-identity contract the golden corpus pins. The
+// report's indented bytes are embedded verbatim (sans the trailing
+// newline, which the wrapper's own framing replaces), so a client can
+// extract TracedReply.Report, append '\n', and compare against the
+// committed fixture byte-for-byte.
+func wrapTraced(body []byte, tr *obs.Trace) ([]byte, error) {
+	tree, err := json.Marshal(tr.Finish())
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(body) + len(tree) + 32)
+	buf.WriteString("{\n\"report\": ")
+	buf.Write(bytes.TrimRight(body, "\n"))
+	buf.WriteString(",\n\"trace\": ")
+	buf.Write(tree)
+	buf.WriteString("\n}\n")
+	return buf.Bytes(), nil
+}
+
+// tracedResponse materializes a success response: the canonical body
+// as-is for untraced jobs, the traced wrapper otherwise.
+func tracedResponse(body []byte, tr *obs.Trace) response {
+	if tr == nil {
+		return response{status: http.StatusOK, contentType: "application/json", body: body}
+	}
+	wrapped, err := wrapTraced(body, tr)
+	if err != nil {
+		return response{err: err}
+	}
+	return response{status: http.StatusOK, contentType: "application/json", body: wrapped}
+}
