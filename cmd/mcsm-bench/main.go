@@ -20,10 +20,22 @@
 // the mean re-evaluated stage fraction, and incremental-vs-cold
 // bit-identity), and a Monte-Carlo probe through internal/mc (a small
 // variation budget at workers 1 vs N, measuring trials/sec and
-// report bit-identity across worker counts), and writes a JSON summary (per-experiment wall
+// report bit-identity across worker counts), and a reload probe through
+// internal/artifact (one characterized model loaded repeatedly from its
+// binary spill artifact and from JSON, best-of timing — the speedup the
+// binary format buys on cold-start), and writes a JSON summary (per-experiment wall
 // times, characterization-cache hit rate, stage-evals/sec, sweep
 // points/sec, parallel speedups, bit-identity checks) so successive PRs
 // have a perf trajectory to compare against. Use "-json -" for stdout.
+//
+// -serve-load 5s runs ONLY the serve_load probe: an open-loop request
+// mix (single /v1/sta posts interleaved with /v1/sta:batch posts, every
+// reply byte-compared) fired by concurrent clients at two in-process
+// servers — warm-graph LRU disabled, then enabled — reporting aggregate
+// req/s, the coalescing ratio, and p50/p95/p99 from the server's own
+// obs histograms, plus a sequential-vs-batch economy measure:
+//
+//	mcsm-bench -quick -serve-load 5s -json BENCH_serve_load.json
 //
 // The probe workload defaults to the built-in ISCAS85 c17 (six stages —
 // the historical trajectory baseline); -bench circuit.bench runs it on a
@@ -268,6 +280,10 @@ type perfSummary struct {
 	HybridProbe   *hybridProbe `json:"hybrid_probe,omitempty"`
 	MCProbe       *mcProbe     `json:"mc_probe,omitempty"`
 	ObsProbe      *obsProbe    `json:"obs_probe,omitempty"`
+	ReloadProbe   *reloadProbe `json:"reload_probe,omitempty"`
+	// ServeLoad is only populated by -serve-load runs (the open-loop
+	// serving mix); full probe runs leave it null.
+	ServeLoad *serveLoadProbe `json:"serve_load_probe,omitempty"`
 }
 
 func main() {
@@ -282,6 +298,7 @@ func main() {
 		benchNl    = flag.String("bench", "", "STA-probe workload: a .bench circuit, technology-mapped (default: built-in c17)")
 		genGates   = flag.Int("gen", 0, "STA-probe workload: a generated synthetic circuit with this many gates (overrides -bench)")
 		marginS    = flag.String("margin", "", "hybrid-probe criticality margin as an SI time, e.g. 150p (default: 10% of the NLDM worst arrival)")
+		serveLoad  = flag.Duration("serve-load", 0, "run ONLY the serve_load probe: an open-loop single+batch STA request mix against in-process servers (warm-graph on vs off) for this duration per phase, written to -json; experiments and other probes are skipped")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -327,6 +344,27 @@ func main() {
 		cfg.Dt = dt
 	}
 	sess := experiments.NewSession(cfg)
+
+	// -serve-load: the serving-throughput smoke. Only the open-loop mix
+	// runs (no experiments, no other probes), so a 5 s per-phase window
+	// answers in seconds — cheap enough for CI to gate on.
+	if *serveLoad > 0 {
+		if *jsonPath == "" {
+			fatal(fmt.Errorf("-serve-load requires -json (the probe's only output is the summary)"))
+		}
+		sl, err := runServeLoadProbe(sess, wl, *serveLoad, *quick)
+		if err != nil {
+			fatal(fmt.Errorf("serve_load probe: %w", err))
+		}
+		writeSummary(*jsonPath, perfSummary{
+			SchemaVersion: 9,
+			GeneratedUnix: time.Now().Unix(),
+			Quick:         *quick,
+			Workers:       sess.Engine().Workers(),
+			ServeLoad:     sl,
+		})
+		return
+	}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -396,9 +434,13 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("obs probe: %w", err))
 	}
+	rlProbe, err := runReloadProbe(sess)
+	if err != nil {
+		fatal(fmt.Errorf("reload probe: %w", err))
+	}
 	st := sess.CacheStats()
 	summary := perfSummary{
-		SchemaVersion: 8,
+		SchemaVersion: 9,
 		GeneratedUnix: time.Now().Unix(),
 		Quick:         *quick,
 		Workers:       sess.Engine().Workers(),
@@ -414,19 +456,24 @@ func main() {
 		HybridProbe: hyProbe,
 		MCProbe:     mcPr,
 		ObsProbe:    obsPr,
+		ReloadProbe: rlProbe,
 	}
+	writeSummary(*jsonPath, summary)
+}
+
+func writeSummary(path string, summary perfSummary) {
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if *jsonPath == "-" {
+	if path == "-" {
 		os.Stdout.Write(data)
 	} else {
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote perf summary to %s\n", *jsonPath)
+		fmt.Fprintf(os.Stderr, "wrote perf summary to %s\n", path)
 	}
 }
 

@@ -1,0 +1,410 @@
+package main
+
+// The serve_load probe: an open-loop request mix — single /v1/sta posts
+// interleaved with /v1/sta:batch posts — fired by concurrent clients at
+// an in-process server for a fixed duration. It runs the identical mix
+// twice, once with the warm-graph LRU disabled (cold: every sequential
+// repeat recomputes) and once enabled (warm: repeats are cache reads),
+// so the A/B is the layer's measured effect, and it byte-compares every
+// reply — single bodies and batch-embedded reports alike — against the
+// direct engine bytes. Latency quantiles come from the server's own
+// obs histograms (/metrics), not client-side timers, so the probe
+// reports what operators would see.
+//
+// A batch-economy measure rides along: N identical requests posted
+// sequentially against a cold server versus the same N items in one
+// batch request (which dedups to a single computation) — the req/s
+// amortization argument for the batch endpoint, in numbers.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcsm/internal/artifact"
+	"mcsm/internal/cells"
+	"mcsm/internal/csm"
+	"mcsm/internal/engine"
+	"mcsm/internal/experiments"
+	"mcsm/internal/obs"
+	"mcsm/internal/service"
+	"mcsm/internal/sta"
+)
+
+// serveLoadPhase is one run of the open-loop mix against one server
+// configuration.
+type serveLoadPhase struct {
+	SingleRequests  int64            `json:"single_requests"`
+	BatchRequests   int64            `json:"batch_requests"`
+	BatchItems      int64            `json:"batch_items"`
+	Seconds         float64          `json:"seconds"`
+	ReqPerSec       float64          `json:"req_per_sec"`   // singles + batch posts
+	ItemsPerSec     float64          `json:"items_per_sec"` // singles + batch items
+	STAComputed     int64            `json:"sta_computed"`
+	STACoalesced    int64            `json:"sta_coalesced"`
+	CoalescingRatio float64          `json:"coalescing_ratio"`
+	GraphHits       int64            `json:"graph_hits"`
+	STALatency      obs.HistSnapshot `json:"sta_latency"`
+	BatchLatency    obs.HistSnapshot `json:"batch_latency"`
+}
+
+// serveLoadProbe is the serve_load section of the perf summary.
+type serveLoadProbe struct {
+	Netlist     string         `json:"netlist"`
+	Workers     int            `json:"workers"`
+	Clients     int            `json:"clients"`
+	DurationSec float64        `json:"duration_seconds"` // per phase
+	Warm        serveLoadPhase `json:"warm"`             // graph cache enabled (default config)
+	Cold        serveLoadPhase `json:"cold"`             // graph cache disabled
+	WarmSpeedup float64        `json:"warm_speedup"`     // warm items/s over cold items/s
+
+	// Batch economy: N identical analyses, posted one by one against a
+	// cold server, versus the same N as one batch request.
+	BatchN             int     `json:"batch_n"`
+	SequentialNSeconds float64 `json:"sequential_n_seconds"`
+	BatchNSeconds      float64 `json:"batch_n_seconds"`
+	BatchVsSequential  float64 `json:"batch_vs_sequential_speedup"`
+
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// runServeLoadProbe drives the open-loop mix. dur is the per-phase wall
+// budget; the probe's whole runtime is ~2×dur plus the batch-economy
+// measure.
+func runServeLoadProbe(sess *experiments.Session, wl *probeNetlist, dur time.Duration, quick bool) (*serveLoadProbe, error) {
+	workers := sess.Engine().Workers()
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := sess.Engine().Cache()
+
+	req := wl.staReq
+	req.Config = "default"
+	if quick {
+		req.Config = "fast"
+	}
+	req.Dt = strconv.FormatFloat(sess.Cfg.Dt, 'g', -1, 64)
+	singleBody, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	batchBody, err := json.Marshal(service.BatchSTARequest{
+		Items: []service.STARequest{req, req, req},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference bytes from the direct engine path (same shared cache),
+	// characterizing here so neither phase pays first-touch costs.
+	eng := engine.New(workers, cache)
+	models, err := eng.ModelsFor(sess.Cfg.Tech, wl.wl.NL, sess.Cfg.CharCfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.Analyze(wl.wl.NL, models, wl.primary(sess.Cfg.Tech.Vdd),
+		sta.Options{Horizon: wl.horizon, Dt: sess.Cfg.Dt})
+	if err != nil {
+		return nil, err
+	}
+	want, err := sta.MarshalGoldenReport(wl.wl.Name, rep)
+	if err != nil {
+		return nil, err
+	}
+	wantEmbedded := bytes.TrimSuffix(want, []byte{'\n'})
+
+	clients := 4
+	probe := &serveLoadProbe{
+		Netlist:      wl.wl.Name,
+		Workers:      workers,
+		Clients:      clients,
+		DurationSec:  dur.Seconds(),
+		BitIdentical: true,
+	}
+
+	runPhase := func(graphCap int) (serveLoadPhase, error) {
+		srv := service.NewWithEngine(service.Config{GraphCap: graphCap}, engine.New(workers, cache))
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		post := func(path string, body []byte) ([]byte, error) {
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("serve_load: status %d: %s", resp.StatusCode, data)
+			}
+			return data, nil
+		}
+
+		// Warm-up fills the netlist LRU (and, in the warm phase, the
+		// graph cache) so the timed window measures steady-state serving.
+		if _, err := post("/v1/sta", singleBody); err != nil {
+			return serveLoadPhase{}, err
+		}
+
+		var singles, batches, items, mismatches atomic.Int64
+		deadline := time.Now().Add(dur)
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; time.Now().Before(deadline); i++ {
+					body, err := post("/v1/sta", singleBody)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					singles.Add(1)
+					if !bytes.Equal(body, want) {
+						mismatches.Add(1)
+					}
+					if i%3 != 0 {
+						continue
+					}
+					body, err = post("/v1/sta:batch", batchBody)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					batches.Add(1)
+					var reply service.BatchSTAReply
+					if err := json.Unmarshal(body, &reply); err != nil {
+						errs[c] = fmt.Errorf("serve_load: batch reply: %w", err)
+						return
+					}
+					items.Add(int64(len(reply.Items)))
+					for _, it := range reply.Items {
+						if it.Status != http.StatusOK || !bytes.Equal(it.Report, wantEmbedded) {
+							mismatches.Add(1)
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return serveLoadPhase{}, err
+			}
+		}
+		if mismatches.Load() > 0 {
+			probe.BitIdentical = false
+		}
+
+		m := srv.Snapshot()
+		ph := serveLoadPhase{
+			SingleRequests: singles.Load(),
+			BatchRequests:  batches.Load(),
+			BatchItems:     items.Load(),
+			Seconds:        elapsed,
+			STAComputed:    m.STAComputed,
+			STACoalesced:   m.STACoalesced,
+			GraphHits:      m.GraphCache.Hits,
+			STALatency:     m.Latency.Endpoints["sta"],
+			BatchLatency:   m.Latency.Endpoints["sta_batch"],
+		}
+		if elapsed > 0 {
+			ph.ReqPerSec = float64(ph.SingleRequests+ph.BatchRequests) / elapsed
+			ph.ItemsPerSec = float64(ph.SingleRequests+ph.BatchItems) / elapsed
+		}
+		if ph.STAComputed > 0 {
+			ph.CoalescingRatio = float64(ph.STAComputed+ph.STACoalesced) / float64(ph.STAComputed)
+		}
+		return ph, nil
+	}
+
+	if probe.Cold, err = runPhase(-1); err != nil {
+		return nil, err
+	}
+	if probe.Warm, err = runPhase(0); err != nil {
+		return nil, err
+	}
+	if probe.Cold.ItemsPerSec > 0 {
+		probe.WarmSpeedup = probe.Warm.ItemsPerSec / probe.Cold.ItemsPerSec
+	}
+
+	if err := runBatchEconomy(probe, cache, workers, singleBody, req); err != nil {
+		return nil, err
+	}
+	return probe, nil
+}
+
+// runBatchEconomy times N identical analyses sequentially (cold server:
+// no warm-graph layer, so each post recomputes) against one batch of the
+// same N items (deduped server-side to one computation).
+func runBatchEconomy(probe *serveLoadProbe, cache *engine.ModelCache, workers int, singleBody []byte, req service.STARequest) error {
+	n := 8
+	srv := service.NewWithEngine(service.Config{GraphCap: -1}, engine.New(workers, cache))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, body []byte) error {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serve_load: status %d: %s", resp.StatusCode, data)
+		}
+		return nil
+	}
+
+	// Warm-up: models and the parsed netlist are cached; only the
+	// analysis itself repeats.
+	if err := post("/v1/sta", singleBody); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := post("/v1/sta", singleBody); err != nil {
+			return err
+		}
+	}
+	seqSec := time.Since(start).Seconds()
+
+	items := make([]service.STARequest, n)
+	for i := range items {
+		items[i] = req
+	}
+	batchBody, err := json.Marshal(service.BatchSTARequest{Items: items})
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	if err := post("/v1/sta:batch", batchBody); err != nil {
+		return err
+	}
+	batchSec := time.Since(start).Seconds()
+
+	probe.BatchN = n
+	probe.SequentialNSeconds = seqSec
+	probe.BatchNSeconds = batchSec
+	if batchSec > 0 {
+		probe.BatchVsSequential = seqSec / batchSec
+	}
+	return nil
+}
+
+// reloadProbe measures what the binary artifact format buys on the
+// reload path: one characterized model written in both spill formats,
+// loaded (and fully validated) repeatedly from each, best-of timing.
+// BitIdentical asserts the two loads decode to bit-identical models via
+// the canonical binary encoding.
+type reloadProbe struct {
+	Cell         string  `json:"cell"`
+	Kind         string  `json:"kind"`
+	Iterations   int     `json:"iterations"`
+	BinaryBytes  int64   `json:"binary_bytes"`
+	JSONBytes    int64   `json:"json_bytes"`
+	BinaryLoadUs float64 `json:"binary_load_us"`
+	JSONLoadUs   float64 `json:"json_load_us"`
+	Speedup      float64 `json:"speedup"` // json/binary load time
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// runReloadProbe times binary-vs-JSON model reloads on the session's
+// NAND2 model (characterized once through the shared cache, so a warm
+// session pays nothing extra).
+func runReloadProbe(sess *experiments.Session) (*reloadProbe, error) {
+	spec, err := cells.Get("NAND2")
+	if err != nil {
+		return nil, err
+	}
+	kind := engine.KindFor(spec)
+	m, err := sess.Engine().Cache().Get(sess.Cfg.Tech, spec, kind, sess.Cfg.CharCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "mcsm-reload")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	binPath := filepath.Join(dir, "model"+artifact.Ext)
+	jsonPath := filepath.Join(dir, "model.json")
+	if err := artifact.Save(binPath, m, 0); err != nil {
+		return nil, err
+	}
+	if err := m.Save(jsonPath); err != nil {
+		return nil, err
+	}
+	binInfo, err := os.Stat(binPath)
+	if err != nil {
+		return nil, err
+	}
+	jsonInfo, err := os.Stat(jsonPath)
+	if err != nil {
+		return nil, err
+	}
+
+	const iters = 40
+	binSec, jsonSec := math.Inf(1), math.Inf(1)
+	var binM, jsonM *csm.Model
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if binM, err = artifact.Load(binPath, 0); err != nil {
+			return nil, err
+		}
+		if s := time.Since(start).Seconds(); s < binSec {
+			binSec = s
+		}
+		start = time.Now()
+		if jsonM, err = csm.LoadModel(jsonPath); err != nil {
+			return nil, err
+		}
+		if s := time.Since(start).Seconds(); s < jsonSec {
+			jsonSec = s
+		}
+	}
+
+	binEnc, err := artifact.Encode(binM, 0)
+	if err != nil {
+		return nil, err
+	}
+	jsonEnc, err := artifact.Encode(jsonM, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	probe := &reloadProbe{
+		Cell: spec.Name, Kind: kind.String(), Iterations: iters,
+		BinaryBytes: binInfo.Size(), JSONBytes: jsonInfo.Size(),
+		BinaryLoadUs: binSec * 1e6, JSONLoadUs: jsonSec * 1e6,
+		BitIdentical: bytes.Equal(binEnc, jsonEnc),
+	}
+	if binSec > 0 {
+		probe.Speedup = jsonSec / binSec
+	}
+	return probe, nil
+}

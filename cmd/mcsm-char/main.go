@@ -5,6 +5,8 @@
 //	mcsm-char -cell NOR2 -kind mcsm -o nor2_mcsm.json
 //	mcsm-char -cell NAND2 -kind mcsm -fast -check-exact 2p -o nand2.json
 //	mcsm-char -cell NOR2 -kind mcsm -quick -o nor2_quick.json
+//	mcsm-char -pack nor2_mcsm.json            # → nor2_mcsm.mcsm (binary)
+//	mcsm-char -unpack nor2_mcsm.mcsm -o n.json
 //
 // -fast keeps the full grids but switches the SPICE solver to the
 // approximate fast path (chord Newton, warm-started DC sweeps, adaptive
@@ -13,7 +15,10 @@
 // models and fails when they diverge beyond the given bound.
 //
 // The output is the JSON serialization of csm.Model, loadable with
-// csm.LoadModel and usable anywhere in the library.
+// csm.LoadModel and usable anywhere in the library. -pack and -unpack
+// convert between that JSON form and the versioned binary artifact
+// format (internal/artifact, the engine cache's fast spill format) —
+// bit-exact in both directions.
 package main
 
 import (
@@ -21,8 +26,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"mcsm/internal/artifact"
 	"mcsm/internal/cells"
 	"mcsm/internal/cliutil"
 	"mcsm/internal/csm"
@@ -44,10 +52,22 @@ func main() {
 		directCaps = flag.Bool("direct-caps", false, "direct operating-point capacitance extraction")
 		cacheDir   = flag.String("cache", "", "model cache directory: reuse a previously spilled characterization instead of re-running it")
 		checkExact = flag.String("check-exact", "", "max allowed |fast−exact| stage delay (SI seconds, e.g. 2p): sweeps the cell's MIS surface with both solver paths and fails beyond the bound")
+		packPath   = flag.String("pack", "", "convert a JSON model file to the binary .mcsm artifact and exit (output: -o, default input with .mcsm extension)")
+		unpackPath = flag.String("unpack", "", "convert a binary .mcsm artifact to JSON and exit (output: -o, default input with .json extension)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *packPath != "" || *unpackPath != "" {
+		if *packPath != "" && *unpackPath != "" {
+			fatal(fmt.Errorf("-pack and -unpack are mutually exclusive"))
+		}
+		if err := convertModel(*packPath, *unpackPath, *outPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -156,6 +176,39 @@ func fastVsExactDelayError(tech cells.Tech, cell string, cfg csm.Config) (float6
 		}
 	}
 	return maxErr, nil
+}
+
+// convertModel is the -pack/-unpack mode: a lossless, bit-exact format
+// conversion between the JSON model serialization and the binary
+// artifact. Packed artifacts carry no cache-key hash (they are free-
+// standing files, not spill entries), which the cache's loader accepts.
+func convertModel(packPath, unpackPath, out string) error {
+	if packPath != "" {
+		m, err := csm.LoadModel(packPath)
+		if err != nil {
+			return err
+		}
+		if out == "" {
+			out = strings.TrimSuffix(packPath, filepath.Ext(packPath)) + artifact.Ext
+		}
+		if err := artifact.Save(out, m, 0); err != nil {
+			return err
+		}
+		fmt.Printf("packed %s -> %s (%s, binary)\n", packPath, out, m.Cell)
+		return nil
+	}
+	m, err := artifact.Load(unpackPath, 0)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = strings.TrimSuffix(unpackPath, filepath.Ext(unpackPath)) + ".json"
+	}
+	if err := m.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("unpacked %s -> %s (%s, json)\n", unpackPath, out, m.Cell)
+	return nil
 }
 
 func fatal(err error) {

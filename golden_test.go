@@ -391,6 +391,72 @@ func TestGoldenBackendCSMBitIdentity(t *testing.T) {
 	}
 }
 
+// TestGoldenServeBatch pins the batch endpoint's framing and its central
+// contract in one fixture pair: the committed /v1/sta:batch request
+// (c17_batch_request.json — the canonical c17 item twice, so the reply
+// also witnesses in-batch dedup) must reproduce the committed reply
+// byte-for-byte at every worker-pool width, and every embedded report,
+// extracted back out of the reply, must equal the single-request golden
+// (c17_sta.json) exactly. CI's smoke job POSTs the same request file at
+// a real mcsm-serve process and cmps the same reply.
+func TestGoldenServeBatch(t *testing.T) {
+	item := service.STARequest{
+		Name:     "c17",
+		Netlist:  sta.C17Netlist,
+		Format:   "net",
+		Config:   "coarse",
+		Stimulus: "c17",
+		Dt:       "2p",
+		Horizon:  "4n",
+	}
+	reqBody := marshalRequest(t, service.BatchSTARequest{
+		Items: []service.STARequest{item, item},
+	})
+	testutil.Golden(t, filepath.Join(goldenDir, "c17_batch_request.json"), reqBody)
+
+	single, err := os.ReadFile(filepath.Join(goldenDir, "c17_sta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		srv := service.NewWithEngine(service.Config{}, engine.New(workers, goldenEngine().Cache()))
+		ts := httptest.NewServer(srv.Handler())
+		status, body := goldenPost(t, ts.URL+"/v1/sta:batch", reqBody)
+		ts.Close()
+		srv.Close()
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, status, body)
+		}
+		if workers == 1 {
+			testutil.Golden(t, filepath.Join(goldenDir, "c17_batch_reply.json"), body)
+		} else {
+			want, err := os.ReadFile(filepath.Join(goldenDir, "c17_batch_reply.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("workers=%d: batch reply drifted from the fixture", workers)
+			}
+		}
+		var reply service.BatchSTAReply
+		if err := json.Unmarshal(body, &reply); err != nil {
+			t.Fatalf("workers=%d: batch reply: %v", workers, err)
+		}
+		if len(reply.Items) != 2 {
+			t.Fatalf("workers=%d: %d items", workers, len(reply.Items))
+		}
+		for i, it := range reply.Items {
+			if it.Status != http.StatusOK {
+				t.Fatalf("workers=%d item %d: status %d: %s", workers, i, it.Status, it.Error)
+			}
+			got := append(append([]byte(nil), it.Report...), '\n')
+			if !bytes.Equal(got, single) {
+				t.Errorf("workers=%d item %d: embedded report differs from the single-request golden", workers, i)
+			}
+		}
+	}
+}
+
 // TestGoldenServeEco pins the stateful ECO flow end to end: the committed
 // session request builds a retained c17 timing graph server-side, the
 // committed eco request applies a three-op edit batch, and the delta

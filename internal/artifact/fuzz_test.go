@@ -1,0 +1,136 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// FuzzDecodeModelArtifact throws mutated artifacts at the decoder. The
+// invariants: never panic or over-allocate, reject with ErrFormat or return
+// a model that Validates, and any accepted input re-encodes into a
+// canonical fixed point (Encode∘Decode is idempotent on artifact bytes).
+//
+// Raw mutations almost always die at the CRC gate, which would leave the
+// structural decoder unfuzzed — so each input is also retried with a
+// freshly computed CRC trailer spliced on, turning every mutation into a
+// checksum-valid payload the parser must survive.
+func FuzzDecodeModelArtifact(f *testing.F) {
+	sis, err := Encode(sisModel(f), 0xfeed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mcsm, err := Encode(mcsmModel(f), 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{sis, mcsm} {
+		f.Add(seed)
+		// Truncated and bit-rotted variants steer the first corpus
+		// generation toward the rejection paths.
+		f.Add(seed[:len(seed)/2])
+		rot := append([]byte(nil), seed...)
+		rot[len(rot)/3] ^= 0x40
+		f.Add(rot)
+	}
+	f.Add([]byte("MCSM"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(in []byte) {
+			m, keyHash, err := Decode(in)
+			if err != nil {
+				if !errors.Is(err, ErrFormat) {
+					t.Fatalf("Decode error does not wrap ErrFormat: %v", err)
+				}
+				return
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("Decode accepted a model that fails Validate: %v", err)
+			}
+			re, err := Encode(m, keyHash)
+			if err != nil {
+				t.Fatalf("re-Encode of accepted model failed: %v", err)
+			}
+			m2, k2, err := Decode(re)
+			if err != nil {
+				t.Fatalf("re-Decode of canonical artifact failed: %v", err)
+			}
+			if k2 != keyHash {
+				t.Fatalf("keyHash changed across round trip: %x vs %x", k2, keyHash)
+			}
+			re2, err := Encode(m2, k2)
+			if err != nil || string(re2) != string(re) {
+				t.Fatalf("artifact is not a canonical fixed point (err %v)", err)
+			}
+		}
+		check(data)
+		// CRC-fixed variant: same payload, trailer recomputed, so the
+		// structural parser past the checksum gate sees the mutation.
+		if len(data) >= 4 {
+			fixed := append([]byte(nil), data...)
+			binary.LittleEndian.PutUint32(fixed[len(fixed)-4:],
+				crc32.ChecksumIEEE(fixed[:len(fixed)-4]))
+			check(fixed)
+		}
+	})
+}
+
+// seedCorpusInputs enumerates the committed seed corpus under
+// testdata/fuzz/FuzzDecodeModelArtifact: two valid artifacts (SIS, MCSM
+// with every optional table), plus representative rejects — a truncation,
+// a checksum-valid payload corruption, and a bad magic.
+func seedCorpusInputs(t testing.TB) map[string][]byte {
+	sis, err := Encode(sisModel(t), 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcsm, err := Encode(mcsmModel(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := sis[:3*len(sis)/4]
+	rot := append([]byte(nil), mcsm...)
+	rot[len(rot)/3] ^= 0x40
+	binary.LittleEndian.PutUint32(rot[len(rot)-4:], crc32.ChecksumIEEE(rot[:len(rot)-4]))
+	badMagic := append([]byte("MCSN"), sis[4:]...)
+	return map[string][]byte{
+		"seed_sis_valid":   sis,
+		"seed_mcsm_valid":  mcsm,
+		"seed_truncated":   trunc,
+		"seed_payload_rot": rot,
+		"seed_bad_magic":   badMagic,
+	}
+}
+
+// TestSeedCorpusCommitted pins the committed fuzz seed corpus: every file
+// is regenerated (under MCSM_WRITE_CORPUS=1) or byte-compared against the
+// fixture builders, so the corpus can never drift from the format.
+func TestSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeModelArtifact")
+	for name, data := range seedCorpusInputs(t) {
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		path := filepath.Join(dir, name)
+		if os.Getenv("MCSM_WRITE_CORPUS") != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus entry missing (regenerate with MCSM_WRITE_CORPUS=1): %v", err)
+		}
+		if string(got) != entry {
+			t.Fatalf("seed corpus entry %s drifted from the fixture builders", name)
+		}
+	}
+}

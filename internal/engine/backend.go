@@ -109,9 +109,14 @@ func (p *BackendPlan) GraphConfig(workers int, modelFor func(string) (*csm.Model
 }
 
 // BackendResult couples a plan with the report its propagation produced.
+// Graph is the propagated timing graph behind the report; like
+// AnalyzeGraphCtx's return it retains full waveform state, so holders can
+// re-materialize the bit-identical report later (Report is a pure read)
+// but must never edit it.
 type BackendResult struct {
 	Plan   *BackendPlan
 	Report *sta.Report
+	Graph  *graph.TimingGraph
 }
 
 // PlanBackend resolves a backend spec against a netlist: characterizes
@@ -298,7 +303,7 @@ func (e *Engine) AnalyzeBackend(ctx context.Context, spec BackendSpec, nl *sta.N
 	propSpan.LabelInt("evaluated", int64(stats.StagesEvaluated))
 	propSpan.End()
 	e.stageEvals.Add(g.StageEvals())
-	return &BackendResult{Plan: plan, Report: g.Report()}, nil
+	return &BackendResult{Plan: plan, Report: g.Report(), Graph: g}, nil
 }
 
 // --- NLDM characterization cache ---------------------------------------

@@ -22,9 +22,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
+	"mcsm/internal/artifact"
 	"mcsm/internal/cells"
 	"mcsm/internal/csm"
+	"mcsm/internal/obs"
 )
 
 // ModelCache memoizes csm.Characterize results keyed by the full identity
@@ -44,6 +47,12 @@ type ModelCache struct {
 	misses       int64 // Gets that had to build (characterize or reload)
 	diskHits     int64 // subset of misses satisfied by a spill-file reload
 	spillRejects int64 // spill files rejected as corrupt/mismatched and re-characterized
+
+	// Reload-format attribution: how each miss was ultimately satisfied.
+	binaryReloads int64         // spill reloads served by the binary artifact
+	jsonReloads   int64         // spill reloads served by the legacy JSON fallback
+	characterized int64         // misses that ran the full SPICE-backed characterization
+	reloadHist    obs.Histogram // latency of successful spill reloads (disk → validated model)
 }
 
 type cacheEntry struct {
@@ -138,40 +147,80 @@ func (c *ModelCache) GetOutcome(tech cells.Tech, spec cells.Spec, kind csm.Kind,
 	return e.model, outcome, e.err
 }
 
-// build satisfies a cache miss: reload from the spill file when possible,
-// otherwise characterize (and spill, best-effort). A spill file that fails
-// to decode or validate — truncated by a crashed writer, mangled on disk,
-// or belonging to a different cell — must never surface its decode error
-// to the caller or, worse, hand back a structurally broken model: it is
-// rejected with a clear diagnostic (Logf + the SpillRejects counter) and
-// the key is transparently re-characterized, overwriting the bad file.
+// build satisfies a cache miss: reload from a spill artifact when possible,
+// otherwise characterize (and spill, best-effort). The binary artifact is
+// tried first (the serving format — raw float bits, CRC-verified, several
+// times faster to parse), then the legacy JSON spill as a fallback; a JSON
+// reload is promoted to a binary artifact in place so the next process
+// takes the fast path. A spill file that fails to decode or validate —
+// truncated by a crashed writer, mangled on disk, or belonging to a
+// different cell or characterization identity — must never surface its
+// decode error to the caller or, worse, hand back a structurally broken
+// model: it is rejected with a clear diagnostic (Logf + the SpillRejects
+// counter) and the key is transparently re-characterized, overwriting the
+// bad file.
 func (c *ModelCache) build(key string, tech cells.Tech, spec cells.Spec, kind csm.Kind, cfg csm.Config) (*csm.Model, Outcome, error) {
-	var path string
+	var binPath, jsonPath string
+	var keyHash uint64
 	if c.dir != "" {
-		path = c.spillPath(spec, kind, key)
-		m, err := csm.LoadModel(path)
+		keyHash = keyFNV(key)
+		base := c.spillBase(spec, kind, keyHash)
+		binPath, jsonPath = base+artifact.Ext, base+".json"
+
+		start := time.Now()
+		m, err := artifact.Load(binPath, keyHash)
 		switch {
 		case err == nil && m.Cell == spec.Name:
-			c.mu.Lock()
-			c.diskHits++
-			c.mu.Unlock()
+			c.reloaded(&c.binaryReloads, start)
 			return m, OutcomeDisk, nil
 		case err == nil:
-			c.reject(path, fmt.Errorf("model is for cell %q, want %q", m.Cell, spec.Name))
+			c.reject(binPath, fmt.Errorf("model is for cell %q, want %q", m.Cell, spec.Name))
 		case !errors.Is(err, fs.ErrNotExist):
-			c.reject(path, err)
+			c.reject(binPath, err)
+		}
+
+		start = time.Now()
+		m, err = csm.LoadModel(jsonPath)
+		switch {
+		case err == nil && m.Cell == spec.Name:
+			c.reloaded(&c.jsonReloads, start)
+			// Promote: the very bytes we just validated, re-packed as the
+			// binary artifact, so this key never pays the JSON parse again.
+			_ = artifact.Save(binPath, m, keyHash)
+			return m, OutcomeDisk, nil
+		case err == nil:
+			c.reject(jsonPath, fmt.Errorf("model is for cell %q, want %q", m.Cell, spec.Name))
+		case !errors.Is(err, fs.ErrNotExist):
+			c.reject(jsonPath, err)
 		}
 	}
 	m, err := csm.Characterize(tech, spec, kind, cfg)
+	c.mu.Lock()
+	c.characterized++
+	c.mu.Unlock()
 	if err != nil {
 		return nil, OutcomeCharacterized, err
 	}
-	if path != "" {
+	if binPath != "" {
 		if mkErr := os.MkdirAll(c.dir, 0o755); mkErr == nil {
-			_ = m.Save(path) // spill is best-effort: a full disk must not fail the Get
+			// Spill is best-effort: a full disk must not fail the Get. The
+			// binary artifact is the primary spill; JSON is written alongside
+			// it for older readers and human inspection.
+			_ = artifact.Save(binPath, m, keyHash)
+			_ = m.Save(jsonPath)
 		}
 	}
 	return m, OutcomeCharacterized, nil
+}
+
+// reloaded books a successful spill reload: the shared disk-hit counter,
+// the per-format attribution counter, and the reload-latency histogram.
+func (c *ModelCache) reloaded(formatCounter *int64, start time.Time) {
+	c.mu.Lock()
+	c.diskHits++
+	*formatCounter++
+	c.mu.Unlock()
+	c.reloadHist.ObserveSince(start)
 }
 
 // reject records a corrupt or mismatched spill file. The file itself is
@@ -188,14 +237,21 @@ func (c *ModelCache) reject(path string, cause error) {
 	}
 }
 
-// spillPath names the spill file for a key: readable prefix plus an FNV-64a
-// fingerprint of the full key, so distinct configs of the same cell never
-// collide.
-func (c *ModelCache) spillPath(spec cells.Spec, kind csm.Kind, key string) string {
+// keyFNV is the FNV-64a fingerprint of a characterization key — the hash
+// spill filenames carry and binary artifacts embed as their identity.
+func keyFNV(key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// spillBase names the spill file for a key, sans extension (.mcsm for the
+// binary artifact, .json for the legacy fallback): readable prefix plus the
+// FNV-64a fingerprint of the full key, so distinct configs of the same cell
+// never collide.
+func (c *ModelCache) spillBase(spec cells.Spec, kind csm.Kind, keyHash uint64) string {
 	slug := strings.ToLower(strings.ReplaceAll(kind.String(), "-", ""))
-	return filepath.Join(c.dir, fmt.Sprintf("%s_%s_%016x.json", strings.ToLower(spec.Name), slug, h.Sum64()))
+	return filepath.Join(c.dir, fmt.Sprintf("%s_%s_%016x", strings.ToLower(spec.Name), slug, keyHash))
 }
 
 // CacheStats is a snapshot of cache effectiveness counters.
@@ -205,6 +261,12 @@ type CacheStats struct {
 	DiskHits     int64 // misses satisfied by spill reload instead of characterization
 	SpillRejects int64 // corrupt/mismatched spill files rejected and re-characterized
 	Entries      int   // distinct keys resident
+
+	// Reload-format attribution (BinaryReloads+JSONReloads == DiskHits;
+	// Characterized counts full SPICE-backed builds, including failures).
+	BinaryReloads int64 // reloads served by the binary .mcsm artifact
+	JSONReloads   int64 // reloads served by the legacy JSON fallback
+	Characterized int64 // misses that ran the full characterization
 }
 
 // HitRate is Hits/(Hits+Misses), 0 when the cache is unused.
@@ -220,5 +282,17 @@ func (s CacheStats) HitRate() float64 {
 func (c *ModelCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits, SpillRejects: c.spillRejects, Entries: len(c.entries)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits,
+		SpillRejects: c.spillRejects, Entries: len(c.entries),
+		BinaryReloads: c.binaryReloads, JSONReloads: c.jsonReloads,
+		Characterized: c.characterized,
+	}
+}
+
+// ReloadLatency snapshots the spill reload-latency histogram (time from
+// opening a spill artifact to a validated in-memory model). Zero Count
+// means no reload has happened yet.
+func (c *ModelCache) ReloadLatency() obs.HistSnapshot {
+	return c.reloadHist.Snapshot()
 }

@@ -114,14 +114,16 @@ func TestModelCacheSpill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := c1.Stats(); st.DiskHits != 0 {
-		t.Errorf("first run stats = %+v, want 0 disk hits", st)
+	if st := c1.Stats(); st.DiskHits != 0 || st.Characterized != 1 {
+		t.Errorf("first run stats = %+v, want 0 disk hits / 1 characterization", st)
 	}
+	// The spill is written in both formats: the binary artifact (primary)
+	// and the legacy JSON (fallback + human inspection).
 	files, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 1 || !strings.HasSuffix(files[0].Name(), ".json") {
+	if len(files) != 2 || !strings.HasSuffix(files[0].Name(), ".json") || !strings.HasSuffix(files[1].Name(), ".mcsm") {
 		t.Fatalf("spill dir contents: %v", files)
 	}
 
@@ -133,6 +135,13 @@ func TestModelCacheSpill(t *testing.T) {
 	st := c2.Stats()
 	if st.DiskHits != 1 || st.Misses != 1 {
 		t.Errorf("reload stats = %+v, want 1 miss satisfied from disk", st)
+	}
+	// The reload must have taken the binary path, and timed it.
+	if st.BinaryReloads != 1 || st.JSONReloads != 0 || st.Characterized != 0 {
+		t.Errorf("reload stats = %+v, want the binary artifact to serve the miss", st)
+	}
+	if lat := c2.ReloadLatency(); lat.Count != 1 {
+		t.Errorf("reload latency count = %d, want 1", lat.Count)
 	}
 	if m2.Cell != m1.Cell || m2.Vdd != m1.Vdd || m2.Kind != m1.Kind {
 		t.Errorf("reloaded model differs: %s/%v vs %s/%v", m2.Cell, m2.Kind, m1.Cell, m1.Kind)
@@ -158,12 +167,137 @@ func TestModelCacheCorruptSpill(t *testing.T) {
 		t.Fatal(err)
 	}
 	files, err := os.ReadDir(dir)
-	if err != nil || len(files) != 1 {
+	if err != nil || len(files) != 2 {
 		t.Fatalf("spill dir contents: %v (err %v)", files, err)
 	}
-	path := dir + "/" + files[0].Name()
+	jsonPath := dir + "/" + files[0].Name() // sorted: .json before .mcsm
+	binPath := dir + "/" + files[1].Name()
+	origJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origBin, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func(t *testing.T) {
+		t.Helper()
+		if err := os.WriteFile(jsonPath, origJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(binPath, origBin, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loggingCache := func(logged *bytes.Buffer, logMu *sync.Mutex) *ModelCache {
+		c := NewSpillCache(dir)
+		c.SetLogf(func(format string, args ...any) {
+			logMu.Lock()
+			fmt.Fprintf(logged, format+"\n", args...)
+			logMu.Unlock()
+		})
+		return c
+	}
 
-	corruptions := []struct {
+	// A corrupt binary artifact with an intact JSON spill falls back to the
+	// JSON reload — a disk hit, not a re-characterization — and re-promotes
+	// the binary in place.
+	t.Run("binary corrupt, json fallback", func(t *testing.T) {
+		restore(t)
+		if err := os.WriteFile(binPath, origBin[:len(origBin)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var logged bytes.Buffer
+		var logMu sync.Mutex
+		c := loggingCache(&logged, &logMu)
+		m, err := c.Get(tech, spec, csm.KindSIS, invConfig())
+		if err != nil {
+			t.Fatalf("Get surfaced the binary spill failure: %v", err)
+		}
+		if m.Cell != m1.Cell {
+			t.Fatalf("fallback model is broken: %+v", m)
+		}
+		st := c.Stats()
+		if st.SpillRejects != 1 || st.DiskHits != 1 || st.JSONReloads != 1 || st.BinaryReloads != 0 || st.Characterized != 0 {
+			t.Errorf("stats = %+v, want 1 reject + 1 JSON disk hit", st)
+		}
+		if !strings.Contains(logged.String(), "rejecting corrupt spill file") {
+			t.Errorf("no rejection diagnostic in %q", logged.String())
+		}
+		// The promotion must have repaired the binary: a fresh cache takes
+		// the fast path again.
+		c2 := NewSpillCache(dir)
+		if _, err := c2.Get(tech, spec, csm.KindSIS, invConfig()); err != nil {
+			t.Fatal(err)
+		}
+		if st := c2.Stats(); st.BinaryReloads != 1 || st.SpillRejects != 0 {
+			t.Errorf("post-promotion stats = %+v, want a clean binary reload", st)
+		}
+	})
+
+	// Binary-only corruptions (no JSON fallback present): every artifact
+	// failure mode must be rejected with a diagnostic and transparently
+	// re-characterized — never surfaced, never a half-decoded model.
+	binCorruptions := []struct {
+		name   string
+		mangle func(d []byte) []byte
+	}{
+		// A crashed writer leaves a prefix whose CRC cannot verify.
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		// Bit rot in the payload breaks the checksum.
+		{"bit rot", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[len(out)/2] ^= 0x10
+			return out
+		}},
+		// A future format version must not be misread.
+		{"version skew", func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[4]++
+			return out
+		}},
+		{"empty file", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range binCorruptions {
+		t.Run("binary "+tc.name, func(t *testing.T) {
+			restore(t)
+			if err := os.Remove(jsonPath); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(binPath, tc.mangle(origBin), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var logged bytes.Buffer
+			var logMu sync.Mutex
+			c := loggingCache(&logged, &logMu)
+			m, err := c.Get(tech, spec, csm.KindSIS, invConfig())
+			if err != nil {
+				t.Fatalf("Get surfaced the spill failure instead of re-characterizing: %v", err)
+			}
+			if m.Cell != m1.Cell || m.Io == nil {
+				t.Fatalf("re-characterized model is broken: %+v", m)
+			}
+			st := c.Stats()
+			if st.SpillRejects != 1 || st.DiskHits != 0 || st.Misses != 1 || st.Characterized != 1 {
+				t.Errorf("stats = %+v, want 1 spill reject re-characterized", st)
+			}
+			if !strings.Contains(logged.String(), "rejecting corrupt spill file") {
+				t.Errorf("diagnostic %q does not mention the rejection", logged.String())
+			}
+			// The bad file must have been repaired: a fresh cache reloads.
+			c2 := NewSpillCache(dir)
+			if _, err := c2.Get(tech, spec, csm.KindSIS, invConfig()); err != nil {
+				t.Fatal(err)
+			}
+			if st := c2.Stats(); st.DiskHits != 1 || st.BinaryReloads != 1 || st.SpillRejects != 0 {
+				t.Errorf("post-repair stats = %+v, want a clean binary disk hit", st)
+			}
+		})
+	}
+
+	// Legacy JSON corruptions with no binary artifact present — the
+	// original SpillRejects contract, unchanged.
+	jsonCorruptions := []struct {
 		name    string
 		mangle  func(data []byte) []byte
 		wantLog string
@@ -177,23 +311,18 @@ func TestModelCacheCorruptSpill(t *testing.T) {
 			return bytes.Replace(d, []byte(`"cell": "INV"`), []byte(`"cell": "NOR9"`), 1)
 		}, "want \"INV\""},
 	}
-	orig, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, tc := range corruptions {
-		t.Run(tc.name, func(t *testing.T) {
-			if err := os.WriteFile(path, tc.mangle(orig), 0o644); err != nil {
+	for _, tc := range jsonCorruptions {
+		t.Run("json "+tc.name, func(t *testing.T) {
+			restore(t)
+			if err := os.Remove(binPath); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(jsonPath, tc.mangle(origJSON), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			var logged bytes.Buffer
 			var logMu sync.Mutex
-			c := NewSpillCache(dir)
-			c.SetLogf(func(format string, args ...any) {
-				logMu.Lock()
-				fmt.Fprintf(&logged, format+"\n", args...)
-				logMu.Unlock()
-			})
+			c := loggingCache(&logged, &logMu)
 			m, err := c.Get(tech, spec, csm.KindSIS, invConfig())
 			if err != nil {
 				t.Fatalf("Get surfaced the spill failure instead of re-characterizing: %v", err)
@@ -219,8 +348,11 @@ func TestModelCacheCorruptSpill(t *testing.T) {
 		})
 	}
 
-	// A merely missing file is a plain miss, not a reject.
-	if err := os.Remove(path); err != nil {
+	// Merely missing files are a plain miss, not a reject.
+	if err := os.Remove(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(binPath); err != nil {
 		t.Fatal(err)
 	}
 	c := NewSpillCache(dir)

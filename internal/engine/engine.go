@@ -156,10 +156,25 @@ func (e *Engine) Analyze(nl *sta.Netlist, models map[string]*csm.Model, primary 
 // golden fixtures under testdata/golden pin the wrapper's bytes against
 // the pre-graph implementation.
 func (e *Engine) AnalyzeCtx(ctx context.Context, nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt sta.Options) (*sta.Report, error) {
-	// ShareNetlist: the graph is discarded after one propagation and no
-	// edits ever run, so cloning the netlist would be pure overhead — and
-	// sharing keeps the netlist's memoized Levels/Fanouts warm across
-	// repeat analyses of one cached workload.
+	g, err := e.AnalyzeGraphCtx(ctx, nl, models, primary, opt)
+	if err != nil {
+		return nil, err
+	}
+	return g.Report(), nil
+}
+
+// AnalyzeGraphCtx is AnalyzeCtx returning the propagated timing graph
+// itself instead of just its report. The graph retains full per-net
+// waveform state, so a caller may hold on to it and materialize the
+// (bit-identical) report again later without re-propagating — the
+// service's warm-graph LRU does exactly that for repeat requests.
+// Callers that keep the graph must treat it as immutable: Report() is a
+// pure read, but edits belong to ECO sessions, which build their own.
+func (e *Engine) AnalyzeGraphCtx(ctx context.Context, nl *sta.Netlist, models map[string]*csm.Model, primary map[string]wave.Waveform, opt sta.Options) (*graph.TimingGraph, error) {
+	// ShareNetlist: no edits ever run on this graph, so cloning the
+	// netlist would be pure overhead — and sharing keeps the netlist's
+	// memoized Levels/Fanouts warm across repeat analyses of one cached
+	// workload.
 	span := obs.SpanFrom(ctx)
 	buildSpan := span.Start("build")
 	g, err := graph.Build(nl, models, primary, opt, graph.Config{Workers: e.workers, ShareNetlist: true, EvalHist: &e.stageHist})
@@ -176,7 +191,7 @@ func (e *Engine) AnalyzeCtx(ctx context.Context, nl *sta.Netlist, models map[str
 	propSpan.LabelInt("evaluated", int64(stats.StagesEvaluated))
 	propSpan.End()
 	e.stageEvals.Add(g.StageEvals())
-	return g.Report(), nil
+	return g, nil
 }
 
 // FlatReference delegates to sta.FlatReference — the flat transistor-level

@@ -177,8 +177,11 @@ func TestSessionHybridBackend(t *testing.T) {
 }
 
 // TestMetricsBackendSection: /metrics carries the per-backend counters.
+// The warm-graph layer is disabled: its key excludes the display name, so
+// with it on the second request would be a cache read that (correctly)
+// runs no backend and ticks no counter.
 func TestMetricsBackendSection(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{GraphCap: -1})
 	for i := 0; i < 2; i++ {
 		req := invRequest()
 		req.Name = fmt.Sprintf("inv%d", i) // distinct keys: no coalescing

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcsm/internal/engine"
+)
+
+// decodeBatchReply parses a buffered batch reply. Reports decode into
+// json.RawMessage, which preserves the embedded bytes verbatim — that is
+// what makes byte-comparison against the single-request path possible.
+func decodeBatchReply(t *testing.T, body []byte) BatchSTAReply {
+	t.Helper()
+	var reply BatchSTAReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("batch reply does not parse: %v\n%s", err, body)
+	}
+	return reply
+}
+
+// reportBytes reconstructs the single-request body from an embedded
+// report (the batch strips the trailing newline).
+func reportBytes(item BatchSTAItem) []byte {
+	return append([]byte(item.Report), '\n')
+}
+
+// TestBatchMatchesSingle: every embedded batch report must be
+// byte-identical to the single-request reply for the same item, at pool
+// widths 1, 4, and NumCPU. The engines share one model cache so only the
+// analysis concurrency varies.
+func TestBatchMatchesSingle(t *testing.T) {
+	items := []STARequest{
+		invRequest(),
+		c17Request("hybrid"),
+		c17Request("nldm"),
+		{Name: "gen8", Gen: "8:3:2:7", Config: "fast", Dt: "4p"},
+	}
+	// Single-request truth, computed once on the shared test engine.
+	_, truthTS := newTestServer(t, Config{GraphCap: -1})
+	truth := make([][]byte, len(items))
+	for i, item := range items {
+		resp, body := postJSON(t, truthTS.URL+"/v1/sta", item)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("truth item %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		truth[i] = body
+	}
+
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			s := NewWithEngine(Config{}, testEngineAt(workers))
+			ts := httptest.NewServer(s.Handler())
+			defer func() { ts.Close(); s.Close() }()
+
+			resp, body := postJSON(t, ts.URL+"/v1/sta:batch", BatchSTARequest{Items: items})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			reply := decodeBatchReply(t, body)
+			if len(reply.Items) != len(items) {
+				t.Fatalf("%d items in reply, want %d", len(reply.Items), len(items))
+			}
+			for i, item := range reply.Items {
+				if item.Index != i || item.Status != http.StatusOK {
+					t.Fatalf("item %d: index %d status %d: %s", i, item.Index, item.Status, item.Error)
+				}
+				if !bytes.Equal(reportBytes(item), truth[i]) {
+					t.Errorf("item %d differs from single-request reply at %d workers", i, workers)
+				}
+			}
+		})
+	}
+}
+
+// testEngineAt builds an engine with the given pool width sharing the
+// test engine's model cache (so no re-characterization per width).
+func testEngineAt(workers int) *engine.Engine {
+	return engine.New(workers, testEngine().Cache())
+}
+
+// TestBatchDedupAndErrors: duplicate items share one computation, bad
+// items fail alone, and the batch counters see all of it.
+func TestBatchDedupAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{GraphCap: -1})
+	req := BatchSTARequest{Items: []STARequest{
+		invRequest(),
+		{Netlist: "bogus net syntax ("},  // parse failure → per-item 400
+		invRequest(),                     // duplicate of item 0
+		{},                               // no workload → per-item 400
+		{Netlist: invChain, Trace: true}, // trace rejected per-item
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/sta:batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	reply := decodeBatchReply(t, body)
+	if len(reply.Items) != 5 {
+		t.Fatalf("%d items", len(reply.Items))
+	}
+	if reply.Items[0].Status != 200 || reply.Items[2].Status != 200 {
+		t.Errorf("good items: %+v %+v", reply.Items[0], reply.Items[2])
+	}
+	if !bytes.Equal(reply.Items[0].Report, reply.Items[2].Report) {
+		t.Error("duplicate items answered different bytes")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if reply.Items[i].Status != 400 || reply.Items[i].Error == "" {
+			t.Errorf("item %d: %+v", i, reply.Items[i])
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	if m.Batch.Requests != 1 || m.Batch.Items != 5 || m.Batch.Deduped != 1 {
+		t.Errorf("batch metrics %+v", m.Batch)
+	}
+	if m.Requests.STABatch != 1 {
+		t.Errorf("sta_batch request count %d", m.Requests.STABatch)
+	}
+	// One computation served items 0 and 2; the unparsable netlist (a
+	// compute-time failure, not a resolve-time one) cost the second.
+	if m.STAComputed != 2 {
+		t.Errorf("sta computed %d, want 2", m.STAComputed)
+	}
+}
+
+// TestBatchStreaming: the NDJSON framing delivers one line per item in
+// item order, each line's report byte-identical to the buffered reply's.
+func TestBatchStreaming(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	items := []STARequest{invRequest(), {Netlist: "bad ("}, invRequest()}
+
+	resp, buffered := postJSON(t, ts.URL+"/v1/sta:batch", BatchSTARequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status %d: %s", resp.StatusCode, buffered)
+	}
+	bufReply := decodeBatchReply(t, buffered)
+
+	resp, streamed := postJSON(t, ts.URL+"/v1/sta:batch", BatchSTARequest{Items: items, Stream: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed status %d: %s", resp.StatusCode, streamed)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(streamed))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []BatchSTAItem
+	for sc.Scan() {
+		var item BatchSTAItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("stream line does not parse: %v\n%s", err, sc.Bytes())
+		}
+		lines = append(lines, item)
+	}
+	if len(lines) != len(items) {
+		t.Fatalf("%d stream lines, want %d", len(lines), len(items))
+	}
+	// Every stream line is one line (NDJSON), and re-indenting its compact
+	// report recovers the buffered reply's verbatim bytes exactly.
+	for i, line := range lines {
+		if line.Index != i {
+			t.Errorf("line %d carries index %d", i, line.Index)
+		}
+		if len(line.Report) == 0 {
+			if len(bufReply.Items[i].Report) != 0 {
+				t.Errorf("line %d lost its report", i)
+			}
+			continue
+		}
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, line.Report, "", "  "); err != nil {
+			t.Fatalf("line %d report: %v", i, err)
+		}
+		if !bytes.Equal(pretty.Bytes(), bufReply.Items[i].Report) {
+			t.Errorf("line %d report does not re-indent to the buffered bytes", i)
+		}
+	}
+	if m := getMetrics(t, ts.URL); m.Batch.Streamed != 1 {
+		t.Errorf("streamed counter %d", m.Batch.Streamed)
+	}
+}
+
+// TestBatchValidation: empty and oversized batches are whole-request 400s.
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, req := range []BatchSTARequest{
+		{},
+		{Items: make([]STARequest, MaxBatchItems+1)},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/sta:batch", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// TestBatchShutdownDrain: a graceful server shutdown initiated while a
+// batch is computing must not truncate the reply — the client still
+// receives the complete, parseable document with every item resolved.
+func TestBatchShutdownDrain(t *testing.T) {
+	s := NewWithEngine(Config{}, testEngine())
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+
+	// Hold the batch's computation open until shutdown has begun.
+	computing := make(chan struct{})
+	shutdownStarted := make(chan struct{})
+	var once sync.Once
+	s.computeGate = func(string) {
+		once.Do(func() { close(computing) })
+		<-shutdownStarted
+	}
+
+	type result struct {
+		resp *http.Response
+		body []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		data, _ := json.Marshal(BatchSTARequest{Items: []STARequest{invRequest(), c17Request("hybrid")}})
+		resp, err := http.Post(srv.URL+"/v1/sta:batch", "application/json", strings.NewReader(string(data)))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body := new(bytes.Buffer)
+		_, err = body.ReadFrom(resp.Body)
+		got <- result{resp: resp, body: body.Bytes(), err: err}
+	}()
+
+	<-computing
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Config.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to stop accepting, then release the batch.
+	time.Sleep(50 * time.Millisecond)
+	close(shutdownStarted)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight batch failed across shutdown: %v", r.err)
+	}
+	if r.resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", r.resp.StatusCode, r.body)
+	}
+	reply := decodeBatchReply(t, r.body)
+	if len(reply.Items) != 2 {
+		t.Fatalf("%d items", len(reply.Items))
+	}
+	for i, item := range reply.Items {
+		if item.Status != http.StatusOK || len(item.Report) == 0 {
+			t.Errorf("item %d incomplete after shutdown: %+v", i, item)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("graceful shutdown did not drain: %v", err)
+	}
+}

@@ -16,29 +16,33 @@ import (
 // metrics is the server's live counter set (atomics; read racily and
 // coherently enough for monitoring).
 type metrics struct {
-	staRequests     atomic.Int64
-	sweepRequests   atomic.Int64
-	charRequests    atomic.Int64
-	sessionRequests atomic.Int64
-	ecoRequests     atomic.Int64
-	mcRequests      atomic.Int64
-	staComputed     atomic.Int64
-	sweepComputed   atomic.Int64
-	mcComputed      atomic.Int64
-	staCoalesced    atomic.Int64
-	sweepCoalesced  atomic.Int64
-	mcCoalesced     atomic.Int64
-	mcStreamed      atomic.Int64
-	mcTrials        atomic.Int64
-	mcStageEvals    atomic.Int64
-	sweepPoints     atomic.Int64
-	ecoRounds       atomic.Int64
-	ecoEdits        atomic.Int64
-	ecoStageEvals   atomic.Int64
-	ecoNetsChanged  atomic.Int64
-	errors          atomic.Int64
-	inFlight        atomic.Int64
-	queued          atomic.Int64
+	staRequests      atomic.Int64
+	staBatchRequests atomic.Int64
+	staBatchItems    atomic.Int64
+	staBatchDeduped  atomic.Int64
+	staBatchStreamed atomic.Int64
+	sweepRequests    atomic.Int64
+	charRequests     atomic.Int64
+	sessionRequests  atomic.Int64
+	ecoRequests      atomic.Int64
+	mcRequests       atomic.Int64
+	staComputed      atomic.Int64
+	sweepComputed    atomic.Int64
+	mcComputed       atomic.Int64
+	staCoalesced     atomic.Int64
+	sweepCoalesced   atomic.Int64
+	mcCoalesced      atomic.Int64
+	mcStreamed       atomic.Int64
+	mcTrials         atomic.Int64
+	mcStageEvals     atomic.Int64
+	sweepPoints      atomic.Int64
+	ecoRounds        atomic.Int64
+	ecoEdits         atomic.Int64
+	ecoStageEvals    atomic.Int64
+	ecoNetsChanged   atomic.Int64
+	errors           atomic.Int64
+	inFlight         atomic.Int64
+	queued           atomic.Int64
 
 	// Per-backend analysis counts plus the hybrid stage economy (how many
 	// stages went through each calculator across all hybrid analyses).
@@ -60,7 +64,7 @@ type metrics struct {
 // delay calculator. Both key the latency/error maps and the /metrics
 // sections, so the JSON shape is stable from the first request.
 var (
-	endpointNames = []string{"sta", "sweep", "char", "session", "eco", "mc", "healthz", "metrics"}
+	endpointNames = []string{"sta", "sta_batch", "sweep", "char", "session", "eco", "mc", "healthz", "metrics"}
 	backendNames  = []string{string(engine.BackendCSM), string(engine.BackendNLDM), string(engine.BackendHybrid)}
 )
 
@@ -116,16 +120,32 @@ type ModelCacheMetrics struct {
 	SpillRejects int64   `json:"spill_rejects"`
 	Entries      int     `json:"entries"`
 	HitRate      float64 `json:"hit_rate"`
+	// Reload-format attribution: how misses were satisfied — the binary
+	// .mcsm artifact, the legacy JSON fallback, or a full characterization.
+	BinaryReloads int64 `json:"binary_reloads"`
+	JSONReloads   int64 `json:"json_reloads"`
+	Characterized int64 `json:"characterized"`
+}
+
+// BatchMetrics is the /v1/sta:batch section of /metrics: request and
+// item totals plus how much work batching itself eliminated (deduped =
+// items served by another item's computation in the same batch).
+type BatchMetrics struct {
+	Requests int64 `json:"requests"`
+	Items    int64 `json:"items"`
+	Deduped  int64 `json:"deduped"`
+	Streamed int64 `json:"streamed"`
 }
 
 // RequestCounts breaks request totals down by endpoint.
 type RequestCounts struct {
-	STA     int64 `json:"sta"`
-	Sweep   int64 `json:"sweep"`
-	Char    int64 `json:"char"`
-	Session int64 `json:"session"`
-	Eco     int64 `json:"eco"`
-	MC      int64 `json:"mc"`
+	STA      int64 `json:"sta"`
+	STABatch int64 `json:"sta_batch"`
+	Sweep    int64 `json:"sweep"`
+	Char     int64 `json:"char"`
+	Session  int64 `json:"session"`
+	Eco      int64 `json:"eco"`
+	MC       int64 `json:"mc"`
 }
 
 // MCMetrics is the Monte-Carlo section of /metrics: per-run counters
@@ -162,6 +182,9 @@ type LatencyMetrics struct {
 	Endpoints  map[string]obs.HistSnapshot `json:"endpoints"`
 	Backends   map[string]obs.HistSnapshot `json:"backends"`
 	StageEvals obs.HistSnapshot            `json:"stage_evals"`
+	// ModelReloads times model-cache spill reloads (disk artifact →
+	// validated in-memory model), the cost the binary format attacks.
+	ModelReloads obs.HistSnapshot `json:"model_reloads"`
 }
 
 // Metrics is the GET /metrics response: effectiveness of all three
@@ -189,12 +212,17 @@ type Metrics struct {
 	SweepCoalesced  int64   `json:"sweep_coalesced"`
 	CoalescingRatio float64 `json:"coalescing_ratio"`
 
+	Batch BatchMetrics `json:"batch"`
+
 	ModelCache   ModelCacheMetrics `json:"model_cache"`
 	NetlistCache lruStats          `json:"netlist_cache"`
-	Sessions     SessionMetrics    `json:"sessions"`
-	Backends     BackendMetrics    `json:"backends"`
-	MC           MCMetrics         `json:"mc"`
-	Latency      LatencyMetrics    `json:"latency"`
+	// GraphCache is the warm-graph LRU: hits are repeat analyses served
+	// from a retained propagated graph without any computation.
+	GraphCache lruStats       `json:"graph_cache"`
+	Sessions   SessionMetrics `json:"sessions"`
+	Backends   BackendMetrics `json:"backends"`
+	MC         MCMetrics      `json:"mc"`
+	Latency    LatencyMetrics `json:"latency"`
 
 	StageEvals        int64   `json:"stage_evals"`
 	StageEvalsPerSec  float64 `json:"stage_evals_per_sec"`
@@ -213,12 +241,13 @@ func (s *Server) Snapshot() Metrics {
 		InFlight:      s.metrics.inFlight.Load(),
 		Queued:        s.metrics.queued.Load(),
 		Requests: RequestCounts{
-			STA:     s.metrics.staRequests.Load(),
-			Sweep:   s.metrics.sweepRequests.Load(),
-			Char:    s.metrics.charRequests.Load(),
-			Session: s.metrics.sessionRequests.Load(),
-			Eco:     s.metrics.ecoRequests.Load(),
-			MC:      s.metrics.mcRequests.Load(),
+			STA:      s.metrics.staRequests.Load(),
+			STABatch: s.metrics.staBatchRequests.Load(),
+			Sweep:    s.metrics.sweepRequests.Load(),
+			Char:     s.metrics.charRequests.Load(),
+			Session:  s.metrics.sessionRequests.Load(),
+			Eco:      s.metrics.ecoRequests.Load(),
+			MC:       s.metrics.mcRequests.Load(),
 		},
 		Errors:         s.metrics.errors.Load(),
 		STAComputed:    s.metrics.staComputed.Load(),
@@ -228,8 +257,17 @@ func (s *Server) Snapshot() Metrics {
 		ModelCache: ModelCacheMetrics{
 			Hits: cs.Hits, Misses: cs.Misses, DiskHits: cs.DiskHits,
 			SpillRejects: cs.SpillRejects, Entries: cs.Entries, HitRate: cs.HitRate(),
+			BinaryReloads: cs.BinaryReloads, JSONReloads: cs.JSONReloads,
+			Characterized: cs.Characterized,
+		},
+		Batch: BatchMetrics{
+			Requests: s.metrics.staBatchRequests.Load(),
+			Items:    s.metrics.staBatchItems.Load(),
+			Deduped:  s.metrics.staBatchDeduped.Load(),
+			Streamed: s.metrics.staBatchStreamed.Load(),
 		},
 		NetlistCache: s.nets.stats(),
+		GraphCache:   s.graphStats(),
 		Sessions:     s.sessionMetrics(),
 		Backends: BackendMetrics{
 			CSM:              s.metrics.backendCSM.Load(),
@@ -248,9 +286,10 @@ func (s *Server) Snapshot() Metrics {
 		StageEvals:      s.eng.StageEvals(),
 		SweepPointEvals: s.metrics.sweepPoints.Load(),
 		Latency: LatencyMetrics{
-			Endpoints:  make(map[string]obs.HistSnapshot, len(endpointNames)),
-			Backends:   make(map[string]obs.HistSnapshot, len(backendNames)),
-			StageEvals: s.eng.StageHist().Snapshot(),
+			Endpoints:    make(map[string]obs.HistSnapshot, len(endpointNames)),
+			Backends:     make(map[string]obs.HistSnapshot, len(backendNames)),
+			StageEvals:   s.eng.StageHist().Snapshot(),
+			ModelReloads: s.eng.Cache().ReloadLatency(),
 		},
 		ErrorsByEndpoint: make(map[string]int64, len(endpointNames)),
 	}

@@ -65,6 +65,12 @@ type Config struct {
 	// NetlistCap is the parsed-netlist LRU capacity in entries
 	// (default 64).
 	NetlistCap int
+	// GraphCap is the warm-graph LRU capacity: completed one-shot analyses
+	// whose propagated timing graphs are retained so repeat requests skip
+	// the entire compute path (default 16; negative disables the layer —
+	// useful for A/B benchmarking). Each retained graph holds one waveform
+	// per net, comparable to an ECO session, so this is a memory knob.
+	GraphCap int
 	// Timeout is the per-request compute deadline (default 5 minutes).
 	// It covers queue wait plus analysis, not characterization spill I/O.
 	Timeout time.Duration
@@ -89,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.NetlistCap <= 0 {
 		c.NetlistCap = 64
 	}
+	if c.GraphCap == 0 {
+		c.GraphCap = 16
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 5 * time.Minute
 	}
@@ -108,6 +117,7 @@ type Server struct {
 	tech       cells.Tech
 	eng        *engine.Engine
 	nets       *netlistLRU
+	graphs     *lruCore[*warmGraph] // nil when Config.GraphCap < 0
 	flights    *flightGroup
 	sessions   *sessionStore
 	sessionSeq atomic.Int64
@@ -156,6 +166,9 @@ func NewWithEngine(cfg Config, eng *engine.Engine) *Server {
 		baseCtx:  ctx,
 		cancel:   cancel,
 	}
+	if cfg.GraphCap > 0 {
+		s.graphs = newLRUCore[*warmGraph](cfg.GraphCap)
+	}
 	s.metrics.init()
 	return s
 }
@@ -171,6 +184,7 @@ func (s *Server) Close() { s.cancel() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sta", s.post("sta", s.handleSTA))
+	mux.HandleFunc("/v1/sta:batch", s.post("sta_batch", s.handleSTABatch))
 	mux.HandleFunc("/v1/sweep", s.post("sweep", s.handleSweep))
 	mux.HandleFunc("/v1/char", s.post("char", s.handleChar))
 	mux.HandleFunc("/v1/session", s.post("session", s.handleSession))

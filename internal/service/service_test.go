@@ -133,23 +133,43 @@ func TestSTAServesCanonicalBytes(t *testing.T) {
 }
 
 // TestSTARepeatBitIdentical: a later identical request (no coalescing —
-// strictly sequential) must reproduce the same bytes, served through the
-// netlist LRU and warm model cache.
+// strictly sequential) must reproduce the same bytes. With the warm-graph
+// layer enabled (default) the repeat is served from the retained graph;
+// with it disabled the repeat recomputes through the netlist LRU and warm
+// model cache. Both paths must answer identical bytes.
 func TestSTARepeatBitIdentical(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
-	_, first := postJSON(t, ts.URL+"/v1/sta", invRequest())
-	m0 := getMetrics(t, ts.URL)
-	_, second := postJSON(t, ts.URL+"/v1/sta", invRequest())
-	if !bytes.Equal(first, second) {
-		t.Error("sequential identical requests returned different bytes")
-	}
-	m1 := getMetrics(t, ts.URL)
-	if m1.NetlistCache.Hits <= m0.NetlistCache.Hits {
-		t.Errorf("second request did not hit the netlist LRU: %+v -> %+v", m0.NetlistCache, m1.NetlistCache)
-	}
-	if m1.STACoalesced != m0.STACoalesced {
-		t.Error("sequential requests must not count as coalesced")
-	}
+	t.Run("warm graph", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		_, first := postJSON(t, ts.URL+"/v1/sta", invRequest())
+		m0 := getMetrics(t, ts.URL)
+		_, second := postJSON(t, ts.URL+"/v1/sta", invRequest())
+		if !bytes.Equal(first, second) {
+			t.Error("sequential identical requests returned different bytes")
+		}
+		m1 := getMetrics(t, ts.URL)
+		if m1.GraphCache.Hits <= m0.GraphCache.Hits {
+			t.Errorf("second request did not hit the warm-graph LRU: %+v -> %+v", m0.GraphCache, m1.GraphCache)
+		}
+		if m1.STACoalesced != m0.STACoalesced {
+			t.Error("sequential requests must not count as coalesced")
+		}
+	})
+	t.Run("graph cache disabled", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{GraphCap: -1})
+		_, first := postJSON(t, ts.URL+"/v1/sta", invRequest())
+		m0 := getMetrics(t, ts.URL)
+		_, second := postJSON(t, ts.URL+"/v1/sta", invRequest())
+		if !bytes.Equal(first, second) {
+			t.Error("sequential identical requests returned different bytes")
+		}
+		m1 := getMetrics(t, ts.URL)
+		if m1.NetlistCache.Hits <= m0.NetlistCache.Hits {
+			t.Errorf("second request did not hit the netlist LRU: %+v -> %+v", m0.NetlistCache, m1.NetlistCache)
+		}
+		if m1.GraphCache.Hits != 0 || m1.GraphCache.Entries != 0 {
+			t.Errorf("disabled graph cache has activity: %+v", m1.GraphCache)
+		}
+	})
 }
 
 // TestGenDeterministic: generated workloads resolve by spec and are
@@ -230,9 +250,10 @@ func TestSTAErrors(t *testing.T) {
 }
 
 // TestNetlistLRUEviction: a capacity-1 LRU holds only the latest
-// workload.
+// workload. The warm-graph layer is disabled so the repeat request
+// actually exercises the netlist LRU instead of short-circuiting above it.
 func TestNetlistLRUEviction(t *testing.T) {
-	_, ts := newTestServer(t, Config{NetlistCap: 1})
+	_, ts := newTestServer(t, Config{NetlistCap: 1, GraphCap: -1})
 	other := invRequest()
 	other.Netlist = strings.Replace(invChain, "n1", "m1", 2)
 	postJSON(t, ts.URL+"/v1/sta", invRequest())

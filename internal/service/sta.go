@@ -297,6 +297,13 @@ func (s *Server) handleSTA(w http.ResponseWriter, r *http.Request) {
 // A traced job additionally records a span tree and answers the traced
 // wrapper (the canonical bytes embedded verbatim, see wrapTraced).
 func (s *Server) computeSTA(job *staJob) response {
+	// Warm-graph fast path: a retained propagated graph for this exact
+	// analysis identity answers without parsing, building, propagating, or
+	// even taking a worker-pool slot — and byte-identically to a cold run.
+	if wg, ok := s.warmGraphFor(job); ok {
+		return s.replyFromWarm(job, wg)
+	}
+
 	var tr *obs.Trace
 	if job.trace {
 		tr = obs.New("sta")
@@ -347,6 +354,7 @@ func (s *Server) computeSTA(job *staJob) response {
 		if err != nil {
 			return response{err: err}
 		}
+		s.retainGraph(job, &warmGraph{g: res.Graph, nl: wl.NL, plan: res.Plan, wlName: wl.Name})
 		return tracedResponse(body, tr)
 	}
 	s.metrics.backendCounter(engine.BackendCSM).Add(1)
@@ -356,15 +364,16 @@ func (s *Server) computeSTA(job *staJob) response {
 	if err != nil {
 		return response{err: err}
 	}
-	rep, err := s.eng.AnalyzeCtx(ctx, wl.NL, models, primary, staOptions(job, horizon))
+	g, err := s.eng.AnalyzeGraphCtx(ctx, wl.NL, models, primary, staOptions(job, horizon))
 	s.metrics.backendHist(engine.BackendCSM).ObserveSince(analysisStart)
 	if err != nil {
 		return response{err: err}
 	}
-	body, err := sta.MarshalGoldenReport(name, rep)
+	body, err := sta.MarshalGoldenReport(name, g.Report())
 	if err != nil {
 		return response{err: err}
 	}
+	s.retainGraph(job, &warmGraph{g: g, nl: wl.NL, wlName: wl.Name})
 	return tracedResponse(body, tr)
 }
 

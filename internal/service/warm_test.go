@@ -1,0 +1,91 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestWarmGraphBitIdentity: the warm-graph fast path must answer exactly
+// the bytes of the cold computation it replaces — for the default csm
+// path, for a differently-named request sharing the same analysis, and
+// for the plan-bearing hybrid backend report.
+func TestWarmGraphBitIdentity(t *testing.T) {
+	t.Run("csm", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		_, cold := postJSON(t, ts.URL+"/v1/sta", invRequest())
+		m0 := getMetrics(t, ts.URL)
+		if m0.GraphCache.Entries != 1 || m0.GraphCache.Hits != 0 {
+			t.Fatalf("after cold run: %+v", m0.GraphCache)
+		}
+		resp, warm := postJSON(t, ts.URL+"/v1/sta", invRequest())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm status %d: %s", resp.StatusCode, warm)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Errorf("warm reply differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+		}
+		m1 := getMetrics(t, ts.URL)
+		if m1.GraphCache.Hits != 1 {
+			t.Errorf("graph cache after warm run: %+v", m1.GraphCache)
+		}
+		if m1.Backends.CSM != m0.Backends.CSM {
+			t.Error("warm hit ran a backend")
+		}
+	})
+
+	t.Run("renamed request shares the graph", func(t *testing.T) {
+		_, warmTS := newTestServer(t, Config{})
+		postJSON(t, warmTS.URL+"/v1/sta", invRequest())
+
+		renamed := invRequest()
+		renamed.Name = "other-name"
+		resp, warm := postJSON(t, warmTS.URL+"/v1/sta", renamed)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm status %d: %s", resp.StatusCode, warm)
+		}
+		if m := getMetrics(t, warmTS.URL); m.GraphCache.Hits != 1 {
+			t.Errorf("renamed request did not warm-hit: %+v", m.GraphCache)
+		}
+
+		// The reply must match a cold computation under the new name.
+		_, coldTS := newTestServer(t, Config{GraphCap: -1})
+		_, cold := postJSON(t, coldTS.URL+"/v1/sta", renamed)
+		if !bytes.Equal(cold, warm) {
+			t.Errorf("renamed warm reply differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+		}
+	})
+
+	t.Run("hybrid backend", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		_, cold := postJSON(t, ts.URL+"/v1/sta", c17Request("hybrid"))
+		resp, warm := postJSON(t, ts.URL+"/v1/sta", c17Request("hybrid"))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm status %d: %s", resp.StatusCode, warm)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Error("warm hybrid reply differs from cold")
+		}
+		m := getMetrics(t, ts.URL)
+		if m.GraphCache.Hits != 1 {
+			t.Errorf("graph cache: %+v", m.GraphCache)
+		}
+		if m.Backends.Hybrid != 1 {
+			t.Errorf("hybrid counter = %d, want 1 (warm hit runs no backend)", m.Backends.Hybrid)
+		}
+	})
+
+	t.Run("trace bypasses the cache", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{})
+		postJSON(t, ts.URL+"/v1/sta", invRequest())
+		traced := invRequest()
+		traced.Trace = true
+		resp, body := postJSON(t, ts.URL+"/v1/sta", traced)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traced status %d: %s", resp.StatusCode, body)
+		}
+		if m := getMetrics(t, ts.URL); m.GraphCache.Hits != 0 {
+			t.Errorf("traced request hit the graph cache: %+v", m.GraphCache)
+		}
+	})
+}
